@@ -1,0 +1,77 @@
+// Extension bench: two-phase collective I/O (paper reference [11], built
+// in src/mpiio and modeled in src/simcluster) vs the paper's methods on
+// the interleaved write workloads where collectives shine: ranks trade
+// exchange traffic over the compute network for a handful of large
+// contiguous file requests.
+#include "bench_util.hpp"
+#include "simcluster/sim_collective.hpp"
+
+using namespace pvfs;
+using namespace pvfs::bench;
+using namespace pvfs::simcluster;
+
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseFlags(argc, argv);
+  PrintBanner("Ablation: two-phase collective I/O",
+              "cyclic write (tight interleave) and FLASH checkpoint write",
+              flags);
+
+  std::printf("-- cyclic write, 8 clients --\n");
+  std::printf("%12s %12s %12s %14s %16s\n", "accesses", "list s", "2-phase s",
+              "2ph file reqs", "exchange MB");
+  const std::vector<std::uint64_t> sweeps =
+      flags.full ? std::vector<std::uint64_t>{100000, 400000, 1000000}
+                 : std::vector<std::uint64_t>{10000, 40000, 100000};
+  for (std::uint64_t accesses : sweeps) {
+    workloads::CyclicConfig config{flags.full ? kGiB : 128 * kMiB, 8,
+                                   accesses};
+    SimWorkload workload;
+    workload.file_regions = [config](Rank r) {
+      return std::make_unique<CyclicStream>(config, r);
+    };
+    auto list = RunCell(ChibaCityConfig(8), io::MethodType::kList,
+                        IoOp::kWrite, workload);
+    auto collective =
+        RunSimCollective(ChibaCityConfig(8), IoOp::kWrite, workload);
+    std::printf("%12llu %12.3f %12.3f %14llu %16.1f\n",
+                static_cast<unsigned long long>(accesses), list.io_seconds,
+                collective.io_seconds,
+                static_cast<unsigned long long>(
+                    collective.counters.fs_requests),
+                static_cast<double>(collective.counters.exchange_bytes) /
+                    1e6);
+  }
+
+  std::printf("\n-- FLASH checkpoint write --\n");
+  std::printf("%12s %12s %12s %12s\n", "clients", "list s", "sieving s",
+              "2-phase s");
+  const std::vector<std::uint32_t> client_counts =
+      flags.full ? std::vector<std::uint32_t>{2, 4, 8, 16, 32}
+                 : std::vector<std::uint32_t>{2, 4, 8};
+  for (std::uint32_t clients : client_counts) {
+    workloads::FlashConfig config;
+    config.nprocs = clients;
+    SimWorkload workload;
+    workload.file_regions = [config](Rank r) {
+      return std::make_unique<FlashFileStream>(config, r);
+    };
+    workload.segments = [config](Rank r) {
+      return std::make_unique<UniformSplitStream>(
+          std::make_unique<FlashFileStream>(config, r), config.var_bytes);
+    };
+    auto list = RunCell(ChibaCityConfig(clients), io::MethodType::kList,
+                        IoOp::kWrite, workload);
+    auto sieving = RunCell(ChibaCityConfig(clients),
+                           io::MethodType::kDataSieving, IoOp::kWrite,
+                           workload);
+    auto collective =
+        RunSimCollective(ChibaCityConfig(clients), IoOp::kWrite, workload);
+    std::printf("%12u %12.1f %12.1f %12.1f\n", clients, list.io_seconds,
+                sieving.io_seconds, collective.io_seconds);
+  }
+  std::printf(
+      "\nexpectation: two-phase turns interleaved writes into one "
+      "contiguous stream per aggregator — beating even data sieving "
+      "(no serialized RMW) at the cost of exchange traffic.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Ablation (paper §5 future work): hybrid list+sieving. Sweeps the gap
+// threshold on clustered and uniform patterns and sweeps the data-sieving
+// buffer size — the design knobs DESIGN.md calls out.
+//
+// Expected: on clustered patterns a modest gap threshold collapses request
+// counts and beats plain list I/O; on uniform widely-spaced patterns
+// hybrid degenerates to list I/O (threshold below the stride) or to
+// sieving-like useless transfer (threshold above it).
+#include "bench_util.hpp"
+
+using namespace pvfs;
+using namespace pvfs::bench;
+using namespace pvfs::simcluster;
+
+namespace {
+
+/// Clustered pattern: `clusters` groups of `per_cluster` 64-byte pieces
+/// with 16-byte intra-cluster gaps and 64 KiB inter-cluster gaps.
+ExtentList Clustered(int clusters, int per_cluster) {
+  ExtentList out;
+  FileOffset pos = 0;
+  for (int c = 0; c < clusters; ++c) {
+    for (int i = 0; i < per_cluster; ++i) {
+      out.push_back(Extent{pos, 64});
+      pos += 80;
+    }
+    pos += 64 * 1024;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseFlags(argc, argv);
+  PrintBanner("Ablation: hybrid list+sieving (paper §5)",
+              "gap-threshold sweep on clustered vs uniform patterns; "
+              "sieve-buffer sweep on the cyclic workload",
+              flags);
+
+  SimClusterConfig cluster = ChibaCityConfig(4);
+
+  std::printf("-- clustered reads (800 clusters x 8 x 64 B, 16 B gaps) --\n");
+  std::printf("%16s %12s %12s\n", "gap threshold", "seconds", "requests");
+  ExtentList clustered = Clustered(800, 8);
+  SimWorkload wl;
+  wl.file_regions = [&clustered](Rank) {
+    return std::make_unique<VectorStream>(clustered);
+  };
+  auto list_run = RunCell(cluster, io::MethodType::kList, IoOp::kRead, wl);
+  std::printf("%16s %12.3f %12llu\n", "plain list", list_run.io_seconds,
+              static_cast<unsigned long long>(list_run.counters.fs_requests));
+  for (ByteCount gap : {0ull, 16ull, 256ull, 4096ull, 1ull << 20}) {
+    SimRunOptions options;
+    options.hybrid_gap_threshold = gap;
+    auto run = RunCell(cluster, io::MethodType::kHybrid, IoOp::kRead, wl,
+                       options);
+    std::printf("%16llu %12.3f %12llu\n",
+                static_cast<unsigned long long>(gap), run.io_seconds,
+                static_cast<unsigned long long>(run.counters.fs_requests));
+  }
+
+  std::printf("\n-- uniform cyclic reads (4 clients, 20k accesses) --\n");
+  std::printf("%16s %12s %12s\n", "gap threshold", "seconds", "requests");
+  workloads::CyclicConfig cyclic{64 * kMiB, 4, 20000};
+  SimWorkload uniform;
+  uniform.file_regions = [cyclic](Rank r) {
+    return std::make_unique<CyclicStream>(cyclic, r);
+  };
+  auto ulist = RunCell(cluster, io::MethodType::kList, IoOp::kRead, uniform);
+  std::printf("%16s %12.3f %12llu\n", "plain list", ulist.io_seconds,
+              static_cast<unsigned long long>(ulist.counters.fs_requests));
+  for (ByteCount gap : {0ull, 4096ull, 65536ull}) {
+    SimRunOptions options;
+    options.hybrid_gap_threshold = gap;
+    auto run = RunCell(cluster, io::MethodType::kHybrid, IoOp::kRead,
+                       uniform, options);
+    std::printf("%16llu %12.3f %12llu\n",
+                static_cast<unsigned long long>(gap), run.io_seconds,
+                static_cast<unsigned long long>(run.counters.fs_requests));
+  }
+
+  std::printf("\n-- sieve-buffer sweep (cyclic read, 4 clients) --\n");
+  std::printf("%16s %12s %12s\n", "buffer", "seconds", "requests");
+  for (ByteCount buffer : {1 * kMiB, 4 * kMiB, 16 * kMiB, 32 * kMiB}) {
+    SimRunOptions options;
+    options.sieve_buffer_bytes = buffer;
+    auto run = RunCell(cluster, io::MethodType::kDataSieving, IoOp::kRead,
+                       uniform, options);
+    std::printf("%13lluMiB %12.3f %12llu\n",
+                static_cast<unsigned long long>(buffer / kMiB),
+                run.io_seconds,
+                static_cast<unsigned long long>(run.counters.fs_requests));
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Ablation (paper §3.3 design choice): the 64-region trailing-data limit
+// was chosen so request + trailing data fit one 1500-byte Ethernet frame.
+// Sweeping the limit shows the trade-off: more regions per request
+// amortize per-request overhead further but push requests past one frame.
+#include "bench_util.hpp"
+#include "pvfs/protocol.hpp"
+
+using namespace pvfs;
+using namespace pvfs::bench;
+using namespace pvfs::simcluster;
+
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseFlags(argc, argv);
+  PrintBanner("Ablation: list-I/O region limit (paper §3.3)",
+              "cyclic read/write, 8 clients, 50k accesses/client; sweep "
+              "regions-per-request",
+              flags);
+
+  workloads::CyclicConfig config{flags.full ? kGiB : 128 * kMiB, 8,
+                                 flags.full ? 500000ull : 50000ull};
+  SimWorkload workload;
+  workload.file_regions = [config](Rank r) {
+    return std::make_unique<CyclicStream>(config, r);
+  };
+
+  std::printf("%8s %12s %12s %14s %12s\n", "limit", "read s", "write s",
+              "wire bytes", "frames");
+  for (std::uint32_t limit : {8u, 16u, 32u, 64u, 128u, 256u, 1024u}) {
+    SimClusterConfig cluster = ChibaCityConfig(8);
+    cluster.max_list_regions = limit;
+    auto read = RunCell(cluster, io::MethodType::kList, IoOp::kRead,
+                        workload);
+    auto write = RunCell(cluster, io::MethodType::kList, IoOp::kWrite,
+                         workload);
+    ByteCount wire = IoRequest::WireBytes(limit);
+    models::EthernetModel net;
+    std::printf("%8u %12.3f %12.3f %14llu %12llu%s\n", limit,
+                read.io_seconds, write.io_seconds,
+                static_cast<unsigned long long>(wire),
+                static_cast<unsigned long long>(net.FrameCount(wire)),
+                limit == 64 ? "   <- paper's choice (1 frame)" : "");
+  }
+  return 0;
+}

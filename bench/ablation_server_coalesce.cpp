@@ -1,0 +1,51 @@
+// Ablation: per-entry vs coalescing I/O daemons. 2002 PVFS iods processed
+// each trailing-data entry individually — the mechanism behind Fig. 11's
+// list-I/O upturn at ~150 B/access (a tile's tiny adjacent entries
+// concentrate per-entry work on few servers). A daemon that coalesces
+// locally-adjacent entries before touching storage removes the upturn.
+#include "bench_util.hpp"
+
+using namespace pvfs;
+using namespace pvfs::bench;
+using namespace pvfs::simcluster;
+
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseFlags(argc, argv);
+  PrintBanner("Ablation: server-side entry coalescing (Fig. 11 mechanism)",
+              "block-block list-I/O read, 9 clients; per-entry vs coalescing "
+              "I/O daemons",
+              flags);
+
+  const ByteCount aggregate = flags.full ? kGiB : 256 * kMiB;
+  const std::vector<std::uint64_t> sweeps =
+      flags.full
+          ? std::vector<std::uint64_t>{125000, 250000, 500000, 800000,
+                                       1000000}
+          : std::vector<std::uint64_t>{12500, 25000, 50000, 100000, 200000};
+
+  std::printf("%12s %14s %16s %16s\n", "accesses", "bytes/access",
+              "per-entry iod s", "coalescing iod s");
+  for (std::uint64_t accesses : sweeps) {
+    workloads::BlockBlockConfig config{aggregate, 9, accesses};
+    SimWorkload workload;
+    workload.file_regions = [config](Rank r) {
+      return std::make_unique<BlockBlockStream>(config, r);
+    };
+
+    SimClusterConfig per_entry = ChibaCityConfig(9);
+    SimClusterConfig coalescing = ChibaCityConfig(9);
+    coalescing.server_coalesces_entries = true;
+
+    auto a = RunCell(per_entry, io::MethodType::kList, IoOp::kRead, workload);
+    auto b =
+        RunCell(coalescing, io::MethodType::kList, IoOp::kRead, workload);
+    std::printf("%12llu %14llu %16.3f %16.3f\n",
+                static_cast<unsigned long long>(accesses),
+                static_cast<unsigned long long>(aggregate / 9 / accesses),
+                a.io_seconds, b.io_seconds);
+  }
+  std::printf("\nexpectation: the per-entry daemon's time turns upward as "
+              "accesses shrink below ~150 B; the coalescing daemon stays "
+              "flat (adjacent entries collapse into row-sized accesses).\n");
+  return 0;
+}

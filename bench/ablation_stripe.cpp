@@ -1,0 +1,44 @@
+// Ablation: stripe-unit size. The paper uses PVFS's 16,384-byte default
+// (§4.1); this sweep shows how the choice interacts with the access
+// methods — small stripes spread tiny accesses over more servers (more
+// fan-out per list request), large stripes concentrate them (fewer
+// messages, less parallelism).
+#include "bench_util.hpp"
+
+using namespace pvfs;
+using namespace pvfs::bench;
+using namespace pvfs::simcluster;
+
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseFlags(argc, argv);
+  PrintBanner("Ablation: stripe size (paper §4.1 default 16 KiB)",
+              "cyclic read/write, 8 clients, 50k accesses/client",
+              flags);
+
+  workloads::CyclicConfig config{flags.full ? kGiB : 128 * kMiB, 8,
+                                 flags.full ? 500000ull : 50000ull};
+  SimWorkload workload;
+  workload.file_regions = [config](Rank r) {
+    return std::make_unique<CyclicStream>(config, r);
+  };
+
+  std::printf("%10s %12s %12s %12s %14s\n", "stripe", "list rd s",
+              "list wr s", "multi rd s", "msgs/list req");
+  for (ByteCount stripe : {4096ull, 16384ull, 65536ull, 262144ull}) {
+    SimClusterConfig cluster = ChibaCityConfig(8);
+    cluster.striping.ssize = stripe;
+    auto list_rd =
+        RunCell(cluster, io::MethodType::kList, IoOp::kRead, workload);
+    auto list_wr =
+        RunCell(cluster, io::MethodType::kList, IoOp::kWrite, workload);
+    auto multi_rd =
+        RunCell(cluster, io::MethodType::kMultiple, IoOp::kRead, workload);
+    std::printf("%9lluK %12.3f %12.3f %12.3f %14.2f%s\n",
+                static_cast<unsigned long long>(stripe / 1024),
+                list_rd.io_seconds, list_wr.io_seconds, multi_rd.io_seconds,
+                static_cast<double>(list_rd.counters.messages) /
+                    static_cast<double>(list_rd.counters.fs_requests),
+                stripe == 16384 ? "   <- paper default" : "");
+  }
+  return 0;
+}

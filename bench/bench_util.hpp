@@ -1,0 +1,103 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Every binary prints the rows of one paper figure: a header naming the
+// figure, then one table per subplot (client count), with a column per
+// noncontiguous method. Default sweeps are scaled down to keep a full run
+// in seconds; pass --full for the paper's 1 GiB / million-access scale.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/method.hpp"
+#include "simcluster/sim_run.hpp"
+#include "simcluster/workload_streams.hpp"
+
+namespace pvfs::bench {
+
+struct BenchFlags {
+  bool full = false;          // paper-scale sweep (slow)
+  bool verbose = false;       // per-run counters
+  const char* csv = nullptr;  // mirror rows to this CSV file
+};
+
+inline BenchFlags ParseFlags(int argc, char** argv) {
+  BenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) flags.full = true;
+    if (std::strcmp(argv[i], "--verbose") == 0) flags.verbose = true;
+    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      flags.csv = argv[++i];
+    }
+  }
+  return flags;
+}
+
+/// Mirrors measurement rows to a CSV file when --csv is given:
+///   figure,clients,accesses,method,virtual_seconds,fs_requests
+class CsvSink {
+ public:
+  CsvSink(const BenchFlags& flags, const char* figure) : figure_(figure) {
+    if (flags.csv != nullptr) {
+      file_ = std::fopen(flags.csv, "w");
+      if (file_ != nullptr) {
+        std::fprintf(file_,
+                     "figure,clients,accesses,method,virtual_seconds,"
+                     "fs_requests\n");
+      }
+    }
+  }
+  ~CsvSink() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  CsvSink(const CsvSink&) = delete;
+  CsvSink& operator=(const CsvSink&) = delete;
+
+  void Row(std::uint32_t clients, std::uint64_t accesses,
+           std::string_view method, double seconds,
+           std::uint64_t requests) {
+    if (file_ == nullptr) return;
+    std::fprintf(file_, "%s,%u,%llu,%.*s,%.6f,%llu\n", figure_, clients,
+                 static_cast<unsigned long long>(accesses),
+                 static_cast<int>(method.size()), method.data(), seconds,
+                 static_cast<unsigned long long>(requests));
+  }
+
+ private:
+  const char* figure_;
+  std::FILE* file_ = nullptr;
+};
+
+inline void PrintBanner(const char* figure, const char* description,
+                        const BenchFlags& flags) {
+  std::printf("=== %s ===\n%s\nscale: %s\n\n", figure, description,
+              flags.full ? "full (paper: 1 GiB aggregate)" : "reduced");
+}
+
+/// Runs one (method, op) cell and returns virtual seconds of the I/O phase.
+inline simcluster::SimRunResult RunCell(
+    const simcluster::SimClusterConfig& cluster, io::MethodType method,
+    IoOp op, const simcluster::SimWorkload& workload,
+    simcluster::SimRunOptions options = {}) {
+  return simcluster::RunSimWorkload(cluster, method, op, workload, options);
+}
+
+inline void PrintRowHeader(const std::vector<io::MethodType>& methods) {
+  std::printf("%14s", "accesses");
+  for (io::MethodType m : methods) {
+    std::printf(" %16s", io::MethodName(m).data());
+  }
+  std::printf("   (virtual seconds per method)\n");
+}
+
+inline void PrintCells(std::uint64_t accesses,
+                       const std::vector<double>& seconds) {
+  std::printf("%14llu", static_cast<unsigned long long>(accesses));
+  for (double s : seconds) std::printf(" %16.3f", s);
+  std::printf("\n");
+}
+
+}  // namespace pvfs::bench

@@ -1,0 +1,57 @@
+// Figure 9: one-dimensional cyclic READ, 8/16/32 clients, time vs number
+// of accesses, methods {multiple, data sieving, list}.
+//
+// Expected shape (paper §4.2.2): multiple and list scale linearly with the
+// access count with list far below multiple; data sieving is flat across
+// accesses and roughly doubles when the client count doubles.
+#include "bench_util.hpp"
+
+using namespace pvfs;
+using namespace pvfs::bench;
+using namespace pvfs::simcluster;
+
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseFlags(argc, argv);
+  PrintBanner("Figure 9: 1-D cyclic read",
+              "1 GiB aggregate split over N clients; x = accesses/client",
+              flags);
+
+  const ByteCount aggregate = flags.full ? kGiB : 256 * kMiB;
+  const std::vector<std::uint64_t> sweeps =
+      flags.full ? std::vector<std::uint64_t>{125000, 250000, 500000, 1000000}
+                 : std::vector<std::uint64_t>{12500, 25000, 50000, 100000};
+  const std::vector<io::MethodType> methods = {io::MethodType::kMultiple,
+                                               io::MethodType::kDataSieving,
+                                               io::MethodType::kList};
+  CsvSink csv(flags, "fig09");
+
+  for (std::uint32_t clients : {8u, 16u, 32u}) {
+    std::printf("-- %u clients --\n", clients);
+    PrintRowHeader(methods);
+    for (std::uint64_t accesses : sweeps) {
+      workloads::CyclicConfig config{aggregate, clients, accesses};
+      SimWorkload workload;
+      workload.file_regions = [config](Rank r) {
+        return std::make_unique<CyclicStream>(config, r);
+      };
+      std::vector<double> seconds;
+      for (io::MethodType method : methods) {
+        auto run = RunCell(ChibaCityConfig(clients), method, IoOp::kRead,
+                           workload);
+        seconds.push_back(run.io_seconds);
+        csv.Row(clients, accesses, io::MethodName(method), run.io_seconds,
+                run.counters.fs_requests);
+        if (flags.verbose) {
+          std::printf("    [%s] requests=%llu messages=%llu\n",
+                      io::MethodName(method).data(),
+                      static_cast<unsigned long long>(
+                          run.counters.fs_requests),
+                      static_cast<unsigned long long>(run.counters.messages));
+        }
+      }
+      PrintCells(accesses, seconds);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 10: one-dimensional cyclic WRITE, 8/16/32 clients, log-scale time
+// vs number of accesses, methods {multiple, list}. Data sieving writes are
+// excluded, as in the paper (§4.2.1: they require serialized
+// read-modify-write and were not run for the artificial benchmark).
+//
+// Expected shape: both methods grow with access count while keeping a
+// roughly two-orders-of-magnitude gap (multiple pays per-request write
+// overhead on every tiny region; list amortizes it 64x).
+#include "bench_util.hpp"
+
+using namespace pvfs;
+using namespace pvfs::bench;
+using namespace pvfs::simcluster;
+
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseFlags(argc, argv);
+  PrintBanner("Figure 10: 1-D cyclic write",
+              "1 GiB aggregate split over N clients; x = accesses/client",
+              flags);
+
+  const ByteCount aggregate = flags.full ? kGiB : 256 * kMiB;
+  const std::vector<std::uint64_t> sweeps =
+      flags.full ? std::vector<std::uint64_t>{125000, 250000, 500000, 1000000}
+                 : std::vector<std::uint64_t>{12500, 25000, 50000, 100000};
+  const std::vector<io::MethodType> methods = {io::MethodType::kMultiple,
+                                               io::MethodType::kList};
+  CsvSink csv(flags, "fig10");
+
+  for (std::uint32_t clients : {8u, 16u, 32u}) {
+    std::printf("-- %u clients --\n", clients);
+    PrintRowHeader(methods);
+    for (std::uint64_t accesses : sweeps) {
+      workloads::CyclicConfig config{aggregate, clients, accesses};
+      SimWorkload workload;
+      workload.file_regions = [config](Rank r) {
+        return std::make_unique<CyclicStream>(config, r);
+      };
+      std::vector<double> seconds;
+      for (io::MethodType method : methods) {
+        auto run = RunCell(ChibaCityConfig(clients), method, IoOp::kWrite,
+                           workload);
+        seconds.push_back(run.io_seconds);
+        csv.Row(clients, accesses, io::MethodName(method), run.io_seconds,
+                run.counters.fs_requests);
+      }
+      PrintCells(accesses, seconds);
+      std::printf("%14s multiple/list ratio: %.1fx\n", "",
+                  seconds[0] / seconds[1]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 11: two-dimensional block-block READ, 4/9/16 clients, time vs
+// number of accesses, methods {multiple, data sieving, list}.
+//
+// Expected shape (paper §4.2.2): multiple linear, sieving near-constant
+// (and cheaper than in the cyclic case — tiles keep wanted data closer);
+// list linear for 4 clients but turning sharply upward for 9/16 clients
+// once accesses shrink below ~150 bytes (each client concentrates its
+// per-entry server work on the few servers holding its tile's stripes).
+#include "bench_util.hpp"
+
+using namespace pvfs;
+using namespace pvfs::bench;
+using namespace pvfs::simcluster;
+
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseFlags(argc, argv);
+  PrintBanner("Figure 11: block-block read",
+              "1 GiB array in a sqrt(N) x sqrt(N) tile grid; x = "
+              "accesses/client",
+              flags);
+
+  const ByteCount aggregate = flags.full ? kGiB : 256 * kMiB;
+  const std::vector<std::uint64_t> sweeps =
+      flags.full
+          ? std::vector<std::uint64_t>{125000, 250000, 500000, 800000,
+                                       1000000}
+          : std::vector<std::uint64_t>{12500, 25000, 50000, 100000, 200000};
+  const std::vector<io::MethodType> methods = {io::MethodType::kMultiple,
+                                               io::MethodType::kDataSieving,
+                                               io::MethodType::kList};
+  CsvSink csv(flags, "fig11");
+
+  for (std::uint32_t clients : {4u, 9u, 16u}) {
+    std::printf("-- %u clients --\n", clients);
+    PrintRowHeader(methods);
+    for (std::uint64_t accesses : sweeps) {
+      workloads::BlockBlockConfig config{aggregate, clients, accesses};
+      SimWorkload workload;
+      workload.file_regions = [config](Rank r) {
+        return std::make_unique<BlockBlockStream>(config, r);
+      };
+      std::vector<double> seconds;
+      for (io::MethodType method : methods) {
+        auto run = RunCell(ChibaCityConfig(clients), method, IoOp::kRead,
+                           workload);
+        seconds.push_back(run.io_seconds);
+        csv.Row(clients, accesses, io::MethodName(method), run.io_seconds,
+                run.counters.fs_requests);
+      }
+      PrintCells(accesses, seconds);
+      std::printf("%14s bytes/access ~ %llu\n", "",
+                  static_cast<unsigned long long>(
+                      aggregate / clients / accesses));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

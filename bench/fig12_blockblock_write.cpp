@@ -1,0 +1,52 @@
+// Figure 12: two-dimensional block-block WRITE, 4/9/16 clients, log-scale
+// time vs number of accesses, methods {multiple, list}.
+//
+// Expected shape (paper §4.2.2): "the block-block write results perform
+// similar to the one-dimensional cyclic write results" — both methods grow
+// with access count, maintaining the ~two-orders-of-magnitude gap.
+#include "bench_util.hpp"
+
+using namespace pvfs;
+using namespace pvfs::bench;
+using namespace pvfs::simcluster;
+
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseFlags(argc, argv);
+  PrintBanner("Figure 12: block-block write",
+              "1 GiB array in a sqrt(N) x sqrt(N) tile grid; x = "
+              "accesses/client",
+              flags);
+
+  const ByteCount aggregate = flags.full ? kGiB : 256 * kMiB;
+  const std::vector<std::uint64_t> sweeps =
+      flags.full ? std::vector<std::uint64_t>{125000, 250000, 500000, 1000000}
+                 : std::vector<std::uint64_t>{12500, 25000, 50000, 100000};
+  const std::vector<io::MethodType> methods = {io::MethodType::kMultiple,
+                                               io::MethodType::kList};
+  CsvSink csv(flags, "fig12");
+
+  for (std::uint32_t clients : {4u, 9u, 16u}) {
+    std::printf("-- %u clients --\n", clients);
+    PrintRowHeader(methods);
+    for (std::uint64_t accesses : sweeps) {
+      workloads::BlockBlockConfig config{aggregate, clients, accesses};
+      SimWorkload workload;
+      workload.file_regions = [config](Rank r) {
+        return std::make_unique<BlockBlockStream>(config, r);
+      };
+      std::vector<double> seconds;
+      for (io::MethodType method : methods) {
+        auto run = RunCell(ChibaCityConfig(clients), method, IoOp::kWrite,
+                           workload);
+        seconds.push_back(run.io_seconds);
+        csv.Row(clients, accesses, io::MethodName(method), run.io_seconds,
+                run.counters.fs_requests);
+      }
+      PrintCells(accesses, seconds);
+      std::printf("%14s multiple/list ratio: %.1fx\n", "",
+                  seconds[0] / seconds[1]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

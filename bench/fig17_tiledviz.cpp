@@ -1,0 +1,47 @@
+// Figure 17: tiled visualization read with 6 clients — open / read / close
+// breakdown per method {multiple, data sieving, list}.
+//
+// Expected shape (paper §4.4.2): list I/O more than twice as fast as
+// either alternative on the read phase; multiple needs 768 requests/tile,
+// list needs 12 (768/64); sieving reads ~3x useless data (1/tiles_x of
+// the accessed rows is wanted).
+#include "bench_util.hpp"
+
+using namespace pvfs;
+using namespace pvfs::bench;
+using namespace pvfs::simcluster;
+
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseFlags(argc, argv);
+  PrintBanner("Figure 17: tiled visualization read",
+              "3x2 displays, 1024x768x24bpp, 270/128 px overlaps, 10.2 MB "
+              "frame file, 6 clients",
+              flags);
+
+  workloads::TiledVizConfig config;
+  SimWorkload workload;
+  workload.file_regions = [config](Rank r) {
+    return std::make_unique<TiledVizStream>(config, r);
+  };
+
+  SimClusterConfig cluster = ChibaCityConfig(config.clients());
+  SimRunOptions options;
+  options.include_meta = true;
+
+  std::printf("%14s %10s %10s %10s %12s   (virtual seconds)\n", "method",
+              "open", "read", "close", "requests");
+  for (io::MethodType method :
+       {io::MethodType::kMultiple, io::MethodType::kDataSieving,
+        io::MethodType::kList}) {
+    auto run = RunCell(cluster, method, IoOp::kRead, workload, options);
+    std::printf("%14s %10.4f %10.4f %10.4f %12llu\n",
+                io::MethodName(method).data(), run.open_seconds,
+                run.io_seconds, run.close_seconds,
+                static_cast<unsigned long long>(run.counters.fs_requests));
+  }
+  std::printf(
+      "\npaper expectation: multiple=768 req/client, list=%u req/client, "
+      "sieving wastes ~%ux the wanted bytes\n",
+      (768 + kMaxListRegions - 1) / kMaxListRegions, config.tiles_x);
+  return 0;
+}

@@ -1,0 +1,130 @@
+// google-benchmark microbenchmarks of the hot primitives: striping math,
+// extent matching, wire codec, datatype flattening, page-cache service and
+// the functional list-I/O path.
+#include <benchmark/benchmark.h>
+
+#include "common/bytes.hpp"
+#include "common/extent.hpp"
+#include "common/wire.hpp"
+#include "io/datatype.hpp"
+#include "models/page_cache.hpp"
+#include "pvfs/client.hpp"
+#include "pvfs/distribution.hpp"
+#include "pvfs/iod.hpp"
+#include "pvfs/manager.hpp"
+#include "pvfs/transport.hpp"
+
+namespace pvfs {
+namespace {
+
+void BM_DistributionFragments(benchmark::State& state) {
+  Distribution dist(Striping{0, 8, 16384});
+  ExtentList regions;
+  for (int i = 0; i < state.range(0); ++i) {
+    regions.push_back(Extent{static_cast<FileOffset>(i) * 40000, 1000});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist.Fragments(regions));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DistributionFragments)->Arg(64)->Arg(1024);
+
+void BM_ServerLocalRuns(benchmark::State& state) {
+  Distribution dist(Striping{0, 8, 16384});
+  ExtentList regions;
+  for (int i = 0; i < state.range(0); ++i) {
+    regions.push_back(Extent{static_cast<FileOffset>(i) * 40000, 1000});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist.ServerLocalRuns(3, regions));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ServerLocalRuns)->Arg(64)->Arg(1024);
+
+void BM_MatchSegments(benchmark::State& state) {
+  ExtentList mem;
+  ExtentList file;
+  for (int i = 0; i < state.range(0); ++i) {
+    mem.push_back(Extent{static_cast<FileOffset>(i) * 8, 8});
+    if (i % 512 == 0) file.push_back(Extent{static_cast<FileOffset>(i) * 100, 0});
+    file.back().length += 8;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatchSegments(mem, file));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MatchSegments)->Arg(4096)->Arg(65536);
+
+void BM_IoRequestCodec(benchmark::State& state) {
+  IoRequest req;
+  req.handle = 1;
+  req.striping = Striping{0, 8, 16384};
+  req.regions.assign(64, Extent{123456, 4096});
+  for (auto _ : state) {
+    auto raw = req.Encode();
+    WireReader r(raw);
+    (void)r.U32();
+    benchmark::DoNotOptimize(IoRequest::Decode(r));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_IoRequestCodec);
+
+void BM_DatatypeFlatten(benchmark::State& state) {
+  io::Datatype vec =
+      io::Datatype::Vector(state.range(0), 4, 64, io::Datatype::Bytes(8));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec.Flatten(0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DatatypeFlatten)->Arg(1024)->Arg(16384);
+
+void BM_PageCacheSequentialRead(benchmark::State& state) {
+  models::DiskModel disk;
+  models::PageCache cache({}, &disk);
+  FileOffset pos = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Read(pos, 65536));
+    pos += 65536;
+  }
+  state.SetBytesProcessed(state.iterations() * 65536);
+}
+BENCHMARK(BM_PageCacheSequentialRead);
+
+void BM_ListIoWritePath(benchmark::State& state) {
+  Manager manager(8);
+  std::vector<std::unique_ptr<IoDaemon>> iods;
+  std::vector<IoDaemon*> ptrs;
+  for (ServerId s = 0; s < 8; ++s) {
+    iods.push_back(std::make_unique<IoDaemon>(s));
+    ptrs.push_back(iods.back().get());
+  }
+  InProcTransport transport(&manager, ptrs);
+  Client client(&transport);
+  auto fd = client.Create("bench", Striping{0, 8, 16384});
+
+  const int regions = static_cast<int>(state.range(0));
+  ExtentList file;
+  for (int i = 0; i < regions; ++i) {
+    file.push_back(Extent{static_cast<FileOffset>(i) * 9000, 512});
+  }
+  ByteBuffer buffer(TotalBytes(file));
+  FillPattern(buffer, 1, 0);
+  ExtentList mem{{0, buffer.size()}};
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.WriteList(*fd, mem, buffer, file));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(buffer.size()));
+}
+BENCHMARK(BM_ListIoWritePath)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace pvfs
+
+BENCHMARK_MAIN();

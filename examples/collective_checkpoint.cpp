@@ -1,0 +1,94 @@
+// Collective checkpoint example: the cyclic interleave of the paper's
+// artificial benchmark, written through the mini-ROMIO MPI-IO layer —
+// first independently (list I/O under the hood), then collectively
+// (two-phase: ranks exchange pieces so each aggregator issues one large
+// contiguous write).
+//
+//   $ ./example_collective_checkpoint
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "common/bytes.hpp"
+#include "mpiio/file.hpp"
+#include "runtime/spmd.hpp"
+#include "runtime/threaded_cluster.hpp"
+
+using namespace pvfs;
+
+namespace {
+
+struct RunStats {
+  double wall_ms = 0;
+  std::uint64_t client_messages = 0;
+  std::uint64_t aggregator_ops = 0;
+};
+
+RunStats RunOnce(bool collective, std::uint32_t ranks, ByteCount block,
+                 int blocks_per_rank) {
+  runtime::ThreadedCluster cluster(8);
+  mpiio::Group group(ranks);
+  RunStats stats;
+  std::mutex stats_mutex;
+
+  auto t0 = std::chrono::steady_clock::now();
+  runtime::RunSpmd(ranks, [&](runtime::SpmdContext& ctx) {
+    Client client(&cluster.transport());
+    auto file = mpiio::MpiFile::Open(&client, &group, ctx.rank(),
+                                     "/ckpt/state", Striping{0, 8, 16384});
+    if (!file.ok()) throw std::runtime_error("open failed");
+    mpiio::CollectiveHints hints;
+    hints.cb_enable = collective;
+    file->set_hints(hints);
+
+    // View: this rank's slots of the cyclic interleave.
+    auto filetype = io::Datatype::Resized(io::Datatype::Bytes(block), 0,
+                                          block * ranks);
+    if (!file->SetView(ctx.rank() * block, filetype).ok()) {
+      throw std::runtime_error("set view failed");
+    }
+
+    ByteBuffer mine(blocks_per_rank * block);
+    FillPattern(mine, ctx.rank(), 0);
+    Status status = file->WriteAtAll(0, mine);
+    if (!status.ok()) throw std::runtime_error(status.ToString());
+    (void)file->Close();
+
+    std::lock_guard lock(stats_mutex);
+    stats.client_messages += client.stats().messages;
+    stats.aggregator_ops +=
+        file->stats().aggregator_writes + file->stats().aggregator_reads;
+  });
+  stats.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint32_t kRanks = 8;
+  constexpr ByteCount kBlock = 512;
+  constexpr int kBlocksPerRank = 2048;  // 1 MiB per rank, tightly interleaved
+
+  std::printf("checkpointing %u ranks x %d blocks x %llu B (cyclic "
+              "interleave)\n",
+              kRanks, kBlocksPerRank,
+              static_cast<unsigned long long>(kBlock));
+
+  RunStats independent = RunOnce(false, kRanks, kBlock, kBlocksPerRank);
+  RunStats collective = RunOnce(true, kRanks, kBlock, kBlocksPerRank);
+
+  std::printf("  independent (list I/O):  %6.0f ms, %llu server messages\n",
+              independent.wall_ms,
+              static_cast<unsigned long long>(independent.client_messages));
+  std::printf("  collective (two-phase):  %6.0f ms, %llu server messages, "
+              "%llu aggregator file ops\n",
+              collective.wall_ms,
+              static_cast<unsigned long long>(collective.client_messages),
+              static_cast<unsigned long long>(collective.aggregator_ops));
+
+  std::printf("done.\n");
+  return 0;
+}

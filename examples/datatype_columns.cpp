@@ -1,0 +1,84 @@
+// Datatype-described I/O example (paper §5 future work): access the
+// columns of a matrix stored row-major in PVFS using an MPI-style vector
+// datatype — the access description stays O(1) no matter how many rows
+// the matrix has; flattening happens inside the library.
+//
+//   $ ./example_datatype_columns
+#include <cstdio>
+
+#include "common/bytes.hpp"
+#include "io/datatype_io.hpp"
+#include "io/list_io.hpp"
+#include "runtime/threaded_cluster.hpp"
+
+using namespace pvfs;
+
+int main() {
+  constexpr std::uint64_t kRows = 2048;
+  constexpr std::uint64_t kCols = 1024;  // bytes per row
+  constexpr std::uint64_t kColWidth = 16;
+
+  runtime::ThreadedCluster cluster(8);
+  Client client(&cluster.transport());
+  auto fd = client.Create("/demo/table", Striping{0, 8, 16384});
+  if (!fd.ok()) return 1;
+
+  // Store the matrix.
+  ByteBuffer matrix(kRows * kCols);
+  FillPattern(matrix, 11, 0);
+  if (!client.Write(*fd, 0, matrix).ok()) return 1;
+
+  // File view: a kColWidth-byte slice of every row, starting at byte 256.
+  // One vector datatype describes all 2048 regions: count=kRows blocks of
+  // one kColWidth-byte element, strided a row apart.
+  io::Datatype column = io::Datatype::Vector(
+      kRows, 1, static_cast<std::int64_t>(kCols / kColWidth),
+      io::Datatype::Bytes(kColWidth));
+  io::Datatype memtype = io::Datatype::Bytes(kRows * kColWidth);
+
+  std::printf("column datatype: %llu regions, %llu-byte description "
+              "(vs %llu bytes as an offset/length list)\n",
+              static_cast<unsigned long long>(column.region_count()),
+              static_cast<unsigned long long>(column.DescriptionWireBytes()),
+              static_cast<unsigned long long>(column.region_count() * 16));
+
+  ByteBuffer slice(kRows * kColWidth);
+  io::ListIo list;
+  client.ResetStats();
+  Status status =
+      ReadTyped(client, *fd, memtype, 1, slice, column, /*disp=*/256, list);
+  if (!status.ok()) {
+    std::fprintf(stderr, "typed read failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  for (std::uint64_t r = 0; r < kRows; ++r) {
+    for (std::uint64_t i = 0; i < kColWidth; ++i) {
+      if (slice[r * kColWidth + i] != matrix[r * kCols + 256 + i]) {
+        std::fprintf(stderr, "mismatch at row %llu\n",
+                     static_cast<unsigned long long>(r));
+        return 1;
+      }
+    }
+  }
+
+  std::printf("read %llu column bytes via %llu list requests; verified.\n",
+              static_cast<unsigned long long>(slice.size()),
+              static_cast<unsigned long long>(client.stats().fs_requests));
+
+  // The same access as a 2-D subarray type (every API surface flattens to
+  // the same extents).
+  const std::uint64_t sizes[] = {kRows, kCols};
+  const std::uint64_t subsizes[] = {kRows, kColWidth};
+  const std::uint64_t starts[] = {0, 256};
+  io::Datatype subarray =
+      io::Datatype::Subarray(sizes, subsizes, starts, io::Datatype::Bytes(1));
+  ByteBuffer slice2(kRows * kColWidth);
+  if (!ReadTyped(client, *fd, memtype, 1, slice2, subarray, 0, list).ok()) {
+    return 1;
+  }
+  std::printf("subarray datatype read agrees: %s\n",
+              slice2 == slice ? "yes" : "NO");
+  return slice2 == slice ? 0 : 1;
+}

@@ -1,0 +1,110 @@
+// FLASH checkpoint example (paper §4.3): four SPMD ranks concurrently
+// write a (scaled-down) FLASH checkpoint — noncontiguous in memory AND
+// file — through each noncontiguous method, verifying the resulting file
+// image and comparing request counts.
+//
+//   $ ./example_flash_checkpoint
+#include <cstdio>
+
+#include "common/bytes.hpp"
+#include "io/method.hpp"
+#include "runtime/spmd.hpp"
+#include "runtime/threaded_cluster.hpp"
+#include "workloads/flash.hpp"
+
+using namespace pvfs;
+
+namespace {
+
+/// Scaled-down FLASH configuration so the example runs in milliseconds:
+/// 8 blocks of 4x4x4 elements, 6 variables, 2 guard cells.
+workloads::FlashConfig ExampleConfig(std::uint32_t nprocs) {
+  workloads::FlashConfig config;
+  config.nprocs = nprocs;
+  config.blocks_per_proc = 8;
+  config.nxb = config.nyb = config.nzb = 4;
+  config.nguard = 2;
+  config.nvars = 6;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint32_t kProcs = 4;
+  workloads::FlashConfig config = ExampleConfig(kProcs);
+  std::printf("FLASH checkpoint: %u procs x %llu bytes "
+              "(%llu memory regions, %llu file regions per proc)\n",
+              kProcs,
+              static_cast<unsigned long long>(config.BytesPerProc()),
+              static_cast<unsigned long long>(config.MemRegionsPerProc()),
+              static_cast<unsigned long long>(config.FileRegionsPerProc()));
+
+  for (io::MethodType method :
+       {io::MethodType::kMultiple, io::MethodType::kDataSieving,
+        io::MethodType::kList, io::MethodType::kHybrid}) {
+    runtime::ThreadedCluster cluster(8);
+    {
+      Client setup(&cluster.transport());
+      auto fd = setup.Create("/flash/checkpoint", Striping{0, 8, 16384});
+      if (!fd.ok()) return 1;
+    }
+
+    io::MutexSerializer serializer;  // sieving/hybrid writes need RMW order
+    std::uint64_t total_requests = 0;
+    std::mutex stats_mutex;
+
+    runtime::RunSpmd(kProcs, [&](runtime::SpmdContext& ctx) {
+      Client client(&cluster.transport());
+      auto fd = client.Open("/flash/checkpoint");
+      if (!fd.ok()) throw std::runtime_error("open failed");
+
+      // Each rank fills its padded block buffer; interior elements carry
+      // a rank-seeded pattern keyed by checkpoint position.
+      auto pattern = workloads::FlashCheckpointPattern(config, ctx.rank());
+      ByteBuffer buffer(config.MemBytesPerProc());
+      ByteCount stream_pos = 0;
+      for (const Extent& m : pattern.memory) {
+        FillPattern(std::span{buffer}.subspan(m.offset, m.length),
+                    1000 + ctx.rank(), stream_pos);
+        stream_pos += m.length;
+      }
+
+      io::MethodOptions options;
+      options.serializer = &serializer;
+      auto io_method = io::MakeMethod(method, options);
+      Status status = io_method->Write(client, *fd, pattern, buffer);
+      if (!status.ok()) throw std::runtime_error(status.ToString());
+
+      std::lock_guard lock(stats_mutex);
+      total_requests += client.stats().fs_requests;
+    });
+
+    // Verify the checkpoint image: every (var, block, proc) chunk holds
+    // that proc's stream bytes.
+    Client reader(&cluster.transport());
+    auto fd = reader.Open("/flash/checkpoint");
+    bool ok = true;
+    for (Rank p = 0; p < kProcs && ok; ++p) {
+      auto pattern = workloads::FlashCheckpointPattern(config, p);
+      ByteCount stream_pos = 0;
+      for (const Extent& f : pattern.file) {
+        ByteBuffer chunk(f.length);
+        if (!reader.Read(*fd, f.offset, chunk).ok() ||
+            FindPatternMismatch(chunk, 1000 + p, stream_pos).has_value()) {
+          ok = false;
+          break;
+        }
+        stream_pos += f.length;
+      }
+    }
+
+    std::printf("  %-13s requests=%-8llu verify=%s\n",
+                io::MethodName(method).data(),
+                static_cast<unsigned long long>(total_requests),
+                ok ? "OK" : "FAILED");
+    if (!ok) return 1;
+  }
+  std::printf("all methods produced identical checkpoints.\n");
+  return 0;
+}

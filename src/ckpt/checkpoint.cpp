@@ -1,0 +1,145 @@
+#include "ckpt/checkpoint.hpp"
+
+#include "common/wire.hpp"
+
+namespace pvfs::ckpt {
+
+std::uint64_t ArraySpec::GlobalElements() const {
+  std::uint64_t n = global_dims.empty() ? 0 : 1;
+  for (std::uint64_t d : global_dims) n *= d;
+  return n;
+}
+
+std::uint64_t ArraySpec::LocalElements() const {
+  std::uint64_t n = local_dims.empty() ? 0 : 1;
+  for (std::uint64_t d : local_dims) n *= d;
+  return n;
+}
+
+Status ArraySpec::Validate() const {
+  if (elem_size == 0) return InvalidArgument("zero element size");
+  if (global_dims.empty()) return InvalidArgument("no dimensions");
+  if (local_offset.size() != global_dims.size() ||
+      local_dims.size() != global_dims.size()) {
+    return InvalidArgument("spec dimension counts disagree");
+  }
+  for (size_t d = 0; d < global_dims.size(); ++d) {
+    if (global_dims[d] == 0) return InvalidArgument("zero global dimension");
+    if (local_dims[d] == 0) return InvalidArgument("zero local dimension");
+    if (local_offset[d] + local_dims[d] > global_dims[d]) {
+      return InvalidArgument("local block exceeds global bounds");
+    }
+  }
+  return Status::Ok();
+}
+
+io::Datatype BlockFiletype(const ArraySpec& spec) {
+  return io::Datatype::Subarray(spec.global_dims, spec.local_dims,
+                                spec.local_offset,
+                                io::Datatype::Bytes(spec.elem_size));
+}
+
+namespace {
+
+ByteBuffer EncodeHeader(const ArraySpec& spec, std::uint64_t user_tag) {
+  WireWriter w;
+  w.U32(kMagic);
+  w.U32(kVersion);
+  w.U64(spec.elem_size);
+  w.U64(user_tag);
+  w.U32(static_cast<std::uint32_t>(spec.global_dims.size()));
+  for (std::uint64_t d : spec.global_dims) w.U64(d);
+  ByteBuffer header = w.Take();
+  header.resize(kHeaderBytes, std::byte{0});
+  return header;
+}
+
+Result<CheckpointInfo> DecodeHeader(std::span<const std::byte> raw) {
+  WireReader r(raw);
+  PVFS_ASSIGN_OR_RETURN(std::uint32_t magic, r.U32());
+  if (magic != kMagic) {
+    return InvalidArgument("not a pvfs checkpoint (bad magic)");
+  }
+  CheckpointInfo info;
+  PVFS_ASSIGN_OR_RETURN(info.version, r.U32());
+  if (info.version != kVersion) {
+    return Unimplemented("unsupported checkpoint version " +
+                         std::to_string(info.version));
+  }
+  PVFS_ASSIGN_OR_RETURN(info.elem_size, r.U64());
+  PVFS_ASSIGN_OR_RETURN(info.user_tag, r.U64());
+  PVFS_ASSIGN_OR_RETURN(std::uint32_t ndims, r.U32());
+  if (ndims == 0 || ndims > 16) {
+    return InvalidArgument("implausible checkpoint dimensionality");
+  }
+  info.global_dims.resize(ndims);
+  for (std::uint32_t d = 0; d < ndims; ++d) {
+    PVFS_ASSIGN_OR_RETURN(info.global_dims[d], r.U64());
+  }
+  return info;
+}
+
+}  // namespace
+
+Status WriteCheckpoint(Client* client, mpiio::Group* group, Rank rank,
+                       const std::string& name, const ArraySpec& spec,
+                       std::span<const std::byte> local_data,
+                       std::uint64_t user_tag, Striping striping) {
+  PVFS_RETURN_IF_ERROR(spec.Validate());
+  if (local_data.size() != spec.LocalBytes()) {
+    return InvalidArgument("local data size does not match block shape");
+  }
+
+  auto file = mpiio::MpiFile::Open(client, group, rank, name, striping);
+  if (!file.ok()) return file.status();
+
+  if (rank == 0) {
+    // Header written through the same descriptor's plain byte view.
+    ByteBuffer header = EncodeHeader(spec, user_tag);
+    PVFS_RETURN_IF_ERROR(file->WriteAt(0, header));
+  }
+  group->Barrier();  // header visible before data (and size accounting)
+
+  PVFS_RETURN_IF_ERROR(file->SetView(kHeaderBytes, BlockFiletype(spec)));
+  PVFS_RETURN_IF_ERROR(file->WriteAtAll(0, local_data));
+  return file->Close();
+}
+
+Status ReadCheckpoint(Client* client, mpiio::Group* group, Rank rank,
+                      const std::string& name, const ArraySpec& spec,
+                      std::span<std::byte> out) {
+  PVFS_RETURN_IF_ERROR(spec.Validate());
+  if (out.size() != spec.LocalBytes()) {
+    return InvalidArgument("output buffer does not match block shape");
+  }
+
+  auto file = mpiio::MpiFile::Open(client, group, rank, name);
+  if (!file.ok()) return file.status();
+
+  // Validate the header against the expected geometry.
+  ByteBuffer header(kHeaderBytes);
+  PVFS_RETURN_IF_ERROR(file->ReadAt(0, header));
+  auto info = DecodeHeader(header);
+  if (!info.ok()) return info.status();
+  if (info->elem_size != spec.elem_size ||
+      info->global_dims != spec.global_dims) {
+    return FailedPrecondition(
+        "checkpoint geometry does not match the requested array");
+  }
+
+  PVFS_RETURN_IF_ERROR(file->SetView(kHeaderBytes, BlockFiletype(spec)));
+  PVFS_RETURN_IF_ERROR(file->ReadAtAll(0, out));
+  return file->Close();
+}
+
+Result<CheckpointInfo> InspectCheckpoint(Client* client,
+                                         const std::string& name) {
+  PVFS_ASSIGN_OR_RETURN(Client::Fd fd, client->Open(name));
+  ByteBuffer header(kHeaderBytes);
+  Status status = client->Read(fd, 0, header);
+  (void)client->Close(fd);
+  PVFS_RETURN_IF_ERROR(status);
+  return DecodeHeader(header);
+}
+
+}  // namespace pvfs::ckpt

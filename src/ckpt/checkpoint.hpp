@@ -1,0 +1,76 @@
+// Distributed-array checkpointing over PVFS — the FLASH use-case (paper
+// §4.3) generalized into a reusable library: every rank owns a block of a
+// global n-dimensional array; checkpoints are single striped files written
+// collectively (subarray datatypes + two-phase I/O underneath), and
+// restart works under a *different* rank decomposition because the file
+// layout is the canonical row-major global array.
+//
+// File layout:
+//   [0, kHeaderBytes)      header: magic, version, element size, dims
+//   [kHeaderBytes, ...)    array data, row-major (C order)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "mpiio/file.hpp"
+
+namespace pvfs::ckpt {
+
+inline constexpr std::uint32_t kMagic = 0x5056434Bu;  // "PVCK"
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr ByteCount kHeaderBytes = 4096;
+
+/// The global array and this rank's block of it (C order, dims outermost
+/// first).
+struct ArraySpec {
+  ByteCount elem_size = 0;
+  std::vector<std::uint64_t> global_dims;
+  std::vector<std::uint64_t> local_offset;  // block start per dimension
+  std::vector<std::uint64_t> local_dims;    // block shape per dimension
+
+  std::uint64_t GlobalElements() const;
+  std::uint64_t LocalElements() const;
+  ByteCount LocalBytes() const { return LocalElements() * elem_size; }
+
+  /// Structural validation: nonempty dims, block within bounds.
+  Status Validate() const;
+};
+
+/// Header metadata as stored in the file.
+struct CheckpointInfo {
+  std::uint32_t version = kVersion;
+  ByteCount elem_size = 0;
+  std::vector<std::uint64_t> global_dims;
+  std::uint64_t user_tag = 0;  // caller-defined (e.g. iteration number)
+
+  friend bool operator==(const CheckpointInfo&,
+                         const CheckpointInfo&) = default;
+};
+
+/// Collective: every rank of `group` calls with its own spec/data. Rank 0
+/// writes the header (tagged with `user_tag`); all ranks write their
+/// blocks with collective two-phase I/O. Creates or overwrites `name`.
+Status WriteCheckpoint(Client* client, mpiio::Group* group, Rank rank,
+                       const std::string& name, const ArraySpec& spec,
+                       std::span<const std::byte> local_data,
+                       std::uint64_t user_tag = 0,
+                       Striping striping = Striping{0, 8, 16384});
+
+/// Collective restart: validates the header against `spec` (element size
+/// and global dims must match; the block decomposition may differ from
+/// the writer's) and fills `out` with this rank's block.
+Status ReadCheckpoint(Client* client, mpiio::Group* group, Rank rank,
+                      const std::string& name, const ArraySpec& spec,
+                      std::span<std::byte> out);
+
+/// Reads and decodes the header only (any single rank may call).
+Result<CheckpointInfo> InspectCheckpoint(Client* client,
+                                         const std::string& name);
+
+/// The subarray filetype selecting this rank's block of the global array
+/// (exposed for tests).
+io::Datatype BlockFiletype(const ArraySpec& spec);
+
+}  // namespace pvfs::ckpt

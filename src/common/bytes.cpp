@@ -1,0 +1,54 @@
+#include "common/bytes.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace pvfs {
+
+std::byte PatternByte(std::uint64_t seed, FileOffset position) {
+  std::uint64_t z = seed ^ (position * 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return std::byte{static_cast<std::uint8_t>(z >> 56)};
+}
+
+void FillPattern(std::span<std::byte> buf, std::uint64_t seed,
+                 FileOffset base) {
+  for (size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = PatternByte(seed, base + i);
+  }
+}
+
+std::optional<size_t> FindPatternMismatch(std::span<const std::byte> buf,
+                                          std::uint64_t seed,
+                                          FileOffset base) {
+  for (size_t i = 0; i < buf.size(); ++i) {
+    if (buf[i] != PatternByte(seed, base + i)) return i;
+  }
+  return std::nullopt;
+}
+
+ByteBuffer GatherExtents(std::span<const std::byte> src,
+                         std::span<const Extent> extents) {
+  ByteBuffer out;
+  out.reserve(TotalBytes(extents));
+  for (const Extent& e : extents) {
+    assert(e.end() <= src.size());
+    out.insert(out.end(), src.begin() + static_cast<std::ptrdiff_t>(e.offset),
+               src.begin() + static_cast<std::ptrdiff_t>(e.end()));
+  }
+  return out;
+}
+
+void ScatterExtents(std::span<const std::byte> packed,
+                    std::span<const Extent> extents, std::span<std::byte> dst) {
+  assert(TotalBytes(extents) == packed.size());
+  size_t pos = 0;
+  for (const Extent& e : extents) {
+    assert(e.end() <= dst.size());
+    std::memcpy(dst.data() + e.offset, packed.data() + pos, e.length);
+    pos += e.length;
+  }
+}
+
+}  // namespace pvfs

@@ -1,0 +1,41 @@
+// Byte-buffer helpers used throughout tests and the functional file system:
+// deterministic content generation and verification so data-movement bugs
+// surface as specific mismatched offsets.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/extent.hpp"
+#include "common/types.hpp"
+
+namespace pvfs {
+
+using ByteBuffer = std::vector<std::byte>;
+
+/// Deterministic byte for (seed, position): lets a reader verify any region
+/// of a generated file without materializing the whole file.
+std::byte PatternByte(std::uint64_t seed, FileOffset position);
+
+/// Fill buf[i] = PatternByte(seed, base + i).
+void FillPattern(std::span<std::byte> buf, std::uint64_t seed,
+                 FileOffset base);
+
+/// First position (relative to buf start) where buf deviates from the
+/// pattern, or nullopt if it matches everywhere.
+std::optional<size_t> FindPatternMismatch(std::span<const std::byte> buf,
+                                          std::uint64_t seed, FileOffset base);
+
+/// Gather: copy the listed regions of `src` into a packed buffer, in order.
+ByteBuffer GatherExtents(std::span<const std::byte> src,
+                         std::span<const Extent> extents);
+
+/// Scatter: distribute a packed buffer into the listed regions of `dst`,
+/// in order. Requires TotalBytes(extents) == packed.size() and all regions
+/// inside dst.
+void ScatterExtents(std::span<const std::byte> packed,
+                    std::span<const Extent> extents, std::span<std::byte> dst);
+
+}  // namespace pvfs

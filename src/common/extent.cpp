@@ -1,0 +1,180 @@
+#include "common/extent.hpp"
+
+#include <algorithm>
+
+namespace pvfs {
+
+ByteCount TotalBytes(std::span<const Extent> extents) {
+  ByteCount total = 0;
+  for (const Extent& e : extents) total += e.length;
+  return total;
+}
+
+bool IsSortedDisjoint(std::span<const Extent> extents) {
+  for (size_t i = 1; i < extents.size(); ++i) {
+    if (extents[i].offset < extents[i - 1].end()) return false;
+  }
+  return true;
+}
+
+bool IsSortedStrictlyDisjoint(std::span<const Extent> extents) {
+  for (size_t i = 1; i < extents.size(); ++i) {
+    if (extents[i].offset <= extents[i - 1].end()) return false;
+  }
+  return true;
+}
+
+std::optional<Extent> BoundingExtent(std::span<const Extent> extents) {
+  std::optional<Extent> bound;
+  for (const Extent& e : extents) {
+    if (e.empty()) continue;
+    if (!bound) {
+      bound = e;
+      continue;
+    }
+    FileOffset lo = std::min(bound->offset, e.offset);
+    FileOffset hi = std::max(bound->end(), e.end());
+    bound = Extent{lo, hi - lo};
+  }
+  return bound;
+}
+
+ExtentList CoalesceAdjacent(std::span<const Extent> extents) {
+  ExtentList out;
+  out.reserve(extents.size());
+  for (const Extent& e : extents) {
+    if (e.empty()) continue;
+    if (!out.empty() && out.back().end() == e.offset) {
+      out.back().length += e.length;
+    } else {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+ExtentList NormalizeSet(ExtentList extents) {
+  std::erase_if(extents, [](const Extent& e) { return e.empty(); });
+  std::sort(extents.begin(), extents.end(),
+            [](const Extent& a, const Extent& b) {
+              return a.offset < b.offset ||
+                     (a.offset == b.offset && a.length < b.length);
+            });
+  ExtentList out;
+  out.reserve(extents.size());
+  for (const Extent& e : extents) {
+    if (!out.empty() && e.offset <= out.back().end()) {
+      out.back().length =
+          std::max(out.back().end(), e.end()) - out.back().offset;
+    } else {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+ExtentList IntersectSets(std::span<const Extent> a, std::span<const Extent> b) {
+  ExtentList out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    FileOffset lo = std::max(a[i].offset, b[j].offset);
+    FileOffset hi = std::min(a[i].end(), b[j].end());
+    if (lo < hi) out.push_back(Extent{lo, hi - lo});
+    if (a[i].end() < b[j].end()) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+ExtentList ClipToWindow(std::span<const Extent> extents, const Extent& window) {
+  ExtentList out;
+  for (const Extent& e : extents) {
+    FileOffset lo = std::max(e.offset, window.offset);
+    FileOffset hi = std::min(e.end(), window.end());
+    if (lo < hi) out.push_back(Extent{lo, hi - lo});
+  }
+  return out;
+}
+
+ExtentList SliceStream(std::span<const Extent> extents, ByteCount skip,
+                       ByteCount length) {
+  ExtentList out;
+  ByteCount pos = 0;  // stream position of the current extent's start
+  for (const Extent& e : extents) {
+    if (length == 0) break;
+    ByteCount stream_end = pos + e.length;
+    if (stream_end > skip) {
+      ByteCount into = skip > pos ? skip - pos : 0;
+      ByteCount take = std::min<ByteCount>(e.length - into, length);
+      out.push_back(Extent{e.offset + into, take});
+      skip += take;
+      length -= take;
+    }
+    pos = stream_end;
+  }
+  return out;
+}
+
+Result<std::vector<Segment>> MatchSegments(std::span<const Extent> memory,
+                                           std::span<const Extent> file) {
+  if (TotalBytes(memory) != TotalBytes(file)) {
+    return InvalidArgument("memory and file extent lists describe different "
+                           "byte totals");
+  }
+  std::vector<Segment> segments;
+  size_t mi = 0;
+  size_t fi = 0;
+  ByteCount mem_used = 0;  // bytes consumed from memory[mi]
+  ByteCount file_used = 0; // bytes consumed from file[fi]
+  while (mi < memory.size() && fi < file.size()) {
+    if (memory[mi].length == mem_used) {
+      ++mi;
+      mem_used = 0;
+      continue;
+    }
+    if (file[fi].length == file_used) {
+      ++fi;
+      file_used = 0;
+      continue;
+    }
+    ByteCount len = std::min(memory[mi].length - mem_used,
+                             file[fi].length - file_used);
+    Segment seg{memory[mi].offset + mem_used, file[fi].offset + file_used,
+                len};
+    // Grow the previous segment instead when both sides continue
+    // contiguously; keeps the segment list minimal.
+    if (!segments.empty()) {
+      Segment& prev = segments.back();
+      if (prev.mem_offset + prev.length == seg.mem_offset &&
+          prev.file_offset + prev.length == seg.file_offset) {
+        prev.length += len;
+        mem_used += len;
+        file_used += len;
+        continue;
+      }
+    }
+    segments.push_back(seg);
+    mem_used += len;
+    file_used += len;
+  }
+  return segments;
+}
+
+std::string ToString(std::span<const Extent> extents) {
+  std::string out;
+  for (const Extent& e : extents) {
+    if (!out.empty()) out += ' ';
+    out += '[';
+    out += std::to_string(e.offset);
+    out += ',';
+    out += std::to_string(e.end());
+    out += ')';
+  }
+  return out;
+}
+
+}  // namespace pvfs

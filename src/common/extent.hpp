@@ -1,0 +1,100 @@
+// Extent algebra: contiguous byte regions and ordered lists of them.
+//
+// Extent lists describe noncontiguous accesses on both the memory side and
+// the file side of an operation (paper Fig. 3). Order is semantically
+// meaningful: the i-th byte of the concatenated memory regions corresponds
+// to the i-th byte of the concatenated file regions. Helpers that would
+// destroy that correspondence (sorting, merging across the sequence) are
+// provided separately from order-preserving ones.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace pvfs {
+
+/// A contiguous byte region [offset, offset + length).
+struct Extent {
+  FileOffset offset = 0;
+  ByteCount length = 0;
+
+  FileOffset end() const { return offset + length; }
+  bool empty() const { return length == 0; }
+
+  bool contains(FileOffset pos) const {
+    return pos >= offset && pos < end();
+  }
+  bool overlaps(const Extent& other) const {
+    return offset < other.end() && other.offset < end();
+  }
+
+  friend bool operator==(const Extent&, const Extent&) = default;
+};
+
+/// Ordered list of extents; may contain adjacent or even overlapping
+/// regions depending on the producer.
+using ExtentList = std::vector<Extent>;
+
+/// Sum of region lengths.
+ByteCount TotalBytes(std::span<const Extent> extents);
+
+/// True if extents are sorted by offset and pairwise disjoint.
+bool IsSortedDisjoint(std::span<const Extent> extents);
+
+/// True if extents are sorted and neither overlap nor touch.
+bool IsSortedStrictlyDisjoint(std::span<const Extent> extents);
+
+/// Smallest extent covering every input region; nullopt for an empty list
+/// (zero-length regions are ignored).
+std::optional<Extent> BoundingExtent(std::span<const Extent> extents);
+
+/// Order-preserving cleanup: drop zero-length regions and merge runs that
+/// are exactly adjacent in sequence (a.end() == b.offset). The byte-stream
+/// correspondence of the list is unchanged.
+ExtentList CoalesceAdjacent(std::span<const Extent> extents);
+
+/// Canonical form for set-like use: sort by offset and merge overlapping or
+/// touching regions. Destroys sequence semantics; use only where the list
+/// denotes a byte *set* (e.g. sieving windows, cache bookkeeping).
+ExtentList NormalizeSet(ExtentList extents);
+
+/// Intersection of two sorted-disjoint extent sets.
+ExtentList IntersectSets(std::span<const Extent> a, std::span<const Extent> b);
+
+/// Clip `extents` (order-preserving) to the window, dropping parts outside.
+ExtentList ClipToWindow(std::span<const Extent> extents, const Extent& window);
+
+/// The sub-stream [skip, skip + length) of an ordered extent list's byte
+/// stream, as an extent list (order-preserving; clamps at stream end).
+ExtentList SliceStream(std::span<const Extent> extents, ByteCount skip,
+                       ByteCount length);
+
+/// One matched piece of a noncontiguous transfer: `length` bytes at
+/// `mem_offset` in the user buffer correspond to `file_offset` in the file.
+struct Segment {
+  ByteCount mem_offset = 0;
+  FileOffset file_offset = 0;
+  ByteCount length = 0;
+
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+/// Walk a memory extent list and a file extent list in parallel (both taken
+/// in sequence order) and emit maximal segments where both sides are
+/// contiguous — the flattening step every noncontiguous method starts from
+/// (equivalent to ROMIO's datatype flattening walk).
+///
+/// Fails with kInvalidArgument if the two lists describe different byte
+/// totals.
+Result<std::vector<Segment>> MatchSegments(std::span<const Extent> memory,
+                                           std::span<const Extent> file);
+
+/// Debug rendering, e.g. "[0,4096) [8192,12288)".
+std::string ToString(std::span<const Extent> extents);
+
+}  // namespace pvfs

@@ -1,0 +1,44 @@
+// Minimal leveled logger. Disabled below kWarn by default so benchmarks and
+// tests stay quiet; tools flip the level for debugging.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pvfs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace detail {
+void Emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define PVFS_LOG(level)                                  \
+  if (static_cast<int>(::pvfs::LogLevel::level) <        \
+      static_cast<int>(::pvfs::GetLogLevel())) {         \
+  } else                                                 \
+    ::pvfs::detail::LogLine(::pvfs::LogLevel::level)
+
+}  // namespace pvfs

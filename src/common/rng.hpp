@@ -1,0 +1,39 @@
+// Deterministic pseudo-random generation for tests, property sweeps and
+// workload synthesis. SplitMix64 is tiny, fast and statistically sound for
+// this use; determinism across platforms matters more than period here.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace pvfs {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t Uniform(std::uint64_t lo, std::uint64_t hi) {
+    return lo + Next() % (hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace pvfs

@@ -1,0 +1,142 @@
+// Error handling primitives: Status for fallible void operations and
+// Result<T> for fallible value-returning operations. Modeled on
+// absl::Status / std::expected, kept dependency-free.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace pvfs {
+
+/// Error taxonomy for the file system and its substrates.
+enum class ErrorCode : int {
+  kOk = 0,
+  kInvalidArgument,   // malformed request, bad extents, size mismatch
+  kNotFound,          // no such file / handle
+  kAlreadyExists,     // create over an existing name
+  kOutOfRange,        // access beyond device or configured limits
+  kProtocol,          // wire decode failure / unexpected message
+  kResourceExhausted, // queue or capacity limits exceeded
+  kFailedPrecondition,// operation on closed file, wrong state
+  kInternal,          // invariant violation inside the library
+  kUnimplemented,
+};
+
+/// Human-readable name of an ErrorCode ("kOk" -> "OK", ...).
+std::string_view ErrorCodeName(ErrorCode code);
+
+/// Status: either OK or an error code plus a diagnostic message.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status InvalidArgument(std::string msg) {
+  return {ErrorCode::kInvalidArgument, std::move(msg)};
+}
+inline Status NotFound(std::string msg) {
+  return {ErrorCode::kNotFound, std::move(msg)};
+}
+inline Status AlreadyExists(std::string msg) {
+  return {ErrorCode::kAlreadyExists, std::move(msg)};
+}
+inline Status OutOfRange(std::string msg) {
+  return {ErrorCode::kOutOfRange, std::move(msg)};
+}
+inline Status ProtocolError(std::string msg) {
+  return {ErrorCode::kProtocol, std::move(msg)};
+}
+inline Status ResourceExhausted(std::string msg) {
+  return {ErrorCode::kResourceExhausted, std::move(msg)};
+}
+inline Status FailedPrecondition(std::string msg) {
+  return {ErrorCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status Internal(std::string msg) {
+  return {ErrorCode::kInternal, std::move(msg)};
+}
+inline Status Unimplemented(std::string msg) {
+  return {ErrorCode::kUnimplemented, std::move(msg)};
+}
+
+/// Result<T>: a value or a non-OK Status. Accessing value() on an error
+/// result is a programming error (asserted in debug builds).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(implicit)
+  Result(Status status) : data_(std::move(status)) {    // NOLINT(implicit)
+    assert(!std::get<Status>(data_).ok() &&
+           "Result<T> must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) return kOkStatus;
+    return std::get<Status>(data_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagate a non-OK Status from an expression (absl-style).
+#define PVFS_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::pvfs::Status pvfs_status_ = (expr);         \
+    if (!pvfs_status_.ok()) return pvfs_status_;  \
+  } while (0)
+
+/// Evaluate a Result expression, assign its value or propagate its error.
+#define PVFS_CONCAT_INNER_(a, b) a##b
+#define PVFS_CONCAT_(a, b) PVFS_CONCAT_INNER_(a, b)
+#define PVFS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+#define PVFS_ASSIGN_OR_RETURN(lhs, expr) \
+  PVFS_ASSIGN_OR_RETURN_IMPL_(PVFS_CONCAT_(pvfs_result_, __LINE__), lhs, expr)
+
+}  // namespace pvfs

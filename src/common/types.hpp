@@ -1,0 +1,45 @@
+// Fundamental scalar types shared across the pvfs-listio code base.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace pvfs {
+
+/// Byte offset within a logical or physical file.
+using FileOffset = std::uint64_t;
+
+/// Byte count for file and memory regions.
+using ByteCount = std::uint64_t;
+
+/// Opaque file handle assigned by the manager at create/open time.
+using FileHandle = std::uint64_t;
+
+/// Index of an I/O server (0-based position in the manager's server table).
+using ServerId = std::uint32_t;
+
+/// Rank of a client process within a compute-side process group.
+using Rank = std::uint32_t;
+
+/// Simulated time in nanoseconds (the DES clock unit).
+using SimTimeNs = std::uint64_t;
+
+inline constexpr SimTimeNs kNsPerSec = 1'000'000'000ull;
+inline constexpr SimTimeNs kNsPerMs = 1'000'000ull;
+inline constexpr SimTimeNs kNsPerUs = 1'000ull;
+
+/// Convert seconds (double) to the integer nanosecond clock, rounding.
+constexpr SimTimeNs SecondsToNs(double s) {
+  return static_cast<SimTimeNs>(s * static_cast<double>(kNsPerSec) + 0.5);
+}
+
+/// Convert the integer nanosecond clock back to seconds for reporting.
+constexpr double NsToSeconds(SimTimeNs ns) {
+  return static_cast<double>(ns) / static_cast<double>(kNsPerSec);
+}
+
+inline constexpr ByteCount kKiB = 1024ull;
+inline constexpr ByteCount kMiB = 1024ull * 1024ull;
+inline constexpr ByteCount kGiB = 1024ull * 1024ull * 1024ull;
+
+}  // namespace pvfs

@@ -1,0 +1,38 @@
+#include "common/wire.hpp"
+
+namespace pvfs {
+
+Result<std::uint8_t> WireReader::U8() { return ReadLe<std::uint8_t>(); }
+Result<std::uint16_t> WireReader::U16() { return ReadLe<std::uint16_t>(); }
+Result<std::uint32_t> WireReader::U32() { return ReadLe<std::uint32_t>(); }
+Result<std::uint64_t> WireReader::U64() { return ReadLe<std::uint64_t>(); }
+
+Result<std::int64_t> WireReader::I64() {
+  PVFS_ASSIGN_OR_RETURN(std::uint64_t raw, ReadLe<std::uint64_t>());
+  return static_cast<std::int64_t>(raw);
+}
+
+Result<std::vector<std::byte>> WireReader::Bytes() {
+  PVFS_ASSIGN_OR_RETURN(std::uint32_t n, U32());
+  return Raw(n);
+}
+
+Result<std::string> WireReader::String() {
+  PVFS_ASSIGN_OR_RETURN(std::vector<std::byte> raw, Bytes());
+  std::string s(raw.size(), '\0');
+  std::memcpy(s.data(), raw.data(), raw.size());
+  return s;
+}
+
+Result<std::vector<std::byte>> WireReader::Raw(size_t n) {
+  if (remaining() < n) {
+    return ProtocolError("wire: truncated payload");
+  }
+  std::vector<std::byte> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                             data_.begin() +
+                                 static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+}  // namespace pvfs

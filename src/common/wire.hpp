@@ -1,0 +1,96 @@
+// Little-endian wire serialization for the PVFS request protocol.
+//
+// PVFS 1.x exchanged fixed C structs over TCP; we keep an explicit
+// byte-level encoding so the protocol has a defined wire size — the
+// 64-region list-I/O limit exists precisely so request + trailing data fit
+// one 1500-byte Ethernet frame (paper §3.3), and tests assert that from
+// these encoders.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace pvfs {
+
+/// Append-only little-endian encoder.
+class WireWriter {
+ public:
+  void U8(std::uint8_t v) { buf_.push_back(std::byte{v}); }
+  void U16(std::uint16_t v) { AppendLe(v); }
+  void U32(std::uint32_t v) { AppendLe(v); }
+  void U64(std::uint64_t v) { AppendLe(v); }
+  void I64(std::int64_t v) { AppendLe(static_cast<std::uint64_t>(v)); }
+
+  /// Length-prefixed (u32) byte string.
+  void Bytes(std::span<const std::byte> data) {
+    U32(static_cast<std::uint32_t>(data.size()));
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  void String(std::string_view s) {
+    Bytes(std::as_bytes(std::span{s.data(), s.size()}));
+  }
+
+  /// Raw append with no length prefix (for trailing data payloads).
+  void Raw(std::span<const std::byte> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  std::span<const std::byte> data() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+  std::vector<std::byte> Take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void AppendLe(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(std::byte{static_cast<std::uint8_t>(v >> (8 * i))});
+    }
+  }
+
+  std::vector<std::byte> buf_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed buffer.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::byte> data) : data_(data) {}
+
+  Result<std::uint8_t> U8();
+  Result<std::uint16_t> U16();
+  Result<std::uint32_t> U32();
+  Result<std::uint64_t> U64();
+  Result<std::int64_t> I64();
+  Result<std::vector<std::byte>> Bytes();
+  Result<std::string> String();
+  /// Consume exactly n raw bytes (no length prefix).
+  Result<std::vector<std::byte>> Raw(size_t n);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return remaining() == 0; }
+
+ private:
+  template <typename T>
+  Result<T> ReadLe() {
+    if (remaining() < sizeof(T)) {
+      return ProtocolError("wire: truncated message");
+    }
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(std::to_integer<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::byte> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace pvfs

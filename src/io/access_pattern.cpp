@@ -1,0 +1,29 @@
+#include "io/access_pattern.hpp"
+
+namespace pvfs::io {
+
+Status AccessPattern::Validate(size_t buffer_size) const {
+  if (TotalBytes(memory) != TotalBytes(file)) {
+    return InvalidArgument("pattern memory/file byte totals differ");
+  }
+  for (const Extent& m : memory) {
+    if (m.end() > buffer_size) {
+      return InvalidArgument("pattern memory region outside buffer");
+    }
+  }
+  for (const Extent& f : file) {
+    if (f.offset + f.length < f.offset) {
+      return InvalidArgument("pattern file region overflows");
+    }
+  }
+  return Status::Ok();
+}
+
+AccessPattern AccessPattern::ContiguousMemory(ExtentList file_regions) {
+  AccessPattern p;
+  p.file = std::move(file_regions);
+  p.memory = {Extent{0, TotalBytes(p.file)}};
+  return p;
+}
+
+}  // namespace pvfs::io

@@ -1,0 +1,34 @@
+// AccessPattern: a noncontiguous access description — ordered memory
+// regions over a caller buffer paired with ordered logical file regions of
+// equal byte total (paper Fig. 3: noncontiguity in memory, file, or both).
+#pragma once
+
+#include <span>
+
+#include "common/extent.hpp"
+#include "common/status.hpp"
+
+namespace pvfs::io {
+
+struct AccessPattern {
+  ExtentList memory;  // offsets into the user buffer
+  ExtentList file;    // logical file offsets
+
+  ByteCount total_bytes() const { return TotalBytes(file); }
+
+  /// Structural checks: equal totals, regions within `buffer_size`,
+  /// no overflowing file regions.
+  Status Validate(size_t buffer_size) const;
+
+  /// The matched (mem, file, len) segments — one per contiguous run on
+  /// both sides; this is the granularity multiple I/O must issue at.
+  Result<std::vector<Segment>> Segments() const {
+    return MatchSegments(memory, file);
+  }
+
+  /// Convenience: fully contiguous memory [0, total) against the given
+  /// file regions (e.g. the tiled-visualization pattern).
+  static AccessPattern ContiguousMemory(ExtentList file_regions);
+};
+
+}  // namespace pvfs::io

@@ -1,0 +1,81 @@
+#include "io/data_sieving.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pvfs::io {
+
+Status DataSievingIo::RunWindows(Client& client, Client::Fd fd,
+                                 const AccessPattern& pattern,
+                                 std::span<std::byte> buffer,
+                                 std::span<const std::byte> const_buffer,
+                                 bool is_write) {
+  PVFS_ASSIGN_OR_RETURN(std::vector<Segment> segments, pattern.Segments());
+  std::optional<Extent> bound = BoundingExtent(pattern.file);
+  if (!bound) return Status::Ok();  // empty access
+
+  const ByteCount window_bytes = std::max<ByteCount>(1, options_.sieve_buffer_bytes);
+  std::vector<std::byte> sieve;
+
+  for (FileOffset ws = bound->offset; ws < bound->end();) {
+    Extent window{ws, std::min<ByteCount>(window_bytes, bound->end() - ws)};
+    ws += window.length;
+
+    // Skip windows containing none of the wanted bytes (can happen with
+    // clustered patterns far apart); cheap linear check.
+    bool wanted = false;
+    for (const Segment& seg : segments) {
+      if (seg.file_offset < window.end() &&
+          window.offset < seg.file_offset + seg.length) {
+        wanted = true;
+        break;
+      }
+    }
+    if (!wanted) continue;
+
+    sieve.resize(window.length);
+    // Read the whole window — for writes this is the "read" half of
+    // read-modify-write.
+    PVFS_RETURN_IF_ERROR(client.Read(fd, window.offset, sieve));
+
+    for (const Segment& seg : segments) {
+      FileOffset lo = std::max(seg.file_offset, window.offset);
+      FileOffset hi = std::min(seg.file_offset + seg.length, window.end());
+      if (lo >= hi) continue;
+      ByteCount len = hi - lo;
+      ByteCount mem_at = seg.mem_offset + (lo - seg.file_offset);
+      ByteCount sieve_at = lo - window.offset;
+      if (is_write) {
+        std::memcpy(sieve.data() + sieve_at, const_buffer.data() + mem_at,
+                    len);
+      } else {
+        std::memcpy(buffer.data() + mem_at, sieve.data() + sieve_at, len);
+      }
+    }
+
+    if (is_write) {
+      PVFS_RETURN_IF_ERROR(client.Write(fd, window.offset, sieve));
+    }
+  }
+  return Status::Ok();
+}
+
+Status DataSievingIo::Read(Client& client, Client::Fd fd,
+                           const AccessPattern& pattern,
+                           std::span<std::byte> buffer) {
+  PVFS_RETURN_IF_ERROR(pattern.Validate(buffer.size()));
+  return RunWindows(client, fd, pattern, buffer, {}, /*is_write=*/false);
+}
+
+Status DataSievingIo::Write(Client& client, Client::Fd fd,
+                            const AccessPattern& pattern,
+                            std::span<const std::byte> buffer) {
+  PVFS_RETURN_IF_ERROR(pattern.Validate(buffer.size()));
+  WriteSerializer* serializer =
+      options_.serializer ? options_.serializer : &fallback_serializer_;
+  return serializer->RunExclusive([&]() -> Status {
+    return RunWindows(client, fd, pattern, {}, buffer, /*is_write=*/true);
+  });
+}
+
+}  // namespace pvfs::io

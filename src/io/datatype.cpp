@@ -1,0 +1,309 @@
+#include "io/datatype.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pvfs::io {
+
+struct Datatype::Node {
+  enum class Kind { kBytes, kHVector, kHIndexed, kStruct, kResized };
+
+  Kind kind = Kind::kBytes;
+
+  // kBytes
+  ByteCount bytes = 0;
+  // kHVector
+  std::uint64_t count = 0;
+  std::uint64_t blocklen = 0;
+  std::int64_t stride_bytes = 0;
+  std::shared_ptr<const Node> child;
+  // kHIndexed
+  std::vector<HIndexedBlock> blocks;
+  // kStruct
+  std::vector<DatatypeField> fields;
+  // kResized
+  std::int64_t forced_lb = 0;
+  ByteCount forced_extent = 0;
+
+  // Cached derived quantities.
+  ByteCount size = 0;
+  std::int64_t lb = 0;
+  std::int64_t ub = 0;
+  std::uint64_t regions = 0;
+
+  ByteCount Extent() const { return static_cast<ByteCount>(ub - lb); }
+};
+
+namespace {
+
+void EmitCoalesced(ExtentList& out, FileOffset offset, ByteCount length) {
+  if (length == 0) return;
+  if (!out.empty() && out.back().end() == offset) {
+    out.back().length += length;
+  } else {
+    out.push_back(Extent{offset, length});
+  }
+}
+
+}  // namespace
+
+// ---- Constructors ---------------------------------------------------------
+
+Datatype Datatype::Bytes(ByteCount n) {
+  auto node = std::make_shared<Datatype::Node>();
+  node->kind = Node::Kind::kBytes;
+  node->bytes = n;
+  node->size = n;
+  node->lb = 0;
+  node->ub = static_cast<std::int64_t>(n);
+  node->regions = n > 0 ? 1 : 0;
+  return Datatype(std::move(node));
+}
+
+Datatype Datatype::HVector(std::uint64_t count, std::uint64_t blocklen,
+                           std::int64_t stride_bytes, const Datatype& t) {
+  auto node = std::make_shared<Datatype::Node>();
+  node->kind = Node::Kind::kHVector;
+  node->count = count;
+  node->blocklen = blocklen;
+  node->stride_bytes = stride_bytes;
+  node->child = t.node_;
+  node->size = count * blocklen * t.size();
+  node->regions = count * blocklen * t.region_count();
+  if (count == 0 || blocklen == 0) {
+    node->lb = node->ub = 0;
+  } else {
+    std::int64_t child_ext = static_cast<std::int64_t>(t.extent());
+    std::int64_t first = 0;
+    std::int64_t last = static_cast<std::int64_t>(count - 1) * stride_bytes;
+    node->lb = std::min(first, last) + t.lower_bound();
+    node->ub = std::max(first, last) +
+               static_cast<std::int64_t>(blocklen - 1) * child_ext +
+               t.lower_bound() + static_cast<std::int64_t>(t.extent());
+  }
+  return Datatype(std::move(node));
+}
+
+Datatype Datatype::Vector(std::uint64_t count, std::uint64_t blocklen,
+                          std::int64_t stride, const Datatype& t) {
+  return HVector(count, blocklen,
+                 stride * static_cast<std::int64_t>(t.extent()), t);
+}
+
+Datatype Datatype::Contiguous(std::uint64_t count, const Datatype& t) {
+  return HVector(count, 1, static_cast<std::int64_t>(t.extent()), t);
+}
+
+Datatype Datatype::HIndexed(std::span<const HIndexedBlock> blocks,
+                            const Datatype& t) {
+  auto node = std::make_shared<Datatype::Node>();
+  node->kind = Node::Kind::kHIndexed;
+  node->blocks.assign(blocks.begin(), blocks.end());
+  node->child = t.node_;
+  node->size = 0;
+  node->regions = 0;
+  bool any = false;
+  std::int64_t child_ext = static_cast<std::int64_t>(t.extent());
+  for (const HIndexedBlock& b : blocks) {
+    node->size += b.blocklen * t.size();
+    node->regions += b.blocklen * t.region_count();
+    if (b.blocklen == 0) continue;
+    std::int64_t lo = b.disp_bytes + t.lower_bound();
+    std::int64_t hi = b.disp_bytes +
+                      static_cast<std::int64_t>(b.blocklen - 1) * child_ext +
+                      t.lower_bound() + static_cast<std::int64_t>(t.extent());
+    if (!any) {
+      node->lb = lo;
+      node->ub = hi;
+      any = true;
+    } else {
+      node->lb = std::min(node->lb, lo);
+      node->ub = std::max(node->ub, hi);
+    }
+  }
+  if (!any) node->lb = node->ub = 0;
+  return Datatype(std::move(node));
+}
+
+Datatype Datatype::Indexed(std::span<const std::uint64_t> blocklens,
+                           std::span<const std::int64_t> displs,
+                           const Datatype& t) {
+  assert(blocklens.size() == displs.size());
+  std::vector<HIndexedBlock> blocks(blocklens.size());
+  std::int64_t ext = static_cast<std::int64_t>(t.extent());
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    blocks[i] = {displs[i] * ext, blocklens[i]};
+  }
+  return HIndexed(blocks, t);
+}
+
+Datatype Datatype::StructType(std::vector<DatatypeField> fields) {
+  auto node = std::make_shared<Datatype::Node>();
+  node->kind = Node::Kind::kStruct;
+  node->size = 0;
+  node->regions = 0;
+  bool any = false;
+  for (const DatatypeField& f : fields) {
+    node->size += f.count * f.type.size();
+    node->regions += f.count * f.type.region_count();
+    if (f.count == 0) continue;
+    std::int64_t ext = static_cast<std::int64_t>(f.type.extent());
+    std::int64_t lo = f.disp_bytes + f.type.lower_bound();
+    std::int64_t hi = f.disp_bytes +
+                      static_cast<std::int64_t>(f.count - 1) * ext +
+                      f.type.lower_bound() + ext;
+    if (!any) {
+      node->lb = lo;
+      node->ub = hi;
+      any = true;
+    } else {
+      node->lb = std::min(node->lb, lo);
+      node->ub = std::max(node->ub, hi);
+    }
+  }
+  if (!any) node->lb = node->ub = 0;
+  node->fields = std::move(fields);
+  return Datatype(std::move(node));
+}
+
+Datatype Datatype::Resized(const Datatype& t, std::int64_t lb,
+                           ByteCount extent) {
+  auto node = std::make_shared<Datatype::Node>();
+  node->kind = Node::Kind::kResized;
+  node->child = t.node_;
+  node->size = t.size();
+  node->regions = t.region_count();
+  node->forced_lb = lb;
+  node->forced_extent = extent;
+  node->lb = lb;
+  node->ub = lb + static_cast<std::int64_t>(extent);
+  return Datatype(std::move(node));
+}
+
+Datatype Datatype::Subarray(std::span<const std::uint64_t> sizes,
+                            std::span<const std::uint64_t> subsizes,
+                            std::span<const std::uint64_t> starts,
+                            const Datatype& t) {
+  assert(!sizes.empty());
+  assert(sizes.size() == subsizes.size() && sizes.size() == starts.size());
+  size_t ndims = sizes.size();
+  for (size_t d = 0; d < ndims; ++d) {
+    assert(starts[d] + subsizes[d] <= sizes[d]);
+  }
+
+  // Byte stride of one index step in each dimension (C order: last dim is
+  // densest).
+  std::vector<std::int64_t> dim_stride(ndims);
+  std::int64_t acc = static_cast<std::int64_t>(t.extent());
+  for (size_t d = ndims; d-- > 0;) {
+    dim_stride[d] = acc;
+    acc *= static_cast<std::int64_t>(sizes[d]);
+  }
+  ByteCount full_extent = static_cast<ByteCount>(acc);
+
+  // Innermost run of subsizes[ndims-1] elements, then wrap outward.
+  Datatype cur = Contiguous(subsizes[ndims - 1], t);
+  for (size_t d = ndims - 1; d-- > 0;) {
+    cur = HVector(subsizes[d], 1, dim_stride[d], cur);
+  }
+  std::int64_t disp = 0;
+  for (size_t d = 0; d < ndims; ++d) {
+    disp += static_cast<std::int64_t>(starts[d]) * dim_stride[d];
+  }
+  const HIndexedBlock block[] = {{disp, 1}};
+  return Resized(HIndexed(block, cur), 0, full_extent);
+}
+
+// ---- Accessors --------------------------------------------------------------
+
+ByteCount Datatype::size() const { return node_->size; }
+ByteCount Datatype::extent() const { return node_->Extent(); }
+std::int64_t Datatype::lower_bound() const { return node_->lb; }
+std::uint64_t Datatype::region_count() const { return node_->regions; }
+
+// ---- Flatten ----------------------------------------------------------------
+
+void Datatype::EmitBlockRun(const std::shared_ptr<const Node>& child,
+                            std::int64_t origin, std::uint64_t blocklen,
+                            ExtentList& out) {
+  std::int64_t ext = static_cast<std::int64_t>(child->Extent());
+  for (std::uint64_t b = 0; b < blocklen; ++b) {
+    EmitNode(child.get(), origin + static_cast<std::int64_t>(b) * ext, out);
+  }
+}
+
+void Datatype::EmitNode(const Node* n, std::int64_t origin, ExtentList& out) {
+  using Kind = Node::Kind;
+  switch (n->kind) {
+    case Kind::kBytes:
+      assert(origin >= 0 && "datatype flattens below offset zero");
+      EmitCoalesced(out, static_cast<FileOffset>(origin), n->bytes);
+      return;
+    case Kind::kHVector:
+      for (std::uint64_t i = 0; i < n->count; ++i) {
+        EmitBlockRun(n->child,
+                     origin + static_cast<std::int64_t>(i) * n->stride_bytes,
+                     n->blocklen, out);
+      }
+      return;
+    case Kind::kHIndexed:
+      for (const HIndexedBlock& b : n->blocks) {
+        EmitBlockRun(n->child, origin + b.disp_bytes, b.blocklen, out);
+      }
+      return;
+    case Kind::kStruct:
+      for (const DatatypeField& f : n->fields) {
+        // Fields tile their own type `count` times at its extent.
+        for (std::uint64_t c = 0; c < f.count; ++c) {
+          EmitNode(
+              f.type.node_.get(),
+              origin + f.disp_bytes +
+                  static_cast<std::int64_t>(c * f.type.extent()),
+              out);
+        }
+      }
+      return;
+    case Kind::kResized:
+      EmitNode(n->child.get(), origin, out);
+      return;
+  }
+}
+
+ExtentList Datatype::Flatten(FileOffset base, std::uint64_t count) const {
+  ExtentList out;
+  out.reserve(std::min<std::uint64_t>(node_->regions * count, 1u << 20));
+  std::int64_t ext = static_cast<std::int64_t>(extent());
+  for (std::uint64_t k = 0; k < count; ++k) {
+    EmitNode(node_.get(),
+             static_cast<std::int64_t>(base) +
+                 static_cast<std::int64_t>(k) * ext,
+             out);
+  }
+  return out;
+}
+
+ByteCount Datatype::DescriptionWireBytes() const {
+  const Node* n = node_.get();
+  using Kind = Node::Kind;
+  switch (n->kind) {
+    case Kind::kBytes:
+      return 1 + 8;
+    case Kind::kHVector:
+      return 1 + 24 + Datatype(n->child).DescriptionWireBytes();
+    case Kind::kHIndexed:
+      return 1 + 8 + n->blocks.size() * 16 +
+             Datatype(n->child).DescriptionWireBytes();
+    case Kind::kStruct: {
+      ByteCount total = 1 + 8;
+      for (const DatatypeField& f : n->fields) {
+        total += 16 + f.type.DescriptionWireBytes();
+      }
+      return total;
+    }
+    case Kind::kResized:
+      return 1 + 16 + Datatype(n->child).DescriptionWireBytes();
+  }
+  return 0;
+}
+
+}  // namespace pvfs::io

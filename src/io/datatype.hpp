@@ -1,0 +1,107 @@
+// MPI-style derived datatypes and their flattening to extent lists — the
+// paper's §5 closing proposal: "Support for I/O requests that use an
+// approach similar to MPI datatypes ... would describe these patterns with
+// vector datatypes", replacing O(regions) offset/length pairs with a
+// constant-size description.
+//
+// A Datatype is an immutable tree (cheaply copyable via shared nodes):
+//
+//   Bytes(n)                      n contiguous bytes (the base type)
+//   Contiguous(count, t)          count copies of t, back to back
+//   Vector(count, blocklen, stride, t)
+//                                 count blocks of blocklen t's, stride
+//                                 given in t-extents (MPI_Type_vector)
+//   HVector(count, blocklen, stride_bytes, t)
+//   Indexed(blocklens, displs, t) displacements in t-extents
+//   HIndexed(blocks, t)           displacements in bytes
+//   StructType(fields)            typed fields at byte displacements
+//   Resized(t, lb, extent)        override lower bound / extent
+//   Subarray(sizes, subsizes, starts, t)
+//                                 C-order subarray of an ndims array of t
+//
+// size()  = bytes of actual data; extent() = span covered incl. holes.
+// Flatten(base, count) materializes the type tiled `count` times starting
+// at byte `base`, as a coalesced extent list in traversal order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/extent.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace pvfs::io {
+
+struct DatatypeField;  // defined after Datatype (holds one by value)
+
+class Datatype {
+ public:
+  /// The base type: `n` contiguous bytes.
+  static Datatype Bytes(ByteCount n);
+  static Datatype Contiguous(std::uint64_t count, const Datatype& t);
+  static Datatype Vector(std::uint64_t count, std::uint64_t blocklen,
+                         std::int64_t stride, const Datatype& t);
+  static Datatype HVector(std::uint64_t count, std::uint64_t blocklen,
+                          std::int64_t stride_bytes, const Datatype& t);
+  static Datatype Indexed(std::span<const std::uint64_t> blocklens,
+                          std::span<const std::int64_t> displs,
+                          const Datatype& t);
+  struct HIndexedBlock {
+    std::int64_t disp_bytes = 0;
+    std::uint64_t blocklen = 1;
+  };
+  static Datatype HIndexed(std::span<const HIndexedBlock> blocks,
+                           const Datatype& t);
+  static Datatype StructType(std::vector<DatatypeField> fields);
+  static Datatype Resized(const Datatype& t, std::int64_t lb,
+                          ByteCount extent);
+  /// C-order (row-major) subarray; all spans must share length ndims >= 1.
+  static Datatype Subarray(std::span<const std::uint64_t> sizes,
+                           std::span<const std::uint64_t> subsizes,
+                           std::span<const std::uint64_t> starts,
+                           const Datatype& t);
+
+  /// Bytes of data the type describes (holes excluded).
+  ByteCount size() const;
+  /// Extent: upper bound minus lower bound, holes included.
+  ByteCount extent() const;
+  /// Lower bound relative to the type's origin (can be negative only via
+  /// Resized; construction keeps natural types non-negative).
+  std::int64_t lower_bound() const;
+  /// Number of leaf regions one instance flattens to (before tiling
+  /// coalescing) — the region count a list-I/O request would need.
+  std::uint64_t region_count() const;
+
+  /// Materialize `count` tiled instances starting at `base` as a coalesced
+  /// extent list in traversal order.
+  ExtentList Flatten(FileOffset base, std::uint64_t count = 1) const;
+
+  /// Wire size of a serialized description of this type (for the
+  /// datatype-request ablation: constant, independent of region count).
+  ByteCount DescriptionWireBytes() const;
+
+ private:
+  struct Node;
+  explicit Datatype(std::shared_ptr<const Node> node)
+      : node_(std::move(node)) {}
+
+  static void EmitNode(const Node* n, std::int64_t origin, ExtentList& out);
+  static void EmitBlockRun(const std::shared_ptr<const Node>& child,
+                           std::int64_t origin, std::uint64_t blocklen,
+                           ExtentList& out);
+
+  std::shared_ptr<const Node> node_;
+};
+
+/// One field of a StructType: `count` instances of `type` at byte
+/// displacement `disp_bytes` from the struct origin.
+struct DatatypeField {
+  std::int64_t disp_bytes = 0;
+  std::uint64_t count = 1;
+  Datatype type;
+};
+
+}  // namespace pvfs::io

@@ -1,0 +1,64 @@
+#include "io/datatype_io.hpp"
+
+namespace pvfs::io {
+
+namespace {
+
+/// Trim an ordered extent list to its first `want` bytes.
+ExtentList TruncateToBytes(ExtentList regions, ByteCount want) {
+  ByteCount acc = 0;
+  for (size_t i = 0; i < regions.size(); ++i) {
+    if (acc + regions[i].length >= want) {
+      regions[i].length = want - acc;
+      regions.resize(regions[i].length == 0 ? i : i + 1);
+      return regions;
+    }
+    acc += regions[i].length;
+  }
+  return regions;
+}
+
+}  // namespace
+
+Result<AccessPattern> PatternFromDatatypes(const Datatype& memtype,
+                                           std::uint64_t memcount,
+                                           const Datatype& filetype,
+                                           FileOffset file_disp) {
+  ByteCount total = memtype.size() * memcount;
+  if (total == 0) return AccessPattern{};
+  if (filetype.size() == 0) {
+    return InvalidArgument("file type holds no data bytes");
+  }
+  if (filetype.lower_bound() < 0 || memtype.lower_bound() < 0) {
+    return InvalidArgument("datatypes with negative lower bounds cannot "
+                           "address a buffer/file from zero");
+  }
+  std::uint64_t tiles = (total + filetype.size() - 1) / filetype.size();
+
+  AccessPattern pattern;
+  pattern.memory = memtype.Flatten(0, memcount);
+  pattern.file = TruncateToBytes(filetype.Flatten(file_disp, tiles), total);
+  return pattern;
+}
+
+Status ReadTyped(Client& client, Client::Fd fd, const Datatype& memtype,
+                 std::uint64_t memcount, std::span<std::byte> buffer,
+                 const Datatype& filetype, FileOffset file_disp,
+                 NoncontigMethod& method) {
+  PVFS_ASSIGN_OR_RETURN(
+      AccessPattern pattern,
+      PatternFromDatatypes(memtype, memcount, filetype, file_disp));
+  return method.Read(client, fd, pattern, buffer);
+}
+
+Status WriteTyped(Client& client, Client::Fd fd, const Datatype& memtype,
+                  std::uint64_t memcount, std::span<const std::byte> buffer,
+                  const Datatype& filetype, FileOffset file_disp,
+                  NoncontigMethod& method) {
+  PVFS_ASSIGN_OR_RETURN(
+      AccessPattern pattern,
+      PatternFromDatatypes(memtype, memcount, filetype, file_disp));
+  return method.Write(client, fd, pattern, buffer);
+}
+
+}  // namespace pvfs::io

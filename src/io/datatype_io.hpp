@@ -1,0 +1,34 @@
+// Datatype-described I/O: build an AccessPattern from MPI-style datatypes
+// (memory type tiled over the user buffer, file type tiled from a
+// displacement — MPI-IO file-view semantics) and run it through any
+// noncontiguous method. This realizes the paper's §5 proposal: the access
+// description stays O(1) in the number of regions; flattening happens
+// below the interface.
+#pragma once
+
+#include "io/datatype.hpp"
+#include "io/method.hpp"
+
+namespace pvfs::io {
+
+/// Pattern for `memcount` instances of `memtype` in the buffer (from
+/// offset 0) against `filetype` tiled from byte `file_disp`; the file side
+/// is truncated to exactly the memory byte total, as MPI-IO does when the
+/// access ends mid-tile.
+Result<AccessPattern> PatternFromDatatypes(const Datatype& memtype,
+                                           std::uint64_t memcount,
+                                           const Datatype& filetype,
+                                           FileOffset file_disp);
+
+/// Typed read/write: flatten and delegate.
+Status ReadTyped(Client& client, Client::Fd fd, const Datatype& memtype,
+                 std::uint64_t memcount, std::span<std::byte> buffer,
+                 const Datatype& filetype, FileOffset file_disp,
+                 NoncontigMethod& method);
+
+Status WriteTyped(Client& client, Client::Fd fd, const Datatype& memtype,
+                  std::uint64_t memcount, std::span<const std::byte> buffer,
+                  const Datatype& filetype, FileOffset file_disp,
+                  NoncontigMethod& method);
+
+}  // namespace pvfs::io

@@ -1,0 +1,115 @@
+#include "io/hybrid_io.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pvfs::io {
+
+ExtentList HybridIo::CoalesceWithGaps(std::span<const Extent> regions,
+                                      ByteCount gap_threshold) {
+  ExtentList out;
+  for (const Extent& e : regions) {
+    if (e.empty()) continue;
+    if (!out.empty() && e.offset >= out.back().offset &&
+        e.offset - out.back().end() <= gap_threshold &&
+        e.offset >= out.back().end()) {
+      out.back().length = e.end() - out.back().offset;
+    } else {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Staging-buffer position of file offset `pos`, given the coalesced
+/// super-regions and their byte prefix sums. Requires pos to lie inside a
+/// super-region.
+struct SuperIndex {
+  ExtentList supers;
+  std::vector<ByteCount> prefix;  // staging offset of each super's start
+
+  explicit SuperIndex(ExtentList s) : supers(std::move(s)) {
+    prefix.reserve(supers.size());
+    ByteCount acc = 0;
+    for (const Extent& e : supers) {
+      prefix.push_back(acc);
+      acc += e.length;
+    }
+  }
+
+  ByteCount StagingOffset(FileOffset pos) const {
+    // Binary search: last super whose offset <= pos.
+    auto it = std::upper_bound(
+        supers.begin(), supers.end(), pos,
+        [](FileOffset p, const Extent& e) { return p < e.offset; });
+    size_t idx = static_cast<size_t>(it - supers.begin()) - 1;
+    return prefix[idx] + (pos - supers[idx].offset);
+  }
+};
+
+}  // namespace
+
+Status HybridIo::Read(Client& client, Client::Fd fd,
+                      const AccessPattern& pattern,
+                      std::span<std::byte> buffer) {
+  PVFS_RETURN_IF_ERROR(pattern.Validate(buffer.size()));
+  if (!IsSortedDisjoint(pattern.file)) {
+    // Gap coalescing needs monotone regions; fall back to plain list I/O.
+    return client.ReadList(fd, pattern.memory, buffer, pattern.file);
+  }
+  SuperIndex index(
+      CoalesceWithGaps(pattern.file, options_.hybrid_gap_threshold));
+  std::vector<std::byte> staging(TotalBytes(index.supers));
+  const Extent staging_mem[] = {{0, staging.size()}};
+  PVFS_RETURN_IF_ERROR(
+      client.ReadList(fd, staging_mem, staging, index.supers));
+
+  PVFS_ASSIGN_OR_RETURN(std::vector<Segment> segments, pattern.Segments());
+  for (const Segment& seg : segments) {
+    ByteCount at = index.StagingOffset(seg.file_offset);
+    std::memcpy(buffer.data() + seg.mem_offset, staging.data() + at,
+                seg.length);
+  }
+  return Status::Ok();
+}
+
+Status HybridIo::Write(Client& client, Client::Fd fd,
+                       const AccessPattern& pattern,
+                       std::span<const std::byte> buffer) {
+  PVFS_RETURN_IF_ERROR(pattern.Validate(buffer.size()));
+  if (!IsSortedDisjoint(pattern.file)) {
+    return client.WriteList(fd, pattern.memory, buffer, pattern.file);
+  }
+  SuperIndex index(
+      CoalesceWithGaps(pattern.file, options_.hybrid_gap_threshold));
+
+  // If coalescing introduced no gap bytes, this is plain list I/O and
+  // needs no read-modify-write (and hence no serialization).
+  bool has_gaps = TotalBytes(index.supers) != pattern.total_bytes();
+  if (!has_gaps) {
+    return client.WriteList(fd, pattern.memory, buffer, pattern.file);
+  }
+
+  WriteSerializer* serializer =
+      options_.serializer ? options_.serializer : &fallback_serializer_;
+  return serializer->RunExclusive([&]() -> Status {
+    std::vector<std::byte> staging(TotalBytes(index.supers));
+    const Extent staging_mem[] = {{0, staging.size()}};
+    // Read-modify-write over exactly the super-regions (never whole
+    // bounding windows — the hybrid advantage).
+    PVFS_RETURN_IF_ERROR(
+        client.ReadList(fd, staging_mem, staging, index.supers));
+    auto segments = pattern.Segments();
+    if (!segments.ok()) return segments.status();
+    for (const Segment& seg : *segments) {
+      ByteCount at = index.StagingOffset(seg.file_offset);
+      std::memcpy(staging.data() + at, buffer.data() + seg.mem_offset,
+                  seg.length);
+    }
+    return client.WriteList(fd, staging_mem, staging, index.supers);
+  });
+}
+
+}  // namespace pvfs::io

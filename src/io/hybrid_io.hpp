@@ -1,0 +1,38 @@
+// Hybrid list + data-sieving I/O — the paper's §5 future-work proposal:
+// "if two noncontiguous regions are close to each other, a data sieving
+// operation may take place for just those particular regions."
+//
+// File regions whose gaps are at most `hybrid_gap_threshold` bytes are
+// coalesced into sieved super-regions; the super-region list then goes
+// through native list I/O. Dense clusters collapse into few regions
+// (sieving's win) while far-apart clusters never force a huge window
+// (sieving's loss), at the cost of transferring the small gaps and of
+// read-modify-write on writes (serialized, like sieving).
+#pragma once
+
+#include "io/method.hpp"
+
+namespace pvfs::io {
+
+class HybridIo final : public NoncontigMethod {
+ public:
+  explicit HybridIo(MethodOptions options) : options_(options) {}
+
+  Status Read(Client& client, Client::Fd fd, const AccessPattern& pattern,
+              std::span<std::byte> buffer) override;
+  Status Write(Client& client, Client::Fd fd, const AccessPattern& pattern,
+               std::span<const std::byte> buffer) override;
+
+  MethodType type() const override { return MethodType::kHybrid; }
+
+  /// Coalesce sorted-disjoint regions whose inter-region gap is at most
+  /// `gap_threshold` bytes. Exposed for tests and the ablation bench.
+  static ExtentList CoalesceWithGaps(std::span<const Extent> regions,
+                                     ByteCount gap_threshold);
+
+ private:
+  MethodOptions options_;
+  NullSerializer fallback_serializer_;
+};
+
+}  // namespace pvfs::io

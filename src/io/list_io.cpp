@@ -1,0 +1,17 @@
+#include "io/list_io.hpp"
+
+namespace pvfs::io {
+
+Status ListIo::Read(Client& client, Client::Fd fd,
+                    const AccessPattern& pattern,
+                    std::span<std::byte> buffer) {
+  return client.ReadList(fd, pattern.memory, buffer, pattern.file);
+}
+
+Status ListIo::Write(Client& client, Client::Fd fd,
+                     const AccessPattern& pattern,
+                     std::span<const std::byte> buffer) {
+  return client.WriteList(fd, pattern.memory, buffer, pattern.file);
+}
+
+}  // namespace pvfs::io

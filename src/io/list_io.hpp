@@ -1,0 +1,21 @@
+// List I/O (paper §3.3): the native noncontiguous interface — the client
+// library packs up to kMaxListRegions file regions per request (trailing
+// data) and the I/O daemons service them directly, cutting request count
+// by that factor relative to multiple I/O.
+#pragma once
+
+#include "io/method.hpp"
+
+namespace pvfs::io {
+
+class ListIo final : public NoncontigMethod {
+ public:
+  Status Read(Client& client, Client::Fd fd, const AccessPattern& pattern,
+              std::span<std::byte> buffer) override;
+  Status Write(Client& client, Client::Fd fd, const AccessPattern& pattern,
+               std::span<const std::byte> buffer) override;
+
+  MethodType type() const override { return MethodType::kList; }
+};
+
+}  // namespace pvfs::io

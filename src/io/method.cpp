@@ -1,0 +1,35 @@
+#include "io/method.hpp"
+
+#include "io/data_sieving.hpp"
+#include "io/hybrid_io.hpp"
+#include "io/list_io.hpp"
+#include "io/multiple_io.hpp"
+
+namespace pvfs::io {
+
+std::string_view MethodName(MethodType type) {
+  switch (type) {
+    case MethodType::kMultiple: return "multiple";
+    case MethodType::kDataSieving: return "data-sieving";
+    case MethodType::kList: return "list";
+    case MethodType::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+std::unique_ptr<NoncontigMethod> MakeMethod(MethodType type,
+                                            MethodOptions options) {
+  switch (type) {
+    case MethodType::kMultiple:
+      return std::make_unique<MultipleIo>();
+    case MethodType::kDataSieving:
+      return std::make_unique<DataSievingIo>(options);
+    case MethodType::kList:
+      return std::make_unique<ListIo>();
+    case MethodType::kHybrid:
+      return std::make_unique<HybridIo>(options);
+  }
+  return nullptr;
+}
+
+}  // namespace pvfs::io

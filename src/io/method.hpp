@@ -1,0 +1,106 @@
+// The noncontiguous access method interface and the serializer hook the
+// data-sieving write path needs (paper §3.2/§4.3.1: PVFS has no file
+// locks, so read-modify-write across clients must be serialized; the paper
+// used an MPI_Barrier for-loop, we inject a WriteSerializer).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "io/access_pattern.hpp"
+#include "pvfs/client.hpp"
+
+namespace pvfs::io {
+
+enum class MethodType {
+  kMultiple,     // one contiguous request per matched segment (§3.1)
+  kDataSieving,  // 32 MB windows, client-side scatter/gather, RMW (§3.2)
+  kList,         // native list I/O (§3.3, the contribution)
+  kHybrid,       // §5 future work: sieve nearby regions inside list ops
+};
+
+std::string_view MethodName(MethodType type);
+
+/// Grants mutual exclusion for read-modify-write windows.
+class WriteSerializer {
+ public:
+  virtual ~WriteSerializer() = default;
+  /// Run `fn` exclusively with respect to all other RunExclusive calls on
+  /// the same serializer.
+  virtual Status RunExclusive(const std::function<Status()>& fn) = 0;
+};
+
+/// No-op serializer for single-client use.
+class NullSerializer final : public WriteSerializer {
+ public:
+  Status RunExclusive(const std::function<Status()>& fn) override {
+    return fn();
+  }
+};
+
+/// Mutex-backed serializer shared by concurrent client threads.
+class MutexSerializer final : public WriteSerializer {
+ public:
+  Status RunExclusive(const std::function<Status()>& fn) override {
+    std::lock_guard lock(mutex_);
+    return fn();
+  }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Serializer built on the manager's advisory byte-range locks (the
+/// extension closing the paper's "no file locking mechanism in PVFS" gap):
+/// holds an exclusive whole-file lock for the critical section. Works
+/// across processes and transports, unlike MutexSerializer.
+class RangeLockSerializer final : public WriteSerializer {
+ public:
+  RangeLockSerializer(Client* client, Client::Fd fd)
+      : client_(client), fd_(fd) {}
+
+  Status RunExclusive(const std::function<Status()>& fn) override {
+    PVFS_RETURN_IF_ERROR(client_->LockRange(fd_, Extent{0, 0}));
+    Status status = fn();
+    Status unlock = client_->UnlockRange(fd_, Extent{0, 0});
+    return status.ok() ? unlock : status;
+  }
+
+ private:
+  Client* client_;
+  Client::Fd fd_;
+};
+
+struct MethodOptions {
+  ByteCount sieve_buffer_bytes = kDefaultSieveBufferBytes;
+  /// Hybrid: regions whose file gap is <= this many bytes are coalesced
+  /// into one sieved super-region.
+  ByteCount hybrid_gap_threshold = 4096;
+  /// Required by sieving/hybrid writes when multiple clients share a file.
+  WriteSerializer* serializer = nullptr;
+};
+
+class NoncontigMethod {
+ public:
+  virtual ~NoncontigMethod() = default;
+
+  virtual Status Read(Client& client, Client::Fd fd,
+                      const AccessPattern& pattern,
+                      std::span<std::byte> buffer) = 0;
+  virtual Status Write(Client& client, Client::Fd fd,
+                       const AccessPattern& pattern,
+                       std::span<const std::byte> buffer) = 0;
+
+  virtual MethodType type() const = 0;
+  std::string_view name() const { return MethodName(type()); }
+};
+
+/// Factory over the four methods.
+std::unique_ptr<NoncontigMethod> MakeMethod(MethodType type,
+                                            MethodOptions options = {});
+
+}  // namespace pvfs::io

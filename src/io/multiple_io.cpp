@@ -1,0 +1,31 @@
+#include "io/multiple_io.hpp"
+
+namespace pvfs::io {
+
+Status MultipleIo::Read(Client& client, Client::Fd fd,
+                        const AccessPattern& pattern,
+                        std::span<std::byte> buffer) {
+  PVFS_RETURN_IF_ERROR(pattern.Validate(buffer.size()));
+  PVFS_ASSIGN_OR_RETURN(std::vector<Segment> segments, pattern.Segments());
+  for (const Segment& seg : segments) {
+    PVFS_RETURN_IF_ERROR(
+        client.Read(fd, seg.file_offset,
+                    buffer.subspan(seg.mem_offset, seg.length)));
+  }
+  return Status::Ok();
+}
+
+Status MultipleIo::Write(Client& client, Client::Fd fd,
+                         const AccessPattern& pattern,
+                         std::span<const std::byte> buffer) {
+  PVFS_RETURN_IF_ERROR(pattern.Validate(buffer.size()));
+  PVFS_ASSIGN_OR_RETURN(std::vector<Segment> segments, pattern.Segments());
+  for (const Segment& seg : segments) {
+    PVFS_RETURN_IF_ERROR(
+        client.Write(fd, seg.file_offset,
+                     buffer.subspan(seg.mem_offset, seg.length)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace pvfs::io

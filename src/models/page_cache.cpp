@@ -1,0 +1,168 @@
+#include "models/page_cache.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace pvfs::models {
+
+SimTimeNs PageCache::TouchPage(PageIndex page, bool dirty) {
+  SimTimeNs evict_time = 0;
+  auto it = pages_.find(page);
+  if (it != pages_.end()) {
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(page);
+    it->second.lru_pos = lru_.begin();
+    if (dirty && !it->second.dirty) {
+      it->second.dirty = true;
+      ++dirty_count_;
+    }
+    return 0;
+  }
+  // Make room first.
+  while (pages_.size() >= CapacityPages() && !lru_.empty()) {
+    PageIndex victim = lru_.back();
+    lru_.pop_back();
+    auto vit = pages_.find(victim);
+    if (vit->second.dirty) {
+      evict_time += disk_->Access(victim * params_.page_size,
+                                  params_.page_size, /*is_write=*/true);
+      --dirty_count_;
+      ++stats_.writeback_pages;
+    }
+    pages_.erase(vit);
+    ++stats_.evictions;
+  }
+  lru_.push_front(page);
+  pages_.emplace(page, PageState{lru_.begin(), dirty});
+  if (dirty) ++dirty_count_;
+  return evict_time;
+}
+
+SimTimeNs PageCache::Read(FileOffset offset, ByteCount length) {
+  if (length == 0) return 0;
+  PageIndex first = offset / params_.page_size;
+  PageIndex last = (offset + length - 1) / params_.page_size;
+
+  // Near-sequential streams trigger read-ahead beyond the requested
+  // range: like Linux's readahead window, a read landing within one
+  // window of the previous stream position counts as a continuation.
+  ByteCount window = params_.readahead_pages * params_.page_size;
+  bool sequential = params_.readahead_pages > 0 &&
+                    last_read_end_ != static_cast<FileOffset>(-1) &&
+                    offset >= last_read_end_ &&
+                    offset - last_read_end_ <= window;
+  PageIndex fetch_last = last;
+  if (sequential) {
+    fetch_last = last + params_.readahead_pages;
+  }
+  last_read_end_ = offset + length;
+
+  SimTimeNs total = MemCopyCost(length);
+
+  // Coalesce missing pages into runs and fetch each run in one disk access.
+  PageIndex run_start = 0;
+  ByteCount run_pages = 0;
+  auto flush_run = [&] {
+    if (run_pages == 0) return;
+    total += disk_->Access(run_start * params_.page_size,
+                           run_pages * params_.page_size, /*is_write=*/false);
+    run_pages = 0;
+  };
+  for (PageIndex p = first; p <= fetch_last; ++p) {
+    bool requested = p <= last;
+    if (pages_.contains(p)) {
+      if (requested) ++stats_.page_hits;
+      flush_run();
+      total += TouchPage(p, /*dirty=*/false);
+      continue;
+    }
+    if (requested) {
+      ++stats_.page_misses;
+    } else {
+      ++stats_.readahead_pages;
+    }
+    if (run_pages == 0) run_start = p;
+    // Runs must be contiguous; p increments by one so extending is safe.
+    ++run_pages;
+    total += TouchPage(p, /*dirty=*/false);
+  }
+  flush_run();
+  return total;
+}
+
+SimTimeNs PageCache::Write(FileOffset offset, ByteCount length) {
+  if (length == 0) return 0;
+  PageIndex first = offset / params_.page_size;
+  PageIndex last = (offset + length - 1) / params_.page_size;
+
+  SimTimeNs total = MemCopyCost(length);
+
+  // A write that only partially covers its first/last page must read the
+  // page in first (read-modify-write at page granularity) unless resident.
+  if (offset % params_.page_size != 0 && !pages_.contains(first)) {
+    total += disk_->Access(first * params_.page_size, params_.page_size,
+                           /*is_write=*/false);
+    ++stats_.page_misses;
+  }
+  if ((offset + length) % params_.page_size != 0 && last != first &&
+      !pages_.contains(last)) {
+    total += disk_->Access(last * params_.page_size, params_.page_size,
+                           /*is_write=*/false);
+    ++stats_.page_misses;
+  }
+
+  for (PageIndex p = first; p <= last; ++p) {
+    total += TouchPage(p, /*dirty=*/true);
+  }
+
+  if (params_.write_through) {
+    total += disk_->Access(offset, length, /*is_write=*/true);
+    // Pages are now clean.
+    for (PageIndex p = first; p <= last; ++p) {
+      auto it = pages_.find(p);
+      if (it != pages_.end() && it->second.dirty) {
+        it->second.dirty = false;
+        --dirty_count_;
+      }
+    }
+    return total;
+  }
+
+  double dirty_ratio = static_cast<double>(dirty_count_) /
+                       static_cast<double>(CapacityPages());
+  if (dirty_ratio > params_.dirty_flush_ratio) {
+    ++stats_.threshold_flushes;
+    total += FlushDirty();
+  }
+  return total;
+}
+
+SimTimeNs PageCache::FlushDirty() {
+  std::vector<PageIndex> dirty;
+  dirty.reserve(dirty_count_);
+  for (auto& [page, state] : pages_) {
+    if (state.dirty) dirty.push_back(page);
+  }
+  std::sort(dirty.begin(), dirty.end());
+
+  SimTimeNs total = 0;
+  size_t i = 0;
+  while (i < dirty.size()) {
+    size_t j = i;
+    while (j + 1 < dirty.size() && dirty[j + 1] == dirty[j] + 1) ++j;
+    ByteCount run_pages = j - i + 1;
+    total += disk_->Access(dirty[i] * params_.page_size,
+                           run_pages * params_.page_size, /*is_write=*/true);
+    stats_.writeback_pages += run_pages;
+    i = j + 1;
+  }
+  for (PageIndex p : dirty) {
+    pages_[p].dirty = false;
+  }
+  dirty_count_ = 0;
+  return total;
+}
+
+SimTimeNs PageCache::Sync() { return FlushDirty(); }
+
+}  // namespace pvfs::models

@@ -1,0 +1,96 @@
+// Linux-2.4-style buffer/page cache timing model sitting in front of a
+// DiskModel (paper §2: "PVFS is built on the local file system, which
+// allows the Linux buffer cache to reduce the cost of individual local
+// disk operations on the I/O servers").
+//
+// Behaviour modeled:
+//   * 4 KiB pages, LRU replacement, bounded capacity;
+//   * sequential read-ahead: a read that continues the previous stream
+//     fetches a configurable window ahead of it;
+//   * write-back: writes dirty pages at memory speed; dirty pages are
+//     flushed (in ascending offset order, coalesced into runs) when the
+//     dirty ratio passes a threshold or on Sync();
+//   * optional write-through mode for per-request-durable servers.
+//
+// All methods return the simulated service duration; callers hold the disk
+// resource for that long.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "models/disk.hpp"
+
+namespace pvfs::models {
+
+struct CacheParams {
+  ByteCount page_size = 4096;
+  ByteCount capacity_bytes = 256 * kMiB;  // of the node's 512 MB RAM
+  std::uint32_t readahead_pages = 32;     // 128 KiB window
+  double dirty_flush_ratio = 0.4;         // bdflush-style threshold
+  bool write_through = false;
+  double mem_copy_mbps = 200.0;           // PIII-era memcpy bandwidth
+};
+
+class PageCache {
+ public:
+  PageCache(CacheParams params, DiskModel* disk)
+      : params_(params), disk_(disk) {}
+
+  /// Service a read; misses (plus read-ahead) go to disk in coalesced runs.
+  SimTimeNs Read(FileOffset offset, ByteCount length);
+
+  /// Service a write; write-back dirties pages, write-through also pays the
+  /// disk. May trigger a threshold flush.
+  SimTimeNs Write(FileOffset offset, ByteCount length);
+
+  /// Flush every dirty page to disk in ascending order.
+  SimTimeNs Sync();
+
+  struct Stats {
+    std::uint64_t page_hits = 0;
+    std::uint64_t page_misses = 0;
+    std::uint64_t readahead_pages = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t writeback_pages = 0;
+    std::uint64_t threshold_flushes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  std::uint64_t resident_pages() const { return pages_.size(); }
+  std::uint64_t dirty_pages() const { return dirty_count_; }
+
+ private:
+  using PageIndex = std::uint64_t;
+  struct PageState {
+    std::list<PageIndex>::iterator lru_pos;
+    bool dirty = false;
+  };
+
+  std::uint64_t CapacityPages() const {
+    return params_.capacity_bytes / params_.page_size;
+  }
+  SimTimeNs MemCopyCost(ByteCount bytes) const {
+    return SecondsToNs(static_cast<double>(bytes) /
+                       (params_.mem_copy_mbps * 1.0e6));
+  }
+
+  /// Insert or touch a page; returns eviction disk time if a dirty page
+  /// had to be written back to make room.
+  SimTimeNs TouchPage(PageIndex page, bool dirty);
+
+  /// Write all dirty pages (ascending, coalesced) to disk.
+  SimTimeNs FlushDirty();
+
+  CacheParams params_;
+  DiskModel* disk_;
+  std::list<PageIndex> lru_;  // front = most recent
+  std::unordered_map<PageIndex, PageState> pages_;
+  std::uint64_t dirty_count_ = 0;
+  FileOffset last_read_end_ = static_cast<FileOffset>(-1);
+  Stats stats_;
+};
+
+}  // namespace pvfs::models

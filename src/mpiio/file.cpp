@@ -1,0 +1,344 @@
+#include "mpiio/file.hpp"
+
+#include <algorithm>
+
+#include "common/wire.hpp"
+
+namespace pvfs::mpiio {
+
+namespace {
+
+/// Stream position of file offset `pos` within sorted-disjoint extents
+/// (pos must lie inside one of them).
+ByteCount StreamPosOf(std::span<const Extent> extents,
+                      std::span<const ByteCount> prefix, FileOffset pos) {
+  auto it = std::upper_bound(
+      extents.begin(), extents.end(), pos,
+      [](FileOffset p, const Extent& e) { return p < e.offset; });
+  size_t idx = static_cast<size_t>(it - extents.begin()) - 1;
+  return prefix[idx] + (pos - extents[idx].offset);
+}
+
+std::vector<ByteCount> PrefixSums(std::span<const Extent> extents) {
+  std::vector<ByteCount> prefix;
+  prefix.reserve(extents.size());
+  ByteCount acc = 0;
+  for (const Extent& e : extents) {
+    prefix.push_back(acc);
+    acc += e.length;
+  }
+  return prefix;
+}
+
+void EncodePieces(WireWriter& w, std::span<const Extent> pieces) {
+  w.U32(static_cast<std::uint32_t>(pieces.size()));
+  for (const Extent& e : pieces) {
+    w.U64(e.offset);
+    w.U64(e.length);
+  }
+}
+
+Result<ExtentList> DecodePieces(WireReader& r) {
+  PVFS_ASSIGN_OR_RETURN(std::uint32_t count, r.U32());
+  ExtentList pieces;
+  pieces.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Extent e;
+    PVFS_ASSIGN_OR_RETURN(e.offset, r.U64());
+    PVFS_ASSIGN_OR_RETURN(e.length, r.U64());
+    pieces.push_back(e);
+  }
+  return pieces;
+}
+
+}  // namespace
+
+Result<MpiFile> MpiFile::Open(Client* client, Group* group, Rank rank,
+                              const std::string& name,
+                              std::optional<Striping> striping) {
+  if (striping.has_value()) {
+    if (rank == 0) {
+      auto fd = client->Create(name, *striping);
+      if (fd.ok()) {
+        // Created through a throwaway descriptor; the real one is opened
+        // below, uniformly across ranks.
+        (void)client->Close(*fd);
+      } else if (fd.status().code() != ErrorCode::kAlreadyExists) {
+        group->Barrier();
+        return fd.status();
+      }
+    }
+    group->Barrier();  // create happens-before any open
+  }
+  PVFS_ASSIGN_OR_RETURN(Client::Fd fd, client->Open(name));
+  return MpiFile(client, group, rank, fd);
+}
+
+Status MpiFile::SetView(FileOffset disp, io::Datatype filetype) {
+  if (filetype.size() == 0) {
+    return InvalidArgument("view filetype holds no data bytes");
+  }
+  if (filetype.lower_bound() < 0) {
+    return InvalidArgument("view filetype has negative lower bound");
+  }
+  // Two-phase and the prefix search both need monotone views.
+  ExtentList one_tile = filetype.Flatten(disp, 1);
+  if (!IsSortedDisjoint(one_tile)) {
+    return Unimplemented("non-monotone filetypes are not supported");
+  }
+  view_disp_ = disp;
+  view_type_ = std::move(filetype);
+  return Status::Ok();
+}
+
+ExtentList MpiFile::ViewSlice(ByteCount view_offset, ByteCount length) const {
+  if (length == 0) return {};
+  if (!view_type_.has_value()) {
+    return {Extent{view_disp_ + view_offset, length}};
+  }
+  const io::Datatype& type = *view_type_;
+  ByteCount tile = type.size();
+  std::uint64_t first_tile = view_offset / tile;
+  ByteCount skip = view_offset % tile;
+  std::uint64_t tiles = (skip + length + tile - 1) / tile;
+  ExtentList flat = type.Flatten(
+      view_disp_ + first_tile * type.extent(), tiles);
+  return SliceStream(flat, skip, length);
+}
+
+Status MpiFile::ReadAt(ByteCount view_offset, std::span<std::byte> out) {
+  ExtentList file = ViewSlice(view_offset, out.size());
+  const Extent mem[] = {{0, out.size()}};
+  return client_->ReadList(fd_, mem, out, file);
+}
+
+Status MpiFile::WriteAt(ByteCount view_offset,
+                        std::span<const std::byte> data) {
+  ExtentList file = ViewSlice(view_offset, data.size());
+  const Extent mem[] = {{0, data.size()}};
+  return client_->WriteList(fd_, mem, data, file);
+}
+
+Extent MpiFile::DomainMap::DomainOf(Rank r) const {
+  if (r >= aggregators) return Extent{hi, 0};  // not an aggregator
+  ByteCount span = hi - lo;
+  ByteCount share = (span + aggregators - 1) / aggregators;
+  FileOffset begin = std::min<FileOffset>(hi, lo + r * share);
+  FileOffset end = std::min<FileOffset>(hi, begin + share);
+  return Extent{begin, end - begin};
+}
+
+Result<MpiFile::DomainMap> MpiFile::AgreeOnDomains(
+    std::span<const Extent> my_extents) {
+  FileOffset my_lo = static_cast<FileOffset>(-1);
+  FileOffset my_hi = 0;
+  if (auto bound = BoundingExtent(my_extents)) {
+    my_lo = bound->offset;
+    my_hi = bound->end();
+  }
+  std::vector<std::uint64_t> lows = group_->AllGather(rank_, my_lo);
+  std::vector<std::uint64_t> highs = group_->AllGather(rank_, my_hi);
+  DomainMap map;
+  map.aggregators = AggregatorCount();
+  map.lo = *std::min_element(lows.begin(), lows.end());
+  map.hi = *std::max_element(highs.begin(), highs.end());
+  if (map.lo == static_cast<FileOffset>(-1)) {
+    map.lo = map.hi = 0;  // nobody accesses anything
+  }
+  // Align domain boundaries to stripe units so aggregator requests map to
+  // whole stripes (ROMIO aligns to the file system block for the same
+  // reason).
+  auto meta = client_->DescribeFd(fd_);
+  if (meta.ok() && meta->striping.ssize > 0) {
+    map.lo -= map.lo % meta->striping.ssize;
+  }
+  return map;
+}
+
+Status MpiFile::WriteAtAll(ByteCount view_offset,
+                           std::span<const std::byte> data) {
+  ++stats_.collective_calls;
+  ExtentList extents = ViewSlice(view_offset, data.size());
+  if (!hints_.cb_enable) {
+    const Extent mem[] = {{0, data.size()}};
+    Status status = client_->WriteList(fd_, mem, data, extents);
+    group_->Barrier();
+    return status;
+  }
+  if (!IsSortedDisjoint(extents)) {
+    return Unimplemented("two-phase requires monotone view slices");
+  }
+  return TwoPhaseWrite(extents, data);
+}
+
+Status MpiFile::ReadAtAll(ByteCount view_offset, std::span<std::byte> out) {
+  ++stats_.collective_calls;
+  ExtentList extents = ViewSlice(view_offset, out.size());
+  if (!hints_.cb_enable) {
+    const Extent mem[] = {{0, out.size()}};
+    Status status = client_->ReadList(fd_, mem, out, extents);
+    group_->Barrier();
+    return status;
+  }
+  if (!IsSortedDisjoint(extents)) {
+    return Unimplemented("two-phase requires monotone view slices");
+  }
+  return TwoPhaseRead(extents, out);
+}
+
+Status MpiFile::TwoPhaseWrite(std::span<const Extent> my_extents,
+                              std::span<const std::byte> data) {
+  PVFS_ASSIGN_OR_RETURN(DomainMap map, AgreeOnDomains(my_extents));
+  const std::uint32_t ranks = group_->size();
+  std::vector<ByteCount> prefix = PrefixSums(my_extents);
+
+  // Phase 1: ship each domain owner its pieces (extents + bytes).
+  std::vector<ByteBuffer> outgoing(ranks);
+  for (Rank d = 0; d < ranks; ++d) {
+    ExtentList pieces = ClipToWindow(my_extents, map.DomainOf(d));
+    WireWriter w;
+    EncodePieces(w, pieces);
+    for (const Extent& piece : pieces) {
+      ByteCount at = StreamPosOf(my_extents, prefix, piece.offset);
+      w.Raw(data.subspan(at, piece.length));
+      stats_.exchange_bytes += piece.length;
+    }
+    outgoing[d] = w.Take();
+  }
+  std::vector<ByteBuffer> incoming = group_->AllToAll(rank_, std::move(outgoing));
+
+  // Phase 2: this rank aggregates its own domain.
+  struct SourcePieces {
+    ExtentList extents;
+    std::span<const std::byte> data;
+  };
+  std::vector<SourcePieces> sources;
+  FileOffset lo = static_cast<FileOffset>(-1);
+  FileOffset hi = 0;
+  ExtentList all_pieces;
+  for (const ByteBuffer& blob : incoming) {
+    WireReader r(blob);
+    PVFS_ASSIGN_OR_RETURN(ExtentList pieces, DecodePieces(r));
+    ByteCount bytes = TotalBytes(pieces);
+    if (r.remaining() != bytes) {
+      return ProtocolError("two-phase piece framing mismatch");
+    }
+    size_t header = blob.size() - bytes;  // data rides at the blob's tail
+    for (const Extent& piece : pieces) {
+      if (piece.empty()) continue;
+      lo = std::min(lo, piece.offset);
+      hi = std::max(hi, piece.end());
+      all_pieces.push_back(piece);
+    }
+    sources.push_back(SourcePieces{
+        std::move(pieces),
+        std::span<const std::byte>{blob}.subspan(header, bytes)});
+  }
+
+  Status status = Status::Ok();
+  if (hi > lo) {
+    ByteBuffer staging(hi - lo);
+    // Read-modify-write only if the received pieces leave holes.
+    ExtentList coverage = NormalizeSet(all_pieces);
+    bool full = coverage.size() == 1 && coverage[0].offset == lo &&
+                coverage[0].end() == hi;
+    if (!full) {
+      status = client_->Read(fd_, lo, staging);
+      ++stats_.aggregator_reads;
+    }
+    if (status.ok()) {
+      for (const SourcePieces& src : sources) {
+        ByteCount pos = 0;
+        for (const Extent& piece : src.extents) {
+          std::copy_n(src.data.begin() + static_cast<std::ptrdiff_t>(pos),
+                      piece.length,
+                      staging.begin() +
+                          static_cast<std::ptrdiff_t>(piece.offset - lo));
+          pos += piece.length;
+        }
+      }
+      status = client_->Write(fd_, lo, staging);
+      ++stats_.aggregator_writes;
+    }
+  }
+  // Writes must be visible to every rank on return.
+  group_->Barrier();
+  return status;
+}
+
+Status MpiFile::TwoPhaseRead(std::span<const Extent> my_extents,
+                             std::span<std::byte> out) {
+  PVFS_ASSIGN_OR_RETURN(DomainMap map, AgreeOnDomains(my_extents));
+  const std::uint32_t ranks = group_->size();
+  std::vector<ByteCount> prefix = PrefixSums(my_extents);
+
+  // Phase 1: tell each domain owner which pieces we need.
+  std::vector<ByteBuffer> requests(ranks);
+  for (Rank d = 0; d < ranks; ++d) {
+    ExtentList pieces = ClipToWindow(my_extents, map.DomainOf(d));
+    WireWriter w;
+    EncodePieces(w, pieces);
+    requests[d] = w.Take();
+  }
+  std::vector<ByteBuffer> wanted = group_->AllToAll(rank_, std::move(requests));
+
+  // Aggregate: read this domain's covering span once, serve every source.
+  std::vector<ExtentList> source_pieces(ranks);
+  FileOffset lo = static_cast<FileOffset>(-1);
+  FileOffset hi = 0;
+  for (Rank s = 0; s < ranks; ++s) {
+    WireReader r(wanted[s]);
+    PVFS_ASSIGN_OR_RETURN(source_pieces[s], DecodePieces(r));
+    for (const Extent& piece : source_pieces[s]) {
+      if (piece.empty()) continue;
+      lo = std::min(lo, piece.offset);
+      hi = std::max(hi, piece.end());
+    }
+  }
+
+  std::vector<ByteBuffer> replies(ranks);
+  if (hi > lo) {
+    ByteBuffer staging(hi - lo);
+    PVFS_RETURN_IF_ERROR(client_->Read(fd_, lo, staging));
+    ++stats_.aggregator_reads;
+    for (Rank s = 0; s < ranks; ++s) {
+      ByteBuffer reply;
+      reply.reserve(TotalBytes(source_pieces[s]));
+      for (const Extent& piece : source_pieces[s]) {
+        auto begin = staging.begin() +
+                     static_cast<std::ptrdiff_t>(piece.offset - lo);
+        reply.insert(reply.end(), begin,
+                     begin + static_cast<std::ptrdiff_t>(piece.length));
+        stats_.exchange_bytes += piece.length;
+      }
+      replies[s] = std::move(reply);
+    }
+  }
+
+  // Phase 2: collect our bytes from every aggregator and scatter them.
+  std::vector<ByteBuffer> received = group_->AllToAll(rank_, std::move(replies));
+  for (Rank d = 0; d < ranks; ++d) {
+    ExtentList pieces = ClipToWindow(my_extents, map.DomainOf(d));
+    ByteCount pos = 0;
+    if (received[d].size() != TotalBytes(pieces)) {
+      return Internal("two-phase read reply size mismatch");
+    }
+    for (const Extent& piece : pieces) {
+      ByteCount at = StreamPosOf(my_extents, prefix, piece.offset);
+      std::copy_n(received[d].begin() + static_cast<std::ptrdiff_t>(pos),
+                  piece.length,
+                  out.begin() + static_cast<std::ptrdiff_t>(at));
+      pos += piece.length;
+    }
+  }
+  group_->Barrier();
+  return Status::Ok();
+}
+
+Status MpiFile::Close() {
+  Status status = client_->Close(fd_);
+  group_->Barrier();
+  return status;
+}
+
+}  // namespace pvfs::mpiio

@@ -1,0 +1,116 @@
+// Mini-ROMIO: MPI-IO-style file access over the PVFS client library.
+//
+// Paper §2 notes PVFS "supports MPI-IO ... through the use of ROMIO"; the
+// noncontiguous methods it compares are exactly what an MPI-IO layer
+// drives. This module provides the MPI-IO surface the paper's discussion
+// assumes:
+//
+//   * file views — displacement + filetype (an io::Datatype) tiled over
+//     the file; accesses address the view's *data* byte stream;
+//   * independent typed reads/writes, executed as native list I/O;
+//   * collective reads/writes with two-phase I/O (Thakur, Gropp & Lusk,
+//     the paper's reference [11]): ranks exchange pieces so that
+//     aggregators touch the file with few large contiguous requests.
+//
+// Each rank owns its MpiFile (thread-confined, wrapping its own Client);
+// collective calls must be entered by every rank of the shared Group.
+#pragma once
+
+#include <optional>
+
+#include "io/datatype.hpp"
+#include "mpiio/group.hpp"
+#include "pvfs/client.hpp"
+
+namespace pvfs::mpiio {
+
+struct CollectiveHints {
+  /// Two-phase exchange enabled; when false, collective calls degrade to
+  /// independent list I/O (romio_cb_read/write = disable).
+  bool cb_enable = true;
+  /// Number of aggregator ranks (ROMIO's cb_nodes hint); 0 means every
+  /// rank aggregates. Aggregators are ranks 0..cb_nodes-1.
+  std::uint32_t cb_nodes = 0;
+};
+
+class MpiFile {
+ public:
+  /// Opens (or creates, if `striping` is provided) `name` on behalf of
+  /// one rank of `group`. Collective; every rank must call it.
+  static Result<MpiFile> Open(Client* client, Group* group, Rank rank,
+                              const std::string& name,
+                              std::optional<Striping> striping = {});
+
+  /// Set the file view: the visible byte stream is `filetype`'s data
+  /// bytes tiled from byte `disp`. Filetype must describe at least one
+  /// data byte and flatten to monotone regions.
+  Status SetView(FileOffset disp, io::Datatype filetype);
+
+  /// Independent access at `view_offset` bytes into the view's data
+  /// stream, executed as native list I/O.
+  Status ReadAt(ByteCount view_offset, std::span<std::byte> out);
+  Status WriteAt(ByteCount view_offset, std::span<const std::byte> data);
+
+  /// Collective two-phase access: every rank calls with its own offset
+  /// and buffer; aggregators (all ranks) each own an equal share of the
+  /// aggregate byte range and touch the file contiguously.
+  Status ReadAtAll(ByteCount view_offset, std::span<std::byte> out);
+  Status WriteAtAll(ByteCount view_offset, std::span<const std::byte> data);
+
+  /// Collective close (flushes sizes; barriers the group).
+  Status Close();
+
+  void set_hints(CollectiveHints hints) { hints_ = hints; }
+
+  /// File extents corresponding to [view_offset, +length) of the view's
+  /// data stream (exposed for tests).
+  ExtentList ViewSlice(ByteCount view_offset, ByteCount length) const;
+
+  struct Stats {
+    std::uint64_t collective_calls = 0;
+    std::uint64_t exchange_bytes = 0;   // shipped between ranks
+    std::uint64_t aggregator_reads = 0; // contiguous file ops issued
+    std::uint64_t aggregator_writes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  MpiFile(Client* client, Group* group, Rank rank, Client::Fd fd)
+      : client_(client), group_(group), rank_(rank), fd_(fd) {}
+
+  struct DomainPieces {
+    ExtentList extents;
+    ByteBuffer data;  // write path only
+  };
+
+  /// Aggregate range and per-aggregator domain of the collective access.
+  struct DomainMap {
+    FileOffset lo = 0;
+    FileOffset hi = 0;
+    std::uint32_t aggregators = 1;
+    /// Domain of rank r; empty for non-aggregator ranks (r >= aggregators).
+    Extent DomainOf(Rank r) const;
+  };
+  Result<DomainMap> AgreeOnDomains(std::span<const Extent> my_extents);
+  std::uint32_t AggregatorCount() const {
+    return hints_.cb_nodes == 0
+               ? group_->size()
+               : std::min(hints_.cb_nodes, group_->size());
+  }
+
+  Status TwoPhaseWrite(std::span<const Extent> my_extents,
+                       std::span<const std::byte> data);
+  Status TwoPhaseRead(std::span<const Extent> my_extents,
+                      std::span<std::byte> out);
+
+  Client* client_;
+  Group* group_;
+  Rank rank_;
+  Client::Fd fd_;
+  FileOffset view_disp_ = 0;
+  std::optional<io::Datatype> view_type_;  // nullopt: identity view
+  CollectiveHints hints_;
+  Stats stats_;
+};
+
+}  // namespace pvfs::mpiio

@@ -1,0 +1,67 @@
+// In-process communicator for collective I/O: the subset of MPI a
+// two-phase implementation needs — barrier, allgather, all-to-all — over
+// rank threads of one process group.
+//
+// Phases are separated by barriers; each collective call must be entered
+// by every rank of the group (standard MPI semantics).
+#pragma once
+
+#include <barrier>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+namespace pvfs::mpiio {
+
+class Group {
+ public:
+  explicit Group(std::uint32_t size)
+      : size_(size),
+        barrier_(static_cast<std::ptrdiff_t>(size)),
+        blob_matrix_(size * size),
+        word_board_(size) {}
+
+  Group(const Group&) = delete;
+  Group& operator=(const Group&) = delete;
+
+  std::uint32_t size() const { return size_; }
+
+  void Barrier() { barrier_.arrive_and_wait(); }
+
+  /// Each rank contributes one value; everyone receives all of them in
+  /// rank order.
+  std::vector<std::uint64_t> AllGather(Rank me, std::uint64_t value) {
+    word_board_[me] = value;
+    Barrier();
+    std::vector<std::uint64_t> out = word_board_;
+    Barrier();  // board reusable after everyone copied
+    return out;
+  }
+
+  /// Personalized exchange: `outgoing[d]` goes to rank d; returns the
+  /// blobs every rank addressed to `me`, indexed by source rank.
+  std::vector<ByteBuffer> AllToAll(Rank me, std::vector<ByteBuffer> outgoing) {
+    assert(outgoing.size() == size_);
+    for (Rank d = 0; d < size_; ++d) {
+      blob_matrix_[me * size_ + d] = std::move(outgoing[d]);
+    }
+    Barrier();
+    std::vector<ByteBuffer> incoming(size_);
+    for (Rank s = 0; s < size_; ++s) {
+      incoming[s] = std::move(blob_matrix_[s * size_ + me]);
+    }
+    Barrier();  // matrix reusable after everyone drained their column
+    return incoming;
+  }
+
+ private:
+  std::uint32_t size_;
+  std::barrier<> barrier_;
+  std::vector<ByteBuffer> blob_matrix_;  // [source][dest]
+  std::vector<std::uint64_t> word_board_;
+};
+
+}  // namespace pvfs::mpiio

@@ -1,0 +1,272 @@
+#include "net/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pvfs::net {
+
+namespace {
+
+Status SendAll(int fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Internal(std::string("send: ") + std::strerror(errno));
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status RecvAll(int fd, void* data, size_t len) {
+  char* p = static_cast<char*>(data);
+  while (len > 0) {
+    ssize_t n = ::recv(fd, p, len, 0);
+    if (n == 0) return Internal("connection closed");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Internal(std::string("recv: ") + std::strerror(errno));
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status SendFrame(int fd, std::span<const std::byte> payload) {
+  std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  unsigned char header[4] = {
+      static_cast<unsigned char>(len), static_cast<unsigned char>(len >> 8),
+      static_cast<unsigned char>(len >> 16),
+      static_cast<unsigned char>(len >> 24)};
+  PVFS_RETURN_IF_ERROR(SendAll(fd, header, sizeof header));
+  return SendAll(fd, payload.data(), payload.size());
+}
+
+Result<std::vector<std::byte>> RecvFrame(int fd) {
+  unsigned char header[4];
+  PVFS_RETURN_IF_ERROR(RecvAll(fd, header, sizeof header));
+  std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                      (static_cast<std::uint32_t>(header[1]) << 8) |
+                      (static_cast<std::uint32_t>(header[2]) << 16) |
+                      (static_cast<std::uint32_t>(header[3]) << 24);
+  if (len > kMaxFrameBytes) {
+    return ProtocolError("frame exceeds size limit");
+  }
+  std::vector<std::byte> payload(len);
+  if (len > 0) {
+    PVFS_RETURN_IF_ERROR(RecvAll(fd, payload.data(), len));
+  }
+  return payload;
+}
+
+}  // namespace
+
+// ---- SocketServer ----------------------------------------------------------
+
+Result<std::unique_ptr<SocketServer>> SocketServer::Start(std::uint16_t port,
+                                                          ServiceFn service) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Internal("socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return Internal(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    return Internal(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t addrlen = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addrlen) != 0) {
+    ::close(fd);
+    return Internal("getsockname failed");
+  }
+  return std::unique_ptr<SocketServer>(
+      new SocketServer(fd, ntohs(addr.sin_port), std::move(service)));
+}
+
+SocketServer::SocketServer(int listen_fd, std::uint16_t port,
+                           ServiceFn service)
+    : listen_fd_(listen_fd), port_(port), service_(std::move(service)) {
+  acceptor_ = std::jthread([this] { AcceptLoop(); });
+}
+
+SocketServer::~SocketServer() {
+  stopping_.store(true);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  acceptor_.join();
+  {
+    // Unblock workers waiting in recv on live connections.
+    std::lock_guard lock(workers_mutex_);
+    for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  // jthreads join as `workers_` destructs.
+}
+
+void SocketServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      if (errno == EINTR) continue;
+      return;  // listener broken
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    ++connections_;
+    std::lock_guard lock(workers_mutex_);
+    live_fds_.push_back(fd);
+    workers_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void SocketServer::ServeConnection(int fd) {
+  while (!stopping_.load()) {
+    auto request = RecvFrame(fd);
+    if (!request.ok()) break;  // peer closed or error: drop connection
+    std::vector<std::byte> response;
+    {
+      std::lock_guard lock(service_mutex_);
+      response = service_(*request);
+    }
+    if (!SendFrame(fd, response).ok()) break;
+  }
+  {
+    std::lock_guard lock(workers_mutex_);
+    std::erase(live_fds_, fd);
+  }
+  ::close(fd);
+}
+
+// ---- SocketTransport --------------------------------------------------------
+
+SocketTransport::SocketTransport(SocketAddress manager,
+                                 std::vector<SocketAddress> iods) {
+  manager_.address = std::move(manager);
+  iods_.reserve(iods.size());
+  for (SocketAddress& addr : iods) {
+    auto conn = std::make_unique<Connection>();
+    conn->address = std::move(addr);
+    iods_.push_back(std::move(conn));
+  }
+}
+
+SocketTransport::~SocketTransport() {
+  if (manager_.fd >= 0) ::close(manager_.fd);
+  for (auto& conn : iods_) {
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+}
+
+Result<std::vector<std::byte>> SocketTransport::CallOn(
+    Connection& conn, std::span<const std::byte> request) {
+  std::lock_guard lock(conn.mutex);
+  if (conn.fd < 0) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Internal("socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(conn.address.port);
+    if (::inet_pton(AF_INET, conn.address.host.c_str(), &addr.sin_addr) !=
+        1) {
+      ::close(fd);
+      return InvalidArgument("bad address " + conn.address.host);
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd);
+      return Internal(std::string("connect: ") + std::strerror(errno));
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    conn.fd = fd;
+  }
+  Status sent = SendFrame(conn.fd, request);
+  if (!sent.ok()) {
+    ::close(conn.fd);
+    conn.fd = -1;
+    return sent;
+  }
+  auto response = RecvFrame(conn.fd);
+  if (!response.ok()) {
+    ::close(conn.fd);
+    conn.fd = -1;
+  }
+  return response;
+}
+
+Result<std::vector<std::byte>> SocketTransport::Call(
+    const Endpoint& dest, std::span<const std::byte> request) {
+  if (dest.is_manager) return CallOn(manager_, request);
+  if (dest.server >= iods_.size()) return NotFound("no such I/O server");
+  return CallOn(*iods_[dest.server], request);
+}
+
+// ---- SocketCluster ----------------------------------------------------------
+
+SocketCluster::SocketCluster(std::uint32_t server_count,
+                             std::uint32_t max_list_regions)
+    : manager_(server_count) {
+  iods_.reserve(server_count);
+  for (ServerId s = 0; s < server_count; ++s) {
+    iods_.push_back(std::make_unique<IoDaemon>(s, max_list_regions));
+  }
+}
+
+Result<std::unique_ptr<SocketCluster>> SocketCluster::Start(
+    std::uint32_t server_count, std::uint32_t max_list_regions,
+    std::uint16_t base_port) {
+  std::unique_ptr<SocketCluster> cluster(
+      new SocketCluster(server_count, max_list_regions));
+
+  PVFS_ASSIGN_OR_RETURN(
+      cluster->manager_server_,
+      SocketServer::Start(base_port, [m = &cluster->manager_](
+                                         std::span<const std::byte> req) {
+        return m->HandleMessage(req);
+      }));
+  for (ServerId s = 0; s < server_count; ++s) {
+    std::uint16_t port =
+        base_port == 0 ? 0 : static_cast<std::uint16_t>(base_port + 1 + s);
+    PVFS_ASSIGN_OR_RETURN(
+        auto server,
+        SocketServer::Start(port, [iod = cluster->iods_[s].get()](
+                                      std::span<const std::byte> req) {
+          return iod->HandleMessage(req);
+        }));
+    cluster->iod_servers_.push_back(std::move(server));
+  }
+  return cluster;
+}
+
+std::vector<SocketAddress> SocketCluster::iod_addresses() const {
+  std::vector<SocketAddress> out;
+  out.reserve(iod_servers_.size());
+  for (const auto& server : iod_servers_) {
+    out.push_back({"127.0.0.1", server->port()});
+  }
+  return out;
+}
+
+std::unique_ptr<SocketTransport> SocketCluster::Connect() const {
+  return std::make_unique<SocketTransport>(manager_address(),
+                                           iod_addresses());
+}
+
+}  // namespace pvfs::net

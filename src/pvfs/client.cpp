@@ -1,0 +1,430 @@
+#include "pvfs/client.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace pvfs {
+
+std::vector<ExtentList> ChunkRegions(std::span<const Extent> regions,
+                                     std::uint32_t max_regions) {
+  std::vector<ExtentList> chunks;
+  ExtentList current;
+  current.reserve(std::min<size_t>(regions.size(), max_regions));
+  for (const Extent& e : regions) {
+    if (e.empty()) continue;
+    current.push_back(e);
+    if (current.size() == max_regions) {
+      chunks.push_back(std::move(current));
+      current = {};
+      current.reserve(max_regions);
+    }
+  }
+  if (!current.empty()) chunks.push_back(std::move(current));
+  return chunks;
+}
+
+namespace {
+
+/// Walks a memory extent list over a caller buffer as one byte stream,
+/// moving bytes to/from packed chunk streams.
+class StreamCursor {
+ public:
+  explicit StreamCursor(std::span<const Extent> regions) : regions_(regions) {}
+
+  /// Copy the next out.size() stream bytes from `buffer` into `out`.
+  void Gather(std::span<const std::byte> buffer, std::span<std::byte> out) {
+    Walk(out.size(), [&](const Extent& piece, ByteCount done) {
+      std::memcpy(out.data() + done, buffer.data() + piece.offset,
+                  piece.length);
+    });
+  }
+
+  /// Copy `in` into the next in.size() stream bytes of `buffer`.
+  void Scatter(std::span<const std::byte> in, std::span<std::byte> buffer) {
+    Walk(in.size(), [&](const Extent& piece, ByteCount done) {
+      std::memcpy(buffer.data() + piece.offset, in.data() + done,
+                  piece.length);
+    });
+  }
+
+ private:
+  template <typename Fn>
+  void Walk(ByteCount want, const Fn& fn) {
+    ByteCount done = 0;
+    while (done < want) {
+      const Extent& region = regions_[idx_];
+      ByteCount avail = region.length - used_;
+      ByteCount take = std::min(avail, want - done);
+      fn(Extent{region.offset + used_, take}, done);
+      done += take;
+      used_ += take;
+      if (used_ == region.length) {
+        ++idx_;
+        used_ = 0;
+      }
+    }
+  }
+
+  std::span<const Extent> regions_;
+  size_t idx_ = 0;
+  ByteCount used_ = 0;
+};
+
+}  // namespace
+
+// ---- Namespace & lifecycle ------------------------------------------------
+
+Result<Metadata> Client::CallManagerMeta(std::span<const std::byte> request) {
+  ++stats_.manager_messages;
+  PVFS_ASSIGN_OR_RETURN(std::vector<std::byte> raw,
+                        transport_->Call(Endpoint::ManagerNode(), request));
+  PVFS_ASSIGN_OR_RETURN(DecodedResponse resp, DecodeResponse(raw));
+  if (!resp.status.ok()) return resp.status;
+  PVFS_ASSIGN_OR_RETURN(MetadataResponse meta,
+                        MetadataResponse::Decode(resp.body));
+  return meta.meta;
+}
+
+Status Client::CallManagerVoid(std::span<const std::byte> request) {
+  ++stats_.manager_messages;
+  auto raw = transport_->Call(Endpoint::ManagerNode(), request);
+  if (!raw.ok()) return raw.status();
+  auto resp = DecodeResponse(*raw);
+  if (!resp.ok()) return resp.status();
+  return resp->status;
+}
+
+Result<Client::Fd> Client::Create(const std::string& name, Striping striping) {
+  PVFS_ASSIGN_OR_RETURN(Metadata meta,
+                        CallManagerMeta(CreateRequest{name, striping}.Encode()));
+  Fd fd = next_fd_++;
+  open_files_.emplace(fd, OpenFile{meta, 0});
+  return fd;
+}
+
+Result<Client::Fd> Client::Open(const std::string& name) {
+  PVFS_ASSIGN_OR_RETURN(Metadata meta,
+                        CallManagerMeta(LookupRequest{name}.Encode()));
+  Fd fd = next_fd_++;
+  open_files_.emplace(fd, OpenFile{meta, 0});
+  return fd;
+}
+
+Status Client::Close(Fd fd) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return FailedPrecondition("bad descriptor");
+  Status status = Status::Ok();
+  if (it->second.high_water > it->second.meta.size) {
+    status = CallManagerVoid(
+        SetSizeRequest{it->second.meta.handle, it->second.high_water}
+            .Encode());
+  }
+  open_files_.erase(it);
+  return status;
+}
+
+Status Client::Remove(const std::string& name) {
+  // Fetch metadata first so data on the I/O servers can be dropped too.
+  auto meta = CallManagerMeta(LookupRequest{name}.Encode());
+  if (!meta.ok()) return meta.status();
+  PVFS_RETURN_IF_ERROR(CallManagerVoid(RemoveRequest{name}.Encode()));
+  RemoveDataRequest drop{meta->handle};
+  std::vector<std::byte> encoded = drop.Encode();
+  for (std::uint32_t s = 0; s < meta->striping.pcount; ++s) {
+    ServerId server = (meta->striping.base + s) %
+                      transport_->server_count();
+    ++stats_.messages;
+    auto raw = transport_->Call(Endpoint::Iod(server), encoded);
+    if (!raw.ok()) return raw.status();
+    auto resp = DecodeResponse(*raw);
+    if (!resp.ok()) return resp.status();
+    PVFS_RETURN_IF_ERROR(resp->status);
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> Client::ListFiles(const std::string& prefix) {
+  ++stats_.manager_messages;
+  PVFS_ASSIGN_OR_RETURN(
+      std::vector<std::byte> raw,
+      transport_->Call(Endpoint::ManagerNode(),
+                       ListNamesRequest{prefix}.Encode()));
+  PVFS_ASSIGN_OR_RETURN(DecodedResponse resp, DecodeResponse(raw));
+  if (!resp.status.ok()) return resp.status;
+  PVFS_ASSIGN_OR_RETURN(NamesResponse names, NamesResponse::Decode(resp.body));
+  return names.names;
+}
+
+std::uint64_t Client::NextLockOwner() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1);
+}
+
+Status Client::TryLockRange(Fd fd, Extent range, bool exclusive) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return FailedPrecondition("bad descriptor");
+  return CallManagerVoid(LockRequest{it->second.meta.handle, range,
+                                     lock_owner_, exclusive}
+                             .Encode());
+}
+
+Status Client::LockRange(Fd fd, Extent range, bool exclusive) {
+  std::chrono::microseconds backoff{50};
+  while (true) {
+    Status status = TryLockRange(fd, range, exclusive);
+    if (status.code() != ErrorCode::kResourceExhausted) return status;
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, std::chrono::microseconds{5000});
+  }
+}
+
+Status Client::UnlockRange(Fd fd, Extent range) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return FailedPrecondition("bad descriptor");
+  return CallManagerVoid(
+      UnlockRequest{it->second.meta.handle, range, lock_owner_}.Encode());
+}
+
+Result<Metadata> Client::Stat(Fd fd) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return FailedPrecondition("bad descriptor");
+  PVFS_ASSIGN_OR_RETURN(
+      Metadata meta,
+      CallManagerMeta(StatRequest{it->second.meta.handle}.Encode()));
+  it->second.meta = meta;
+  return meta;
+}
+
+Result<Metadata> Client::DescribeFd(Fd fd) const {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return FailedPrecondition("bad descriptor");
+  return it->second.meta;
+}
+
+// ---- I/O -------------------------------------------------------------------
+
+Status Client::ValidateListArgs(std::span<const Extent> mem_regions,
+                                size_t buffer_size,
+                                std::span<const Extent> file_regions) {
+  if (TotalBytes(mem_regions) != TotalBytes(file_regions)) {
+    return InvalidArgument("memory and file region lists describe different "
+                           "byte totals");
+  }
+  for (const Extent& m : mem_regions) {
+    if (m.end() > buffer_size) {
+      return InvalidArgument("memory region outside caller buffer");
+    }
+  }
+  for (const Extent& f : file_regions) {
+    if (f.offset + f.length < f.offset) {
+      return InvalidArgument("file region overflows offset space");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::byte>> Client::ExchangeWithServer(
+    const OpenFile& file, ServerId relative, const IoRequest& request) const {
+  ServerId global = (file.meta.striping.base + relative) %
+                    transport_->server_count();
+  PVFS_ASSIGN_OR_RETURN(
+      std::vector<std::byte> raw,
+      transport_->Call(Endpoint::Iod(global), request.Encode()));
+  PVFS_ASSIGN_OR_RETURN(DecodedResponse resp, DecodeResponse(raw));
+  if (!resp.status.ok()) return resp.status;
+  return std::move(resp.body);
+}
+
+namespace {
+
+/// Runs one callable per element, either inline or on one thread each
+/// (the client library's per-iod fan-out); returns the first error.
+template <typename Item, typename Fn>
+Status ForEachServer(bool parallel, std::vector<Item>& items, const Fn& fn) {
+  if (!parallel || items.size() <= 1) {
+    for (size_t i = 0; i < items.size(); ++i) {
+      PVFS_RETURN_IF_ERROR(fn(i));
+    }
+    return Status::Ok();
+  }
+  std::vector<Status> results(items.size());
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(items.size());
+    for (size_t i = 0; i < items.size(); ++i) {
+      threads.emplace_back([&, i] { results[i] = fn(i); });
+    }
+  }
+  for (const Status& status : results) {
+    PVFS_RETURN_IF_ERROR(status);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status Client::WriteChunk(OpenFile& file, std::span<const Extent> chunk,
+                          std::span<const std::byte> stream) {
+  ++stats_.fs_requests;
+  Distribution dist(file.meta.striping);
+  std::vector<Fragment> frags = dist.Fragments(chunk);
+
+  // Build each involved server's payload in logical-walk order.
+  std::unordered_map<ServerId, std::vector<std::byte>> payload_map;
+  for (const Fragment& f : frags) {
+    auto& p = payload_map[f.server];
+    p.insert(p.end(), stream.begin() + static_cast<std::ptrdiff_t>(f.logical_pos),
+             stream.begin() + static_cast<std::ptrdiff_t>(f.logical_pos + f.length));
+  }
+  std::vector<std::pair<ServerId, std::vector<std::byte>>> payloads(
+      std::make_move_iterator(payload_map.begin()),
+      std::make_move_iterator(payload_map.end()));
+
+  stats_.messages += payloads.size();
+  stats_.regions_sent += payloads.size() * chunk.size();
+  PVFS_RETURN_IF_ERROR(ForEachServer(
+      options_.parallel_fanout, payloads, [&](size_t i) -> Status {
+        IoRequest req;
+        req.handle = file.meta.handle;
+        req.striping = file.meta.striping;
+        req.server_index = payloads[i].first;
+        req.op = IoOp::kWrite;
+        req.regions.assign(chunk.begin(), chunk.end());
+        req.payload = std::move(payloads[i].second);
+        auto body = ExchangeWithServer(file, payloads[i].first, req);
+        return body.status();
+      }));
+  stats_.bytes_written += stream.size();
+  for (const Extent& e : chunk) {
+    file.high_water = std::max<ByteCount>(file.high_water, e.end());
+  }
+  return Status::Ok();
+}
+
+Status Client::ReadChunk(OpenFile& file, std::span<const Extent> chunk,
+                         std::span<std::byte> stream) {
+  ++stats_.fs_requests;
+  Distribution dist(file.meta.striping);
+  std::vector<ServerId> involved = dist.InvolvedServers(chunk);
+
+  stats_.messages += involved.size();
+  stats_.regions_sent += involved.size() * chunk.size();
+  std::vector<IoResponse> collected(involved.size());
+  PVFS_RETURN_IF_ERROR(ForEachServer(
+      options_.parallel_fanout, involved, [&](size_t i) -> Status {
+        IoRequest req;
+        req.handle = file.meta.handle;
+        req.striping = file.meta.striping;
+        req.server_index = involved[i];
+        req.op = IoOp::kRead;
+        req.regions.assign(chunk.begin(), chunk.end());
+        auto body = ExchangeWithServer(file, involved[i], req);
+        if (!body.ok()) return body.status();
+        auto io = IoResponse::Decode(*body);
+        if (!io.ok()) return io.status();
+        collected[i] = std::move(*io);
+        return Status::Ok();
+      }));
+  std::unordered_map<ServerId, IoResponse> responses;
+  for (size_t i = 0; i < involved.size(); ++i) {
+    responses.emplace(involved[i], std::move(collected[i]));
+  }
+
+  // Reassemble the logical stream: fragments arrive per server in walk
+  // order, so a cursor per server suffices.
+  std::unordered_map<ServerId, ByteCount> cursors;
+  std::vector<Fragment> frags = dist.Fragments(chunk);
+  for (const Fragment& f : frags) {
+    const IoResponse& io = responses.at(f.server);
+    ByteCount& cur = cursors[f.server];
+    if (cur + f.length > io.payload.size()) {
+      return ProtocolError("server returned short payload");
+    }
+    std::memcpy(stream.data() + f.logical_pos, io.payload.data() + cur,
+                f.length);
+    cur += f.length;
+  }
+  stats_.bytes_read += stream.size();
+  return Status::Ok();
+}
+
+Result<ExtentList> Client::ChunkableRegions(
+    std::span<const Extent> mem_regions,
+    std::span<const Extent> file_regions) const {
+  if (options_.chunking == ListChunking::kFileRegions) {
+    return ExtentList(file_regions.begin(), file_regions.end());
+  }
+  // 2002/ROMIO mode: the request cap applies to memory entries too, so
+  // chunk at matched-segment granularity (file regions split wherever the
+  // memory side breaks).
+  PVFS_ASSIGN_OR_RETURN(std::vector<Segment> segments,
+                        MatchSegments(mem_regions, file_regions));
+  ExtentList out;
+  out.reserve(segments.size());
+  for (const Segment& seg : segments) {
+    out.push_back(Extent{seg.file_offset, seg.length});
+  }
+  return out;
+}
+
+Status Client::ReadList(Fd fd, std::span<const Extent> mem_regions,
+                        std::span<std::byte> buffer,
+                        std::span<const Extent> file_regions) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return FailedPrecondition("bad descriptor");
+  PVFS_RETURN_IF_ERROR(
+      ValidateListArgs(mem_regions, buffer.size(), file_regions));
+  ++stats_.operations;
+
+  PVFS_ASSIGN_OR_RETURN(ExtentList chunkable,
+                        ChunkableRegions(mem_regions, file_regions));
+  StreamCursor cursor(mem_regions);
+  std::vector<std::byte> stream;
+  for (const ExtentList& chunk : ChunkRegions(chunkable,
+                                              options_.max_list_regions)) {
+    stream.resize(TotalBytes(chunk));
+    PVFS_RETURN_IF_ERROR(ReadChunk(it->second, chunk, stream));
+    cursor.Scatter(stream, buffer);
+  }
+  return Status::Ok();
+}
+
+Status Client::WriteList(Fd fd, std::span<const Extent> mem_regions,
+                         std::span<const std::byte> buffer,
+                         std::span<const Extent> file_regions) {
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return FailedPrecondition("bad descriptor");
+  PVFS_RETURN_IF_ERROR(
+      ValidateListArgs(mem_regions, buffer.size(), file_regions));
+  ++stats_.operations;
+
+  PVFS_ASSIGN_OR_RETURN(ExtentList chunkable,
+                        ChunkableRegions(mem_regions, file_regions));
+  StreamCursor cursor(mem_regions);
+  std::vector<std::byte> stream;
+  for (const ExtentList& chunk : ChunkRegions(chunkable,
+                                              options_.max_list_regions)) {
+    stream.resize(TotalBytes(chunk));
+    cursor.Gather(buffer, stream);
+    PVFS_RETURN_IF_ERROR(WriteChunk(it->second, chunk, stream));
+  }
+  return Status::Ok();
+}
+
+Status Client::Read(Fd fd, FileOffset offset, std::span<std::byte> out) {
+  const Extent mem[] = {{0, out.size()}};
+  const Extent file[] = {{offset, out.size()}};
+  return ReadList(fd, mem, out, file);
+}
+
+Status Client::Write(Fd fd, FileOffset offset,
+                     std::span<const std::byte> data) {
+  const Extent mem[] = {{0, data.size()}};
+  const Extent file[] = {{offset, data.size()}};
+  return WriteList(fd, mem, data, file);
+}
+
+}  // namespace pvfs

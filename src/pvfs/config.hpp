@@ -1,0 +1,30 @@
+// File-system-wide constants and striping configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace pvfs {
+
+/// How a file's bytes are laid out across I/O daemons (paper Fig. 2):
+/// stripe unit `ssize` bytes; global stripe g lives on server
+/// (base + g) % pcount, packed densely in that server's local file.
+struct Striping {
+  ServerId base = 0;        // first I/O node used by the file
+  std::uint32_t pcount = 8; // number of I/O nodes the file spans
+  ByteCount ssize = 16384;  // stripe unit (paper's default, §4.1)
+
+  friend bool operator==(const Striping&, const Striping&) = default;
+};
+
+/// Maximum contiguous file regions described in one I/O request's trailing
+/// data. 64 keeps request + trailing data within a single 1500-byte
+/// Ethernet frame (paper §3.3); tests assert the arithmetic.
+inline constexpr std::uint32_t kMaxListRegions = 64;
+
+/// Client-side data sieving buffer (paper §3.2: "We chose to set the data
+/// sieving buffer at 32 MB for our testing purposes").
+inline constexpr ByteCount kDefaultSieveBufferBytes = 32 * kMiB;
+
+}  // namespace pvfs

@@ -1,0 +1,125 @@
+#include "pvfs/distribution.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pvfs {
+
+FileOffset Distribution::LogicalOffsetOf(ServerId server,
+                                         FileOffset local) const {
+  std::uint64_t local_stripe = local / striping_.ssize;
+  // Stripes assigned to file-relative server r are g = k * pcount + r.
+  std::uint64_t global_stripe = local_stripe * striping_.pcount + server;
+  return global_stripe * striping_.ssize + local % striping_.ssize;
+}
+
+void Distribution::ForEachFragment(
+    const Extent& logical, ByteCount stream_base,
+    const std::function<void(const Fragment&)>& fn) const {
+  FileOffset pos = logical.offset;
+  ByteCount remaining = logical.length;
+  ByteCount stream_pos = stream_base;
+  while (remaining > 0) {
+    ByteCount within_stripe = pos % striping_.ssize;
+    ByteCount take = std::min<ByteCount>(striping_.ssize - within_stripe,
+                                         remaining);
+    fn(Fragment{ServerOf(pos), LocalOffsetOf(pos), take, stream_pos});
+    pos += take;
+    stream_pos += take;
+    remaining -= take;
+  }
+}
+
+std::vector<Fragment> Distribution::Fragments(
+    std::span<const Extent> logical) const {
+  std::vector<Fragment> out;
+  ByteCount stream = 0;
+  for (const Extent& e : logical) {
+    ForEachFragment(e, stream, [&](const Fragment& f) { out.push_back(f); });
+    stream += e.length;
+  }
+  return out;
+}
+
+std::vector<Fragment> Distribution::ServerFragments(
+    ServerId server, std::span<const Extent> logical) const {
+  std::vector<Fragment> out;
+  ByteCount stream = 0;
+  for (const Extent& e : logical) {
+    ForEachFragment(e, stream, [&](const Fragment& f) {
+      if (f.server == server) out.push_back(f);
+    });
+    stream += e.length;
+  }
+  return out;
+}
+
+std::vector<Fragment> Distribution::ServerLocalRuns(
+    ServerId server, std::span<const Extent> logical) const {
+  std::vector<Fragment> runs;
+  ByteCount stream = 0;
+  for (const Extent& e : logical) {
+    ForEachFragment(e, stream, [&](const Fragment& f) {
+      if (f.server != server) return;
+      if (!runs.empty() &&
+          runs.back().local_offset + runs.back().length == f.local_offset) {
+        runs.back().length += f.length;
+      } else {
+        runs.push_back(f);
+      }
+    });
+    stream += e.length;
+  }
+  return runs;
+}
+
+std::vector<ServerId> Distribution::InvolvedServers(
+    std::span<const Extent> logical) const {
+  std::vector<bool> seen(striping_.pcount, false);
+  std::uint32_t found = 0;
+  for (const Extent& e : logical) {
+    if (e.empty()) continue;
+    // A range covering pcount or more stripe units touches every server;
+    // avoid walking huge extents fragment by fragment.
+    std::uint64_t stripes =
+        (e.offset + e.length - 1) / striping_.ssize - e.offset / striping_.ssize +
+        1;
+    if (stripes >= striping_.pcount) {
+      for (std::uint32_t s = 0; s < striping_.pcount; ++s) seen[s] = true;
+      found = striping_.pcount;
+      break;
+    }
+    FileOffset pos = e.offset;
+    ByteCount remaining = e.length;
+    while (remaining > 0) {
+      ServerId s = ServerOf(pos);
+      if (!seen[s]) {
+        seen[s] = true;
+        ++found;
+      }
+      ByteCount within = pos % striping_.ssize;
+      ByteCount take = std::min<ByteCount>(striping_.ssize - within, remaining);
+      pos += take;
+      remaining -= take;
+    }
+    if (found == striping_.pcount) break;
+  }
+  std::vector<ServerId> out;
+  for (std::uint32_t s = 0; s < striping_.pcount; ++s) {
+    if (seen[s]) out.push_back(s);
+  }
+  return out;
+}
+
+ByteCount Distribution::BytesOnServer(ServerId server,
+                                      std::span<const Extent> logical) const {
+  ByteCount total = 0;
+  for (const Extent& e : logical) {
+    ForEachFragment(e, 0, [&](const Fragment& f) {
+      if (f.server == server) total += f.length;
+    });
+  }
+  return total;
+}
+
+}  // namespace pvfs

@@ -1,0 +1,95 @@
+// Striping distribution math: mapping logical file bytes to (server,
+// local offset) pairs and back.
+//
+// Layout invariant (matching PVFS): stripe unit g (bytes
+// [g*ssize, (g+1)*ssize) of the logical file) is stored on file-relative
+// server r = g % pcount at local offset (g / pcount) * ssize. Stripe
+// units of one server are therefore packed densely in its local file, so a
+// logically contiguous range maps to exactly one contiguous local range
+// per server — the property that makes large contiguous PVFS accesses need
+// only one request per server.
+//
+// Server ids here are FILE-RELATIVE indices in [0, pcount). The striping
+// `base` chooses which global I/O nodes those indices map to
+// (global = (base + r) % server_count); that mapping happens at the
+// transport layer, keeping daemons topology-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/extent.hpp"
+#include "common/types.hpp"
+#include "pvfs/config.hpp"
+
+namespace pvfs {
+
+/// One stripe-granular piece of a logical extent on a specific server.
+struct Fragment {
+  ServerId server = 0;
+  FileOffset local_offset = 0;  // offset in the server's local file
+  ByteCount length = 0;
+  ByteCount logical_pos = 0;    // position within the walked byte stream
+
+  friend bool operator==(const Fragment&, const Fragment&) = default;
+};
+
+class Distribution {
+ public:
+  explicit Distribution(Striping striping) : striping_(striping) {}
+
+  const Striping& striping() const { return striping_; }
+
+  /// File-relative server index holding the logical byte at `offset`.
+  ServerId ServerOf(FileOffset offset) const {
+    std::uint64_t stripe = offset / striping_.ssize;
+    return static_cast<ServerId>(stripe % striping_.pcount);
+  }
+
+  /// Local offset of the logical byte at `offset` within its server.
+  FileOffset LocalOffsetOf(FileOffset offset) const {
+    std::uint64_t stripe = offset / striping_.ssize;
+    return (stripe / striping_.pcount) * striping_.ssize +
+           offset % striping_.ssize;
+  }
+
+  /// Inverse map: the logical offset of local byte `local` on `server`.
+  FileOffset LogicalOffsetOf(ServerId server, FileOffset local) const;
+
+  /// Visit the stripe-granular fragments of a logical extent in logical
+  /// order. `logical_pos` runs from `stream_base` (useful when walking a
+  /// list of extents as one stream).
+  void ForEachFragment(const Extent& logical, ByteCount stream_base,
+                       const std::function<void(const Fragment&)>& fn) const;
+
+  /// All fragments of an extent list, walked as one byte stream.
+  std::vector<Fragment> Fragments(std::span<const Extent> logical) const;
+
+  /// The subset of `Fragments(logical)` on one server, uncoalesced — the
+  /// per-entry work a PVFS iod performs (one local access per trailing
+  /// data entry it owns).
+  std::vector<Fragment> ServerFragments(ServerId server,
+                                        std::span<const Extent> logical) const;
+
+  /// The subset of `Fragments(logical)` on one server, with per-server
+  /// adjacent local runs coalesced: the minimal disk access sequence.
+  /// `logical_pos` of a coalesced run is the stream position of its first
+  /// byte; callers that reassemble payloads should use per-fragment
+  /// granularity instead.
+  std::vector<Fragment> ServerLocalRuns(ServerId server,
+                                        std::span<const Extent> logical) const;
+
+  /// Servers touched by any byte of the extent list, in ascending id order.
+  std::vector<ServerId> InvolvedServers(std::span<const Extent> logical) const;
+
+  /// Bytes of the extent list stored on `server`.
+  ByteCount BytesOnServer(ServerId server,
+                          std::span<const Extent> logical) const;
+
+ private:
+  Striping striping_;
+};
+
+}  // namespace pvfs

@@ -1,0 +1,104 @@
+#include "pvfs/iod.hpp"
+
+#include <cstring>
+
+namespace pvfs {
+
+Result<IoResponse> IoDaemon::Serve(const IoRequest& req) {
+  ++stats_.requests;
+  stats_.regions += req.regions.size();
+
+  if (req.regions.size() > max_list_regions_) {
+    return ResourceExhausted("trailing data exceeds region limit");
+  }
+  for (const Extent& e : req.regions) {
+    if (e.offset + e.length < e.offset) {
+      return InvalidArgument("region overflows 64-bit offset space");
+    }
+  }
+  Distribution dist(req.striping);
+
+  // Collect the fragments assigned to the file-relative server index this
+  // request addresses, in logical order; their total is the payload size
+  // (read) or expected payload size (write).
+  const ServerId self = req.server_index;
+  std::vector<Fragment> mine;
+  ByteCount stream = 0;
+  for (const Extent& e : req.regions) {
+    dist.ForEachFragment(e, stream, [&](const Fragment& f) {
+      if (f.server == self) mine.push_back(f);
+    });
+    stream += e.length;
+  }
+  ByteCount my_bytes = 0;
+  for (const Fragment& f : mine) my_bytes += f.length;
+
+  // Count coalesced local runs — the disk accesses a real iod would make.
+  ByteCount runs = 0;
+  FileOffset prev_end = static_cast<FileOffset>(-1);
+  for (const Fragment& f : mine) {
+    if (f.local_offset != prev_end) ++runs;
+    prev_end = f.local_offset + f.length;
+  }
+  stats_.local_accesses += runs;
+
+  IoResponse resp;
+  if (req.op == IoOp::kRead) {
+    resp.payload.resize(my_bytes);
+    ByteCount cursor = 0;
+    for (const Fragment& f : mine) {
+      store_.Read(req.handle, f.local_offset,
+                  std::span{resp.payload}.subspan(cursor, f.length));
+      cursor += f.length;
+    }
+    resp.bytes = my_bytes;
+    stats_.bytes_read += my_bytes;
+    return resp;
+  }
+
+  // Write: payload must hold exactly this server's bytes.
+  if (req.payload.size() != my_bytes) {
+    return InvalidArgument("write payload size mismatch: expected " +
+                           std::to_string(my_bytes) + ", got " +
+                           std::to_string(req.payload.size()));
+  }
+  ByteCount cursor = 0;
+  for (const Fragment& f : mine) {
+    store_.Write(req.handle, f.local_offset,
+                 std::span{req.payload}.subspan(cursor, f.length));
+    cursor += f.length;
+  }
+  resp.bytes = my_bytes;
+  stats_.bytes_written += my_bytes;
+  return resp;
+}
+
+std::vector<std::byte> IoDaemon::HandleMessage(
+    std::span<const std::byte> raw) {
+  auto type = PeekType(raw);
+  if (!type.ok()) return EncodeResponse(type.status(), {});
+
+  WireReader r(raw);
+  (void)r.U32();
+
+  switch (type.value()) {
+    case MsgType::kIo: {
+      auto req = IoRequest::Decode(r);
+      if (!req.ok()) return EncodeResponse(req.status(), {});
+      auto resp = Serve(req.value());
+      if (!resp.ok()) return EncodeResponse(resp.status(), {});
+      return EncodeResponse(Status::Ok(), resp->Encode());
+    }
+    case MsgType::kRemoveData: {
+      auto req = RemoveDataRequest::Decode(r);
+      if (!req.ok()) return EncodeResponse(req.status(), {});
+      store_.Remove(req->handle);
+      return EncodeResponse(Status::Ok(), {});
+    }
+    default:
+      return EncodeResponse(
+          InvalidArgument("message type not handled by iod"), {});
+  }
+}
+
+}  // namespace pvfs

@@ -1,0 +1,58 @@
+// I/O daemon (iod): serves file data for the stripe units assigned to one
+// server. Every request carries striping parameters and a list of logical
+// file regions (trailing data); the daemon intersects that list with its
+// own stripe units and reads/writes its local store. Responses carry this
+// server's bytes in logical-walk order, so the client can reassemble
+// without extra metadata.
+//
+// Thread safety: externally synchronized (one message at a time), like the
+// manager.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "pvfs/config.hpp"
+#include "pvfs/distribution.hpp"
+#include "pvfs/protocol.hpp"
+#include "pvfs/store.hpp"
+
+namespace pvfs {
+
+class IoDaemon {
+ public:
+  /// `id` is this daemon's slot in the file system's server table.
+  /// `max_list_regions` is the trailing-data limit it enforces
+  /// (kMaxListRegions in the paper's configuration).
+  explicit IoDaemon(ServerId id,
+                    std::uint32_t max_list_regions = kMaxListRegions)
+      : id_(id), max_list_regions_(max_list_regions) {}
+
+  std::vector<std::byte> HandleMessage(std::span<const std::byte> raw);
+
+  /// Direct-call service path (also used by HandleMessage).
+  Result<IoResponse> Serve(const IoRequest& req);
+
+  ServerId id() const { return id_; }
+  LocalStore& store() { return store_; }
+  const LocalStore& store() const { return store_; }
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t regions = 0;        // trailing-data entries received
+    std::uint64_t local_accesses = 0; // coalesced local runs touched
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  ServerId id_;
+  std::uint32_t max_list_regions_;
+  LocalStore store_;
+  Stats stats_;
+};
+
+}  // namespace pvfs

@@ -1,0 +1,79 @@
+// Manager daemon: metadata-only server (paper §2). Handles namespace and
+// striping metadata; it never touches file data — clients talk to the I/O
+// daemons directly for reads and writes, keeping the manager off the data
+// path.
+//
+// Thread safety: externally synchronized. Transports deliver one message
+// at a time per daemon (a daemon is a single-threaded event loop, as the
+// real mgrd was).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "pvfs/protocol.hpp"
+
+namespace pvfs {
+
+class Manager {
+ public:
+  /// `server_count` bounds striping pcount/base validation.
+  explicit Manager(std::uint32_t server_count)
+      : server_count_(server_count) {}
+
+  /// Decode, dispatch and execute one request; returns the encoded
+  /// response envelope (errors travel inside the envelope).
+  std::vector<std::byte> HandleMessage(std::span<const std::byte> raw);
+
+  // Direct-call API (used by tests and by HandleMessage).
+  Result<Metadata> Create(const std::string& name, Striping striping);
+  Result<Metadata> Lookup(const std::string& name) const;
+  Status Remove(const std::string& name);
+  Result<Metadata> Stat(FileHandle handle) const;
+  Status SetSize(FileHandle handle, ByteCount size);
+  /// All names starting with `prefix` (empty = all), sorted.
+  std::vector<std::string> ListNames(const std::string& prefix) const;
+
+  // ---- Advisory byte-range locks (extension; see protocol.hpp) --------
+
+  /// Non-blocking try-acquire. Zero-length range means the whole file.
+  /// Re-acquiring a range the owner already holds is idempotent. Returns
+  /// kResourceExhausted on conflict.
+  Status TryLock(FileHandle handle, Extent range, std::uint64_t owner,
+                 bool exclusive);
+  /// Releases the owner's lock exactly matching `range` (normalized the
+  /// same way); kNotFound if absent.
+  Status Unlock(FileHandle handle, Extent range, std::uint64_t owner);
+  std::size_t LockCount(FileHandle handle) const;
+
+  std::uint32_t server_count() const { return server_count_; }
+  std::size_t file_count() const { return by_name_.size(); }
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t creates = 0;
+    std::uint64_t lookups = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct RangeLock {
+    Extent range;
+    std::uint64_t owner;
+    bool exclusive;
+  };
+  static Extent NormalizeLockRange(Extent range);
+
+  std::uint32_t server_count_;
+  FileHandle next_handle_ = 1;
+  std::unordered_map<std::string, Metadata> by_name_;
+  std::unordered_map<FileHandle, std::string> by_handle_;
+  std::unordered_map<FileHandle, std::vector<RangeLock>> locks_;
+  Stats stats_;
+};
+
+}  // namespace pvfs

@@ -1,0 +1,143 @@
+#include "pvfs/posixio.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace pvfs {
+
+Result<PvfsStream> PvfsStream::Open(Client* client, const std::string& name) {
+  PVFS_ASSIGN_OR_RETURN(Client::Fd fd, client->Open(name));
+  auto meta = client->DescribeFd(fd);
+  if (!meta.ok()) return meta.status();
+  return PvfsStream(client, fd, meta->size);
+}
+
+Result<PvfsStream> PvfsStream::Create(Client* client, const std::string& name,
+                                      Striping striping) {
+  PVFS_ASSIGN_OR_RETURN(Client::Fd fd, client->Create(name, striping));
+  return PvfsStream(client, fd, 0);
+}
+
+PvfsStream::PvfsStream(PvfsStream&& other) noexcept
+    : client_(std::exchange(other.client_, nullptr)),
+      fd_(std::exchange(other.fd_, -1)),
+      position_(other.position_),
+      size_(other.size_),
+      partition_(other.partition_) {}
+
+PvfsStream& PvfsStream::operator=(PvfsStream&& other) noexcept {
+  if (this != &other) {
+    if (client_ != nullptr) (void)client_->Close(fd_);
+    client_ = std::exchange(other.client_, nullptr);
+    fd_ = std::exchange(other.fd_, -1);
+    position_ = other.position_;
+    size_ = other.size_;
+    partition_ = other.partition_;
+  }
+  return *this;
+}
+
+PvfsStream::~PvfsStream() {
+  if (client_ != nullptr) (void)client_->Close(fd_);
+}
+
+Status PvfsStream::SetPartition(const Partition& partition) {
+  if (client_ == nullptr) return FailedPrecondition("stream closed");
+  if (partition.gsize == 0 || partition.stride < partition.gsize) {
+    return InvalidArgument("partition requires 0 < gsize <= stride");
+  }
+  partition_ = partition;
+  position_ = 0;
+  return Status::Ok();
+}
+
+void PvfsStream::ClearPartition() {
+  partition_.reset();
+  position_ = 0;
+}
+
+ExtentList PvfsStream::MapPartition(ByteCount n) const {
+  const Partition& p = *partition_;
+  ExtentList regions;
+  ByteCount pos = position_;
+  while (n > 0) {
+    ByteCount group = pos / p.gsize;
+    ByteCount within = pos % p.gsize;
+    ByteCount take = std::min<ByteCount>(p.gsize - within, n);
+    regions.push_back(Extent{p.offset + group * p.stride + within, take});
+    pos += take;
+    n -= take;
+  }
+  return CoalesceAdjacent(regions);
+}
+
+ByteCount PvfsStream::PartitionVisibleSize() const {
+  const Partition& p = *partition_;
+  if (size_ <= p.offset) return 0;
+  ByteCount span = size_ - p.offset;
+  ByteCount full_groups = span / p.stride;
+  ByteCount tail = std::min<ByteCount>(span % p.stride, p.gsize);
+  return full_groups * p.gsize + tail;
+}
+
+Result<ByteCount> PvfsStream::Read(std::span<std::byte> out) {
+  if (client_ == nullptr) return FailedPrecondition("stream closed");
+  ByteCount visible = partition_ ? PartitionVisibleSize() : size_;
+  if (position_ >= visible) return ByteCount{0};  // at or past EOF
+  ByteCount take = std::min<ByteCount>(out.size(), visible - position_);
+  if (partition_) {
+    ExtentList file = MapPartition(take);
+    const Extent mem[] = {{0, take}};
+    PVFS_RETURN_IF_ERROR(
+        client_->ReadList(fd_, mem, out.subspan(0, take), file));
+  } else {
+    PVFS_RETURN_IF_ERROR(
+        client_->Read(fd_, position_, out.subspan(0, take)));
+  }
+  position_ += take;
+  return take;
+}
+
+Status PvfsStream::Write(std::span<const std::byte> data) {
+  if (client_ == nullptr) return FailedPrecondition("stream closed");
+  if (partition_) {
+    ExtentList file = MapPartition(data.size());
+    const Extent mem[] = {{0, data.size()}};
+    PVFS_RETURN_IF_ERROR(client_->WriteList(fd_, mem, data, file));
+    position_ += data.size();
+    if (!file.empty()) {
+      size_ = std::max<ByteCount>(size_, file.back().end());
+    }
+    return Status::Ok();
+  }
+  PVFS_RETURN_IF_ERROR(client_->Write(fd_, position_, data));
+  position_ += data.size();
+  size_ = std::max<ByteCount>(size_, position_);
+  return Status::Ok();
+}
+
+Result<FileOffset> PvfsStream::Seek(std::int64_t offset, Whence whence) {
+  if (client_ == nullptr) return FailedPrecondition("stream closed");
+  std::int64_t base = 0;
+  switch (whence) {
+    case Whence::kSet: base = 0; break;
+    case Whence::kCurrent: base = static_cast<std::int64_t>(position_); break;
+    case Whence::kEnd:
+      base = static_cast<std::int64_t>(
+          partition_ ? PartitionVisibleSize() : size_);
+      break;
+  }
+  std::int64_t target = base + offset;
+  if (target < 0) return InvalidArgument("seek before start of file");
+  position_ = static_cast<FileOffset>(target);
+  return position_;
+}
+
+Status PvfsStream::Close() {
+  if (client_ == nullptr) return FailedPrecondition("stream closed");
+  Status status = client_->Close(fd_);
+  client_ = nullptr;
+  return status;
+}
+
+}  // namespace pvfs

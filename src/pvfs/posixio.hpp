@@ -1,0 +1,87 @@
+// POSIX-style stream adapter over the PVFS client (paper §2: PVFS "allows
+// existing binaries to operate on PVFS files" through a Unix-like
+// interface). Maintains a file pointer with read/write/seek semantics on
+// top of the positional Client API.
+//
+// Also implements PVFS's *partition* interface (Ligon & Ross, the paper's
+// reference [6]): a strided view (offset, gsize, stride) set once per open
+// file, after which plain read()/write() see only the partition's bytes —
+// the mechanism applications used for cyclic distributions before list
+// I/O existed. Partitioned transfers go through list I/O underneath.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "pvfs/client.hpp"
+
+namespace pvfs {
+
+/// Strided file partition: visible bytes are groups of `gsize` every
+/// `stride` bytes, starting at `offset` (stride >= gsize > 0).
+struct Partition {
+  FileOffset offset = 0;
+  ByteCount gsize = 0;
+  ByteCount stride = 0;
+
+  friend bool operator==(const Partition&, const Partition&) = default;
+};
+
+class PvfsStream {
+ public:
+  enum class Whence { kSet, kCurrent, kEnd };
+
+  /// Open an existing file for streaming access.
+  static Result<PvfsStream> Open(Client* client, const std::string& name);
+  /// Create (and open) a new file.
+  static Result<PvfsStream> Create(Client* client, const std::string& name,
+                                   Striping striping);
+
+  PvfsStream(PvfsStream&& other) noexcept;
+  PvfsStream& operator=(PvfsStream&& other) noexcept;
+  PvfsStream(const PvfsStream&) = delete;
+  PvfsStream& operator=(const PvfsStream&) = delete;
+  ~PvfsStream();
+
+  /// Read up to out.size() bytes at the current position; returns bytes
+  /// read (short only at end of file) and advances the pointer.
+  Result<ByteCount> Read(std::span<std::byte> out);
+
+  /// Write all bytes at the current position; advances the pointer.
+  Status Write(std::span<const std::byte> data);
+
+  /// lseek. kEnd is relative to the manager-recorded size combined with
+  /// any bytes this stream has written.
+  Result<FileOffset> Seek(std::int64_t offset, Whence whence);
+
+  FileOffset Tell() const { return position_; }
+
+  /// Sets a strided partition; the file pointer resets to partition byte
+  /// zero and all subsequent reads/writes/seeks operate in partition
+  /// coordinates. EOF is the last partition byte mapped below the
+  /// best-known file size.
+  Status SetPartition(const Partition& partition);
+  /// Back to the plain byte view (pointer resets to zero).
+  void ClearPartition();
+  std::optional<Partition> partition() const { return partition_; }
+
+  /// Flushes size metadata; the stream is unusable afterwards.
+  Status Close();
+
+ private:
+  PvfsStream(Client* client, Client::Fd fd, ByteCount size)
+      : client_(client), fd_(fd), size_(size) {}
+
+  /// File regions for partition-view bytes [position_, position_ + n).
+  ExtentList MapPartition(ByteCount n) const;
+  /// Bytes visible through the partition given the best-known file size.
+  ByteCount PartitionVisibleSize() const;
+
+  Client* client_ = nullptr;
+  Client::Fd fd_ = -1;
+  FileOffset position_ = 0;
+  ByteCount size_ = 0;  // best-known logical size
+  std::optional<Partition> partition_;
+};
+
+}  // namespace pvfs

@@ -1,0 +1,304 @@
+#include "pvfs/protocol.hpp"
+
+namespace pvfs {
+
+void EncodeStriping(WireWriter& w, const Striping& s) {
+  w.U32(s.base);
+  w.U32(s.pcount);
+  w.U64(s.ssize);
+}
+
+Result<Striping> DecodeStriping(WireReader& r) {
+  Striping s;
+  PVFS_ASSIGN_OR_RETURN(s.base, r.U32());
+  PVFS_ASSIGN_OR_RETURN(s.pcount, r.U32());
+  PVFS_ASSIGN_OR_RETURN(s.ssize, r.U64());
+  if (s.pcount == 0 || s.ssize == 0) {
+    return ProtocolError("striping with zero pcount or ssize");
+  }
+  return s;
+}
+
+namespace {
+void EncodeMetadata(WireWriter& w, const Metadata& m) {
+  w.U64(m.handle);
+  EncodeStriping(w, m.striping);
+  w.U64(m.size);
+}
+
+Result<Metadata> DecodeMetadata(WireReader& r) {
+  Metadata m;
+  PVFS_ASSIGN_OR_RETURN(m.handle, r.U64());
+  PVFS_ASSIGN_OR_RETURN(m.striping, DecodeStriping(r));
+  PVFS_ASSIGN_OR_RETURN(m.size, r.U64());
+  return m;
+}
+}  // namespace
+
+// ---- Manager messages ---------------------------------------------------
+
+std::vector<std::byte> CreateRequest::Encode() const {
+  WireWriter w;
+  w.U32(static_cast<std::uint32_t>(MsgType::kCreate));
+  w.String(name);
+  EncodeStriping(w, striping);
+  return w.Take();
+}
+
+Result<CreateRequest> CreateRequest::Decode(WireReader& r) {
+  CreateRequest req;
+  PVFS_ASSIGN_OR_RETURN(req.name, r.String());
+  PVFS_ASSIGN_OR_RETURN(req.striping, DecodeStriping(r));
+  return req;
+}
+
+std::vector<std::byte> LookupRequest::Encode() const {
+  WireWriter w;
+  w.U32(static_cast<std::uint32_t>(MsgType::kLookup));
+  w.String(name);
+  return w.Take();
+}
+
+Result<LookupRequest> LookupRequest::Decode(WireReader& r) {
+  LookupRequest req;
+  PVFS_ASSIGN_OR_RETURN(req.name, r.String());
+  return req;
+}
+
+std::vector<std::byte> RemoveRequest::Encode() const {
+  WireWriter w;
+  w.U32(static_cast<std::uint32_t>(MsgType::kRemove));
+  w.String(name);
+  return w.Take();
+}
+
+Result<RemoveRequest> RemoveRequest::Decode(WireReader& r) {
+  RemoveRequest req;
+  PVFS_ASSIGN_OR_RETURN(req.name, r.String());
+  return req;
+}
+
+std::vector<std::byte> StatRequest::Encode() const {
+  WireWriter w;
+  w.U32(static_cast<std::uint32_t>(MsgType::kStat));
+  w.U64(handle);
+  return w.Take();
+}
+
+Result<StatRequest> StatRequest::Decode(WireReader& r) {
+  StatRequest req;
+  PVFS_ASSIGN_OR_RETURN(req.handle, r.U64());
+  return req;
+}
+
+std::vector<std::byte> SetSizeRequest::Encode() const {
+  WireWriter w;
+  w.U32(static_cast<std::uint32_t>(MsgType::kSetSize));
+  w.U64(handle);
+  w.U64(size);
+  return w.Take();
+}
+
+Result<SetSizeRequest> SetSizeRequest::Decode(WireReader& r) {
+  SetSizeRequest req;
+  PVFS_ASSIGN_OR_RETURN(req.handle, r.U64());
+  PVFS_ASSIGN_OR_RETURN(req.size, r.U64());
+  return req;
+}
+
+std::vector<std::byte> MetadataResponse::Encode() const {
+  WireWriter w;
+  EncodeMetadata(w, meta);
+  return w.Take();
+}
+
+Result<MetadataResponse> MetadataResponse::Decode(
+    std::span<const std::byte> raw) {
+  WireReader r(raw);
+  MetadataResponse resp;
+  PVFS_ASSIGN_OR_RETURN(resp.meta, DecodeMetadata(r));
+  return resp;
+}
+
+std::vector<std::byte> ListNamesRequest::Encode() const {
+  WireWriter w;
+  w.U32(static_cast<std::uint32_t>(MsgType::kListNames));
+  w.String(prefix);
+  return w.Take();
+}
+
+Result<ListNamesRequest> ListNamesRequest::Decode(WireReader& r) {
+  ListNamesRequest req;
+  PVFS_ASSIGN_OR_RETURN(req.prefix, r.String());
+  return req;
+}
+
+std::vector<std::byte> NamesResponse::Encode() const {
+  WireWriter w;
+  w.U32(static_cast<std::uint32_t>(names.size()));
+  for (const std::string& name : names) w.String(name);
+  return w.Take();
+}
+
+Result<NamesResponse> NamesResponse::Decode(std::span<const std::byte> raw) {
+  WireReader r(raw);
+  PVFS_ASSIGN_OR_RETURN(std::uint32_t count, r.U32());
+  NamesResponse resp;
+  resp.names.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    PVFS_ASSIGN_OR_RETURN(std::string name, r.String());
+    resp.names.push_back(std::move(name));
+  }
+  return resp;
+}
+
+std::vector<std::byte> LockRequest::Encode() const {
+  WireWriter w;
+  w.U32(static_cast<std::uint32_t>(MsgType::kLock));
+  w.U64(handle);
+  w.U64(range.offset);
+  w.U64(range.length);
+  w.U64(owner);
+  w.U8(exclusive ? 1 : 0);
+  return w.Take();
+}
+
+Result<LockRequest> LockRequest::Decode(WireReader& r) {
+  LockRequest req;
+  PVFS_ASSIGN_OR_RETURN(req.handle, r.U64());
+  PVFS_ASSIGN_OR_RETURN(req.range.offset, r.U64());
+  PVFS_ASSIGN_OR_RETURN(req.range.length, r.U64());
+  PVFS_ASSIGN_OR_RETURN(req.owner, r.U64());
+  PVFS_ASSIGN_OR_RETURN(std::uint8_t flag, r.U8());
+  req.exclusive = flag != 0;
+  return req;
+}
+
+std::vector<std::byte> UnlockRequest::Encode() const {
+  WireWriter w;
+  w.U32(static_cast<std::uint32_t>(MsgType::kUnlock));
+  w.U64(handle);
+  w.U64(range.offset);
+  w.U64(range.length);
+  w.U64(owner);
+  return w.Take();
+}
+
+Result<UnlockRequest> UnlockRequest::Decode(WireReader& r) {
+  UnlockRequest req;
+  PVFS_ASSIGN_OR_RETURN(req.handle, r.U64());
+  PVFS_ASSIGN_OR_RETURN(req.range.offset, r.U64());
+  PVFS_ASSIGN_OR_RETURN(req.range.length, r.U64());
+  PVFS_ASSIGN_OR_RETURN(req.owner, r.U64());
+  return req;
+}
+
+// ---- I/O daemon messages ------------------------------------------------
+
+std::vector<std::byte> IoRequest::Encode() const {
+  WireWriter w;
+  w.U32(static_cast<std::uint32_t>(MsgType::kIo));
+  w.U64(handle);
+  EncodeStriping(w, striping);
+  w.U32(server_index);
+  w.U8(static_cast<std::uint8_t>(op));
+  w.U32(static_cast<std::uint32_t>(regions.size()));
+  for (const Extent& e : regions) {  // trailing data block
+    w.U64(e.offset);
+    w.U64(e.length);
+  }
+  w.Bytes(payload);
+  return w.Take();
+}
+
+Result<IoRequest> IoRequest::Decode(WireReader& r) {
+  IoRequest req;
+  PVFS_ASSIGN_OR_RETURN(req.handle, r.U64());
+  PVFS_ASSIGN_OR_RETURN(req.striping, DecodeStriping(r));
+  PVFS_ASSIGN_OR_RETURN(req.server_index, r.U32());
+  if (req.server_index >= req.striping.pcount) {
+    return ProtocolError("server_index beyond striping pcount");
+  }
+  PVFS_ASSIGN_OR_RETURN(std::uint8_t op_raw, r.U8());
+  if (op_raw > 1) return ProtocolError("bad IoOp");
+  req.op = static_cast<IoOp>(op_raw);
+  PVFS_ASSIGN_OR_RETURN(std::uint32_t count, r.U32());
+  req.regions.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Extent e;
+    PVFS_ASSIGN_OR_RETURN(e.offset, r.U64());
+    PVFS_ASSIGN_OR_RETURN(e.length, r.U64());
+    req.regions.push_back(e);
+  }
+  PVFS_ASSIGN_OR_RETURN(req.payload, r.Bytes());
+  return req;
+}
+
+ByteCount IoRequest::HeaderWireBytes() {
+  // type(4) + handle(8) + striping(4+4+8) + server_index(4) + op(1)
+  // + region count(4) + payload length prefix(4)
+  return 4 + 8 + 16 + 4 + 1 + 4 + 4;
+}
+
+ByteCount IoRequest::WireBytes(std::uint32_t region_count) {
+  return HeaderWireBytes() + static_cast<ByteCount>(region_count) * 16;
+}
+
+std::vector<std::byte> IoResponse::Encode() const {
+  WireWriter w;
+  w.U64(bytes);
+  w.Bytes(payload);
+  return w.Take();
+}
+
+Result<IoResponse> IoResponse::Decode(std::span<const std::byte> raw) {
+  WireReader r(raw);
+  IoResponse resp;
+  PVFS_ASSIGN_OR_RETURN(resp.bytes, r.U64());
+  PVFS_ASSIGN_OR_RETURN(resp.payload, r.Bytes());
+  return resp;
+}
+
+std::vector<std::byte> RemoveDataRequest::Encode() const {
+  WireWriter w;
+  w.U32(static_cast<std::uint32_t>(MsgType::kRemoveData));
+  w.U64(handle);
+  return w.Take();
+}
+
+Result<RemoveDataRequest> RemoveDataRequest::Decode(WireReader& r) {
+  RemoveDataRequest req;
+  PVFS_ASSIGN_OR_RETURN(req.handle, r.U64());
+  return req;
+}
+
+// ---- Envelope helpers ---------------------------------------------------
+
+Result<MsgType> PeekType(std::span<const std::byte> raw) {
+  WireReader r(raw);
+  PVFS_ASSIGN_OR_RETURN(std::uint32_t t, r.U32());
+  if (t < 1 || t > 10) return ProtocolError("unknown message type");
+  return static_cast<MsgType>(t);
+}
+
+std::vector<std::byte> EncodeResponse(const Status& status,
+                                      std::span<const std::byte> body) {
+  WireWriter w;
+  w.U32(static_cast<std::uint32_t>(status.code()));
+  w.String(status.message());
+  w.Raw(body);
+  return w.Take();
+}
+
+Result<DecodedResponse> DecodeResponse(std::span<const std::byte> raw) {
+  WireReader r(raw);
+  PVFS_ASSIGN_OR_RETURN(std::uint32_t code, r.U32());
+  PVFS_ASSIGN_OR_RETURN(std::string message, r.String());
+  PVFS_ASSIGN_OR_RETURN(std::vector<std::byte> body, r.Raw(r.remaining()));
+  DecodedResponse out;
+  out.status = Status(static_cast<ErrorCode>(code), std::move(message));
+  out.body = std::move(body);
+  return out;
+}
+
+}  // namespace pvfs

@@ -1,0 +1,185 @@
+// PVFS wire protocol: the messages clients exchange with the manager and
+// the I/O daemons, and their byte-level encoding.
+//
+// The I/O request mirrors the paper's design (§3.3): a fixed request
+// structure plus an optional *trailing data* block holding up to
+// kMaxListRegions <file offset, length> pairs. Regions are expressed in
+// logical file coordinates together with the striping parameters; each I/O
+// daemon intersects the region list with its own stripe units (PVFS sent
+// striping metadata with requests for the same reason).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/extent.hpp"
+#include "common/status.hpp"
+#include "common/wire.hpp"
+#include "pvfs/config.hpp"
+
+namespace pvfs {
+
+enum class MsgType : std::uint32_t {
+  kCreate = 1,   // manager: create file with striping
+  kLookup = 2,   // manager: name -> metadata
+  kRemove = 3,   // manager: drop metadata
+  kStat = 4,     // manager: handle -> metadata
+  kSetSize = 5,  // manager: extend recorded file size (max-merge)
+  kIo = 6,       // iod: read/write a region list
+  kRemoveData = 7,  // iod: drop local data for a handle
+  kListNames = 8,   // manager: enumerate names under a prefix
+  kLock = 9,        // manager: try-acquire an advisory byte-range lock
+  kUnlock = 10,     // manager: release a byte-range lock
+};
+
+enum class IoOp : std::uint8_t { kRead = 0, kWrite = 1 };
+
+/// File metadata kept by the manager and returned to clients at open.
+struct Metadata {
+  FileHandle handle = 0;
+  Striping striping;
+  ByteCount size = 0;
+
+  friend bool operator==(const Metadata&, const Metadata&) = default;
+};
+
+// ---- Manager messages -------------------------------------------------
+
+struct CreateRequest {
+  std::string name;
+  Striping striping;
+
+  std::vector<std::byte> Encode() const;
+  static Result<CreateRequest> Decode(WireReader& r);
+};
+
+struct LookupRequest {
+  std::string name;
+
+  std::vector<std::byte> Encode() const;
+  static Result<LookupRequest> Decode(WireReader& r);
+};
+
+struct RemoveRequest {
+  std::string name;
+
+  std::vector<std::byte> Encode() const;
+  static Result<RemoveRequest> Decode(WireReader& r);
+};
+
+struct StatRequest {
+  FileHandle handle = 0;
+
+  std::vector<std::byte> Encode() const;
+  static Result<StatRequest> Decode(WireReader& r);
+};
+
+struct SetSizeRequest {
+  FileHandle handle = 0;
+  ByteCount size = 0;
+
+  std::vector<std::byte> Encode() const;
+  static Result<SetSizeRequest> Decode(WireReader& r);
+};
+
+struct MetadataResponse {
+  Metadata meta;
+
+  std::vector<std::byte> Encode() const;
+  static Result<MetadataResponse> Decode(std::span<const std::byte> raw);
+};
+
+struct ListNamesRequest {
+  std::string prefix;  // empty = everything
+
+  std::vector<std::byte> Encode() const;
+  static Result<ListNamesRequest> Decode(WireReader& r);
+};
+
+struct NamesResponse {
+  std::vector<std::string> names;  // sorted
+
+  std::vector<std::byte> Encode() const;
+  static Result<NamesResponse> Decode(std::span<const std::byte> raw);
+};
+
+/// Advisory byte-range lock (extension: the paper notes "there is no file
+/// locking mechanism in PVFS", forcing barrier-serialized sieving writes;
+/// this manager-side try-lock service is the natural remedy). Non-blocking:
+/// a conflicting request returns kResourceExhausted and the client retries.
+struct LockRequest {
+  FileHandle handle = 0;
+  Extent range;           // empty length = whole file
+  std::uint64_t owner = 0;  // client-chosen lock owner token
+  bool exclusive = true;
+
+  std::vector<std::byte> Encode() const;
+  static Result<LockRequest> Decode(WireReader& r);
+};
+
+struct UnlockRequest {
+  FileHandle handle = 0;
+  Extent range;
+  std::uint64_t owner = 0;
+
+  std::vector<std::byte> Encode() const;
+  static Result<UnlockRequest> Decode(WireReader& r);
+};
+
+// ---- I/O daemon messages ----------------------------------------------
+
+struct IoRequest {
+  FileHandle handle = 0;
+  Striping striping;
+  ServerId server_index = 0;      // file-relative index of the target iod
+  IoOp op = IoOp::kRead;
+  ExtentList regions;             // logical coordinates; trailing data
+  std::vector<std::byte> payload; // write only: this server's bytes, in
+                                  // logical walk order
+
+  std::vector<std::byte> Encode() const;
+  static Result<IoRequest> Decode(WireReader& r);
+
+  /// Wire bytes of the request structure itself (type + handle + striping
+  /// + op + region count), excluding trailing data and payload.
+  static ByteCount HeaderWireBytes();
+  /// Wire bytes of a request carrying `regions` trailing entries and no
+  /// payload — what must fit in one Ethernet frame for the 64 limit.
+  static ByteCount WireBytes(std::uint32_t regions);
+};
+
+struct IoResponse {
+  ByteCount bytes = 0;            // bytes read or written on this server
+  std::vector<std::byte> payload; // read only: this server's bytes
+
+  std::vector<std::byte> Encode() const;
+  static Result<IoResponse> Decode(std::span<const std::byte> raw);
+};
+
+struct RemoveDataRequest {
+  FileHandle handle = 0;
+
+  std::vector<std::byte> Encode() const;
+  static Result<RemoveDataRequest> Decode(WireReader& r);
+};
+
+// ---- Envelope helpers ---------------------------------------------------
+
+/// Peek the message type of an encoded request.
+Result<MsgType> PeekType(std::span<const std::byte> raw);
+
+/// Responses travel as: u32 status code, string message, raw body.
+std::vector<std::byte> EncodeResponse(const Status& status,
+                                      std::span<const std::byte> body);
+struct DecodedResponse {
+  Status status;
+  std::vector<std::byte> body;
+};
+Result<DecodedResponse> DecodeResponse(std::span<const std::byte> raw);
+
+void EncodeStriping(WireWriter& w, const Striping& s);
+Result<Striping> DecodeStriping(WireReader& r);
+
+}  // namespace pvfs

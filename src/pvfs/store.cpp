@@ -1,0 +1,66 @@
+#include "pvfs/store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pvfs {
+
+void LocalStore::Read(FileHandle handle, FileOffset offset,
+                      std::span<std::byte> out) {
+  auto fit = files_.find(handle);
+  if (fit == files_.end()) {
+    std::memset(out.data(), 0, out.size());
+    return;
+  }
+  const SparseFile& file = fit->second;
+  size_t done = 0;
+  while (done < out.size()) {
+    FileOffset pos = offset + done;
+    std::uint64_t chunk = pos / kChunkBytes;
+    ByteCount within = pos % kChunkBytes;
+    size_t take = static_cast<size_t>(
+        std::min<ByteCount>(kChunkBytes - within, out.size() - done));
+    auto cit = file.chunks.find(chunk);
+    if (cit == file.chunks.end()) {
+      std::memset(out.data() + done, 0, take);
+    } else {
+      std::memcpy(out.data() + done, cit->second.data() + within, take);
+    }
+    done += take;
+  }
+}
+
+void LocalStore::Write(FileHandle handle, FileOffset offset,
+                       std::span<const std::byte> data) {
+  SparseFile& file = files_[handle];
+  size_t done = 0;
+  while (done < data.size()) {
+    FileOffset pos = offset + done;
+    std::uint64_t chunk = pos / kChunkBytes;
+    ByteCount within = pos % kChunkBytes;
+    size_t take = static_cast<size_t>(
+        std::min<ByteCount>(kChunkBytes - within, data.size() - done));
+    auto [cit, inserted] = file.chunks.try_emplace(chunk);
+    if (inserted) {
+      cit->second.assign(kChunkBytes, std::byte{0});
+      allocated_ += kChunkBytes;
+    }
+    std::memcpy(cit->second.data() + within, data.data() + done, take);
+    done += take;
+  }
+  file.size = std::max<ByteCount>(file.size, offset + data.size());
+}
+
+void LocalStore::Remove(FileHandle handle) {
+  auto it = files_.find(handle);
+  if (it == files_.end()) return;
+  allocated_ -= it->second.chunks.size() * kChunkBytes;
+  files_.erase(it);
+}
+
+ByteCount LocalStore::SizeOf(FileHandle handle) const {
+  auto it = files_.find(handle);
+  return it == files_.end() ? 0 : it->second.size;
+}
+
+}  // namespace pvfs

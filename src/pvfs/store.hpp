@@ -1,0 +1,55 @@
+// LocalStore: an I/O daemon's backing storage — one sparse byte file per
+// PVFS handle (real PVFS iods kept /pvfs-data/fXXXX files on ext2; we keep
+// chunked in-memory files so the functional system moves real bytes).
+//
+// Reads of never-written ranges return zeros, matching the behaviour of a
+// sparse Unix file. Size is the high-water mark of written bytes.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace pvfs {
+
+class LocalStore {
+ public:
+  /// Chunk granularity for sparse allocation.
+  static constexpr ByteCount kChunkBytes = 256 * 1024;
+
+  /// Read `out.size()` bytes at `offset` from the handle's local file.
+  /// Holes and ranges past the high-water mark read as zeros.
+  void Read(FileHandle handle, FileOffset offset, std::span<std::byte> out);
+
+  /// Write bytes at `offset`, allocating chunks as needed.
+  void Write(FileHandle handle, FileOffset offset,
+             std::span<const std::byte> data);
+
+  /// Drop all data for a handle. Removing an unknown handle is a no-op
+  /// (idempotent, as iod remove was).
+  void Remove(FileHandle handle);
+
+  /// High-water mark of written bytes for the handle (0 if unknown).
+  ByteCount SizeOf(FileHandle handle) const;
+
+  /// Bytes of chunk storage currently allocated (for tests / accounting).
+  ByteCount AllocatedBytes() const { return allocated_; }
+
+  bool Contains(FileHandle handle) const { return files_.contains(handle); }
+
+ private:
+  struct SparseFile {
+    std::map<std::uint64_t, std::vector<std::byte>> chunks;
+    ByteCount size = 0;
+  };
+
+  std::unordered_map<FileHandle, SparseFile> files_;
+  ByteCount allocated_ = 0;
+};
+
+}  // namespace pvfs

@@ -1,0 +1,84 @@
+// Transport: how encoded request bytes reach a daemon and its response
+// comes back. The functional system offers two implementations:
+//
+//   InProcTransport  — direct synchronous dispatch into daemon objects
+//                      (single-address-space "cluster"); a per-endpoint
+//                      mutex serializes concurrent clients exactly like a
+//                      daemon's event loop would.
+//   (runtime/)       — a queue-based threaded transport living in
+//                      src/runtime, giving real cross-thread concurrency.
+//
+// The simulator does not use Transport: it consumes planner output and
+// charges modeled time instead (src/simcluster).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "pvfs/iod.hpp"
+#include "pvfs/manager.hpp"
+
+namespace pvfs {
+
+/// Address of a daemon: the manager or I/O server `server`.
+struct Endpoint {
+  bool is_manager = false;
+  ServerId server = 0;
+
+  static Endpoint ManagerNode() { return {true, 0}; }
+  static Endpoint Iod(ServerId s) { return {false, s}; }
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Synchronous RPC: deliver `request` to `dest`, return its encoded
+  /// response envelope. Transport-level failures (unknown endpoint) are
+  /// returned as error Results; daemon-level errors travel inside the
+  /// envelope.
+  virtual Result<std::vector<std::byte>> Call(
+      const Endpoint& dest, std::span<const std::byte> request) = 0;
+
+  /// Number of I/O daemons reachable through this transport.
+  virtual std::uint32_t server_count() const = 0;
+};
+
+/// Direct-dispatch transport over daemon objects owned elsewhere.
+class InProcTransport final : public Transport {
+ public:
+  InProcTransport(Manager* manager, std::vector<IoDaemon*> iods)
+      : manager_(manager),
+        iods_(std::move(iods)),
+        locks_(std::make_unique<std::mutex[]>(iods_.size() + 1)) {}
+
+  Result<std::vector<std::byte>> Call(
+      const Endpoint& dest, std::span<const std::byte> request) override {
+    if (dest.is_manager) {
+      std::lock_guard lock(locks_[0]);
+      return manager_->HandleMessage(request);
+    }
+    if (dest.server >= iods_.size()) {
+      return NotFound("no such I/O server");
+    }
+    std::lock_guard lock(locks_[dest.server + 1]);
+    return iods_[dest.server]->HandleMessage(request);
+  }
+
+  std::uint32_t server_count() const override {
+    return static_cast<std::uint32_t>(iods_.size());
+  }
+
+ private:
+  Manager* manager_;
+  std::vector<IoDaemon*> iods_;
+  std::unique_ptr<std::mutex[]> locks_;
+};
+
+}  // namespace pvfs

@@ -1,0 +1,72 @@
+// SPMD execution: run one function body on N ranks, each on its own
+// thread, with a cyclic barrier — the subset of MPI semantics the paper's
+// methods need (MPI_Barrier for serializing data-sieving writes, per-rank
+// identity for workload partitioning).
+#pragma once
+
+#include <barrier>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pvfs::runtime {
+
+class SpmdContext;
+
+/// Runs `body(ctx)` on `nprocs` concurrent ranks and joins them all.
+/// The first exception thrown by any rank is rethrown on the caller after
+/// all ranks finish or unblock.
+void RunSpmd(std::uint32_t nprocs,
+             const std::function<void(SpmdContext&)>& body);
+
+/// Per-rank view of the group, passed to each body.
+class SpmdContext {
+ public:
+  Rank rank() const { return rank_; }
+  std::uint32_t size() const { return size_; }
+
+  /// Block until every rank has arrived (MPI_Barrier equivalent).
+  void Barrier() { barrier_->arrive_and_wait(); }
+
+ private:
+  friend void RunSpmd(std::uint32_t,
+                      const std::function<void(SpmdContext&)>&);
+  SpmdContext(Rank rank, std::uint32_t size, std::barrier<>* barrier)
+      : rank_(rank), size_(size), barrier_(barrier) {}
+
+  Rank rank_;
+  std::uint32_t size_;
+  std::barrier<>* barrier_;
+};
+
+inline void RunSpmd(std::uint32_t nprocs,
+                    const std::function<void(SpmdContext&)>& body) {
+  std::barrier barrier(static_cast<std::ptrdiff_t>(nprocs));
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(nprocs);
+    for (Rank r = 0; r < nprocs; ++r) {
+      threads.emplace_back([&, r] {
+        SpmdContext ctx(r, nprocs, &barrier);
+        try {
+          body(ctx);
+        } catch (...) {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+  }  // jthreads join here
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace pvfs::runtime

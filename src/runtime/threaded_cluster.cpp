@@ -1,0 +1,65 @@
+#include "runtime/threaded_cluster.hpp"
+
+namespace pvfs::runtime {
+
+ThreadedCluster::EventLoop::EventLoop(ServiceFn service)
+    : service_(std::move(service)),
+      worker_([this](std::stop_token stop) { Loop(stop); }) {}
+
+ThreadedCluster::EventLoop::~EventLoop() {
+  worker_.request_stop();
+  cv_.notify_all();
+}
+
+std::vector<std::byte> ThreadedCluster::EventLoop::Call(
+    std::span<const std::byte> request) {
+  Job job;
+  job.request.assign(request.begin(), request.end());
+  std::future<std::vector<std::byte>> response = job.response.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+  return response.get();
+}
+
+void ThreadedCluster::EventLoop::Loop(std::stop_token stop) {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, stop, [this] { return !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job.response.set_value(service_(job.request));
+  }
+}
+
+ThreadedCluster::ThreadedCluster(std::uint32_t server_count,
+                                 std::uint32_t max_list_regions)
+    : manager_(server_count) {
+  iods_.reserve(server_count);
+  iod_loops_.reserve(server_count);
+  for (ServerId s = 0; s < server_count; ++s) {
+    iods_.push_back(std::make_unique<IoDaemon>(s, max_list_regions));
+  }
+  manager_loop_ = std::make_unique<EventLoop>(
+      [this](std::span<const std::byte> req) {
+        return manager_.HandleMessage(req);
+      });
+  for (ServerId s = 0; s < server_count; ++s) {
+    IoDaemon* iod = iods_[s].get();
+    iod_loops_.push_back(std::make_unique<EventLoop>(
+        [iod](std::span<const std::byte> req) {
+          return iod->HandleMessage(req);
+        }));
+  }
+  transport_ = std::make_unique<QueueTransport>(this);
+}
+
+ThreadedCluster::~ThreadedCluster() = default;
+
+}  // namespace pvfs::runtime

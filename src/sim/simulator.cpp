@@ -1,0 +1,53 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace pvfs::sim {
+
+Simulator::~Simulator() {
+  // Reclaim frames of detached coroutines that never finished (finished
+  // ones unregistered themselves at final suspension).
+  for (void* address : detached_) {
+    std::coroutine_handle<>::from_address(address).destroy();
+  }
+}
+
+void Simulator::Schedule(SimTimeNs delay, std::function<void()> fn) {
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulator::ScheduleAt(SimTimeNs when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void Simulator::ScheduleResume(SimTimeNs delay, std::coroutine_handle<> h) {
+  Schedule(delay, [h] { h.resume(); });
+}
+
+void Simulator::PopAndRun() {
+  // Move the event out before popping so the function object survives
+  // rescheduling from within its own execution.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.when;
+  ++events_processed_;
+  ev.fn();
+}
+
+SimTimeNs Simulator::Run() {
+  while (!queue_.empty()) PopAndRun();
+  return now_;
+}
+
+std::uint64_t Simulator::RunUntil(SimTimeNs deadline) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    PopAndRun();
+    ++n;
+  }
+  if (now_ < deadline && queue_.empty()) now_ = deadline;
+  return n;
+}
+
+}  // namespace pvfs::sim

@@ -1,0 +1,102 @@
+// Discrete-event simulation core: a virtual nanosecond clock and an event
+// queue. Processes are modeled as C++20 coroutines (see task.hpp) that
+// suspend on awaitables which schedule their resumption here.
+//
+// Determinism: events at equal timestamps run in schedule order (a
+// monotonically increasing sequence number breaks ties), so a given seed
+// always produces the same trajectory.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pvfs::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  SimTimeNs Now() const { return now_; }
+
+  /// Run `fn` at Now() + delay.
+  void Schedule(SimTimeNs delay, std::function<void()> fn);
+
+  /// Run `fn` at absolute virtual time `when` (>= Now()).
+  void ScheduleAt(SimTimeNs when, std::function<void()> fn);
+
+  /// Resume a coroutine at Now() + delay. The handle must stay valid until
+  /// it runs.
+  void ScheduleResume(SimTimeNs delay, std::coroutine_handle<> h);
+
+  /// Process events until the queue drains. Returns the final clock value.
+  SimTimeNs Run();
+
+  /// Process events with time <= deadline; clock ends at
+  /// min(deadline, last event time). Returns number of events processed.
+  std::uint64_t RunUntil(SimTimeNs deadline);
+
+  /// Total events processed so far.
+  std::uint64_t EventsProcessed() const { return events_processed_; }
+
+  /// Awaitable: co_await sim.Delay(ns) suspends the calling coroutine for
+  /// `ns` of virtual time.
+  auto Delay(SimTimeNs ns) {
+    struct Awaiter {
+      Simulator& sim;
+      SimTimeNs delay;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim.ScheduleResume(delay, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, ns};
+  }
+
+  // --- Detached-coroutine registry (used by task.hpp's Spawn) ---------
+
+  /// Record a live detached coroutine so its frame is reclaimed at
+  /// simulator teardown even if it never finishes (e.g. waiting on a
+  /// trigger that never fires). Frames that do finish unregister
+  /// themselves and self-destroy (see SimTask::promise_type).
+  void RegisterDetached(std::coroutine_handle<> h) {
+    detached_.insert(h.address());
+  }
+  void UnregisterDetached(std::coroutine_handle<> h) {
+    detached_.erase(h.address());
+  }
+
+ private:
+  struct Event {
+    SimTimeNs when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void PopAndRun();
+
+  SimTimeNs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_set<void*> detached_;
+};
+
+}  // namespace pvfs::sim

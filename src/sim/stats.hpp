@@ -1,0 +1,72 @@
+// Lightweight statistics accumulators for simulation output.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace pvfs::sim {
+
+/// Streaming min/max/mean/stddev accumulator (Welford's algorithm).
+class Accumulator {
+ public:
+  void Add(double x) {
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const {
+    return count_ ? min_ : 0.0;
+  }
+  double max() const {
+    return count_ ? max_ : 0.0;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-boundary histogram for latency distributions.
+class Histogram {
+ public:
+  /// Boundaries must be strictly increasing; values land in the first
+  /// bucket whose upper bound exceeds them, overflow in the last bucket.
+  explicit Histogram(std::vector<double> upper_bounds)
+      : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {}
+
+  void Add(double x) {
+    auto it = std::upper_bound(bounds_.begin(), bounds_.end(), x);
+    ++counts_[static_cast<size_t>(it - bounds_.begin())];
+    acc_.Add(x);
+  }
+
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  const Accumulator& summary() const { return acc_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  Accumulator acc_;
+};
+
+}  // namespace pvfs::sim

@@ -1,0 +1,170 @@
+// Awaitable synchronization primitives for simulated processes.
+//
+//   Trigger        — one-shot event: any number of waiters, fired once.
+//   CountdownLatch — fires when N completions have been counted (fan-in).
+//   Resource       — FIFO counted resource (servers, disks, CPUs): model
+//                    contention by holding a slot for the service duration.
+//   SimBarrier     — cyclic barrier across a fixed party count.
+//
+// Resumptions are scheduled through the simulator at the current time
+// rather than resumed inline, so firing a primitive from deep inside a
+// coroutine cannot recurse unboundedly and ordering stays deterministic.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace pvfs::sim {
+
+/// One-shot event. Waiting on an already-fired trigger does not suspend.
+class Trigger {
+ public:
+  explicit Trigger(Simulator& sim) : sim_(sim) {}
+  Trigger(const Trigger&) = delete;
+  Trigger& operator=(const Trigger&) = delete;
+
+  bool fired() const { return fired_; }
+
+  void Fire() {
+    assert(!fired_ && "Trigger fired twice");
+    fired_ = true;
+    for (std::coroutine_handle<> h : waiters_) {
+      sim_.ScheduleResume(0, h);
+    }
+    waiters_.clear();
+  }
+
+  auto Wait() {
+    struct Awaiter {
+      Trigger& trigger;
+      bool await_ready() const noexcept { return trigger.fired_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        trigger.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulator& sim_;
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Fan-in: waiters resume once CountDown() has been called `count` times.
+class CountdownLatch {
+ public:
+  CountdownLatch(Simulator& sim, std::uint64_t count)
+      : trigger_(sim), remaining_(count) {
+    if (remaining_ == 0) trigger_.Fire();
+  }
+
+  void CountDown() {
+    assert(remaining_ > 0);
+    if (--remaining_ == 0) trigger_.Fire();
+  }
+
+  auto Wait() { return trigger_.Wait(); }
+  std::uint64_t remaining() const { return remaining_; }
+
+ private:
+  Trigger trigger_;
+  std::uint64_t remaining_;
+};
+
+/// FIFO counted resource. Usage:
+///   co_await disk.Acquire();
+///   co_await sim.Delay(service_time);
+///   disk.Release();
+/// Waiters are granted strictly in arrival order.
+class Resource {
+ public:
+  Resource(Simulator& sim, std::uint32_t slots = 1)
+      : sim_(sim), free_(slots), slots_(slots) {}
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  auto Acquire() {
+    struct Awaiter {
+      Resource& res;
+      bool await_ready() const noexcept { return false; }
+      bool await_suspend(std::coroutine_handle<> h) {
+        if (res.free_ > 0 && res.waiters_.empty()) {
+          --res.free_;
+          return false;  // slot granted immediately; do not suspend
+        }
+        res.waiters_.push_back(h);
+        return true;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  void Release() {
+    assert(free_ < slots_);
+    ++free_;
+    PumpLocked();
+  }
+
+  std::uint32_t free_slots() const { return free_; }
+  std::size_t queue_length() const { return waiters_.size(); }
+
+ private:
+  void PumpLocked() {
+    while (free_ > 0 && !waiters_.empty()) {
+      --free_;
+      std::coroutine_handle<> h = waiters_.front();
+      waiters_.pop_front();
+      sim_.ScheduleResume(0, h);
+    }
+  }
+
+  Simulator& sim_;
+  std::uint32_t free_;
+  std::uint32_t slots_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Cyclic barrier for `parties` simulated processes (used by the
+/// data-sieving write serialization, mirroring the paper's MPI_Barrier).
+class SimBarrier {
+ public:
+  SimBarrier(Simulator& sim, std::uint32_t parties)
+      : sim_(sim), parties_(parties) {
+    assert(parties_ > 0);
+  }
+
+  auto ArriveAndWait() {
+    struct Awaiter {
+      SimBarrier& barrier;
+      bool await_ready() const noexcept { return false; }
+      bool await_suspend(std::coroutine_handle<> h) {
+        if (barrier.waiting_.size() + 1 == barrier.parties_) {
+          for (std::coroutine_handle<> w : barrier.waiting_) {
+            barrier.sim_.ScheduleResume(0, w);
+          }
+          barrier.waiting_.clear();
+          return false;  // last arriver passes straight through
+        }
+        barrier.waiting_.push_back(h);
+        return true;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Simulator& sim_;
+  std::uint32_t parties_;
+  std::vector<std::coroutine_handle<>> waiting_;
+};
+
+}  // namespace pvfs::sim

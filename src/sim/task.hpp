@@ -1,0 +1,112 @@
+// SimTask: the coroutine type simulated processes are written in.
+//
+// A SimTask is lazy: creating one does not run any code. It is either
+//   * awaited by a parent coroutine (`co_await Child()`), which starts it
+//     and resumes the parent when it finishes, or
+//   * spawned detached onto the simulator (`Spawn(sim, ClientLoop())`),
+//     which starts it at the current virtual time and lets the simulator
+//     reclaim the frame at teardown.
+//
+// Simulated code must not throw across suspension points; an escaped
+// exception terminates (simulation state would be unrecoverable anyway).
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace pvfs::sim {
+
+class [[nodiscard]] SimTask {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation{};
+    Simulator* detached_on = nullptr;  // non-null once spawned detached
+
+    SimTask get_return_object() {
+      return SimTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        // Detached frames self-destroy here (after unregistering from the
+        // simulator, which only reclaims frames that never finish).
+        // Awaited frames resume their parent and are destroyed by the
+        // owning SimTask.
+        promise_type& p = h.promise();
+        if (p.detached_on != nullptr) {
+          p.detached_on->UnregisterDetached(h);
+          h.destroy();
+          return std::noop_coroutine();
+        }
+        std::coroutine_handle<> next = p.continuation;
+        return next ? next : std::noop_coroutine();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  SimTask(SimTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  SimTask& operator=(SimTask&& other) noexcept {
+    if (this != &other) {
+      DestroyIfOwned();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  SimTask(const SimTask&) = delete;
+  SimTask& operator=(const SimTask&) = delete;
+  ~SimTask() { DestroyIfOwned(); }
+
+  /// Awaiting a task starts it; the awaiting coroutine resumes when the
+  /// task runs to completion.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> parent) noexcept {
+        h.promise().continuation = parent;
+        return h;  // symmetric transfer: start the child immediately
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  friend void Spawn(Simulator& sim, SimTask task);
+
+  explicit SimTask(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  void DestroyIfOwned() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_{};
+};
+
+/// Start `task` as an independent simulated process at the current virtual
+/// time. Frame ownership transfers to the simulator.
+inline void Spawn(Simulator& sim, SimTask task) {
+  auto h = std::exchange(task.handle_, nullptr);
+  assert(h && "cannot spawn an empty task");
+  h.promise().detached_on = &sim;
+  sim.RegisterDetached(h);
+  sim.ScheduleResume(0, h);
+}
+
+}  // namespace pvfs::sim

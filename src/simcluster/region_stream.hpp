@@ -1,0 +1,132 @@
+// Pull-based region generators for simulated clients.
+//
+// Benchmark sweeps reach a million accesses per client; materializing
+// extent vectors for every rank would cost gigabytes, so simulated
+// workloads enumerate their file regions through this interface instead.
+// Streams also report their bounding extent (for sieving-window planning)
+// without enumeration where a closed form exists.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/extent.hpp"
+#include "common/types.hpp"
+
+namespace pvfs::simcluster {
+
+class RegionStream {
+ public:
+  virtual ~RegionStream() = default;
+
+  /// Next file region in traversal order, or nullopt at end.
+  virtual std::optional<Extent> Next() = 0;
+
+  /// Restart from the first region.
+  virtual void Reset() = 0;
+
+  /// Smallest extent covering all regions (nullopt for an empty stream).
+  virtual std::optional<Extent> Bound() const = 0;
+
+  /// Total data bytes across all regions.
+  virtual ByteCount TotalBytes() const = 0;
+};
+
+/// Stream over a materialized extent list (small patterns, tests).
+class VectorStream final : public RegionStream {
+ public:
+  explicit VectorStream(ExtentList regions) : regions_(std::move(regions)) {}
+
+  std::optional<Extent> Next() override {
+    if (pos_ >= regions_.size()) return std::nullopt;
+    return regions_[pos_++];
+  }
+  void Reset() override { pos_ = 0; }
+  std::optional<Extent> Bound() const override {
+    return BoundingExtent(regions_);
+  }
+  ByteCount TotalBytes() const override {
+    return ::pvfs::TotalBytes(regions_);
+  }
+
+ private:
+  ExtentList regions_;
+  size_t pos_ = 0;
+};
+
+/// Splits every region of an inner stream into `piece_bytes` pieces — the
+/// matched-segment stream of a pattern whose memory side is uniformly
+/// fragmented (e.g. FLASH: every memory region is one 8-byte variable).
+class UniformSplitStream final : public RegionStream {
+ public:
+  UniformSplitStream(std::unique_ptr<RegionStream> inner,
+                     ByteCount piece_bytes)
+      : inner_(std::move(inner)), piece_(piece_bytes) {}
+
+  std::optional<Extent> Next() override {
+    if (!current_) {
+      current_ = inner_->Next();
+      used_ = 0;
+      if (!current_) return std::nullopt;
+    }
+    ByteCount take = std::min<ByteCount>(piece_, current_->length - used_);
+    Extent out{current_->offset + used_, take};
+    used_ += take;
+    if (used_ == current_->length) current_.reset();
+    return out;
+  }
+  void Reset() override {
+    inner_->Reset();
+    current_.reset();
+    used_ = 0;
+  }
+  std::optional<Extent> Bound() const override { return inner_->Bound(); }
+  ByteCount TotalBytes() const override { return inner_->TotalBytes(); }
+
+ private:
+  std::unique_ptr<RegionStream> inner_;
+  ByteCount piece_;
+  std::optional<Extent> current_;
+  ByteCount used_ = 0;
+};
+
+/// Coalesces an inner stream's consecutive regions whose gap is at most
+/// `gap_threshold` bytes (the hybrid method's sieved super-regions).
+class CoalesceStream final : public RegionStream {
+ public:
+  CoalesceStream(std::unique_ptr<RegionStream> inner,
+                 ByteCount gap_threshold)
+      : inner_(std::move(inner)), gap_(gap_threshold) {}
+
+  std::optional<Extent> Next() override {
+    if (!pending_) pending_ = inner_->Next();
+    if (!pending_) return std::nullopt;
+    Extent out = *pending_;
+    while (true) {
+      std::optional<Extent> next = inner_->Next();
+      if (!next) {
+        pending_.reset();
+        return out;
+      }
+      if (next->offset >= out.end() && next->offset - out.end() <= gap_) {
+        out.length = next->end() - out.offset;
+        continue;
+      }
+      pending_ = next;
+      return out;
+    }
+  }
+  void Reset() override {
+    inner_->Reset();
+    pending_.reset();
+  }
+  std::optional<Extent> Bound() const override { return inner_->Bound(); }
+  ByteCount TotalBytes() const override { return inner_->TotalBytes(); }
+
+ private:
+  std::unique_ptr<RegionStream> inner_;
+  ByteCount gap_;
+  std::optional<Extent> pending_;
+};
+
+}  // namespace pvfs::simcluster

@@ -1,0 +1,228 @@
+#include "simcluster/sim_cluster.hpp"
+
+namespace pvfs::simcluster {
+
+SimClusterConfig ChibaCityConfig(std::uint32_t clients) {
+  SimClusterConfig config;
+  config.clients = clients;
+  config.servers = 8;
+  config.striping = Striping{0, 8, 16384};
+  // PVFS iods issued small synchronous-behaving writes on ext2/2.4; model
+  // them write-through so scattered small writes pay positioning costs —
+  // the regime behind the paper's write figures.
+  config.cache.write_through = true;
+  return config;
+}
+
+SimCluster::SimCluster(const SimClusterConfig& config)
+    : config_(config),
+      net_(config.net),
+      cpu_model_(config.cpu),
+      dist_(config.striping),
+      rmw_token_(sim_, 1) {
+  servers_.reserve(config_.servers);
+  for (std::uint32_t s = 0; s < config_.servers; ++s) {
+    servers_.push_back(std::make_unique<ServerNode>(sim_, config_));
+  }
+  clients_.reserve(config_.clients);
+  for (std::uint32_t c = 0; c < config_.clients; ++c) {
+    clients_.push_back(std::make_unique<ClientNode>(sim_));
+  }
+  server_load_.resize(config_.servers);
+}
+
+sim::SimTask SimCluster::ServerExchange(Rank client, ServerId relative,
+                                        pvfs::IoOp op,
+                                        const ExtentList* regions,
+                                        sim::CountdownLatch* latch) {
+  const ServerId global = GlobalServer(relative);
+  ServerNode& server = *servers_[global];
+  ClientNode& node = *clients_[client];
+  ServerLoad& load = server_load_[global];
+  ++load.messages;
+
+  const ByteCount data_bytes = dist_.BytesOnServer(relative, *regions);
+  const ByteCount description_bytes =
+      config_.request_description_bytes > 0
+          ? IoRequest::HeaderWireBytes() + config_.request_description_bytes
+          : IoRequest::WireBytes(static_cast<std::uint32_t>(regions->size()));
+  const ByteCount request_bytes =
+      description_bytes + (op == IoOp::kWrite ? data_bytes : 0);
+  const ByteCount response_bytes =
+      op == IoOp::kRead ? data_bytes + 16 : config_.write_ack_bytes;
+
+  ++counters_.messages;
+  counters_.regions_sent += regions->size();
+  counters_.bytes_to_servers += request_bytes;
+  counters_.bytes_from_servers += response_bytes;
+
+  // This server's share, computed up front. A 2002 PVFS iod performs one
+  // local access per trailing-data entry it owns; with
+  // server_coalesces_entries the daemon first merges locally-adjacent
+  // entries (the ablation variant). CPU and storage charge per resulting
+  // access.
+  std::vector<Fragment> runs =
+      config_.server_coalesces_entries
+          ? dist_.ServerLocalRuns(relative, *regions)
+          : dist_.ServerFragments(relative, *regions);
+
+  // --- Request travels client -> switch -> server -------------------
+  if (op == pvfs::IoOp::kWrite && config_.write_request_stall_ns > 0) {
+    co_await sim_.Delay(config_.write_request_stall_ns);
+  }
+  co_await node.nic_out.Acquire();
+  co_await sim_.Delay(net_.WireTime(request_bytes));
+  node.nic_out.Release();
+  co_await sim_.Delay(net_.MessageLatency());
+  co_await server.nic_in.Acquire();
+  co_await sim_.Delay(net_.WireTime(request_bytes));
+  server.nic_in.Release();
+
+  // --- Server CPU: decode request + per-owned-region processing -----
+  co_await server.cpu.Acquire();
+  SimTimeNs cpu_time = cpu_model_.RequestCost(runs.size(), data_bytes);
+  load.cpu_busy_s += NsToSeconds(cpu_time);
+  co_await sim_.Delay(cpu_time);
+  server.cpu.Release();
+
+  counters_.disk_runs += runs.size();
+
+  if (op == IoOp::kRead && data_bytes > kServiceChunkBytes) {
+    // Pipelined read service: the iod reads buffer-sized units and sends
+    // each while fetching the next, so storage and wire overlap for large
+    // transfers (sieving windows, contiguous reads).
+    std::vector<std::pair<SimTimeNs, ByteCount>> units;
+    {
+      // Compute per-unit storage costs while queued FIFO on the disk; the
+      // cache state advances in arrival order.
+      co_await server.disk_queue.Acquire();
+      for (const Fragment& run : runs) {
+        FileOffset at = run.local_offset;
+        ByteCount remaining = run.length;
+        while (remaining > 0) {
+          ByteCount take = std::min<ByteCount>(kServiceChunkBytes, remaining);
+          units.emplace_back(server.cache.Read(at, take), take);
+          at += take;
+          remaining -= take;
+        }
+      }
+      server.disk_queue.Release();
+    }
+    sim::CountdownLatch sends(sim_, units.size() + 1);
+    ByteCount header = 16;  // response framing rides the first unit
+    for (auto [storage_ns, bytes] : units) {
+      co_await server.disk_queue.Acquire();
+      load.storage_busy_s += NsToSeconds(storage_ns);
+      if (storage_ns > 0) co_await sim_.Delay(storage_ns);
+      server.disk_queue.Release();
+      Spawn(sim_, SendResponseUnit(&server, &node, bytes + header, &sends));
+      header = 0;
+    }
+    sends.CountDown();  // our own slot: all units dispatched
+    co_await sends.Wait();
+    latch->CountDown();
+    co_return;
+  }
+
+  // --- Storage: owned fragments through the page cache --------------
+  co_await server.disk_queue.Acquire();
+  SimTimeNs storage_time = 0;
+  for (const Fragment& run : runs) {
+    storage_time += op == IoOp::kRead
+                        ? server.cache.Read(run.local_offset, run.length)
+                        : server.cache.Write(run.local_offset, run.length);
+  }
+  load.storage_busy_s += NsToSeconds(storage_time);
+  if (storage_time > 0) co_await sim_.Delay(storage_time);
+  server.disk_queue.Release();
+
+  // --- Response travels server -> switch -> client ------------------
+  co_await server.nic_out.Acquire();
+  co_await sim_.Delay(net_.WireTime(response_bytes));
+  server.nic_out.Release();
+  co_await sim_.Delay(net_.MessageLatency());
+  co_await node.nic_in.Acquire();
+  co_await sim_.Delay(net_.WireTime(response_bytes));
+  node.nic_in.Release();
+
+  latch->CountDown();
+}
+
+sim::SimTask SimCluster::SendResponseUnit(ServerNode* server,
+                                          ClientNode* node, ByteCount bytes,
+                                          sim::CountdownLatch* sends) {
+  co_await server->nic_out.Acquire();
+  co_await sim_.Delay(net_.WireTime(bytes));
+  server->nic_out.Release();
+  co_await sim_.Delay(net_.MessageLatency());
+  co_await node->nic_in.Acquire();
+  co_await sim_.Delay(net_.WireTime(bytes));
+  node->nic_in.Release();
+  sends->CountDown();
+}
+
+sim::SimTask SimCluster::IoOp(Rank client, pvfs::IoOp op,
+                              ExtentList regions) {
+  ++counters_.fs_requests;
+  std::vector<ServerId> involved = dist_.InvolvedServers(regions);
+  if (involved.empty()) co_return;
+
+  const SimTimeNs started = sim_.Now();
+
+  // Client-side request construction (gathers payload, encodes trailing
+  // data) before the fan-out.
+  co_await sim_.Delay(config_.client_per_message_ns *
+                      static_cast<SimTimeNs>(involved.size()));
+
+  sim::CountdownLatch latch(sim_, involved.size());
+  for (ServerId relative : involved) {
+    Spawn(sim_, ServerExchange(client, relative, op, &regions, &latch));
+  }
+  co_await latch.Wait();
+  request_latency_.Add(NsToSeconds(sim_.Now() - started));
+}
+
+sim::SimTask SimCluster::ClientExchange(Rank src, Rank dst, ByteCount bytes,
+                                        sim::CountdownLatch* latch) {
+  counters_.exchange_bytes += bytes;
+  if (src == dst) {
+    // Local copy at memory speed.
+    co_await sim_.Delay(SecondsToNs(static_cast<double>(bytes) /
+                                    (config_.cache.mem_copy_mbps * 1.0e6)));
+    latch->CountDown();
+    co_return;
+  }
+  ClientNode& from = *clients_[src];
+  ClientNode& to = *clients_[dst];
+  co_await from.nic_out.Acquire();
+  co_await sim_.Delay(net_.WireTime(bytes));
+  from.nic_out.Release();
+  co_await sim_.Delay(net_.MessageLatency());
+  co_await to.nic_in.Acquire();
+  co_await sim_.Delay(net_.WireTime(bytes));
+  to.nic_in.Release();
+  latch->CountDown();
+}
+
+sim::SimTask SimCluster::MetaOp(Rank client) {
+  ++counters_.manager_ops;
+  ClientNode& node = *clients_[client];
+  // The manager daemon shares node 0 with an I/O daemon (paper §4.1: "one
+  // of the I/O nodes doubled as both a manager and an I/O server"), so
+  // metadata service contends with that server's CPU.
+  ServerNode& host = *servers_[0];
+  const ByteCount msg = 64;  // request and reply are both small
+  co_await node.nic_out.Acquire();
+  co_await sim_.Delay(net_.WireTime(msg));
+  node.nic_out.Release();
+  co_await sim_.Delay(net_.MessageLatency());
+  co_await host.cpu.Acquire();
+  co_await sim_.Delay(config_.manager_op_ns);
+  host.cpu.Release();
+  co_await sim_.Delay(net_.MessageLatency());
+  co_await node.nic_in.Acquire();
+  co_await sim_.Delay(net_.WireTime(msg));
+  node.nic_in.Release();
+}
+
+}  // namespace pvfs::simcluster

@@ -1,0 +1,176 @@
+// SimCluster: a Chiba-City-like PVFS deployment inside the discrete-event
+// simulator — N client nodes, M I/O servers (one co-hosting the manager),
+// a switched 100 Mbps Ethernet, and per-server disk + page-cache models.
+//
+// Simulated clients issue the same chunked request streams the functional
+// client library produces (same Distribution / chunking math), but time is
+// charged by the hardware models instead of moving bytes. A request fans
+// out to every involved server in parallel and completes when the last
+// response arrives, matching the blocking PVFS client library.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/extent.hpp"
+#include "models/disk.hpp"
+#include "models/ethernet.hpp"
+#include "models/page_cache.hpp"
+#include "pvfs/config.hpp"
+#include "pvfs/distribution.hpp"
+#include "pvfs/protocol.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace pvfs::simcluster {
+
+struct SimClusterConfig {
+  std::uint32_t clients = 8;
+  std::uint32_t servers = 8;  // paper §4.1: 8 I/O nodes
+  Striping striping{0, 8, 16384};
+  std::uint32_t max_list_regions = kMaxListRegions;
+
+  models::EthernetParams net{};
+  models::DiskParams disk{};
+  models::CacheParams cache{};
+  models::ServerCpuParams cpu{};
+
+  /// Client-side cost to build and post one server message.
+  SimTimeNs client_per_message_ns = 30 * kNsPerUs;
+  /// Per-write-message stall on the client's TCP connection: the 2002-era
+  /// Nagle / delayed-ACK interaction that made request-per-region writes
+  /// pathologically slow (the paper's multiple-I/O write curves sit near
+  /// accesses x ~40 ms regardless of cluster size). Amortized by list I/O,
+  /// irrelevant for large sieving transfers.
+  SimTimeNs write_request_stall_ns = 40 * kNsPerMs;
+  /// Manager service time for a metadata operation (open/stat/set-size).
+  SimTimeNs manager_op_ns = 500 * kNsPerUs;
+  /// Size of a write acknowledgement on the wire.
+  ByteCount write_ack_bytes = 32;
+  /// Datatype-request mode (paper §5 proposal): when non-zero, requests
+  /// carry a constant-size datatype description of this many bytes instead
+  /// of 16 bytes per trailing region — the wire cost stops growing with
+  /// the region count. Servers still do per-fragment work.
+  ByteCount request_description_bytes = 0;
+  /// When true, the I/O daemon coalesces locally-adjacent trailing-data
+  /// entries into single accesses before touching storage (a smarter iod
+  /// than 2002 PVFS, which processed one entry at a time). Ablation knob:
+  /// turning this on removes the block-block list-I/O upturn of Fig. 11.
+  bool server_coalesces_entries = false;
+};
+
+/// The paper's testbed configuration: write-through server storage (2.4-era
+/// small synchronous writes dominated by positioning) and defaults above.
+SimClusterConfig ChibaCityConfig(std::uint32_t clients);
+
+class SimCluster {
+ public:
+  explicit SimCluster(const SimClusterConfig& config);
+
+  sim::Simulator& simulator() { return sim_; }
+  const SimClusterConfig& config() const { return config_; }
+
+  /// One chunked I/O request (<= max_list_regions regions, logical
+  /// coordinates): fans out to involved servers, awaits all responses.
+  sim::SimTask IoOp(Rank client, pvfs::IoOp op, ExtentList regions);
+
+  /// One metadata round trip to the manager (open/close/stat).
+  sim::SimTask MetaOp(Rank client);
+
+  /// One compute-node-to-compute-node transfer (two-phase collective
+  /// exchange traffic); counts down `latch` on delivery.
+  sim::SimTask ClientExchange(Rank src, Rank dst, ByteCount bytes,
+                              sim::CountdownLatch* latch);
+
+  /// Global mutual-exclusion token used to serialize read-modify-write
+  /// windows across clients (the paper's MPI_Barrier loop).
+  sim::Resource& rmw_token() { return rmw_token_; }
+
+  struct Counters {
+    std::uint64_t fs_requests = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t manager_ops = 0;
+    std::uint64_t regions_sent = 0;
+    std::uint64_t bytes_to_servers = 0;
+    std::uint64_t bytes_from_servers = 0;
+    std::uint64_t disk_runs = 0;
+    std::uint64_t exchange_bytes = 0;  // client<->client (two-phase)
+  };
+  const Counters& counters() const { return counters_; }
+
+  const models::PageCache::Stats& cache_stats(ServerId global) const {
+    return servers_[global]->cache.stats();
+  }
+
+  /// Distribution of client-observed request latencies (seconds).
+  const sim::Accumulator& request_latency() const {
+    return request_latency_;
+  }
+
+  /// Per-server utilization: busy seconds by component.
+  struct ServerLoad {
+    double cpu_busy_s = 0;
+    double storage_busy_s = 0;
+    std::uint64_t messages = 0;
+  };
+  const std::vector<ServerLoad>& server_load() const { return server_load_; }
+
+ private:
+  struct ServerNode {
+    ServerNode(sim::Simulator& sim, const SimClusterConfig& config)
+        : cpu(sim),
+          disk_queue(sim),
+          nic_in(sim),
+          nic_out(sim),
+          disk(config.disk),
+          cache(config.cache, &disk) {}
+
+    sim::Resource cpu;
+    sim::Resource disk_queue;
+    sim::Resource nic_in;
+    sim::Resource nic_out;
+    models::DiskModel disk;
+    models::PageCache cache;
+  };
+
+  struct ClientNode {
+    explicit ClientNode(sim::Simulator& sim) : nic_in(sim), nic_out(sim) {}
+    sim::Resource nic_in;
+    sim::Resource nic_out;
+  };
+
+  /// Full request/response exchange with one server; counts down `latch`
+  /// when the response has fully arrived at the client.
+  sim::SimTask ServerExchange(Rank client, ServerId relative, pvfs::IoOp op,
+                              const ExtentList* regions,
+                              sim::CountdownLatch* latch);
+
+  /// One pipelined response unit: server NIC -> switch -> client NIC.
+  sim::SimTask SendResponseUnit(ServerNode* server, ClientNode* node,
+                                ByteCount bytes, sim::CountdownLatch* sends);
+
+  /// Granularity at which an iod overlaps storage with the network (a real
+  /// server reads and sends in buffer-sized units, not whole requests).
+  static constexpr ByteCount kServiceChunkBytes = 256 * 1024;
+
+  ServerId GlobalServer(ServerId relative) const {
+    return (config_.striping.base + relative) % config_.servers;
+  }
+
+  SimClusterConfig config_;
+  sim::Simulator sim_;
+  models::EthernetModel net_;
+  models::ServerCpuModel cpu_model_;
+  Distribution dist_;
+  std::vector<std::unique_ptr<ServerNode>> servers_;
+  std::vector<std::unique_ptr<ClientNode>> clients_;
+  sim::Resource rmw_token_;
+  Counters counters_;
+  sim::Accumulator request_latency_;
+  std::vector<ServerLoad> server_load_;
+};
+
+}  // namespace pvfs::simcluster

@@ -1,0 +1,183 @@
+#include "simcluster/sim_collective.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace pvfs::simcluster {
+
+namespace {
+
+/// Host-side pre-pass over the streams: aggregate range, per-rank bytes
+/// per domain, coverage and the span aggregators actually touch.
+struct CollectivePlan {
+  FileOffset lo = 0;
+  FileOffset hi = 0;
+  std::vector<Extent> domains;                   // [rank]
+  std::vector<std::vector<ByteCount>> bytes;     // [src rank][domain]
+  std::vector<ByteCount> covered;                // [domain] data bytes
+  std::vector<Extent> touched;                   // [domain] piece span
+};
+
+CollectivePlan BuildPlan(const SimClusterConfig& config,
+                         const SimWorkload& workload) {
+  CollectivePlan plan;
+  const std::uint32_t ranks = config.clients;
+
+  FileOffset lo = static_cast<FileOffset>(-1);
+  FileOffset hi = 0;
+  for (Rank r = 0; r < ranks; ++r) {
+    auto stream = workload.file_regions(r);
+    if (auto bound = stream->Bound()) {
+      lo = std::min(lo, bound->offset);
+      hi = std::max(hi, bound->end());
+    }
+  }
+  if (hi <= lo) return plan;  // empty access
+  lo -= lo % config.striping.ssize;  // stripe-align (as the mpiio layer)
+  plan.lo = lo;
+  plan.hi = hi;
+
+  ByteCount share = (hi - lo + ranks - 1) / ranks;
+  plan.domains.resize(ranks);
+  for (Rank d = 0; d < ranks; ++d) {
+    FileOffset begin = std::min<FileOffset>(hi, lo + d * share);
+    FileOffset end = std::min<FileOffset>(hi, begin + share);
+    plan.domains[d] = Extent{begin, end - begin};
+  }
+
+  plan.bytes.assign(ranks, std::vector<ByteCount>(ranks, 0));
+  plan.covered.assign(ranks, 0);
+  plan.touched.assign(ranks, Extent{0, 0});
+  std::vector<bool> touched_any(ranks, false);
+  for (Rank r = 0; r < ranks; ++r) {
+    auto stream = workload.file_regions(r);
+    while (auto region = stream->Next()) {
+      // A region can straddle domain boundaries.
+      FileOffset pos = region->offset;
+      ByteCount remaining = region->length;
+      while (remaining > 0) {
+        Rank d = static_cast<Rank>(
+            std::min<std::uint64_t>((pos - lo) / share, ranks - 1));
+        FileOffset dom_end = plan.domains[d].end();
+        ByteCount take = std::min<ByteCount>(dom_end - pos, remaining);
+        plan.bytes[r][d] += take;
+        plan.covered[d] += take;
+        if (!touched_any[d]) {
+          plan.touched[d] = Extent{pos, take};
+          touched_any[d] = true;
+        } else {
+          FileOffset tlo = std::min(plan.touched[d].offset, pos);
+          FileOffset thi = std::max(plan.touched[d].end(), pos + take);
+          plan.touched[d] = Extent{tlo, thi - tlo};
+        }
+        pos += take;
+        remaining -= take;
+      }
+    }
+  }
+  return plan;
+}
+
+sim::SimTask CollectiveClient(SimCluster& cluster, Rank rank,
+                              pvfs::IoOp op, const CollectivePlan* plan,
+                              sim::CountdownLatch* exchange_done,
+                              sim::CountdownLatch* reply_done,
+                              std::vector<SimTimeNs>* io_done) {
+  sim::Simulator& sim = cluster.simulator();
+  const std::uint32_t ranks =
+      static_cast<std::uint32_t>(plan->domains.size());
+
+  const bool is_write = op == pvfs::IoOp::kWrite;
+
+  if (is_write) {
+    // Phase 1: ship pieces to their domain aggregators.
+    for (Rank d = 0; d < ranks; ++d) {
+      ByteCount bytes = plan->bytes[rank][d];
+      if (bytes > 0) {
+        Spawn(sim, cluster.ClientExchange(rank, d, bytes, exchange_done));
+      } else {
+        exchange_done->CountDown();
+      }
+    }
+    co_await exchange_done->Wait();
+
+    // Phase 2: aggregate own domain with one contiguous RMW.
+    const Extent& span = plan->touched[rank];
+    if (!span.empty()) {
+      bool full = plan->covered[rank] == span.length;
+      if (!full) {
+        ExtentList window(1, span);
+        co_await cluster.IoOp(rank, pvfs::IoOp::kRead, std::move(window));
+      }
+      ExtentList window(1, span);
+      co_await cluster.IoOp(rank, pvfs::IoOp::kWrite, std::move(window));
+    }
+    // Reuse the reply latch as the closing barrier.
+    reply_done->CountDown();
+    co_await reply_done->Wait();
+  } else {
+    // Phase 1: aggregator contiguous read of its domain span.
+    const Extent& span = plan->touched[rank];
+    if (!span.empty()) {
+      ExtentList window(1, span);
+      co_await cluster.IoOp(rank, pvfs::IoOp::kRead, std::move(window));
+    }
+    exchange_done->CountDown();
+    co_await exchange_done->Wait();
+
+    // Phase 2: distribute pieces back to their requesting ranks.
+    for (Rank dst = 0; dst < ranks; ++dst) {
+      ByteCount bytes = plan->bytes[dst][rank];
+      if (bytes > 0) {
+        Spawn(sim, cluster.ClientExchange(rank, dst, bytes, reply_done));
+      } else {
+        reply_done->CountDown();
+      }
+    }
+    co_await reply_done->Wait();
+  }
+
+  (*io_done)[rank] = sim.Now();
+}
+
+}  // namespace
+
+SimRunResult RunSimCollective(const SimClusterConfig& config, pvfs::IoOp op,
+                              const SimWorkload& workload,
+                              SimRunOptions /*options*/) {
+  SimCluster cluster(config);
+  CollectivePlan plan = BuildPlan(config, workload);
+  SimRunResult result;
+  if (plan.domains.empty()) return result;
+
+  const std::uint64_t pairs =
+      static_cast<std::uint64_t>(config.clients) * config.clients;
+  sim::CountdownLatch exchange_done(cluster.simulator(),
+                                    op == pvfs::IoOp::kWrite
+                                        ? pairs
+                                        : config.clients);
+  sim::CountdownLatch reply_done(cluster.simulator(),
+                                 op == pvfs::IoOp::kWrite ? config.clients
+                                                          : pairs);
+  std::vector<SimTimeNs> io_done(config.clients, 0);
+
+  for (Rank rank = 0; rank < config.clients; ++rank) {
+    Spawn(cluster.simulator(),
+          CollectiveClient(cluster, rank, op, &plan, &exchange_done,
+                           &reply_done, &io_done));
+  }
+  cluster.simulator().Run();
+
+  SimTimeNs end = 0;
+  for (SimTimeNs t : io_done) end = std::max(end, t);
+  result.io_seconds = NsToSeconds(end);
+  result.total_seconds = result.io_seconds;
+  result.counters = cluster.counters();
+  result.events = cluster.simulator().EventsProcessed();
+  result.mean_request_latency_s = cluster.request_latency().mean();
+  result.max_request_latency_s = cluster.request_latency().max();
+  result.server_load = cluster.server_load();
+  return result;
+}
+
+}  // namespace pvfs::simcluster

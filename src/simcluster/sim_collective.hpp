@@ -1,0 +1,22 @@
+// Simulated two-phase collective I/O (Thakur/Gropp/Lusk — the paper's
+// reference [11], implemented functionally in src/mpiio): ranks exchange
+// pieces over the compute-side network so that each rank, acting as the
+// aggregator of an equal share of the aggregate byte range, touches the
+// file with a handful of large contiguous requests.
+//
+// Modeled phases (write): all-to-all piece exchange -> barrier ->
+// aggregator read-modify-write (read skipped when its domain is fully
+// covered). Read: aggregator contiguous reads -> all-to-all distribution.
+#pragma once
+
+#include "simcluster/sim_run.hpp"
+
+namespace pvfs::simcluster {
+
+/// Runs the workload through simulated two-phase collective I/O and
+/// reports the same result structure as RunSimWorkload.
+SimRunResult RunSimCollective(const SimClusterConfig& config, pvfs::IoOp op,
+                              const SimWorkload& workload,
+                              SimRunOptions options = {});
+
+}  // namespace pvfs::simcluster

@@ -1,0 +1,79 @@
+#include "simcluster/workload_streams.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pvfs::simcluster {
+
+namespace {
+struct Range {
+  std::uint64_t begin;
+  std::uint64_t end;
+};
+// Must match the balanced partition in workloads/blockblock.cpp.
+Range PartitionRange(std::uint64_t n, std::uint32_t parts, std::uint32_t i) {
+  std::uint64_t base = n / parts;
+  std::uint64_t extra = n % parts;
+  std::uint64_t begin = i * base + std::min<std::uint64_t>(i, extra);
+  std::uint64_t len = base + (i < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+}  // namespace
+
+BlockBlockStream::BlockBlockStream(const workloads::BlockBlockConfig& config,
+                                   Rank rank) {
+  assert(rank < config.clients);
+  side_ = config.Side();
+  const std::uint32_t q = config.GridDim();
+  Range rows = PartitionRange(side_, q, rank / q);
+  Range cols = PartitionRange(side_, q, rank % q);
+  row_begin_ = rows.begin;
+  rows_ = rows.end - rows.begin;
+  col_begin_ = cols.begin;
+  row_bytes_ = cols.end - cols.begin;
+
+  ByteCount tile_bytes = rows_ * row_bytes_;
+  frag_ = tile_bytes / config.accesses_per_client;
+  if (frag_ == 0) frag_ = 1;
+  if (frag_ > row_bytes_) frag_ = row_bytes_;
+}
+
+std::optional<Extent> BlockBlockStream::Next() {
+  if (row_ >= rows_) return std::nullopt;
+  FileOffset row_start = (row_begin_ + row_) * side_ + col_begin_;
+  ByteCount take = std::min<ByteCount>(frag_, row_bytes_ - row_done_);
+  Extent out{row_start + row_done_, take};
+  row_done_ += take;
+  if (row_done_ == row_bytes_) {
+    row_done_ = 0;
+    ++row_;
+  }
+  return out;
+}
+
+std::optional<Extent> BlockBlockStream::Bound() const {
+  if (rows_ == 0 || row_bytes_ == 0) return std::nullopt;
+  FileOffset first = row_begin_ * side_ + col_begin_;
+  FileOffset last_end =
+      (row_begin_ + rows_ - 1) * side_ + col_begin_ + row_bytes_;
+  return Extent{first, last_end - first};
+}
+
+TiledVizStream::TiledVizStream(const workloads::TiledVizConfig& config,
+                               Rank rank) {
+  assert(rank < config.clients());
+  const std::uint32_t tile_row = rank / config.tiles_x;
+  const std::uint32_t tile_col = rank % config.tiles_x;
+  const std::uint64_t origin_x =
+      static_cast<std::uint64_t>(tile_col) *
+      (config.tile_w - config.overlap_x);
+  const std::uint64_t origin_y =
+      static_cast<std::uint64_t>(tile_row) *
+      (config.tile_h - config.overlap_y);
+  first_ = (origin_y * config.WallWidth() + origin_x) * config.bytes_per_pixel;
+  stride_ = static_cast<ByteCount>(config.WallWidth()) * config.bytes_per_pixel;
+  row_bytes_ = static_cast<ByteCount>(config.tile_w) * config.bytes_per_pixel;
+  rows_ = config.tile_h;
+}
+
+}  // namespace pvfs::simcluster

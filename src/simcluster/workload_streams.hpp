@@ -1,0 +1,141 @@
+// Closed-form streaming versions of the paper's workload patterns, for
+// simulation at full (million-access) scale. Tests assert these enumerate
+// exactly the same regions the materializing generators in src/workloads
+// produce.
+#pragma once
+
+#include <memory>
+
+#include "simcluster/region_stream.hpp"
+#include "workloads/blockblock.hpp"
+#include "workloads/cyclic.hpp"
+#include "workloads/flash.hpp"
+#include "workloads/tiledviz.hpp"
+
+namespace pvfs::simcluster {
+
+/// 1-D cyclic (paper Fig. 7): accesses_per_client regions of BlockBytes(),
+/// strided by clients * BlockBytes().
+class CyclicStream final : public RegionStream {
+ public:
+  CyclicStream(const workloads::CyclicConfig& config, Rank rank)
+      : block_(config.BlockBytes()),
+        stride_(config.BlockBytes() * config.clients),
+        count_(config.accesses_per_client),
+        base_(config.BlockBytes() * rank) {}
+
+  std::optional<Extent> Next() override {
+    if (i_ >= count_) return std::nullopt;
+    return Extent{base_ + (i_++) * stride_, block_};
+  }
+  void Reset() override { i_ = 0; }
+  std::optional<Extent> Bound() const override {
+    if (count_ == 0 || block_ == 0) return std::nullopt;
+    return Extent{base_, (count_ - 1) * stride_ + block_};
+  }
+  ByteCount TotalBytes() const override { return block_ * count_; }
+
+ private:
+  ByteCount block_;
+  ByteCount stride_;
+  std::uint64_t count_;
+  FileOffset base_;
+  std::uint64_t i_ = 0;
+};
+
+/// 2-D block-block (paper Fig. 8): a tile's rows, each split into
+/// fragments sized by the access count. Mirrors BlockBlockPattern exactly.
+class BlockBlockStream final : public RegionStream {
+ public:
+  BlockBlockStream(const workloads::BlockBlockConfig& config, Rank rank);
+
+  std::optional<Extent> Next() override;
+  void Reset() override {
+    row_ = 0;
+    row_done_ = 0;
+  }
+  std::optional<Extent> Bound() const override;
+  ByteCount TotalBytes() const override { return rows_ * row_bytes_; }
+
+ private:
+  ByteCount side_ = 0;
+  std::uint64_t row_begin_ = 0;
+  std::uint64_t rows_ = 0;
+  FileOffset col_begin_ = 0;
+  ByteCount row_bytes_ = 0;
+  ByteCount frag_ = 0;
+
+  std::uint64_t row_ = 0;       // rows emitted so far
+  ByteCount row_done_ = 0;      // bytes emitted within current row
+};
+
+/// FLASH checkpoint file regions (paper Figs. 13-14): (variable, block)
+/// chunks of FileChunkBytes() at variable-major offsets.
+class FlashFileStream final : public RegionStream {
+ public:
+  FlashFileStream(const workloads::FlashConfig& config, Rank rank)
+      : chunk_(config.FileChunkBytes()),
+        blocks_(config.blocks_per_proc),
+        nvars_(config.nvars),
+        nprocs_(config.nprocs),
+        rank_(rank) {}
+
+  std::optional<Extent> Next() override {
+    if (i_ >= static_cast<std::uint64_t>(blocks_) * nvars_) {
+      return std::nullopt;
+    }
+    std::uint64_t v = i_ / blocks_;
+    std::uint64_t b = i_ % blocks_;
+    ++i_;
+    return Extent{((v * blocks_ + b) * nprocs_ + rank_) * chunk_, chunk_};
+  }
+  void Reset() override { i_ = 0; }
+  std::optional<Extent> Bound() const override {
+    if (blocks_ == 0 || nvars_ == 0) return std::nullopt;
+    FileOffset first = static_cast<FileOffset>(rank_) * chunk_;
+    FileOffset last_start =
+        ((static_cast<std::uint64_t>(nvars_ - 1) * blocks_ + (blocks_ - 1)) *
+             nprocs_ +
+         rank_) *
+        chunk_;
+    return Extent{first, last_start + chunk_ - first};
+  }
+  ByteCount TotalBytes() const override {
+    return static_cast<ByteCount>(blocks_) * nvars_ * chunk_;
+  }
+
+ private:
+  ByteCount chunk_;
+  std::uint64_t blocks_;
+  std::uint64_t nvars_;
+  std::uint64_t nprocs_;
+  Rank rank_;
+  std::uint64_t i_ = 0;
+};
+
+/// Tiled visualization rows (paper Fig. 16).
+class TiledVizStream final : public RegionStream {
+ public:
+  TiledVizStream(const workloads::TiledVizConfig& config, Rank rank);
+
+  std::optional<Extent> Next() override {
+    if (row_ >= rows_) return std::nullopt;
+    FileOffset at = first_ + (row_++) * stride_;
+    return Extent{at, row_bytes_};
+  }
+  void Reset() override { row_ = 0; }
+  std::optional<Extent> Bound() const override {
+    if (rows_ == 0) return std::nullopt;
+    return Extent{first_, (rows_ - 1) * stride_ + row_bytes_};
+  }
+  ByteCount TotalBytes() const override { return rows_ * row_bytes_; }
+
+ private:
+  FileOffset first_ = 0;
+  ByteCount stride_ = 0;
+  ByteCount row_bytes_ = 0;
+  std::uint64_t rows_ = 0;
+  std::uint64_t row_ = 0;
+};
+
+}  // namespace pvfs::simcluster

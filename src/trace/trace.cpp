@@ -1,0 +1,246 @@
+#include "trace/trace.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "common/bytes.hpp"
+#include "runtime/spmd.hpp"
+#include "workloads/cyclic.hpp"
+#include "workloads/flash.hpp"
+#include "workloads/tiledviz.hpp"
+
+namespace pvfs::trace {
+
+ByteCount Trace::TotalBytes() const {
+  ByteCount total = 0;
+  for (const TraceOp& op : ops) total += ::pvfs::TotalBytes(op.regions);
+  return total;
+}
+
+std::vector<TraceOp> Trace::OpsOf(Rank rank) const {
+  std::vector<TraceOp> out;
+  for (const TraceOp& op : ops) {
+    if (op.rank == rank) out.push_back(op);
+  }
+  return out;
+}
+
+std::string Serialize(const Trace& trace) {
+  std::ostringstream out;
+  out << "ranks " << trace.ranks << "\n";
+  for (const TraceOp& op : trace.ops) {
+    out << op.rank << ' ' << (op.op == IoOp::kRead ? 'R' : 'W') << ' ';
+    for (size_t i = 0; i < op.regions.size(); ++i) {
+      if (i > 0) out << ',';
+      out << op.regions[i].offset << ':' << op.regions[i].length;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+Result<std::uint64_t> ParseUint(std::string_view token) {
+  std::uint64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    return InvalidArgument("trace: bad integer '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+/// Splits on a delimiter, skipping empty pieces.
+std::vector<std::string_view> Split(std::string_view text, char delim) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(delim, start);
+    if (end == std::string_view::npos) end = text.size();
+    if (end > start) out.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Trace> Parse(std::string_view text) {
+  Trace trace;
+  bool saw_ranks = false;
+  for (std::string_view line : Split(text, '\n')) {
+    // Strip comments and surrounding whitespace.
+    if (size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\r' ||
+                             line.back() == '\t')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty()) continue;
+
+    std::vector<std::string_view> fields = Split(line, ' ');
+    if (fields.size() == 2 && fields[0] == "ranks") {
+      PVFS_ASSIGN_OR_RETURN(std::uint64_t n, ParseUint(fields[1]));
+      if (n == 0) return InvalidArgument("trace: zero ranks");
+      trace.ranks = static_cast<std::uint32_t>(n);
+      saw_ranks = true;
+      continue;
+    }
+    if (fields.size() != 3) {
+      return InvalidArgument("trace: malformed line '" + std::string(line) +
+                             "'");
+    }
+    if (!saw_ranks) return InvalidArgument("trace: 'ranks N' must come first");
+
+    TraceOp op;
+    PVFS_ASSIGN_OR_RETURN(std::uint64_t rank, ParseUint(fields[0]));
+    if (rank >= trace.ranks) return InvalidArgument("trace: rank out of range");
+    op.rank = static_cast<Rank>(rank);
+    if (fields[1] == "R") {
+      op.op = IoOp::kRead;
+    } else if (fields[1] == "W") {
+      op.op = IoOp::kWrite;
+    } else {
+      return InvalidArgument("trace: op must be R or W");
+    }
+    for (std::string_view piece : Split(fields[2], ',')) {
+      std::vector<std::string_view> parts = Split(piece, ':');
+      if (parts.size() != 2) {
+        return InvalidArgument("trace: region must be offset:length");
+      }
+      Extent e;
+      PVFS_ASSIGN_OR_RETURN(e.offset, ParseUint(parts[0]));
+      PVFS_ASSIGN_OR_RETURN(e.length, ParseUint(parts[1]));
+      op.regions.push_back(e);
+    }
+    if (op.regions.empty()) {
+      return InvalidArgument("trace: operation with no regions");
+    }
+    trace.ops.push_back(std::move(op));
+  }
+  if (!saw_ranks) return InvalidArgument("trace: missing 'ranks N' header");
+  return trace;
+}
+
+Trace CyclicTrace(ByteCount total_bytes, std::uint32_t clients,
+                  std::uint64_t accesses_per_client, IoOp op) {
+  workloads::CyclicConfig config{total_bytes, clients, accesses_per_client};
+  Trace trace;
+  trace.ranks = clients;
+  for (Rank r = 0; r < clients; ++r) {
+    TraceOp top;
+    top.rank = r;
+    top.op = op;
+    top.regions = workloads::CyclicPattern(config, r).file;
+    trace.ops.push_back(std::move(top));
+  }
+  return trace;
+}
+
+Trace FlashTrace(std::uint32_t nprocs) {
+  workloads::FlashConfig config;
+  config.nprocs = nprocs;
+  Trace trace;
+  trace.ranks = nprocs;
+  for (Rank r = 0; r < nprocs; ++r) {
+    TraceOp top;
+    top.rank = r;
+    top.op = IoOp::kWrite;
+    top.regions = workloads::FlashCheckpointPattern(config, r).file;
+    trace.ops.push_back(std::move(top));
+  }
+  return trace;
+}
+
+Trace TiledVizTrace() {
+  workloads::TiledVizConfig config;
+  Trace trace;
+  trace.ranks = config.clients();
+  for (Rank r = 0; r < config.clients(); ++r) {
+    TraceOp top;
+    top.rank = r;
+    top.op = IoOp::kRead;
+    top.regions = workloads::TiledVizPattern(config, r).file;
+    trace.ops.push_back(std::move(top));
+  }
+  return trace;
+}
+
+Result<ReplayResult> Replay(Transport& transport, const Trace& trace,
+                            const ReplayOptions& options) {
+  if (trace.ranks == 0) return InvalidArgument("empty trace");
+  {
+    Client setup(&transport);
+    auto fd = setup.Create(options.file_name, options.striping);
+    if (fd.ok()) {
+      (void)setup.Close(*fd);
+    } else if (fd.status().code() != ErrorCode::kAlreadyExists) {
+      return fd.status();
+    }
+  }
+
+  io::MutexSerializer serializer;
+  io::MethodOptions method_options;
+  method_options.serializer = &serializer;
+
+  std::mutex result_mutex;
+  ReplayResult result;
+  Status first_error = Status::Ok();
+
+  runtime::RunSpmd(trace.ranks, [&](runtime::SpmdContext& ctx) {
+    Client client(&transport);
+    auto fd = client.Open(options.file_name);
+    if (!fd.ok()) {
+      std::lock_guard lock(result_mutex);
+      if (first_error.ok()) first_error = fd.status();
+      return;
+    }
+    auto method = io::MakeMethod(options.method, method_options);
+    for (const TraceOp& top : trace.OpsOf(ctx.rank())) {
+      io::AccessPattern pattern =
+          io::AccessPattern::ContiguousMemory(top.regions);
+      ByteBuffer buffer(pattern.total_bytes());
+      Status status;
+      if (top.op == IoOp::kWrite) {
+        FillPattern(buffer, options.seed + ctx.rank(), 0);
+        status = method->Write(client, *fd, pattern, buffer);
+      } else {
+        status = method->Read(client, *fd, pattern, buffer);
+      }
+      if (!status.ok()) {
+        std::lock_guard lock(result_mutex);
+        if (first_error.ok()) first_error = status;
+        return;
+      }
+    }
+    (void)client.Close(*fd);
+    std::lock_guard lock(result_mutex);
+    result.fs_requests += client.stats().fs_requests;
+    result.messages += client.stats().messages;
+    result.bytes_read += client.stats().bytes_read;
+    result.bytes_written += client.stats().bytes_written;
+  });
+
+  if (!first_error.ok()) return first_error;
+  return result;
+}
+
+simcluster::SimWorkload ToSimWorkload(const Trace& trace, IoOp op_filter) {
+  simcluster::SimWorkload workload;
+  workload.file_regions = [trace, op_filter](Rank r) {
+    ExtentList regions;
+    for (const TraceOp& op : trace.ops) {
+      if (op.rank != r || op.op != op_filter) continue;
+      regions.insert(regions.end(), op.regions.begin(), op.regions.end());
+    }
+    return std::make_unique<simcluster::VectorStream>(std::move(regions));
+  };
+  return workload;
+}
+
+}  // namespace pvfs::trace

@@ -1,0 +1,84 @@
+// I/O trace capture and replay. The characterization studies the paper
+// builds on (Nieuwejaar/Kotz, Crandall et al., Smirni et al.) all worked
+// from application I/O traces; this module gives the library the same
+// workflow: serialize per-rank noncontiguous accesses to a simple text
+// format, replay them against the functional file system with any access
+// method, or feed them to the simulator for timing studies.
+//
+// Text format (line-oriented, '#' comments):
+//
+//   ranks <N>
+//   <rank> R|W <offset>:<length>[,<offset>:<length>...]
+//
+// Each line is one operation: an ordered noncontiguous file access by one
+// rank (memory side contiguous). Operations replay in file order per
+// rank; ranks run concurrently.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/extent.hpp"
+#include "common/status.hpp"
+#include "io/method.hpp"
+#include "pvfs/transport.hpp"
+#include "simcluster/sim_run.hpp"
+
+namespace pvfs::trace {
+
+struct TraceOp {
+  Rank rank = 0;
+  IoOp op = IoOp::kRead;
+  ExtentList regions;
+
+  friend bool operator==(const TraceOp&, const TraceOp&) = default;
+};
+
+struct Trace {
+  std::uint32_t ranks = 0;
+  std::vector<TraceOp> ops;
+
+  ByteCount TotalBytes() const;
+  std::vector<TraceOp> OpsOf(Rank rank) const;
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+};
+
+std::string Serialize(const Trace& trace);
+Result<Trace> Parse(std::string_view text);
+
+/// Convenience builders from the paper's workload generators.
+Trace CyclicTrace(ByteCount total_bytes, std::uint32_t clients,
+                  std::uint64_t accesses_per_client, IoOp op);
+Trace FlashTrace(std::uint32_t nprocs);  // checkpoint write
+Trace TiledVizTrace();                   // frame read
+
+struct ReplayOptions {
+  io::MethodType method = io::MethodType::kList;
+  Striping striping{0, 8, 16384};
+  std::string file_name = "/trace/replay";
+  /// Seed for synthetic write payloads; reads verify nothing (the replay
+  /// measures movement, not content).
+  std::uint64_t seed = 1;
+};
+
+struct ReplayResult {
+  std::uint64_t fs_requests = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+/// Replays the trace against a functional cluster: one thread per rank,
+/// each executing its operations in order through the chosen method.
+/// Creates the target file if missing.
+Result<ReplayResult> Replay(Transport& transport, const Trace& trace,
+                            const ReplayOptions& options = {});
+
+/// The trace as a simulated workload (per-rank streams over its regions,
+/// concatenated in op order). All ops of a trace must share one IoOp
+/// direction for simulation; `op_filter` selects which direction to keep.
+simcluster::SimWorkload ToSimWorkload(const Trace& trace, IoOp op_filter);
+
+}  // namespace pvfs::trace

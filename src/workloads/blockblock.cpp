@@ -1,0 +1,77 @@
+#include "workloads/blockblock.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace pvfs::workloads {
+
+namespace {
+
+std::uint64_t IntSqrt(std::uint64_t n) {
+  auto r = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(n)));
+  while (r * r > n) --r;
+  while ((r + 1) * (r + 1) <= n) ++r;
+  return r;
+}
+
+/// Balanced 1-D partition: element range of part `i` of `parts` over `n`.
+struct Range {
+  std::uint64_t begin;
+  std::uint64_t end;
+};
+Range PartitionRange(std::uint64_t n, std::uint32_t parts, std::uint32_t i) {
+  std::uint64_t base = n / parts;
+  std::uint64_t extra = n % parts;
+  std::uint64_t begin = i * base + std::min<std::uint64_t>(i, extra);
+  std::uint64_t len = base + (i < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+}  // namespace
+
+ByteCount BlockBlockConfig::Side() const {
+  ByteCount side = IntSqrt(total_bytes);
+  assert(side * side == total_bytes && "total_bytes must be a square");
+  return side;
+}
+
+std::uint32_t BlockBlockConfig::GridDim() const {
+  auto q = static_cast<std::uint32_t>(IntSqrt(clients));
+  assert(q * q == clients && "clients must be a perfect square");
+  return q;
+}
+
+io::AccessPattern BlockBlockPattern(const BlockBlockConfig& config,
+                                    Rank rank) {
+  assert(rank < config.clients);
+  const ByteCount side = config.Side();
+  const std::uint32_t q = config.GridDim();
+  const std::uint32_t tile_row = rank / q;
+  const std::uint32_t tile_col = rank % q;
+
+  Range rows = PartitionRange(side, q, tile_row);
+  Range cols = PartitionRange(side, q, tile_col);
+  const ByteCount row_bytes = cols.end - cols.begin;
+  const ByteCount tile_bytes = (rows.end - rows.begin) * row_bytes;
+
+  // Fragment size targeted by the access count (the benchmark's knob);
+  // never larger than a row (rows are the natural contiguity limit) and
+  // at least one byte.
+  ByteCount frag = tile_bytes / config.accesses_per_client;
+  if (frag == 0) frag = 1;
+  if (frag > row_bytes) frag = row_bytes;
+
+  ExtentList file;
+  file.reserve((tile_bytes + frag - 1) / frag);
+  for (std::uint64_t r = rows.begin; r < rows.end; ++r) {
+    FileOffset row_start = r * side + cols.begin;
+    for (ByteCount done = 0; done < row_bytes;) {
+      ByteCount take = std::min<ByteCount>(frag, row_bytes - done);
+      file.push_back(Extent{row_start + done, take});
+      done += take;
+    }
+  }
+  return io::AccessPattern::ContiguousMemory(std::move(file));
+}
+
+}  // namespace pvfs::workloads

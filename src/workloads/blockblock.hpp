@@ -1,0 +1,34 @@
+// Two-dimensional block-block access pattern (paper §4.2.1, Fig. 8): a
+// global N x N byte array stored row-major in one file is partitioned
+// into a sqrt(P) x sqrt(P) grid of tiles, one per process. A process's
+// file data is its tile's rows — tile_width-byte runs strided by the array
+// row length. Increasing `accesses_per_client` fragments the tile's byte
+// stream into more, smaller regions while preserving the aggregate
+// (adjacent sub-row pieces stay separate regions, as the benchmark
+// issues them as separate accesses).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "io/access_pattern.hpp"
+
+namespace pvfs::workloads {
+
+struct BlockBlockConfig {
+  ByteCount total_bytes = kGiB;   // must be a perfect square of bytes
+  std::uint32_t clients = 4;      // must be a perfect square
+  std::uint64_t accesses_per_client = 1000;
+
+  /// Side of the global byte array (rows == row bytes == side).
+  ByteCount Side() const;
+  /// Grid dimension q = sqrt(clients).
+  std::uint32_t GridDim() const;
+};
+
+/// The pattern for rank `rank`; tiles are balanced when side or clients do
+/// not divide evenly (earlier rows/cols get the extra bytes).
+io::AccessPattern BlockBlockPattern(const BlockBlockConfig& config,
+                                    Rank rank);
+
+}  // namespace pvfs::workloads

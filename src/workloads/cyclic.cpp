@@ -1,0 +1,21 @@
+#include "workloads/cyclic.hpp"
+
+#include <cassert>
+
+namespace pvfs::workloads {
+
+io::AccessPattern CyclicPattern(const CyclicConfig& config, Rank rank) {
+  assert(rank < config.clients);
+  const ByteCount block = config.BlockBytes();
+  assert(block > 0 && "more accesses than bytes");
+
+  ExtentList file;
+  file.reserve(config.accesses_per_client);
+  const ByteCount stride = block * config.clients;
+  for (std::uint64_t i = 0; i < config.accesses_per_client; ++i) {
+    file.push_back(Extent{i * stride + rank * block, block});
+  }
+  return io::AccessPattern::ContiguousMemory(std::move(file));
+}
+
+}  // namespace pvfs::workloads

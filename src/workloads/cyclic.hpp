@@ -1,0 +1,38 @@
+// One-dimensional cyclic access pattern (paper §4.2.1, Fig. 7): a global
+// 2-D array stored row-major in one file; each of `clients` processes owns
+// an equal share of columns, so its file data is `accesses_per_client`
+// blocks of `block` bytes, strided by clients*block — a variable-grained
+// interleaved access. Memory is contiguous per process.
+#pragma once
+
+#include "common/types.hpp"
+#include "io/access_pattern.hpp"
+
+namespace pvfs::workloads {
+
+struct CyclicConfig {
+  ByteCount total_bytes = kGiB;  // aggregate across all clients (paper: 1 GB)
+  std::uint32_t clients = 8;
+  std::uint64_t accesses_per_client = 1000;
+
+  /// Block (access) size; the benchmark varies accesses while holding the
+  /// aggregate fixed, so the block shrinks as accesses grow. Zero
+  /// accesses describe an empty pattern.
+  ByteCount BlockBytes() const {
+    ByteCount denom =
+        static_cast<ByteCount>(clients) * accesses_per_client;
+    return denom == 0 ? 0 : total_bytes / denom;
+  }
+  /// Aggregate actually covered after rounding block size down.
+  ByteCount EffectiveTotal() const {
+    return BlockBytes() * clients * accesses_per_client;
+  }
+  ByteCount BytesPerClient() const {
+    return BlockBytes() * accesses_per_client;
+  }
+};
+
+/// The pattern rank `rank` (< clients) reads or writes.
+io::AccessPattern CyclicPattern(const CyclicConfig& config, Rank rank);
+
+}  // namespace pvfs::workloads

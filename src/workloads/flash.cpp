@@ -1,0 +1,54 @@
+#include "workloads/flash.hpp"
+
+#include <cassert>
+
+namespace pvfs::workloads {
+
+ByteCount FlashMemOffset(const FlashConfig& config, std::uint32_t b,
+                         std::uint32_t x, std::uint32_t y, std::uint32_t z,
+                         std::uint32_t v) {
+  const std::uint64_t gx = config.nxb + 2ull * config.nguard;
+  const std::uint64_t gy = config.nyb + 2ull * config.nguard;
+  const ByteCount elem_bytes = config.nvars * config.var_bytes;
+  std::uint64_t element =
+      (static_cast<std::uint64_t>(z + config.nguard) * gy +
+       (y + config.nguard)) * gx +
+      (x + config.nguard);
+  return (static_cast<ByteCount>(b) * config.PaddedElements() + element) *
+             elem_bytes +
+         static_cast<ByteCount>(v) * config.var_bytes;
+}
+
+io::AccessPattern FlashCheckpointPattern(const FlashConfig& config,
+                                         Rank rank) {
+  assert(rank < config.nprocs);
+  io::AccessPattern pattern;
+  pattern.file.reserve(config.FileRegionsPerProc());
+  pattern.memory.reserve(config.MemRegionsPerProc());
+
+  const ByteCount chunk = config.FileChunkBytes();
+  for (std::uint32_t v = 0; v < config.nvars; ++v) {
+    for (std::uint32_t b = 0; b < config.blocks_per_proc; ++b) {
+      FileOffset file_at =
+          ((static_cast<FileOffset>(v) * config.blocks_per_proc + b) *
+               config.nprocs +
+           rank) *
+          chunk;
+      pattern.file.push_back(Extent{file_at, chunk});
+      // Memory side in the same element order the file chunk stores:
+      // x fastest, then y, then z.
+      for (std::uint32_t z = 0; z < config.nzb; ++z) {
+        for (std::uint32_t y = 0; y < config.nyb; ++y) {
+          for (std::uint32_t x = 0; x < config.nxb; ++x) {
+            pattern.memory.push_back(
+                Extent{FlashMemOffset(config, b, x, y, z, v),
+                       config.var_bytes});
+          }
+        }
+      }
+    }
+  }
+  return pattern;
+}
+
+}  // namespace pvfs::workloads

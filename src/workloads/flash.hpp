@@ -1,0 +1,76 @@
+// FLASH I/O checkpoint pattern (paper §4.3.1, Figs. 13-14): each process
+// holds `blocks_per_proc` 3-D AMR blocks; a block is an interior
+// nxb x nyb x nzb element grid surrounded by `nguard` guard cells on every
+// side, and every element carries `nvars` interleaved 8-byte variables.
+//
+// The checkpoint writes interior elements only, reorganized on disk as:
+//   variable-major, then block, then process:
+//     file_offset(v, b, p) = ((v*blocks + b)*nprocs + p) * chunk
+//   with chunk = nxb*nyb*nzb*var_bytes (4096 bytes by default).
+//
+// This makes the access noncontiguous in memory AND file: per process
+//   memory regions = blocks * nxb*nyb*nzb * nvars  (983,040) of 8 bytes,
+//   file regions   = blocks * nvars               (1,920)  of 4,096 bytes
+// — the request-count arithmetic in paper §4.3.1.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "io/access_pattern.hpp"
+
+namespace pvfs::workloads {
+
+struct FlashConfig {
+  std::uint32_t nprocs = 1;
+  std::uint32_t blocks_per_proc = 80;
+  std::uint32_t nxb = 8;
+  std::uint32_t nyb = 8;
+  std::uint32_t nzb = 8;
+  std::uint32_t nguard = 4;
+  std::uint32_t nvars = 24;
+  ByteCount var_bytes = 8;
+
+  std::uint64_t InteriorElements() const {
+    return static_cast<std::uint64_t>(nxb) * nyb * nzb;
+  }
+  std::uint64_t PaddedElements() const {
+    std::uint64_t gx = nxb + 2ull * nguard;
+    std::uint64_t gy = nyb + 2ull * nguard;
+    std::uint64_t gz = nzb + 2ull * nguard;
+    return gx * gy * gz;
+  }
+  /// Bytes of one (variable, block, process) chunk in the file.
+  ByteCount FileChunkBytes() const { return InteriorElements() * var_bytes; }
+  /// Checkpoint bytes contributed per process (7.5 MB at defaults).
+  ByteCount BytesPerProc() const {
+    return static_cast<ByteCount>(blocks_per_proc) * nvars * FileChunkBytes();
+  }
+  ByteCount FileBytes() const { return BytesPerProc() * nprocs; }
+  /// In-memory buffer bytes per process (guard cells included).
+  ByteCount MemBytesPerProc() const {
+    return static_cast<ByteCount>(blocks_per_proc) * PaddedElements() *
+           nvars * var_bytes;
+  }
+  std::uint64_t MemRegionsPerProc() const {
+    return static_cast<std::uint64_t>(blocks_per_proc) * InteriorElements() *
+           nvars;
+  }
+  std::uint64_t FileRegionsPerProc() const {
+    return static_cast<std::uint64_t>(blocks_per_proc) * nvars;
+  }
+};
+
+/// Checkpoint access pattern of rank `rank`: memory regions walk the file
+/// order (variable-major), so each region is one element's variable
+/// (var_bytes long) at its padded in-block position.
+io::AccessPattern FlashCheckpointPattern(const FlashConfig& config,
+                                         Rank rank);
+
+/// Memory offset of variable `v` of interior element (x, y, z) of block
+/// `b` within the process buffer (x fastest, guard cells padded).
+ByteCount FlashMemOffset(const FlashConfig& config, std::uint32_t b,
+                         std::uint32_t x, std::uint32_t y, std::uint32_t z,
+                         std::uint32_t v);
+
+}  // namespace pvfs::workloads

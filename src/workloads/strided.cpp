@@ -1,0 +1,37 @@
+#include "workloads/strided.hpp"
+
+namespace pvfs::workloads {
+
+namespace {
+
+void Emit(const NestedStridedConfig& config, size_t level, FileOffset at,
+          ExtentList& out) {
+  if (level == config.levels.size()) {
+    if (config.block_bytes == 0) return;
+    if (!out.empty() && out.back().end() == at) {
+      out.back().length += config.block_bytes;
+    } else {
+      out.push_back(Extent{at, config.block_bytes});
+    }
+    return;
+  }
+  const NestedStridedConfig::Level& l = config.levels[level];
+  for (std::uint64_t i = 0; i < l.count; ++i) {
+    Emit(config, level + 1, at + i * l.stride, out);
+  }
+}
+
+}  // namespace
+
+ExtentList NestedStridedRegions(const NestedStridedConfig& config) {
+  ExtentList out;
+  out.reserve(config.RegionCount());
+  Emit(config, 0, config.base, out);
+  return out;
+}
+
+io::AccessPattern NestedStridedPattern(const NestedStridedConfig& config) {
+  return io::AccessPattern::ContiguousMemory(NestedStridedRegions(config));
+}
+
+}  // namespace pvfs::workloads

@@ -1,0 +1,41 @@
+// Nested-strided access pattern, after the workload characterization
+// studies the paper builds on (Nieuwejaar & Kotz et al. found that most
+// parallel scientific file accesses are simple or nested strided): an
+// innermost block repeated at a stride, that whole group repeated at an
+// outer stride, and so on.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "io/access_pattern.hpp"
+
+namespace pvfs::workloads {
+
+struct NestedStridedConfig {
+  struct Level {
+    std::uint64_t count = 1;  // repetitions at this nesting level
+    ByteCount stride = 0;     // bytes between repetition starts
+  };
+
+  FileOffset base = 0;
+  /// Outermost level first; empty means a single block at `base`.
+  std::vector<Level> levels;
+  ByteCount block_bytes = 0;  // innermost contiguous run
+
+  std::uint64_t RegionCount() const {
+    std::uint64_t n = block_bytes > 0 ? 1 : 0;
+    for (const Level& level : levels) n *= level.count;
+    return n;
+  }
+  ByteCount TotalBytes() const { return RegionCount() * block_bytes; }
+};
+
+/// The file regions of the pattern, in traversal order (outer levels
+/// slowest), with file-adjacent runs coalesced.
+ExtentList NestedStridedRegions(const NestedStridedConfig& config);
+
+/// Pattern with contiguous memory.
+io::AccessPattern NestedStridedPattern(const NestedStridedConfig& config);
+
+}  // namespace pvfs::workloads

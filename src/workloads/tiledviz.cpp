@@ -1,0 +1,30 @@
+#include "workloads/tiledviz.hpp"
+
+#include <cassert>
+
+namespace pvfs::workloads {
+
+io::AccessPattern TiledVizPattern(const TiledVizConfig& config, Rank rank) {
+  assert(rank < config.clients());
+  const std::uint32_t tile_row = rank / config.tiles_x;
+  const std::uint32_t tile_col = rank % config.tiles_x;
+
+  // Top-left pixel of this tile on the wall; overlaps mean neighbouring
+  // tiles re-read the shared bands.
+  const std::uint64_t origin_x =
+      static_cast<std::uint64_t>(tile_col) * (config.tile_w - config.overlap_x);
+  const std::uint64_t origin_y =
+      static_cast<std::uint64_t>(tile_row) * (config.tile_h - config.overlap_y);
+  const ByteCount bpp = config.bytes_per_pixel;
+  const std::uint64_t wall_w = config.WallWidth();
+
+  ExtentList file;
+  file.reserve(config.tile_h);
+  for (std::uint32_t row = 0; row < config.tile_h; ++row) {
+    FileOffset at = ((origin_y + row) * wall_w + origin_x) * bpp;
+    file.push_back(Extent{at, static_cast<ByteCount>(config.tile_w) * bpp});
+  }
+  return io::AccessPattern::ContiguousMemory(std::move(file));
+}
+
+}  // namespace pvfs::workloads

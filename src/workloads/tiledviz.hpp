@@ -1,0 +1,48 @@
+// Tiled visualization I/O pattern (paper §4.4.1, Fig. 16): a display wall
+// of tiles_x x tiles_y projectors renders one large frame stored row-major
+// in a single file; adjacent displays overlap by a fixed number of pixels,
+// so each reader pulls tile_h noncontiguous row-runs of tile_w pixels into
+// a contiguous frame buffer.
+//
+// Paper parameters: 3x2 displays at 1024x768x24bpp with 270px horizontal /
+// 128px vertical overlap -> a 2532x1408 wall, a 10,695,168-byte frame
+// file, and 768 file regions of 3,072 bytes per reader.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "io/access_pattern.hpp"
+
+namespace pvfs::workloads {
+
+struct TiledVizConfig {
+  std::uint32_t tiles_x = 3;
+  std::uint32_t tiles_y = 2;
+  std::uint32_t tile_w = 1024;   // pixels
+  std::uint32_t tile_h = 768;    // pixels
+  std::uint32_t overlap_x = 270; // pixels shared by horizontal neighbours
+  std::uint32_t overlap_y = 128;
+  ByteCount bytes_per_pixel = 3; // 24-bit color
+
+  std::uint32_t clients() const { return tiles_x * tiles_y; }
+  std::uint32_t WallWidth() const {
+    return tiles_x * tile_w - (tiles_x - 1) * overlap_x;
+  }
+  std::uint32_t WallHeight() const {
+    return tiles_y * tile_h - (tiles_y - 1) * overlap_y;
+  }
+  ByteCount FileBytes() const {
+    return static_cast<ByteCount>(WallWidth()) * WallHeight() *
+           bytes_per_pixel;
+  }
+  ByteCount TileBytes() const {
+    return static_cast<ByteCount>(tile_w) * tile_h * bytes_per_pixel;
+  }
+};
+
+/// Pattern of the reader driving tile `rank` (row-major tile numbering);
+/// memory is the contiguous tile frame buffer.
+io::AccessPattern TiledVizPattern(const TiledVizConfig& config, Rank rank);
+
+}  // namespace pvfs::workloads

@@ -1,0 +1,255 @@
+// Distributed-array checkpoint/restart tests.
+#include "ckpt/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "runtime/spmd.hpp"
+#include "runtime/threaded_cluster.hpp"
+
+namespace pvfs::ckpt {
+namespace {
+
+/// Element (i, j) of the reference 2-D array, as a deterministic byte
+/// sequence of `elem` bytes.
+void FillElement(std::span<std::byte> out, std::uint64_t i, std::uint64_t j,
+                 std::uint64_t cols) {
+  FillPattern(out, /*seed=*/424242, (i * cols + j) * out.size());
+}
+
+TEST(ArraySpec, Validation) {
+  ArraySpec spec;
+  spec.elem_size = 8;
+  spec.global_dims = {16, 16};
+  spec.local_offset = {0, 0};
+  spec.local_dims = {8, 16};
+  EXPECT_TRUE(spec.Validate().ok());
+  EXPECT_EQ(spec.GlobalElements(), 256u);
+  EXPECT_EQ(spec.LocalElements(), 128u);
+  EXPECT_EQ(spec.LocalBytes(), 1024u);
+
+  ArraySpec bad = spec;
+  bad.local_dims = {9, 16};
+  bad.local_offset = {8, 0};
+  EXPECT_FALSE(bad.Validate().ok());  // 8 + 9 > 16
+  bad = spec;
+  bad.elem_size = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = spec;
+  bad.local_offset = {0};
+  EXPECT_FALSE(bad.Validate().ok());  // dimension count mismatch
+}
+
+TEST(BlockFiletype, SelectsTheBlock) {
+  ArraySpec spec;
+  spec.elem_size = 2;
+  spec.global_dims = {4, 6};
+  spec.local_offset = {1, 2};
+  spec.local_dims = {2, 3};
+  io::Datatype type = BlockFiletype(spec);
+  EXPECT_EQ(type.size(), 12u);          // 6 elements x 2 bytes
+  EXPECT_EQ(type.extent(), 48u);        // whole array
+  ExtentList flat = type.Flatten(0);
+  ASSERT_EQ(flat.size(), 2u);           // one run per row
+  EXPECT_EQ(flat[0], (Extent{(1 * 6 + 2) * 2, 6}));
+  EXPECT_EQ(flat[1], (Extent{(2 * 6 + 2) * 2, 6}));
+}
+
+struct Grid2D {
+  std::uint64_t rows;
+  std::uint64_t cols;
+  ByteCount elem;
+
+  /// Row-band decomposition over `ranks`.
+  ArraySpec BandSpec(std::uint32_t ranks, Rank r) const {
+    ArraySpec spec;
+    spec.elem_size = elem;
+    spec.global_dims = {rows, cols};
+    std::uint64_t band = rows / ranks;
+    spec.local_offset = {r * band, 0};
+    spec.local_dims = {r + 1 == ranks ? rows - r * band : band, cols};
+    return spec;
+  }
+
+  /// Column-band decomposition over `ranks`.
+  ArraySpec ColumnSpec(std::uint32_t ranks, Rank r) const {
+    ArraySpec spec;
+    spec.elem_size = elem;
+    spec.global_dims = {rows, cols};
+    std::uint64_t band = cols / ranks;
+    spec.local_offset = {0, r * band};
+    spec.local_dims = {rows, r + 1 == ranks ? cols - r * band : band};
+    return spec;
+  }
+
+  ByteBuffer MakeBlock(const ArraySpec& spec) const {
+    ByteBuffer data(spec.LocalBytes());
+    size_t at = 0;
+    for (std::uint64_t i = 0; i < spec.local_dims[0]; ++i) {
+      for (std::uint64_t j = 0; j < spec.local_dims[1]; ++j) {
+        FillElement(std::span{data}.subspan(at, elem),
+                    spec.local_offset[0] + i, spec.local_offset[1] + j,
+                    cols);
+        at += elem;
+      }
+    }
+    return data;
+  }
+};
+
+TEST(Checkpoint, RoundTripSameDecomposition) {
+  runtime::ThreadedCluster cluster(8);
+  constexpr std::uint32_t kRanks = 4;
+  mpiio::Group group(kRanks);
+  Grid2D grid{64, 48, 8};
+
+  runtime::RunSpmd(kRanks, [&](runtime::SpmdContext& ctx) {
+    Client client(&cluster.transport());
+    ArraySpec spec = grid.BandSpec(kRanks, ctx.rank());
+    ByteBuffer mine = grid.MakeBlock(spec);
+    ASSERT_TRUE(WriteCheckpoint(&client, &group, ctx.rank(), "/ckpt/a",
+                                spec, mine, /*user_tag=*/7)
+                    .ok());
+    ByteBuffer restored(mine.size());
+    ASSERT_TRUE(ReadCheckpoint(&client, &group, ctx.rank(), "/ckpt/a", spec,
+                               restored)
+                    .ok());
+    EXPECT_EQ(restored, mine);
+  });
+}
+
+TEST(Checkpoint, RestartUnderDifferentDecomposition) {
+  // Written as 4 row bands, restored as 2 column bands: the canonical
+  // file layout makes re-decomposition free.
+  runtime::ThreadedCluster cluster(8);
+  Grid2D grid{32, 40, 4};
+
+  {
+    mpiio::Group group(4);
+    runtime::RunSpmd(4, [&](runtime::SpmdContext& ctx) {
+      Client client(&cluster.transport());
+      ArraySpec spec = grid.BandSpec(4, ctx.rank());
+      ByteBuffer mine = grid.MakeBlock(spec);
+      ASSERT_TRUE(WriteCheckpoint(&client, &group, ctx.rank(), "/ckpt/b",
+                                  spec, mine)
+                      .ok());
+    });
+  }
+  {
+    mpiio::Group group(2);
+    runtime::RunSpmd(2, [&](runtime::SpmdContext& ctx) {
+      Client client(&cluster.transport());
+      ArraySpec spec = grid.ColumnSpec(2, ctx.rank());
+      ByteBuffer expect = grid.MakeBlock(spec);
+      ByteBuffer restored(expect.size());
+      ASSERT_TRUE(ReadCheckpoint(&client, &group, ctx.rank(), "/ckpt/b",
+                                 spec, restored)
+                      .ok());
+      EXPECT_EQ(restored, expect);
+    });
+  }
+}
+
+TEST(Checkpoint, InspectReadsHeader) {
+  runtime::ThreadedCluster cluster(8);
+  mpiio::Group group(1);
+  Grid2D grid{8, 8, 8};
+  Client client(&cluster.transport());
+  ArraySpec spec = grid.BandSpec(1, 0);
+  ByteBuffer data = grid.MakeBlock(spec);
+  ASSERT_TRUE(
+      WriteCheckpoint(&client, &group, 0, "/ckpt/c", spec, data, 12345)
+          .ok());
+
+  auto info = InspectCheckpoint(&client, "/ckpt/c");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->elem_size, 8u);
+  EXPECT_EQ(info->global_dims, (std::vector<std::uint64_t>{8, 8}));
+  EXPECT_EQ(info->user_tag, 12345u);
+  EXPECT_EQ(info->version, kVersion);
+}
+
+TEST(Checkpoint, GeometryMismatchRejected) {
+  runtime::ThreadedCluster cluster(8);
+  mpiio::Group group(1);
+  Grid2D grid{8, 8, 8};
+  Client client(&cluster.transport());
+  ArraySpec spec = grid.BandSpec(1, 0);
+  ByteBuffer data = grid.MakeBlock(spec);
+  ASSERT_TRUE(
+      WriteCheckpoint(&client, &group, 0, "/ckpt/d", spec, data).ok());
+
+  ArraySpec wrong = spec;
+  wrong.global_dims = {8, 16};
+  wrong.local_dims = {8, 16};
+  ByteBuffer out(wrong.LocalBytes());
+  EXPECT_EQ(
+      ReadCheckpoint(&client, &group, 0, "/ckpt/d", wrong, out).code(),
+      ErrorCode::kFailedPrecondition);
+
+  ArraySpec wrong_elem = spec;
+  wrong_elem.elem_size = 4;
+  ByteBuffer out2(wrong_elem.LocalBytes());
+  EXPECT_EQ(ReadCheckpoint(&client, &group, 0, "/ckpt/d", wrong_elem, out2)
+                .code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(Checkpoint, CorruptHeaderRejected) {
+  runtime::ThreadedCluster cluster(8);
+  mpiio::Group group(1);
+  Grid2D grid{8, 8, 8};
+  Client client(&cluster.transport());
+  ArraySpec spec = grid.BandSpec(1, 0);
+  ByteBuffer data = grid.MakeBlock(spec);
+  ASSERT_TRUE(
+      WriteCheckpoint(&client, &group, 0, "/ckpt/e", spec, data).ok());
+
+  // Stomp the magic.
+  auto fd = client.Open("/ckpt/e");
+  ByteBuffer junk(4, std::byte{0xFF});
+  ASSERT_TRUE(client.Write(*fd, 0, junk).ok());
+  EXPECT_FALSE(InspectCheckpoint(&client, "/ckpt/e").ok());
+  ByteBuffer out(spec.LocalBytes());
+  EXPECT_FALSE(ReadCheckpoint(&client, &group, 0, "/ckpt/e", spec, out).ok());
+}
+
+TEST(Checkpoint, SizeMismatchesRejected) {
+  runtime::ThreadedCluster cluster(8);
+  mpiio::Group group(1);
+  Grid2D grid{8, 8, 8};
+  Client client(&cluster.transport());
+  ArraySpec spec = grid.BandSpec(1, 0);
+  ByteBuffer tiny(10);
+  EXPECT_EQ(WriteCheckpoint(&client, &group, 0, "/ckpt/f", spec, tiny)
+                .code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(Checkpoint, ThreeDimensionalBlocks) {
+  runtime::ThreadedCluster cluster(8);
+  constexpr std::uint32_t kRanks = 2;
+  mpiio::Group group(kRanks);
+
+  runtime::RunSpmd(kRanks, [&](runtime::SpmdContext& ctx) {
+    Client client(&cluster.transport());
+    ArraySpec spec;
+    spec.elem_size = 8;
+    spec.global_dims = {4, 6, 10};
+    spec.local_offset = {ctx.rank() * 2ull, 0, 0};
+    spec.local_dims = {2, 6, 10};
+    ByteBuffer mine(spec.LocalBytes());
+    FillPattern(mine, 900 + ctx.rank(), 0);
+    ASSERT_TRUE(WriteCheckpoint(&client, &group, ctx.rank(), "/ckpt/3d",
+                                spec, mine)
+                    .ok());
+    ByteBuffer restored(mine.size());
+    ASSERT_TRUE(ReadCheckpoint(&client, &group, ctx.rank(), "/ckpt/3d",
+                               spec, restored)
+                    .ok());
+    EXPECT_EQ(restored, mine);
+  });
+}
+
+}  // namespace
+}  // namespace pvfs::ckpt

@@ -1,0 +1,419 @@
+#include "pvfs/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "test_cluster.hpp"
+
+namespace pvfs {
+namespace {
+
+using testutil::InProcCluster;
+
+constexpr Striping kDefault{0, 8, 16384};
+
+TEST(ChunkRegions, SplitsAtLimit) {
+  ExtentList regions(130, Extent{0, 8});
+  auto chunks = ChunkRegions(regions, 64);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0].size(), 64u);
+  EXPECT_EQ(chunks[1].size(), 64u);
+  EXPECT_EQ(chunks[2].size(), 2u);
+}
+
+TEST(ChunkRegions, DropsEmptyRegions) {
+  ExtentList regions{{0, 8}, {10, 0}, {20, 8}};
+  auto chunks = ChunkRegions(regions, 64);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].size(), 2u);
+}
+
+TEST(ChunkRegions, EmptyInput) {
+  EXPECT_TRUE(ChunkRegions(ExtentList{}, 64).empty());
+}
+
+TEST(Client, CreateOpenCloseLifecycle) {
+  InProcCluster cluster;
+  Client client = cluster.MakeClient();
+
+  auto fd = client.Create("f", kDefault);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_TRUE(client.Close(*fd).ok());
+
+  auto fd2 = client.Open("f");
+  ASSERT_TRUE(fd2.ok());
+  auto meta = client.DescribeFd(*fd2);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->striping, kDefault);
+  EXPECT_TRUE(client.Close(*fd2).ok());
+
+  EXPECT_FALSE(client.Open("missing").ok());
+  EXPECT_FALSE(client.Close(1234).ok());
+}
+
+TEST(Client, ContiguousWriteReadRoundTrip) {
+  InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  auto fd = client.Create("f", kDefault);
+  ASSERT_TRUE(fd.ok());
+
+  // Spans several stripes and servers.
+  ByteBuffer data(5 * 16384 + 777);
+  FillPattern(data, 42, 0);
+  ASSERT_TRUE(client.Write(*fd, 1000, data).ok());
+
+  ByteBuffer out(data.size());
+  ASSERT_TRUE(client.Read(*fd, 1000, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(Client, StripingPlacesBytesOnExpectedServers) {
+  InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  auto fd = client.Create("f", kDefault);
+  ASSERT_TRUE(fd.ok());
+  auto meta = client.DescribeFd(*fd);
+
+  // Write exactly 3 stripes: they must land on iods 0, 1, 2.
+  ByteBuffer data(3 * 16384);
+  FillPattern(data, 7, 0);
+  ASSERT_TRUE(client.Write(*fd, 0, data).ok());
+  for (ServerId s = 0; s < 3; ++s) {
+    EXPECT_EQ(cluster.iods[s]->store().SizeOf(meta->handle), 16384u)
+        << "server " << s;
+  }
+  for (ServerId s = 3; s < 8; ++s) {
+    EXPECT_EQ(cluster.iods[s]->store().SizeOf(meta->handle), 0u);
+  }
+}
+
+TEST(Client, NonZeroBaseMapsToLaterServers) {
+  InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  auto fd = client.Create("f", Striping{5, 2, 16384});
+  ASSERT_TRUE(fd.ok());
+  auto meta = client.DescribeFd(*fd);
+
+  ByteBuffer data(2 * 16384);
+  FillPattern(data, 9, 0);
+  ASSERT_TRUE(client.Write(*fd, 0, data).ok());
+  // Relative servers 0,1 -> global 5,6.
+  EXPECT_EQ(cluster.iods[5]->store().SizeOf(meta->handle), 16384u);
+  EXPECT_EQ(cluster.iods[6]->store().SizeOf(meta->handle), 16384u);
+  EXPECT_EQ(cluster.iods[0]->store().SizeOf(meta->handle), 0u);
+
+  ByteBuffer out(data.size());
+  ASSERT_TRUE(client.Read(*fd, 0, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(Client, ListWriteReadRoundTrip) {
+  InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  auto fd = client.Create("f", kDefault);
+  ASSERT_TRUE(fd.ok());
+
+  // Noncontiguous in memory AND file.
+  ByteBuffer buffer(10000);
+  FillPattern(buffer, 3, 0);
+  ExtentList mem{{0, 1000}, {2000, 1000}, {5000, 500}};
+  ExtentList file{{100, 300}, {20000, 1200}, {100000, 1000}};
+  ASSERT_TRUE(client.WriteList(*fd, mem, buffer, file).ok());
+
+  ByteBuffer out(10000, std::byte{0});
+  ASSERT_TRUE(client.ReadList(*fd, mem, out, file).ok());
+  for (const Extent& m : mem) {
+    for (FileOffset i = m.offset; i < m.end(); ++i) {
+      ASSERT_EQ(out[i], buffer[i]) << "at " << i;
+    }
+  }
+}
+
+TEST(Client, ListIoChunksAtRegionLimit) {
+  InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  auto fd = client.Create("f", kDefault);
+  ASSERT_TRUE(fd.ok());
+  client.ResetStats();
+
+  // 130 small regions, all on server 0 (within the first stripe).
+  ExtentList file;
+  for (int i = 0; i < 130; ++i) {
+    file.push_back(Extent{static_cast<FileOffset>(i) * 100, 50});
+  }
+  ByteBuffer buffer(TotalBytes(file));
+  FillPattern(buffer, 5, 0);
+  ExtentList mem{{0, buffer.size()}};
+  ASSERT_TRUE(client.WriteList(*fd, mem, buffer, file).ok());
+
+  // ceil(130/64) = 3 fs requests (the paper's request-count metric).
+  EXPECT_EQ(client.stats().fs_requests, 3u);
+  EXPECT_EQ(client.stats().operations, 1u);
+  EXPECT_EQ(client.stats().bytes_written, buffer.size());
+}
+
+TEST(Client, ReadListOfSparseFileReturnsZeros) {
+  InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  auto fd = client.Create("f", kDefault);
+  ASSERT_TRUE(fd.ok());
+  ByteBuffer out(100, std::byte{0xEE});
+  ExtentList mem{{0, 100}};
+  ExtentList file{{1 << 20, 100}};
+  ASSERT_TRUE(client.ReadList(*fd, mem, out, file).ok());
+  for (std::byte b : out) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(Client, ValidationRejectsMismatchedTotals) {
+  InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  auto fd = client.Create("f", kDefault);
+  ByteBuffer buffer(100);
+  ExtentList mem{{0, 50}};
+  ExtentList file{{0, 60}};
+  EXPECT_EQ(client.ReadList(*fd, mem, buffer, file).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(Client, ValidationRejectsMemoryOutsideBuffer) {
+  InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  auto fd = client.Create("f", kDefault);
+  ByteBuffer buffer(100);
+  ExtentList mem{{90, 20}};
+  ExtentList file{{0, 20}};
+  EXPECT_EQ(client.WriteList(*fd, mem, buffer, file).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(Client, OperationsOnBadFdFail) {
+  InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  ByteBuffer buffer(10);
+  EXPECT_EQ(client.Read(42, 0, buffer).code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(client.Write(42, 0, buffer).code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(Client, CloseFlushesSizeToManager) {
+  InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  auto fd = client.Create("f", kDefault);
+  ByteBuffer data(1000);
+  ASSERT_TRUE(client.Write(*fd, 5000, data).ok());
+  ASSERT_TRUE(client.Close(*fd).ok());
+
+  auto fd2 = client.Open("f");
+  auto meta = client.Stat(*fd2);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->size, 6000u);
+}
+
+TEST(Client, RemoveDropsDataOnAllServers) {
+  InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  auto fd = client.Create("f", kDefault);
+  auto meta = client.DescribeFd(*fd);
+  ByteBuffer data(8 * 16384);
+  ASSERT_TRUE(client.Write(*fd, 0, data).ok());
+  ASSERT_TRUE(client.Close(*fd).ok());
+
+  ASSERT_TRUE(client.Remove("f").ok());
+  EXPECT_FALSE(client.Open("f").ok());
+  for (auto& iod : cluster.iods) {
+    EXPECT_FALSE(iod->store().Contains(meta->handle));
+  }
+}
+
+TEST(Client, SmallerListLimitMeansMoreRequests) {
+  InProcCluster cluster(8, /*max_list_regions=*/8);
+  Client client = cluster.MakeClient(/*max_list_regions=*/8);
+  auto fd = client.Create("f", kDefault);
+  client.ResetStats();
+
+  ExtentList file;
+  for (int i = 0; i < 64; ++i) {
+    file.push_back(Extent{static_cast<FileOffset>(i) * 1000, 10});
+  }
+  ByteBuffer buffer(TotalBytes(file));
+  ExtentList mem{{0, buffer.size()}};
+  ASSERT_TRUE(client.WriteList(*fd, mem, buffer, file).ok());
+  EXPECT_EQ(client.stats().fs_requests, 8u);  // 64 / 8
+}
+
+TEST(Client, RandomListPatternsMatchOracle) {
+  // Property test: random noncontiguous writes then reads reproduce the
+  // oracle file image for arbitrary patterns and stripe interactions.
+  InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  SplitMix64 rng(2026);
+
+  for (int round = 0; round < 10; ++round) {
+    std::string name = "f" + std::to_string(round);
+    Striping striping{static_cast<ServerId>(rng.Uniform(0, 7)),
+                      static_cast<std::uint32_t>(rng.Uniform(1, 8)),
+                      rng.Uniform(1, 3) * 4096};
+    auto fd = client.Create(name, striping);
+    ASSERT_TRUE(fd.ok());
+
+    const ByteCount file_span = 1 << 18;
+    ByteBuffer oracle(file_span, std::byte{0});
+
+    // Random disjoint ascending file regions.
+    ExtentList file;
+    FileOffset pos = rng.Uniform(0, 999);
+    while (pos < file_span - 2000 && file.size() < 200) {
+      ByteCount len = rng.Uniform(1, 997);
+      file.push_back(Extent{pos, len});
+      pos += len + rng.Uniform(1, 2048);
+    }
+    ByteCount total = TotalBytes(file);
+    ByteBuffer buffer(total);
+    FillPattern(buffer, round, 0);
+    ExtentList mem{{0, total}};
+
+    ASSERT_TRUE(client.WriteList(*fd, mem, buffer, file).ok());
+    // Maintain the oracle.
+    size_t cursor = 0;
+    for (const Extent& e : file) {
+      std::copy(buffer.begin() + cursor, buffer.begin() + cursor + e.length,
+                oracle.begin() + static_cast<std::ptrdiff_t>(e.offset));
+      cursor += e.length;
+    }
+
+    // Read back the whole span contiguously and compare with the oracle.
+    ByteBuffer image(file_span);
+    ASSERT_TRUE(client.Read(*fd, 0, image).ok());
+    ASSERT_EQ(image, oracle) << "round " << round;
+    ASSERT_TRUE(client.Close(*fd).ok());
+  }
+}
+
+TEST(Client, ParallelFanoutMovesIdenticalBytes) {
+  InProcCluster cluster;
+  Client::Options options;
+  options.parallel_fanout = true;
+  Client parallel(cluster.transport.get(), options);
+  Client serial = cluster.MakeClient();
+
+  auto pfd = parallel.Create("par", kDefault);
+  auto sfd = serial.Create("ser", kDefault);
+  ASSERT_TRUE(pfd.ok());
+  ASSERT_TRUE(sfd.ok());
+
+  // A large contiguous write fans out to all 8 servers concurrently.
+  ByteBuffer data(2 * 1024 * 1024 + 777);
+  FillPattern(data, 6, 0);
+  ASSERT_TRUE(parallel.Write(*pfd, 100, data).ok());
+  ASSERT_TRUE(serial.Write(*sfd, 100, data).ok());
+
+  ByteBuffer a(data.size());
+  ByteBuffer b(data.size());
+  ASSERT_TRUE(parallel.Read(*pfd, 100, a).ok());
+  ASSERT_TRUE(serial.Read(*sfd, 100, b).ok());
+  EXPECT_EQ(a, data);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(parallel.stats().messages, serial.stats().messages);
+
+  // List I/O across many servers under parallel fan-out.
+  ExtentList file;
+  for (int i = 0; i < 100; ++i) {
+    file.push_back(Extent{static_cast<FileOffset>(i) * 20000, 500});
+  }
+  ByteBuffer buffer(TotalBytes(file));
+  FillPattern(buffer, 7, 0);
+  ExtentList mem{{0, buffer.size()}};
+  ASSERT_TRUE(parallel.WriteList(*pfd, mem, buffer, file).ok());
+  ByteBuffer out(buffer.size());
+  ASSERT_TRUE(parallel.ReadList(*pfd, mem, out, file).ok());
+  EXPECT_EQ(out, buffer);
+}
+
+TEST(Client, ListFilesByPrefix) {
+  InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  for (const char* name : {"/a/one", "/a/two", "/b/one"}) {
+    auto fd = client.Create(name, kDefault);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(client.Close(*fd).ok());
+  }
+  auto all = client.ListFiles();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, (std::vector<std::string>{"/a/one", "/a/two", "/b/one"}));
+
+  auto under_a = client.ListFiles("/a/");
+  ASSERT_TRUE(under_a.ok());
+  EXPECT_EQ(*under_a, (std::vector<std::string>{"/a/one", "/a/two"}));
+
+  auto none = client.ListFiles("/zzz");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+
+  ASSERT_TRUE(client.Remove("/a/one").ok());
+  auto after = client.ListFiles("/a/");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, (std::vector<std::string>{"/a/two"}));
+}
+
+TEST(Client, SegmentChunkingMatchesPaperFlashArithmetic) {
+  // 2002/ROMIO-compatible chunking: the 64-entry cap binds on the finer
+  // (memory) side. A scaled FLASH-like pattern: 4 file chunks of 512 B,
+  // memory fragmented into 8-byte variables -> 256 segments -> 4 requests
+  // at limit 64, while the native client needs only 1.
+  InProcCluster cluster;
+  ExtentList file;
+  ExtentList mem;
+  for (int c = 0; c < 4; ++c) {
+    file.push_back(Extent{static_cast<FileOffset>(c) * 4096, 512});
+    for (int v = 0; v < 64; ++v) {
+      mem.push_back(Extent{static_cast<ByteCount>(c) * 2048 +
+                               static_cast<ByteCount>(v) * 24,
+                           8});
+    }
+  }
+  ByteBuffer buffer(4 * 2048);
+  FillPattern(buffer, 1, 0);
+
+  Client native(cluster.transport.get(), kMaxListRegions,
+                ListChunking::kFileRegions);
+  auto nfd = native.Create("native", kDefault);
+  ASSERT_TRUE(nfd.ok());
+  ASSERT_TRUE(native.WriteList(*nfd, mem, buffer, file).ok());
+  EXPECT_EQ(native.stats().fs_requests, 1u);
+
+  Client romio(cluster.transport.get(), kMaxListRegions,
+               ListChunking::kMatchedSegments);
+  auto rfd = romio.Create("romio", kDefault);
+  ASSERT_TRUE(rfd.ok());
+  ASSERT_TRUE(romio.WriteList(*rfd, mem, buffer, file).ok());
+  EXPECT_EQ(romio.stats().fs_requests, 4u);  // 256 segments / 64
+
+  // Both clients must produce identical file images.
+  ByteBuffer a(4096 * 4);
+  ByteBuffer b(4096 * 4);
+  ASSERT_TRUE(native.Read(*nfd, 0, a).ok());
+  ASSERT_TRUE(romio.Read(*rfd, 0, b).ok());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Client, SegmentChunkingEqualsNativeForContiguousMemory) {
+  InProcCluster cluster;
+  Client romio(cluster.transport.get(), kMaxListRegions,
+               ListChunking::kMatchedSegments);
+  auto fd = romio.Create("f", kDefault);
+  ASSERT_TRUE(fd.ok());
+  romio.ResetStats();
+  ExtentList file;
+  for (int i = 0; i < 100; ++i) {
+    file.push_back(Extent{static_cast<FileOffset>(i) * 1000, 64});
+  }
+  ByteBuffer buffer(TotalBytes(file));
+  ExtentList mem{{0, buffer.size()}};
+  ASSERT_TRUE(romio.WriteList(*fd, mem, buffer, file).ok());
+  EXPECT_EQ(romio.stats().fs_requests, 2u);  // ceil(100/64), same as native
+}
+
+}  // namespace
+}  // namespace pvfs

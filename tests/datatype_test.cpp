@@ -1,0 +1,187 @@
+// Datatype construction, flattening and typed-I/O tests (paper §5's
+// datatype-request proposal).
+#include "io/datatype.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "io/datatype_io.hpp"
+#include "io/list_io.hpp"
+#include "test_cluster.hpp"
+
+namespace pvfs::io {
+namespace {
+
+using pvfs::testutil::InProcCluster;
+
+TEST(Datatype, BytesBasics) {
+  Datatype t = Datatype::Bytes(16);
+  EXPECT_EQ(t.size(), 16u);
+  EXPECT_EQ(t.extent(), 16u);
+  EXPECT_EQ(t.region_count(), 1u);
+  EXPECT_EQ(t.Flatten(100), (ExtentList{{100, 16}}));
+}
+
+TEST(Datatype, ContiguousCoalescesToOneRegion) {
+  Datatype t = Datatype::Contiguous(4, Datatype::Bytes(8));
+  EXPECT_EQ(t.size(), 32u);
+  EXPECT_EQ(t.extent(), 32u);
+  EXPECT_EQ(t.Flatten(0), (ExtentList{{0, 32}}));
+}
+
+TEST(Datatype, VectorStridesInChildExtents) {
+  // MPI_Type_vector(count=3, blocklen=2, stride=4) of 8-byte elements:
+  // blocks at 0, 32, 64, each 16 bytes.
+  Datatype t = Datatype::Vector(3, 2, 4, Datatype::Bytes(8));
+  EXPECT_EQ(t.size(), 48u);
+  EXPECT_EQ(t.extent(), (2ull * 4 + 2) * 8);  // last block start + block
+  EXPECT_EQ(t.Flatten(0),
+            (ExtentList{{0, 16}, {32, 16}, {64, 16}}));
+}
+
+TEST(Datatype, HVectorStridesInBytes) {
+  Datatype t = Datatype::HVector(2, 1, 100, Datatype::Bytes(10));
+  EXPECT_EQ(t.Flatten(5), (ExtentList{{5, 10}, {105, 10}}));
+  EXPECT_EQ(t.extent(), 110u);
+}
+
+TEST(Datatype, IndexedBlocks) {
+  const std::uint64_t blocklens[] = {2, 1};
+  const std::int64_t displs[] = {0, 5};
+  Datatype t = Datatype::Indexed(blocklens, displs, Datatype::Bytes(4));
+  EXPECT_EQ(t.size(), 12u);
+  EXPECT_EQ(t.Flatten(0), (ExtentList{{0, 8}, {20, 4}}));
+}
+
+TEST(Datatype, StructWithMixedFields) {
+  std::vector<DatatypeField> fields;
+  fields.push_back({0, 2, Datatype::Bytes(4)});
+  fields.push_back({100, 1, Datatype::Contiguous(3, Datatype::Bytes(2))});
+  Datatype t = Datatype::StructType(std::move(fields));
+  EXPECT_EQ(t.size(), 14u);
+  EXPECT_EQ(t.Flatten(0), (ExtentList{{0, 8}, {100, 6}}));
+}
+
+TEST(Datatype, ResizedControlsTiling) {
+  // A 4-byte payload padded to a 16-byte extent tiles at 16-byte steps.
+  Datatype t = Datatype::Resized(Datatype::Bytes(4), 0, 16);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.extent(), 16u);
+  EXPECT_EQ(t.Flatten(0, 3),
+            (ExtentList{{0, 4}, {16, 4}, {32, 4}}));
+}
+
+TEST(Datatype, FlattenTilesAtExtent) {
+  Datatype t = Datatype::Vector(2, 1, 2, Datatype::Bytes(4));
+  // One instance: [0,4) [8,12); extent 12. Tiled twice: second at 12.
+  EXPECT_EQ(t.Flatten(0, 2),
+            (ExtentList{{0, 4}, {8, 12 + 4 - 8}, {20, 4}}));
+  // Note: [8,12) and [12,16) coalesce across the tile boundary.
+}
+
+TEST(Datatype, SubarrayTwoDim) {
+  // 4x6 byte array, 2x3 subarray at (1,2): rows at 8+2=10 and 16+2=18.
+  const std::uint64_t sizes[] = {4, 6};
+  const std::uint64_t subsizes[] = {2, 3};
+  const std::uint64_t starts[] = {1, 2};
+  Datatype t = Datatype::Subarray(sizes, subsizes, starts, Datatype::Bytes(1));
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.extent(), 24u);  // full array extent for clean tiling
+  EXPECT_EQ(t.Flatten(0), (ExtentList{{8, 3}, {14, 3}}));
+}
+
+TEST(Datatype, SubarrayThreeDim) {
+  const std::uint64_t sizes[] = {3, 4, 5};
+  const std::uint64_t subsizes[] = {2, 2, 2};
+  const std::uint64_t starts[] = {1, 1, 2};
+  Datatype t = Datatype::Subarray(sizes, subsizes, starts, Datatype::Bytes(1));
+  EXPECT_EQ(t.size(), 8u);
+  ExtentList flat = t.Flatten(0);
+  ASSERT_EQ(flat.size(), 4u);
+  // First run: (z=1,y=1,x=2..3) -> 1*20 + 1*5 + 2 = 27.
+  EXPECT_EQ(flat[0], (Extent{27, 2}));
+  EXPECT_EQ(flat[1], (Extent{32, 2}));
+  EXPECT_EQ(flat[2], (Extent{47, 2}));
+  EXPECT_EQ(flat[3], (Extent{52, 2}));
+}
+
+TEST(Datatype, RegionCountTracksLeaves) {
+  Datatype vec = Datatype::Vector(10, 2, 5, Datatype::Bytes(8));
+  EXPECT_EQ(vec.region_count(), 20u);
+  Datatype nested = Datatype::HVector(3, 1, 1000, vec);
+  EXPECT_EQ(nested.region_count(), 60u);
+}
+
+TEST(Datatype, DescriptionSizeIsConstantInCount) {
+  // The §5 argument: a vector description does not grow with the number
+  // of regions it describes.
+  Datatype small = Datatype::Vector(10, 1, 2, Datatype::Bytes(8));
+  Datatype large = Datatype::Vector(1000000, 1, 2, Datatype::Bytes(8));
+  EXPECT_EQ(small.DescriptionWireBytes(), large.DescriptionWireBytes());
+  EXPECT_LT(large.DescriptionWireBytes(), 64u);
+  EXPECT_EQ(large.region_count(), 1000000u);
+}
+
+TEST(PatternFromDatatypes, FileViewTilingAndTruncation) {
+  // Memory: 10 contiguous 8-byte elements. File view: vector picking the
+  // first 8 bytes of every 32-byte group. 80 bytes of data need 10 tiles.
+  Datatype mem = Datatype::Bytes(80);
+  Datatype filetype =
+      Datatype::Resized(Datatype::Bytes(8), 0, 32);
+  auto pattern = PatternFromDatatypes(mem, 1, filetype, 1000);
+  ASSERT_TRUE(pattern.ok());
+  EXPECT_EQ(TotalBytes(pattern->file), 80u);
+  ASSERT_EQ(pattern->file.size(), 10u);
+  EXPECT_EQ(pattern->file[0], (Extent{1000, 8}));
+  EXPECT_EQ(pattern->file[9], (Extent{1000 + 9 * 32, 8}));
+  EXPECT_EQ(pattern->memory, (ExtentList{{0, 80}}));
+}
+
+TEST(PatternFromDatatypes, PartialLastTile) {
+  Datatype mem = Datatype::Bytes(20);
+  Datatype filetype = Datatype::Resized(Datatype::Bytes(8), 0, 16);
+  auto pattern = PatternFromDatatypes(mem, 1, filetype, 0);
+  ASSERT_TRUE(pattern.ok());
+  ASSERT_EQ(pattern->file.size(), 3u);
+  EXPECT_EQ(pattern->file[2], (Extent{32, 4}));  // truncated to 20 bytes
+}
+
+TEST(PatternFromDatatypes, RejectsDatalessFiletype) {
+  Datatype mem = Datatype::Bytes(8);
+  Datatype hole = Datatype::Resized(Datatype::Bytes(0), 0, 64);
+  EXPECT_FALSE(PatternFromDatatypes(mem, 1, hole, 0).ok());
+}
+
+TEST(TypedIo, RoundTripThroughRealFileSystem) {
+  InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  auto fd = client.Create("typed", Striping{0, 8, 16384});
+  ASSERT_TRUE(fd.ok());
+
+  // Column access of a 64x64-byte matrix: memory contiguous, file strided.
+  Datatype mem = Datatype::Bytes(64 * 4);
+  Datatype filetype = Datatype::Vector(64, 4, 64, Datatype::Bytes(1));
+
+  ByteBuffer out_buf(64 * 4);
+  ByteBuffer in_buf(64 * 4);
+  FillPattern(in_buf, 31, 0);
+
+  ListIo list;
+  ASSERT_TRUE(
+      WriteTyped(client, *fd, mem, 1, in_buf, filetype, 0, list).ok());
+  ASSERT_TRUE(
+      ReadTyped(client, *fd, mem, 1, out_buf, filetype, 0, list).ok());
+  EXPECT_EQ(out_buf, in_buf);
+
+  // The bytes landed where the filetype says: column k of row r at r*64+k.
+  ByteBuffer image(64 * 64);
+  ASSERT_TRUE(client.Read(*fd, 0, image).ok());
+  for (int r = 0; r < 64; ++r) {
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_EQ(image[r * 64 + k], in_buf[r * 4 + k]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pvfs::io

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "pvfs/distribution.hpp"
+
+namespace pvfs {
+namespace {
+
+Distribution Dist8() { return Distribution(Striping{0, 8, 16384}); }
+
+TEST(Distribution, StripeRoundRobin) {
+  Distribution dist = Dist8();
+  EXPECT_EQ(dist.ServerOf(0), 0u);
+  EXPECT_EQ(dist.ServerOf(16383), 0u);
+  EXPECT_EQ(dist.ServerOf(16384), 1u);
+  EXPECT_EQ(dist.ServerOf(7 * 16384), 7u);
+  EXPECT_EQ(dist.ServerOf(8 * 16384), 0u);  // wraps
+}
+
+TEST(Distribution, LocalOffsetsPackDensely) {
+  Distribution dist = Dist8();
+  // Server 0 holds stripes 0, 8, 16, ... at local offsets 0, 16K, 32K.
+  EXPECT_EQ(dist.LocalOffsetOf(0), 0u);
+  EXPECT_EQ(dist.LocalOffsetOf(100), 100u);
+  EXPECT_EQ(dist.LocalOffsetOf(8 * 16384), 16384u);
+  EXPECT_EQ(dist.LocalOffsetOf(8 * 16384 + 5), 16389u);
+  EXPECT_EQ(dist.LocalOffsetOf(16 * 16384), 2 * 16384u);
+}
+
+TEST(Distribution, LogicalOffsetInvertsLocal) {
+  Distribution dist = Dist8();
+  SplitMix64 rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    FileOffset logical = rng.Uniform(0, 1ull << 40);
+    ServerId s = dist.ServerOf(logical);
+    FileOffset local = dist.LocalOffsetOf(logical);
+    EXPECT_EQ(dist.LogicalOffsetOf(s, local), logical);
+  }
+}
+
+TEST(Distribution, RoundTripWithOddParams) {
+  // Non-power-of-two pcount and stripe size.
+  Distribution dist(Striping{0, 5, 1000});
+  SplitMix64 rng(22);
+  for (int i = 0; i < 2000; ++i) {
+    FileOffset logical = rng.Uniform(0, 1ull << 30);
+    EXPECT_EQ(dist.LogicalOffsetOf(dist.ServerOf(logical),
+                                   dist.LocalOffsetOf(logical)),
+              logical);
+  }
+}
+
+TEST(Distribution, FragmentsSplitAtStripeBoundaries) {
+  Distribution dist = Dist8();
+  // [16000, 17000) crosses the stripe-0/stripe-1 boundary at 16384.
+  auto frags = dist.Fragments(ExtentList{{16000, 1000}});
+  ASSERT_EQ(frags.size(), 2u);
+  EXPECT_EQ(frags[0].server, 0u);
+  EXPECT_EQ(frags[0].local_offset, 16000u);
+  EXPECT_EQ(frags[0].length, 384u);
+  EXPECT_EQ(frags[0].logical_pos, 0u);
+  EXPECT_EQ(frags[1].server, 1u);
+  EXPECT_EQ(frags[1].local_offset, 0u);
+  EXPECT_EQ(frags[1].length, 616u);
+  EXPECT_EQ(frags[1].logical_pos, 384u);
+}
+
+TEST(Distribution, FragmentsCoverExactBytes) {
+  Distribution dist(Striping{0, 3, 4096});
+  ExtentList regions{{100, 10000}, {50000, 12345}, {1 << 20, 1}};
+  auto frags = dist.Fragments(regions);
+  ByteCount total = 0;
+  ByteCount expected_stream = 0;
+  size_t idx = 0;
+  for (const Extent& e : regions) expected_stream += e.length;
+  for (const Fragment& f : frags) {
+    total += f.length;
+    if (idx > 0) {
+      EXPECT_GE(f.logical_pos, frags[idx - 1].logical_pos);
+    }
+    ++idx;
+  }
+  EXPECT_EQ(total, expected_stream);
+}
+
+TEST(Distribution, ContiguousRangeIsOneLocalRunPerServer) {
+  // The key PVFS layout property: a logically contiguous range coalesces
+  // to exactly one contiguous local run on every involved server.
+  Distribution dist = Dist8();
+  ExtentList whole{{0, 64 * 16384}};  // 8 full cycles
+  for (ServerId s = 0; s < 8; ++s) {
+    auto runs = dist.ServerLocalRuns(s, whole);
+    ASSERT_EQ(runs.size(), 1u) << "server " << s;
+    EXPECT_EQ(runs[0].local_offset, 0u);
+    EXPECT_EQ(runs[0].length, 8 * 16384u);
+  }
+}
+
+TEST(Distribution, ContiguousRangeWithPartialEdges) {
+  Distribution dist = Dist8();
+  ExtentList range{{5000, 40 * 16384}};
+  ByteCount total = 0;
+  for (ServerId s = 0; s < 8; ++s) {
+    auto runs = dist.ServerLocalRuns(s, range);
+    ASSERT_EQ(runs.size(), 1u) << "server " << s;
+    total += runs[0].length;
+  }
+  EXPECT_EQ(total, 40 * 16384u);
+}
+
+TEST(Distribution, InvolvedServersSmallRegion) {
+  Distribution dist = Dist8();
+  EXPECT_EQ(dist.InvolvedServers(ExtentList{{0, 100}}),
+            (std::vector<ServerId>{0}));
+  EXPECT_EQ(dist.InvolvedServers(ExtentList{{16380, 10}}),
+            (std::vector<ServerId>{0, 1}));
+}
+
+TEST(Distribution, InvolvedServersWideRegionIsAll) {
+  Distribution dist = Dist8();
+  auto all = dist.InvolvedServers(ExtentList{{12345, 9 * 16384}});
+  EXPECT_EQ(all.size(), 8u);
+}
+
+TEST(Distribution, InvolvedServersIgnoresEmptyRegions) {
+  Distribution dist = Dist8();
+  EXPECT_TRUE(dist.InvolvedServers(ExtentList{{100, 0}}).empty());
+}
+
+TEST(Distribution, BytesOnServerSumsToTotal) {
+  Distribution dist(Striping{0, 4, 8192});
+  ExtentList regions{{0, 100000}, {500000, 77777}};
+  ByteCount sum = 0;
+  for (ServerId s = 0; s < 4; ++s) {
+    sum += dist.BytesOnServer(s, regions);
+  }
+  EXPECT_EQ(sum, TotalBytes(regions));
+}
+
+TEST(Distribution, SingleServerStriping) {
+  Distribution dist(Striping{0, 1, 16384});
+  EXPECT_EQ(dist.ServerOf(123456789), 0u);
+  EXPECT_EQ(dist.LocalOffsetOf(123456789), 123456789u);
+  auto runs = dist.ServerLocalRuns(0, ExtentList{{0, 1 << 20}});
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].length, 1u << 20);
+}
+
+TEST(Distribution, ServerLocalRunsPreserveListOrder) {
+  Distribution dist = Dist8();
+  // Two regions both on server 0 but NOT adjacent locally: no coalescing.
+  ExtentList regions{{0, 100}, {8 * 16384, 100}};
+  auto runs = dist.ServerLocalRuns(0, regions);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].local_offset, 0u);
+  EXPECT_EQ(runs[1].local_offset, 16384u);
+}
+
+TEST(Distribution, AdjacentLocalRunsCoalesce) {
+  Distribution dist = Dist8();
+  // [0,100) and [100,200) on server 0 are locally adjacent.
+  ExtentList regions{{0, 100}, {100, 100}};
+  auto runs = dist.ServerLocalRuns(0, regions);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].length, 200u);
+}
+
+}  // namespace
+}  // namespace pvfs

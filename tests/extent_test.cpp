@@ -1,0 +1,125 @@
+#include "common/extent.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pvfs {
+namespace {
+
+TEST(Extent, BasicAccessors) {
+  Extent e{100, 50};
+  EXPECT_EQ(e.end(), 150u);
+  EXPECT_FALSE(e.empty());
+  EXPECT_TRUE(e.contains(100));
+  EXPECT_TRUE(e.contains(149));
+  EXPECT_FALSE(e.contains(150));
+  EXPECT_TRUE(Extent({0, 0}).empty());
+}
+
+TEST(Extent, Overlaps) {
+  Extent a{0, 10};
+  EXPECT_TRUE(a.overlaps({5, 10}));
+  EXPECT_FALSE(a.overlaps({10, 10}));  // touching is not overlapping
+  EXPECT_TRUE(a.overlaps({0, 1}));
+  EXPECT_FALSE(a.overlaps({20, 5}));
+}
+
+TEST(ExtentList, TotalBytes) {
+  ExtentList list{{0, 10}, {100, 20}, {50, 0}};
+  EXPECT_EQ(TotalBytes(list), 30u);
+  EXPECT_EQ(TotalBytes(ExtentList{}), 0u);
+}
+
+TEST(ExtentList, SortedDisjointChecks) {
+  EXPECT_TRUE(IsSortedDisjoint(ExtentList{{0, 10}, {10, 5}, {20, 1}}));
+  EXPECT_FALSE(IsSortedDisjoint(ExtentList{{0, 10}, {5, 5}}));
+  EXPECT_TRUE(IsSortedStrictlyDisjoint(ExtentList{{0, 10}, {11, 5}}));
+  EXPECT_FALSE(IsSortedStrictlyDisjoint(ExtentList{{0, 10}, {10, 5}}));
+}
+
+TEST(ExtentList, BoundingExtent) {
+  EXPECT_FALSE(BoundingExtent(ExtentList{}).has_value());
+  EXPECT_FALSE(BoundingExtent(ExtentList{{5, 0}}).has_value());
+  auto bound = BoundingExtent(ExtentList{{100, 10}, {10, 5}, {50, 25}});
+  ASSERT_TRUE(bound.has_value());
+  EXPECT_EQ(bound->offset, 10u);
+  EXPECT_EQ(bound->end(), 110u);
+}
+
+TEST(ExtentList, CoalesceAdjacentPreservesOrder) {
+  ExtentList in{{0, 10}, {10, 10}, {30, 5}, {20, 5}, {25, 0}};
+  ExtentList out = CoalesceAdjacent(in);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], (Extent{0, 20}));
+  EXPECT_EQ(out[1], (Extent{30, 5}));
+  EXPECT_EQ(out[2], (Extent{20, 5}));  // order preserved, no sorting
+}
+
+TEST(ExtentList, NormalizeSetMergesOverlapsAndTouching) {
+  ExtentList out = NormalizeSet({{30, 5}, {0, 10}, {8, 4}, {12, 3}, {40, 0}});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (Extent{0, 15}));
+  EXPECT_EQ(out[1], (Extent{30, 5}));
+}
+
+TEST(ExtentList, IntersectSets) {
+  ExtentList a{{0, 10}, {20, 10}};
+  ExtentList b{{5, 20}};
+  ExtentList out = IntersectSets(a, b);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (Extent{5, 5}));
+  EXPECT_EQ(out[1], (Extent{20, 5}));
+}
+
+TEST(ExtentList, IntersectSetsEmpty) {
+  EXPECT_TRUE(IntersectSets(ExtentList{{0, 5}}, ExtentList{{5, 5}}).empty());
+  EXPECT_TRUE(IntersectSets(ExtentList{}, ExtentList{{0, 5}}).empty());
+}
+
+TEST(ExtentList, ClipToWindow) {
+  ExtentList in{{0, 10}, {15, 10}, {40, 10}};
+  ExtentList out = ClipToWindow(in, Extent{5, 25});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (Extent{5, 5}));
+  EXPECT_EQ(out[1], (Extent{15, 10}));
+}
+
+TEST(MatchSegments, RejectsUnequalTotals) {
+  auto result = MatchSegments(ExtentList{{0, 10}}, ExtentList{{0, 5}});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(MatchSegments, SplitsAtBothBoundaries) {
+  // memory: [0,8) [20,4); file: [100,4) [200,8)
+  auto result =
+      MatchSegments(ExtentList{{0, 8}, {20, 4}}, ExtentList{{100, 4}, {200, 8}});
+  ASSERT_TRUE(result.ok());
+  const auto& segs = *result;
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0], (Segment{0, 100, 4}));
+  EXPECT_EQ(segs[1], (Segment{4, 200, 4}));
+  EXPECT_EQ(segs[2], (Segment{20, 204, 4}));
+}
+
+TEST(MatchSegments, MergesDoublyContiguousRuns) {
+  // Adjacent on both sides -> a single segment.
+  auto result =
+      MatchSegments(ExtentList{{0, 4}, {4, 4}}, ExtentList{{64, 4}, {68, 4}});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->front(), (Segment{0, 64, 8}));
+}
+
+TEST(MatchSegments, EmptyLists) {
+  auto result = MatchSegments(ExtentList{}, ExtentList{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(ExtentList, ToStringRendering) {
+  EXPECT_EQ(ToString(ExtentList{{0, 4}, {10, 2}}), "[0,4) [10,12)");
+  EXPECT_EQ(ToString(ExtentList{}), "");
+}
+
+}  // namespace
+}  // namespace pvfs

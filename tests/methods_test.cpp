@@ -1,0 +1,363 @@
+// Equivalence and behaviour tests for the noncontiguous access methods
+// (paper §3): every method must move exactly the same bytes; they differ
+// only in the requests they issue — which the tests also pin down.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "io/data_sieving.hpp"
+#include "io/hybrid_io.hpp"
+#include "io/method.hpp"
+#include "test_cluster.hpp"
+
+namespace pvfs::io {
+namespace {
+
+using pvfs::testutil::InProcCluster;
+
+constexpr Striping kDefault{0, 8, 16384};
+
+/// Small sieve buffer so window logic is exercised by small tests.
+MethodOptions SmallOptions() {
+  MethodOptions options;
+  options.sieve_buffer_bytes = 8192;
+  options.hybrid_gap_threshold = 256;
+  return options;
+}
+
+AccessPattern InterleavedPattern(ByteCount piece, int count, int stride_x,
+                                 FileOffset base) {
+  AccessPattern p;
+  for (int i = 0; i < count; ++i) {
+    p.file.push_back(
+        Extent{base + static_cast<FileOffset>(i) * piece * stride_x, piece});
+  }
+  p.memory = {Extent{0, piece * count}};
+  return p;
+}
+
+AccessPattern BothSidesNoncontiguous() {
+  AccessPattern p;
+  // 3 memory regions and 4 file regions with equal totals (720 bytes) and
+  // misaligned boundaries, crossing a stripe edge.
+  p.memory = {{10, 300}, {500, 120}, {1000, 300}};
+  p.file = {{16300, 200}, {40000, 100}, {60000, 220}, {90000, 200}};
+  return p;
+}
+
+AccessPattern RandomSortedPattern(SplitMix64& rng, size_t max_regions) {
+  AccessPattern p;
+  FileOffset pos = rng.Uniform(0, 4096);
+  ByteCount mem_pos = rng.Uniform(0, 64);
+  while (p.file.size() < max_regions) {
+    ByteCount len = rng.Uniform(1, 3000);
+    p.file.push_back(Extent{pos, len});
+    pos += len + rng.Uniform(1, 9000);
+    p.memory.push_back(Extent{mem_pos, len});
+    mem_pos += len + rng.Uniform(0, 50);
+  }
+  return p;
+}
+
+struct Harness {
+  Harness() : client(cluster.MakeClient()) {}
+
+  Client::Fd CreateFile(const std::string& name,
+                        Striping striping = kDefault) {
+    auto fd = client.Create(name, striping);
+    EXPECT_TRUE(fd.ok());
+    return *fd;
+  }
+
+  InProcCluster cluster;
+  Client client;
+};
+
+class MethodEquivalence : public ::testing::TestWithParam<MethodType> {};
+
+TEST_P(MethodEquivalence, WriteThenContiguousReadMatchesOracle) {
+  Harness h;
+  auto method = MakeMethod(GetParam(), SmallOptions());
+  AccessPattern pattern = BothSidesNoncontiguous();
+  auto fd = h.CreateFile("f");
+
+  ByteBuffer buffer(2000);
+  FillPattern(buffer, 77, 0);
+  ASSERT_TRUE(method->Write(h.client, fd, pattern, buffer).ok());
+
+  // Oracle image of the file.
+  ByteCount span = BoundingExtent(pattern.file)->end();
+  ByteBuffer oracle(span, std::byte{0});
+  auto segments = pattern.Segments();
+  ASSERT_TRUE(segments.ok());
+  for (const Segment& seg : *segments) {
+    std::copy(buffer.begin() + static_cast<std::ptrdiff_t>(seg.mem_offset),
+              buffer.begin() +
+                  static_cast<std::ptrdiff_t>(seg.mem_offset + seg.length),
+              oracle.begin() + static_cast<std::ptrdiff_t>(seg.file_offset));
+  }
+
+  ByteBuffer image(span);
+  ASSERT_TRUE(h.client.Read(fd, 0, image).ok());
+  EXPECT_EQ(image, oracle);
+}
+
+TEST_P(MethodEquivalence, ReadSeesContiguouslyWrittenData) {
+  Harness h;
+  auto method = MakeMethod(GetParam(), SmallOptions());
+  AccessPattern pattern = BothSidesNoncontiguous();
+  auto fd = h.CreateFile("f");
+
+  // Fill the file span with a known pattern.
+  ByteCount span = BoundingExtent(pattern.file)->end();
+  ByteBuffer image(span);
+  FillPattern(image, 5, 0);
+  ASSERT_TRUE(h.client.Write(fd, 0, image).ok());
+
+  ByteBuffer buffer(2000, std::byte{0xAA});
+  ASSERT_TRUE(method->Read(h.client, fd, pattern, buffer).ok());
+
+  auto segments = pattern.Segments();
+  ASSERT_TRUE(segments.ok());
+  for (const Segment& seg : *segments) {
+    for (ByteCount i = 0; i < seg.length; ++i) {
+      ASSERT_EQ(buffer[seg.mem_offset + i], image[seg.file_offset + i])
+          << "segment at file " << seg.file_offset << " + " << i;
+    }
+  }
+  // Bytes outside the memory regions are untouched.
+  EXPECT_EQ(buffer[0], std::byte{0xAA});
+  EXPECT_EQ(buffer[400], std::byte{0xAA});
+}
+
+TEST_P(MethodEquivalence, RandomPatternsRoundTrip) {
+  Harness h;
+  auto method = MakeMethod(GetParam(), SmallOptions());
+  SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) + 100);
+
+  for (int round = 0; round < 5; ++round) {
+    auto fd = h.CreateFile("f" + std::to_string(round));
+    AccessPattern pattern = RandomSortedPattern(rng, 40 + round * 30);
+    ByteCount buffer_size = 0;
+    for (const Extent& m : pattern.memory) {
+      buffer_size = std::max<ByteCount>(buffer_size, m.end());
+    }
+    ByteBuffer buffer(buffer_size);
+    FillPattern(buffer, round, 0);
+
+    ASSERT_TRUE(method->Write(h.client, fd, pattern, buffer).ok());
+
+    ByteBuffer out(buffer_size, std::byte{0});
+    ASSERT_TRUE(method->Read(h.client, fd, pattern, out).ok());
+    for (const Extent& m : pattern.memory) {
+      for (FileOffset i = m.offset; i < m.end(); ++i) {
+        ASSERT_EQ(out[i], buffer[i]) << "round " << round << " at " << i;
+      }
+    }
+  }
+}
+
+TEST_P(MethodEquivalence, EmptyPatternIsNoop) {
+  Harness h;
+  auto method = MakeMethod(GetParam(), SmallOptions());
+  auto fd = h.CreateFile("f");
+  AccessPattern empty;
+  ByteBuffer buffer(16);
+  EXPECT_TRUE(method->Write(h.client, fd, empty, buffer).ok());
+  EXPECT_TRUE(method->Read(h.client, fd, empty, buffer).ok());
+}
+
+TEST_P(MethodEquivalence, ValidationFailuresPropagate) {
+  Harness h;
+  auto method = MakeMethod(GetParam(), SmallOptions());
+  auto fd = h.CreateFile("f");
+  AccessPattern bad;
+  bad.memory = {{0, 10}};
+  bad.file = {{0, 20}};
+  ByteBuffer buffer(32);
+  EXPECT_FALSE(method->Write(h.client, fd, bad, buffer).ok());
+  EXPECT_FALSE(method->Read(h.client, fd, bad, buffer).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, MethodEquivalence,
+                         ::testing::Values(MethodType::kMultiple,
+                                           MethodType::kDataSieving,
+                                           MethodType::kList,
+                                           MethodType::kHybrid),
+                         [](const auto& info) {
+                           std::string name(MethodName(info.param));
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+// ---- Request-count behaviour (the paper's core claim) ----------------------
+
+TEST(MethodRequests, MultipleIssuesOneRequestPerSegment) {
+  Harness h;
+  auto fd = h.CreateFile("f");
+  AccessPattern pattern = InterleavedPattern(100, 50, 3, 0);
+  ByteBuffer buffer(TotalBytes(pattern.memory));
+  h.client.ResetStats();
+  auto method = MakeMethod(MethodType::kMultiple);
+  ASSERT_TRUE(method->Write(h.client, fd, pattern, buffer).ok());
+  EXPECT_EQ(h.client.stats().fs_requests, 50u);
+}
+
+TEST(MethodRequests, ListBatchesRegionsByLimit) {
+  Harness h;
+  auto fd = h.CreateFile("f");
+  AccessPattern pattern = InterleavedPattern(100, 130, 3, 0);
+  ByteBuffer buffer(TotalBytes(pattern.memory));
+  h.client.ResetStats();
+  auto method = MakeMethod(MethodType::kList);
+  ASSERT_TRUE(method->Write(h.client, fd, pattern, buffer).ok());
+  EXPECT_EQ(h.client.stats().fs_requests, 3u);  // ceil(130/64)
+}
+
+TEST(MethodRequests, SievingReadUsesWindows) {
+  Harness h;
+  auto fd = h.CreateFile("f");
+  // 64 pieces of 100 B spread over ~51 KB; with an 8 KiB sieve buffer the
+  // bounding extent needs ceil(51.1K/8K) = 7 window reads.
+  AccessPattern pattern = InterleavedPattern(100, 64, 8, 0);
+  ByteBuffer buffer(TotalBytes(pattern.memory));
+  ByteBuffer image(BoundingExtent(pattern.file)->end());
+  ASSERT_TRUE(h.client.Write(fd, 0, image).ok());
+
+  h.client.ResetStats();
+  auto method = MakeMethod(MethodType::kDataSieving, SmallOptions());
+  ASSERT_TRUE(method->Read(h.client, fd, pattern, buffer).ok());
+  ByteCount span = BoundingExtent(pattern.file)->end() -
+                   BoundingExtent(pattern.file)->offset;
+  ByteCount expected = (span + 8191) / 8192;
+  EXPECT_EQ(h.client.stats().fs_requests, expected);
+  // Sieving reads far more bytes than the pattern wants.
+  EXPECT_GT(h.client.stats().bytes_read, TotalBytes(pattern.file));
+}
+
+TEST(MethodRequests, SievingSkipsEmptyWindows) {
+  Harness h;
+  auto fd = h.CreateFile("f");
+  // Two clusters far apart: windows between them contain nothing.
+  AccessPattern p;
+  p.file = {{0, 100}, {100, 100}, {1000000, 100}, {1000100, 100}};
+  p.memory = {{0, 400}};
+  ByteBuffer buffer(400);
+  h.client.ResetStats();
+  auto method = MakeMethod(MethodType::kDataSieving, SmallOptions());
+  ASSERT_TRUE(method->Read(h.client, fd, p, buffer).ok());
+  // 1000200 bytes span / 8192 = 123 windows, but only 2 contain data.
+  EXPECT_EQ(h.client.stats().fs_requests, 2u);
+}
+
+TEST(MethodRequests, HybridCollapsesDenseClusters) {
+  Harness h;
+  auto fd = h.CreateFile("f");
+  // 60 regions in dense clusters of 10 (gap 16 B inside, 5000 B between).
+  AccessPattern p;
+  FileOffset pos = 0;
+  for (int cluster = 0; cluster < 6; ++cluster) {
+    for (int i = 0; i < 10; ++i) {
+      p.file.push_back(Extent{pos, 64});
+      pos += 64 + 16;
+    }
+    pos += 5000;
+  }
+  p.memory = {{0, TotalBytes(p.file)}};
+  ByteBuffer buffer(TotalBytes(p.file));
+  h.client.ResetStats();
+  auto method = MakeMethod(MethodType::kHybrid, SmallOptions());
+  ASSERT_TRUE(method->Read(h.client, fd, p, buffer).ok());
+  // 6 super-regions -> one list request; far fewer regions sent than 60.
+  EXPECT_EQ(h.client.stats().fs_requests, 1u);
+  EXPECT_EQ(h.client.stats().regions_sent % 6, 0u);
+  EXPECT_LT(h.client.stats().regions_sent, 60u);
+}
+
+// ---- Hybrid coalescing unit behaviour ---------------------------------------
+
+TEST(HybridCoalesce, MergesWithinThreshold) {
+  ExtentList in{{0, 10}, {15, 10}, {40, 10}};
+  ExtentList out = HybridIo::CoalesceWithGaps(in, 5);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (Extent{0, 25}));
+  EXPECT_EQ(out[1], (Extent{40, 10}));
+}
+
+TEST(HybridCoalesce, ZeroThresholdMergesOnlyAdjacent) {
+  ExtentList in{{0, 10}, {10, 10}, {21, 10}};
+  ExtentList out = HybridIo::CoalesceWithGaps(in, 0);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (Extent{0, 20}));
+}
+
+TEST(HybridCoalesce, HugeThresholdMergesEverything) {
+  ExtentList in{{0, 10}, {1000, 10}, {100000, 10}};
+  ExtentList out = HybridIo::CoalesceWithGaps(in, 1 << 20);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].end(), 100010u);
+}
+
+// ---- Sieving write correctness under concurrency ----------------------------
+
+TEST(SievingWrite, SerializedRmwPreservesNeighbourData) {
+  // Two interleaved writers whose sieve windows overlap: without the
+  // serializer their read-modify-write cycles would race; with it the
+  // final image must contain both writers' bytes.
+  Harness h;
+  auto fd = h.CreateFile("f");
+  MethodOptions options = SmallOptions();
+  MutexSerializer serializer;
+  options.serializer = &serializer;
+
+  constexpr int kPieces = 64;
+  constexpr ByteCount kPiece = 128;
+  auto pattern_for = [&](int who) {
+    AccessPattern p;
+    for (int i = 0; i < kPieces; ++i) {
+      p.file.push_back(
+          Extent{static_cast<FileOffset>(i) * 2 * kPiece + who * kPiece,
+                 kPiece});
+    }
+    p.memory = {Extent{0, kPieces * kPiece}};
+    return p;
+  };
+
+  ByteBuffer buf0(kPieces * kPiece);
+  ByteBuffer buf1(kPieces * kPiece);
+  FillPattern(buf0, 1000, 0);
+  FillPattern(buf1, 2000, 0);
+
+  std::jthread w0([&] {
+    auto method = MakeMethod(MethodType::kDataSieving, options);
+    Client client = h.cluster.MakeClient();
+    auto my_fd = client.Open("f");
+    ASSERT_TRUE(my_fd.ok());
+    ASSERT_TRUE(method->Write(client, *my_fd, pattern_for(0), buf0).ok());
+  });
+  std::jthread w1([&] {
+    auto method = MakeMethod(MethodType::kDataSieving, options);
+    Client client = h.cluster.MakeClient();
+    auto my_fd = client.Open("f");
+    ASSERT_TRUE(my_fd.ok());
+    ASSERT_TRUE(method->Write(client, *my_fd, pattern_for(1), buf1).ok());
+  });
+  w0.join();
+  w1.join();
+
+  ByteBuffer image(kPieces * kPiece * 2);
+  ASSERT_TRUE(h.client.Read(fd, 0, image).ok());
+  for (int i = 0; i < kPieces; ++i) {
+    for (ByteCount b = 0; b < kPiece; ++b) {
+      ASSERT_EQ(image[i * 2 * kPiece + b], buf0[i * kPiece + b])
+          << "writer 0 piece " << i;
+      ASSERT_EQ(image[i * 2 * kPiece + kPiece + b], buf1[i * kPiece + b])
+          << "writer 1 piece " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pvfs::io

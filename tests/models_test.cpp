@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "models/disk.hpp"
+#include "models/ethernet.hpp"
+#include "models/page_cache.hpp"
+
+namespace pvfs::models {
+namespace {
+
+// ---- DiskModel -------------------------------------------------------------
+
+TEST(DiskModel, SequentialAccessPaysOnlyTransfer) {
+  DiskModel disk;
+  SimTimeNs first = disk.Access(0, 64 * 1024, false);
+  SimTimeNs second = disk.Access(64 * 1024, 64 * 1024, false);
+  // First access seeks from position 0 head... head starts at 0, so the
+  // first access is "sequential" too; both should be pure transfer.
+  double transfer_s = 64.0 * 1024 / (disk.params().media_transfer_mbps * 1e6);
+  EXPECT_EQ(first, SecondsToNs(transfer_s));
+  EXPECT_EQ(second, SecondsToNs(transfer_s));
+  EXPECT_EQ(disk.sequential_hits(), 2u);
+  EXPECT_EQ(disk.seeks(), 0u);
+}
+
+TEST(DiskModel, RandomAccessPaysPositioning) {
+  DiskModel disk;
+  disk.Access(0, 4096, false);
+  SimTimeNs far = disk.Access(4ull * 1000 * 1000 * 1000, 4096, false);
+  // Long seek + half rotation ~ 10+ ms.
+  EXPECT_GT(far, 8 * kNsPerMs);
+  EXPECT_LT(far, 25 * kNsPerMs);
+  EXPECT_EQ(disk.seeks(), 1u);
+}
+
+TEST(DiskModel, NearSeekCheaperThanFarSeek) {
+  DiskModel a;
+  DiskModel b;
+  a.Access(0, 4096, false);
+  b.Access(0, 4096, false);
+  SimTimeNs near_cost = a.Access(1 * kMiB, 4096, false);
+  SimTimeNs far_cost = b.Access(8ull * 1000 * 1000 * 1000, 4096, false);
+  EXPECT_LT(near_cost, far_cost);
+}
+
+TEST(DiskModel, PositioningCostZeroWhenSequential) {
+  DiskModel disk;
+  disk.Access(100, 100, true);
+  EXPECT_EQ(disk.PositioningCost(200), 0u);
+  EXPECT_GT(disk.PositioningCost(10 * kMiB), 0u);
+  EXPECT_EQ(disk.head_position(), 200u);
+}
+
+TEST(DiskModel, TransferScalesWithLength) {
+  DiskModel disk;
+  SimTimeNs small = disk.Access(0, 1 * kMiB, false);
+  DiskModel disk2;
+  SimTimeNs large = disk2.Access(0, 4 * kMiB, false);
+  EXPECT_NEAR(static_cast<double>(large) / small, 4.0, 0.01);
+}
+
+// ---- PageCache -------------------------------------------------------------
+
+CacheParams SmallCache() {
+  CacheParams p;
+  p.capacity_bytes = 64 * 4096;  // 64 pages
+  p.readahead_pages = 4;
+  return p;
+}
+
+TEST(PageCache, FirstReadMissesThenHits) {
+  DiskModel disk;
+  PageCache cache(SmallCache(), &disk);
+  SimTimeNs miss_time = cache.Read(0, 4096);
+  EXPECT_EQ(cache.stats().page_misses, 1u);
+  SimTimeNs hit_time = cache.Read(0, 4096);
+  EXPECT_EQ(cache.stats().page_hits, 1u);
+  EXPECT_LT(hit_time, miss_time);
+}
+
+TEST(PageCache, SequentialReadTriggersReadahead) {
+  DiskModel disk;
+  PageCache cache(SmallCache(), &disk);
+  cache.Read(0, 4096);
+  EXPECT_EQ(cache.stats().readahead_pages, 0u);  // first read: no stream yet
+  cache.Read(4096, 4096);  // continues the stream
+  EXPECT_EQ(cache.stats().readahead_pages, 4u);
+  // The read-ahead pages are now resident: the next reads are hits.
+  SimTimeNs t = cache.Read(8192, 4096);
+  EXPECT_EQ(cache.stats().page_misses, 2u);
+  EXPECT_GT(cache.stats().page_hits, 0u);
+  (void)t;
+}
+
+TEST(PageCache, WriteBackAbsorbsWritesUntilFlush) {
+  DiskModel disk;
+  CacheParams params = SmallCache();
+  params.dirty_flush_ratio = 0.5;  // flush at 32 dirty pages
+  PageCache cache(params, &disk);
+  // Aligned writes below the threshold cost only memory time.
+  SimTimeNs t = cache.Write(0, 16 * 4096);
+  EXPECT_EQ(cache.dirty_pages(), 16u);
+  EXPECT_EQ(cache.stats().writeback_pages, 0u);
+  EXPECT_LT(t, kNsPerMs);  // no disk involved
+  // Crossing the threshold flushes everything.
+  cache.Write(16 * 4096, 20 * 4096);
+  EXPECT_EQ(cache.dirty_pages(), 0u);
+  EXPECT_EQ(cache.stats().threshold_flushes, 1u);
+  EXPECT_EQ(cache.stats().writeback_pages, 36u);
+}
+
+TEST(PageCache, WriteThroughPaysDiskEveryTime) {
+  DiskModel disk;
+  CacheParams params = SmallCache();
+  params.write_through = true;
+  PageCache cache(params, &disk);
+  cache.Write(0, 4096);
+  SimTimeNs t = cache.Write(1 * kMiB, 4096);
+  EXPECT_GT(t, kNsPerMs);  // positioning cost on every scattered write
+  EXPECT_EQ(cache.dirty_pages(), 0u);
+}
+
+TEST(PageCache, UnalignedWriteReadsEdgePages) {
+  DiskModel disk;
+  PageCache cache(SmallCache(), &disk);
+  cache.Write(100, 50);  // interior of page 0
+  EXPECT_EQ(cache.stats().page_misses, 1u);  // page 0 read for RMW
+}
+
+TEST(PageCache, EvictionWritesDirtyVictims) {
+  DiskModel disk;
+  CacheParams params = SmallCache();  // 64-page capacity
+  params.dirty_flush_ratio = 2.0;     // never threshold-flush
+  params.readahead_pages = 0;
+  PageCache cache(params, &disk);
+  cache.Write(0, 32 * 4096);  // 32 dirty pages
+  // Read 64 more pages -> evictions must write dirty victims back.
+  cache.Read(kMiB, 64 * 4096);
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_GT(cache.stats().writeback_pages, 0u);
+  EXPECT_LE(cache.resident_pages(), 64u);
+}
+
+TEST(PageCache, SyncFlushesAllDirty) {
+  DiskModel disk;
+  PageCache cache(SmallCache(), &disk);
+  cache.Write(0, 8 * 4096);
+  EXPECT_EQ(cache.dirty_pages(), 8u);
+  SimTimeNs t = cache.Sync();
+  EXPECT_GT(t, 0u);
+  EXPECT_EQ(cache.dirty_pages(), 0u);
+  EXPECT_EQ(cache.Sync(), 0u);  // idempotent
+}
+
+TEST(PageCache, FlushCoalescesContiguousRuns) {
+  DiskModel disk;
+  CacheParams params = SmallCache();
+  params.readahead_pages = 0;
+  PageCache cache(params, &disk);
+  cache.Write(0, 16 * 4096);  // one contiguous dirty run
+  std::uint64_t seeks_before = disk.seeks() + disk.sequential_hits();
+  cache.Sync();
+  // One coalesced disk write for the whole run.
+  EXPECT_EQ(disk.seeks() + disk.sequential_hits(), seeks_before + 1);
+}
+
+// ---- Ethernet ---------------------------------------------------------------
+
+TEST(Ethernet, FrameCountCeil) {
+  EthernetModel net;
+  ByteCount payload = net.FramePayload();
+  EXPECT_EQ(net.FrameCount(0), 1u);
+  EXPECT_EQ(net.FrameCount(1), 1u);
+  EXPECT_EQ(net.FrameCount(payload), 1u);
+  EXPECT_EQ(net.FrameCount(payload + 1), 2u);
+  EXPECT_EQ(net.FrameCount(10 * payload), 10u);
+}
+
+TEST(Ethernet, WireTimeMatchesBandwidth) {
+  EthernetModel net;
+  // 1 MB at 100 Mb/s is ~80 ms plus per-frame overhead (~5%).
+  SimTimeNs t = net.WireTime(1000 * 1000);
+  EXPECT_GT(t, SecondsToNs(0.080));
+  EXPECT_LT(t, SecondsToNs(0.090));
+}
+
+TEST(Ethernet, SmallMessagesDominatedByFixedCosts) {
+  EthernetModel net;
+  // A 64-byte request occupies the wire for ~10-15 us...
+  SimTimeNs wire = net.WireTime(64);
+  EXPECT_LT(wire, 20 * kNsPerUs);
+  // ...but the software stack costs more (the list-I/O motivation).
+  EXPECT_GT(net.MessageLatency(), wire);
+}
+
+TEST(Ethernet, ListRequestFitsOneFrame) {
+  // The paper's design constraint (§3.3): request structure + 64
+  // offset/length pairs must fit a 1500-byte Ethernet frame.
+  EthernetModel net;
+  EXPECT_LE(64 * 16 + 128, static_cast<long>(net.params().mtu));
+}
+
+TEST(ServerCpu, CostDecomposition) {
+  ServerCpuModel cpu;
+  SimTimeNs base = cpu.RequestCost(0, 0);
+  EXPECT_EQ(base, cpu.params().per_request_ns);
+  SimTimeNs with_regions = cpu.RequestCost(64, 0);
+  EXPECT_EQ(with_regions, base + 64 * cpu.params().per_region_ns);
+  SimTimeNs with_bytes = cpu.RequestCost(0, 1000 * 1000);
+  EXPECT_GT(with_bytes, base);
+}
+
+}  // namespace
+}  // namespace pvfs::models

@@ -1,0 +1,271 @@
+// POSIX-style stream adapter tests.
+#include "pvfs/posixio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "test_cluster.hpp"
+
+namespace pvfs {
+namespace {
+
+using testutil::InProcCluster;
+
+constexpr Striping kDefault{0, 8, 16384};
+
+TEST(PvfsStream, SequentialWriteThenRead) {
+  InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  auto stream = PvfsStream::Create(&client, "f", kDefault);
+  ASSERT_TRUE(stream.ok());
+
+  ByteBuffer data(100000);
+  FillPattern(data, 1, 0);
+  // Write in uneven chunks.
+  size_t pos = 0;
+  for (size_t chunk : {1000, 37, 65536, 33427}) {
+    ASSERT_TRUE(
+        stream->Write(std::span{data}.subspan(pos, chunk)).ok());
+    pos += chunk;
+  }
+  EXPECT_EQ(stream->Tell(), data.size());
+
+  auto where = stream->Seek(0, PvfsStream::Whence::kSet);
+  ASSERT_TRUE(where.ok());
+  EXPECT_EQ(*where, 0u);
+
+  ByteBuffer out(data.size());
+  auto n = stream->Read(out);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, data.size());
+  EXPECT_EQ(out, data);
+}
+
+TEST(PvfsStream, ReadStopsAtEof) {
+  InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  auto stream = PvfsStream::Create(&client, "f", kDefault);
+  ASSERT_TRUE(stream.ok());
+  ByteBuffer data(100);
+  ASSERT_TRUE(stream->Write(data).ok());
+  ASSERT_TRUE(stream->Seek(50, PvfsStream::Whence::kSet).ok());
+
+  ByteBuffer out(200);
+  auto n = stream->Read(out);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 50u);  // short read at EOF
+  auto n2 = stream->Read(out);
+  ASSERT_TRUE(n2.ok());
+  EXPECT_EQ(*n2, 0u);  // at EOF
+}
+
+TEST(PvfsStream, SeekWhenceSemantics) {
+  InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  auto stream = PvfsStream::Create(&client, "f", kDefault);
+  ASSERT_TRUE(stream.ok());
+  ByteBuffer data(1000);
+  ASSERT_TRUE(stream->Write(data).ok());
+
+  EXPECT_EQ(stream->Seek(100, PvfsStream::Whence::kSet).value(), 100u);
+  EXPECT_EQ(stream->Seek(50, PvfsStream::Whence::kCurrent).value(), 150u);
+  EXPECT_EQ(stream->Seek(-150, PvfsStream::Whence::kCurrent).value(), 0u);
+  EXPECT_EQ(stream->Seek(-10, PvfsStream::Whence::kEnd).value(), 990u);
+  EXPECT_FALSE(stream->Seek(-1, PvfsStream::Whence::kSet).ok());
+}
+
+TEST(PvfsStream, SeekPastEndThenWriteLeavesHole) {
+  InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  auto stream = PvfsStream::Create(&client, "f", kDefault);
+  ASSERT_TRUE(stream.ok());
+  ByteBuffer tail(10, std::byte{0xAB});
+  ASSERT_TRUE(stream->Seek(100000, PvfsStream::Whence::kSet).ok());
+  ASSERT_TRUE(stream->Write(tail).ok());
+
+  ASSERT_TRUE(stream->Seek(0, PvfsStream::Whence::kSet).ok());
+  ByteBuffer out(100010);
+  auto n = stream->Read(out);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 100010u);
+  EXPECT_EQ(out[0], std::byte{0});        // hole reads zero
+  EXPECT_EQ(out[100000], std::byte{0xAB});
+}
+
+TEST(PvfsStream, OpenSeesManagerSize) {
+  InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  {
+    auto writer = PvfsStream::Create(&client, "f", kDefault);
+    ASSERT_TRUE(writer.ok());
+    ByteBuffer data(12345);
+    FillPattern(data, 3, 0);
+    ASSERT_TRUE(writer->Write(data).ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  auto reader = PvfsStream::Open(&client, "f");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->Seek(0, PvfsStream::Whence::kEnd).value(), 12345u);
+  ASSERT_TRUE(reader->Seek(0, PvfsStream::Whence::kSet).ok());
+  ByteBuffer out(20000);
+  EXPECT_EQ(reader->Read(out).value(), 12345u);
+  EXPECT_FALSE(
+      FindPatternMismatch(std::span{out}.first(12345), 3, 0).has_value());
+}
+
+TEST(PvfsStream, ClosedStreamRejectsOps) {
+  InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  auto stream = PvfsStream::Create(&client, "f", kDefault);
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE(stream->Close().ok());
+  ByteBuffer buf(10);
+  EXPECT_FALSE(stream->Write(buf).ok());
+  EXPECT_FALSE(stream->Read(buf).ok());
+  EXPECT_FALSE(stream->Seek(0, PvfsStream::Whence::kSet).ok());
+  EXPECT_FALSE(stream->Close().ok());
+}
+
+TEST(PvfsPartition, RejectsBadGeometry) {
+  InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  auto stream = PvfsStream::Create(&client, "f", kDefault);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_FALSE(stream->SetPartition({0, 0, 100}).ok());   // zero gsize
+  EXPECT_FALSE(stream->SetPartition({0, 200, 100}).ok()); // gsize > stride
+  EXPECT_TRUE(stream->SetPartition({0, 100, 100}).ok());  // dense partition
+}
+
+TEST(PvfsPartition, StridedViewReadsOnlyItsBytes) {
+  InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  auto stream = PvfsStream::Create(&client, "f", kDefault);
+  ASSERT_TRUE(stream.ok());
+
+  // Interleave four 64-byte lanes; lane k owns bytes [k*64, k*64+64) of
+  // every 256-byte cycle.
+  constexpr int kCycles = 32;
+  ByteBuffer whole(kCycles * 256);
+  FillPattern(whole, 1, 0);
+  ASSERT_TRUE(stream->Write(whole).ok());
+
+  for (int lane = 0; lane < 4; ++lane) {
+    ASSERT_TRUE(stream
+                    ->SetPartition({static_cast<FileOffset>(lane) * 64, 64,
+                                    256})
+                    .ok());
+    EXPECT_EQ(stream->Tell(), 0u);
+    EXPECT_EQ(stream->Seek(0, PvfsStream::Whence::kEnd).value(),
+              kCycles * 64u);
+    ASSERT_TRUE(stream->Seek(0, PvfsStream::Whence::kSet).ok());
+    ByteBuffer lane_bytes(kCycles * 64);
+    EXPECT_EQ(stream->Read(lane_bytes).value(), kCycles * 64u);
+    for (int c = 0; c < kCycles; ++c) {
+      for (int i = 0; i < 64; ++i) {
+        ASSERT_EQ(lane_bytes[c * 64 + i], whole[c * 256 + lane * 64 + i])
+            << "lane " << lane << " cycle " << c;
+      }
+    }
+  }
+}
+
+TEST(PvfsPartition, PartitionedWritersInterleaveLikeCyclic) {
+  // The pre-list-I/O way to produce the paper's 1-D cyclic distribution:
+  // each writer sets a partition (offset = rank*block, gsize = block,
+  // stride = ranks*block) and writes its data with plain stream calls.
+  InProcCluster cluster;
+  constexpr int kRanks = 4;
+  constexpr ByteCount kBlock = 512;
+  constexpr int kBlocks = 16;
+  {
+    Client setup = cluster.MakeClient();
+    auto fd = setup.Create("cyc", kDefault);
+    ASSERT_TRUE(fd.ok());
+  }
+  for (int r = 0; r < kRanks; ++r) {
+    Client client = cluster.MakeClient();
+    auto stream = PvfsStream::Open(&client, "cyc");
+    ASSERT_TRUE(stream.ok());
+    ASSERT_TRUE(stream
+                    ->SetPartition({static_cast<FileOffset>(r) * kBlock,
+                                    kBlock, kRanks * kBlock})
+                    .ok());
+    ByteBuffer mine(kBlocks * kBlock);
+    FillPattern(mine, 40 + r, 0);
+    ASSERT_TRUE(stream->Write(mine).ok());
+  }
+
+  Client reader = cluster.MakeClient();
+  auto fd = reader.Open("cyc");
+  ByteBuffer image(kRanks * kBlocks * kBlock);
+  ASSERT_TRUE(reader.Read(*fd, 0, image).ok());
+  for (int b = 0; b < kBlocks; ++b) {
+    for (int r = 0; r < kRanks; ++r) {
+      for (ByteCount i = 0; i < kBlock; ++i) {
+        ASSERT_EQ(image[(b * kRanks + r) * kBlock + i],
+                  PatternByte(40 + r, static_cast<ByteCount>(b) * kBlock + i))
+            << "block " << b << " rank " << r;
+      }
+    }
+  }
+}
+
+TEST(PvfsPartition, ReadsCrossGroupBoundaries) {
+  InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  auto stream = PvfsStream::Create(&client, "f", kDefault);
+  ASSERT_TRUE(stream.ok());
+  ByteBuffer whole(1000);
+  FillPattern(whole, 2, 0);
+  ASSERT_TRUE(stream->Write(whole).ok());
+
+  ASSERT_TRUE(stream->SetPartition({10, 30, 100}).ok());
+  // Read 75 partition bytes starting at partition byte 20: spans groups
+  // 0 (tail 10 B), 1 (30 B), 2 (30 B), 3 (head 5 B).
+  ASSERT_TRUE(stream->Seek(20, PvfsStream::Whence::kSet).ok());
+  ByteBuffer out(75);
+  EXPECT_EQ(stream->Read(out).value(), 75u);
+  ByteCount pos = 0;
+  for (auto [group, from, len] :
+       {std::tuple{0, 30, 10}, {1, 10, 30}, {2, 10, 30}, {3, 10, 5}}) {
+    for (int i = 0; i < len; ++i) {
+      ASSERT_EQ(out[pos + i], whole[10 + group * 100 + (from - 10) + i])
+          << "group " << group;
+    }
+    pos += len;
+  }
+  EXPECT_EQ(stream->Tell(), 95u);
+}
+
+TEST(PvfsPartition, ClearRestoresPlainView) {
+  InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  auto stream = PvfsStream::Create(&client, "f", kDefault);
+  ASSERT_TRUE(stream.ok());
+  ByteBuffer whole(500);
+  FillPattern(whole, 3, 0);
+  ASSERT_TRUE(stream->Write(whole).ok());
+  ASSERT_TRUE(stream->SetPartition({0, 10, 50}).ok());
+  EXPECT_EQ(stream->Seek(0, PvfsStream::Whence::kEnd).value(), 100u);
+  stream->ClearPartition();
+  EXPECT_EQ(stream->Tell(), 0u);
+  EXPECT_EQ(stream->Seek(0, PvfsStream::Whence::kEnd).value(), 500u);
+}
+
+TEST(PvfsStream, MoveTransfersOwnership) {
+  InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  auto stream = PvfsStream::Create(&client, "f", kDefault);
+  ASSERT_TRUE(stream.ok());
+  ByteBuffer data(100);
+  ASSERT_TRUE(stream->Write(data).ok());
+
+  PvfsStream moved = std::move(*stream);
+  EXPECT_EQ(moved.Tell(), 100u);
+  ASSERT_TRUE(moved.Seek(0, PvfsStream::Whence::kSet).ok());
+  ByteBuffer out(100);
+  EXPECT_EQ(moved.Read(out).value(), 100u);
+}
+
+}  // namespace
+}  // namespace pvfs

@@ -1,0 +1,261 @@
+// Property-based sweeps over randomized inputs: extent algebra, stream
+// slicing, striping conservation laws, datatype flattening, and page
+// cache invariants.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "io/datatype.hpp"
+#include "models/page_cache.hpp"
+#include "pvfs/distribution.hpp"
+
+namespace pvfs {
+namespace {
+
+ExtentList RandomSortedList(SplitMix64& rng, size_t n, ByteCount max_gap) {
+  ExtentList out;
+  FileOffset pos = rng.Uniform(0, 1000);
+  for (size_t i = 0; i < n; ++i) {
+    ByteCount len = rng.Uniform(1, 5000);
+    out.push_back(Extent{pos, len});
+    pos += len + rng.Uniform(1, max_gap);
+  }
+  return out;
+}
+
+// ---- SliceStream --------------------------------------------------------------
+
+TEST(Property, SliceStreamConservesBytesAndOrder) {
+  SplitMix64 rng(1);
+  for (int round = 0; round < 200; ++round) {
+    ExtentList list = RandomSortedList(rng, rng.Uniform(1, 30), 4000);
+    ByteCount total = TotalBytes(list);
+    ByteCount skip = rng.Uniform(0, total);
+    ByteCount len = rng.Uniform(0, total - skip);
+    ExtentList slice = SliceStream(list, skip, len);
+    ASSERT_EQ(TotalBytes(slice), len) << "round " << round;
+    ASSERT_TRUE(IsSortedDisjoint(slice));
+    // Every sliced byte is a byte of the original stream at the right
+    // stream position.
+    if (!slice.empty()) {
+      // First byte of the slice is stream byte `skip`.
+      ByteCount walked = 0;
+      FileOffset expect = 0;
+      for (const Extent& e : list) {
+        if (walked + e.length > skip) {
+          expect = e.offset + (skip - walked);
+          break;
+        }
+        walked += e.length;
+      }
+      EXPECT_EQ(slice[0].offset, expect);
+    }
+  }
+}
+
+TEST(Property, SliceStreamClampsAtEnd) {
+  ExtentList list{{0, 10}, {100, 10}};
+  EXPECT_EQ(TotalBytes(SliceStream(list, 15, 100)), 5u);
+  EXPECT_TRUE(SliceStream(list, 20, 5).empty());
+  EXPECT_TRUE(SliceStream(list, 0, 0).empty());
+}
+
+TEST(Property, CoalesceAdjacentConservesBytes) {
+  SplitMix64 rng(2);
+  for (int round = 0; round < 200; ++round) {
+    ExtentList list = RandomSortedList(rng, rng.Uniform(1, 50), 10);
+    // Insert random zero-length and adjacent splits.
+    ExtentList noisy;
+    for (const Extent& e : list) {
+      if (e.length > 2 && rng.Bernoulli(0.5)) {
+        ByteCount cut = rng.Uniform(1, e.length - 1);
+        noisy.push_back(Extent{e.offset, cut});
+        noisy.push_back(Extent{e.offset + cut, e.length - cut});
+      } else {
+        noisy.push_back(e);
+      }
+      if (rng.Bernoulli(0.2)) noisy.push_back(Extent{e.end(), 0});
+    }
+    ExtentList merged = CoalesceAdjacent(noisy);
+    EXPECT_EQ(TotalBytes(merged), TotalBytes(list));
+    EXPECT_LE(merged.size(), list.size());
+  }
+}
+
+TEST(Property, NormalizeSetIsIdempotentAndMinimal) {
+  SplitMix64 rng(3);
+  for (int round = 0; round < 200; ++round) {
+    ExtentList raw;
+    for (int i = 0; i < 40; ++i) {
+      raw.push_back(Extent{rng.Uniform(0, 20000), rng.Uniform(0, 600)});
+    }
+    ExtentList once = NormalizeSet(raw);
+    ExtentList twice = NormalizeSet(once);
+    EXPECT_EQ(once, twice);
+    EXPECT_TRUE(IsSortedStrictlyDisjoint(once));
+  }
+}
+
+// ---- Distribution conservation laws --------------------------------------------
+
+TEST(Property, FragmentsPartitionEveryRegionList) {
+  SplitMix64 rng(4);
+  for (int round = 0; round < 100; ++round) {
+    Striping striping{0, static_cast<std::uint32_t>(rng.Uniform(1, 12)),
+                      rng.Uniform(1, 5) * 512};
+    Distribution dist(striping);
+    ExtentList regions = RandomSortedList(rng, rng.Uniform(1, 40), 9000);
+
+    // Fragments cover the stream exactly, in order.
+    auto frags = dist.Fragments(regions);
+    ByteCount stream = 0;
+    for (const Fragment& f : frags) {
+      EXPECT_EQ(f.logical_pos, stream);
+      stream += f.length;
+    }
+    EXPECT_EQ(stream, TotalBytes(regions));
+
+    // Per-server fragment lists partition the whole; coalesced runs
+    // conserve bytes.
+    ByteCount per_server = 0;
+    ByteCount runs_bytes = 0;
+    for (ServerId s = 0; s < striping.pcount; ++s) {
+      for (const Fragment& f : dist.ServerFragments(s, regions)) {
+        EXPECT_EQ(f.server, s);
+        per_server += f.length;
+      }
+      for (const Fragment& f : dist.ServerLocalRuns(s, regions)) {
+        runs_bytes += f.length;
+      }
+    }
+    EXPECT_EQ(per_server, TotalBytes(regions));
+    EXPECT_EQ(runs_bytes, TotalBytes(regions));
+  }
+}
+
+TEST(Property, LogicalPhysicalBijection) {
+  SplitMix64 rng(5);
+  for (int round = 0; round < 50; ++round) {
+    Striping striping{0, static_cast<std::uint32_t>(rng.Uniform(1, 16)),
+                      rng.Uniform(1, 64) * 128};
+    Distribution dist(striping);
+    // Distinct logical offsets never collide physically.
+    for (int i = 0; i < 50; ++i) {
+      FileOffset a = rng.Uniform(0, 1 << 26);
+      FileOffset b = rng.Uniform(0, 1 << 26);
+      if (a == b) continue;
+      bool same_server = dist.ServerOf(a) == dist.ServerOf(b);
+      bool same_local = dist.LocalOffsetOf(a) == dist.LocalOffsetOf(b);
+      EXPECT_FALSE(same_server && same_local)
+          << "collision: " << a << " vs " << b;
+    }
+  }
+}
+
+// ---- Datatype flattening --------------------------------------------------------
+
+io::Datatype RandomDatatype(SplitMix64& rng, int depth) {
+  if (depth == 0) {
+    return io::Datatype::Bytes(rng.Uniform(1, 16));
+  }
+  io::Datatype child = RandomDatatype(rng, depth - 1);
+  switch (rng.Uniform(0, 3)) {
+    case 0:
+      return io::Datatype::Contiguous(rng.Uniform(1, 4), child);
+    case 1:
+      return io::Datatype::HVector(
+          rng.Uniform(1, 4), rng.Uniform(1, 3),
+          static_cast<std::int64_t>(child.extent() *
+                                    rng.Uniform(3, 6)),
+          child);
+    case 2: {
+      std::vector<io::Datatype::HIndexedBlock> blocks;
+      std::int64_t disp = 0;
+      for (std::uint64_t i = 0; i < rng.Uniform(1, 4); ++i) {
+        blocks.push_back({disp, rng.Uniform(1, 3)});
+        disp += static_cast<std::int64_t>(
+            child.extent() * (rng.Uniform(2, 5) + blocks.back().blocklen));
+      }
+      return io::Datatype::HIndexed(blocks, child);
+    }
+    default:
+      return io::Datatype::Resized(
+          child, 0, child.extent() + rng.Uniform(0, 64));
+  }
+}
+
+TEST(Property, DatatypeFlattenConservesSize) {
+  SplitMix64 rng(6);
+  for (int round = 0; round < 300; ++round) {
+    io::Datatype type = RandomDatatype(rng, static_cast<int>(rng.Uniform(0, 3)));
+    std::uint64_t count = rng.Uniform(1, 5);
+    ExtentList flat = type.Flatten(rng.Uniform(0, 10000), count);
+    EXPECT_EQ(TotalBytes(flat), type.size() * count) << "round " << round;
+    EXPECT_LE(flat.size(), type.region_count() * count);
+    // Coalescing never produces adjacent extents.
+    for (size_t i = 1; i < flat.size(); ++i) {
+      EXPECT_NE(flat[i].offset, flat[i - 1].end());
+    }
+  }
+}
+
+TEST(Property, DatatypeExtentBoundsFlatten) {
+  SplitMix64 rng(7);
+  for (int round = 0; round < 300; ++round) {
+    io::Datatype type = RandomDatatype(rng, static_cast<int>(rng.Uniform(0, 3)));
+    FileOffset base = 1 << 20;
+    ExtentList flat = type.Flatten(base, 1);
+    if (flat.empty()) continue;
+    auto bound = BoundingExtent(flat);
+    // Data lies within [base + lb, base + lb + extent).
+    EXPECT_GE(bound->offset,
+              base + static_cast<FileOffset>(type.lower_bound()));
+    EXPECT_LE(bound->end(), base + type.lower_bound() + type.extent());
+  }
+}
+
+// ---- Page cache invariants --------------------------------------------------------
+
+TEST(Property, PageCacheInvariantsUnderRandomTraffic) {
+  SplitMix64 rng(8);
+  models::DiskModel disk;
+  models::CacheParams params;
+  params.capacity_bytes = 128 * 4096;
+  params.dirty_flush_ratio = 0.6;
+  models::PageCache cache(params, &disk);
+
+  for (int i = 0; i < 5000; ++i) {
+    FileOffset offset = rng.Uniform(0, 4 << 20);
+    ByteCount len = rng.Uniform(1, 32768);
+    SimTimeNs t = rng.Bernoulli(0.5) ? cache.Read(offset, len)
+                                     : cache.Write(offset, len);
+    ASSERT_LT(t, 60ull * kNsPerSec) << "absurd service time";
+    ASSERT_LE(cache.resident_pages(), 128u);
+    ASSERT_LE(cache.dirty_pages(), cache.resident_pages());
+  }
+  cache.Sync();
+  EXPECT_EQ(cache.dirty_pages(), 0u);
+  // Accounting identity: hits + misses track requested pages only.
+  const auto& stats = cache.stats();
+  EXPECT_GT(stats.page_hits + stats.page_misses, 0u);
+}
+
+TEST(Property, CacheDeterministicForSameTrace) {
+  auto run_trace = [] {
+    SplitMix64 rng(99);
+    models::DiskModel disk;
+    models::PageCache cache({}, &disk);
+    SimTimeNs total = 0;
+    for (int i = 0; i < 2000; ++i) {
+      FileOffset offset = rng.Uniform(0, 1 << 24);
+      ByteCount len = rng.Uniform(1, 8192);
+      total += rng.Bernoulli(0.3) ? cache.Write(offset, len)
+                                  : cache.Read(offset, len);
+    }
+    return total;
+  };
+  EXPECT_EQ(run_trace(), run_trace());
+}
+
+}  // namespace
+}  // namespace pvfs

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "pvfs/protocol.hpp"
+
+namespace pvfs {
+namespace {
+
+TEST(Protocol, CreateRequestRoundTrip) {
+  CreateRequest req{"dir/file.dat", Striping{2, 6, 32768}};
+  auto raw = req.Encode();
+  EXPECT_EQ(PeekType(raw).value(), MsgType::kCreate);
+  WireReader r(raw);
+  (void)r.U32();
+  auto decoded = CreateRequest::Decode(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->name, "dir/file.dat");
+  EXPECT_EQ(decoded->striping, (Striping{2, 6, 32768}));
+}
+
+TEST(Protocol, StripingWithZeroPcountRejected) {
+  CreateRequest req{"x", Striping{0, 0, 16384}};
+  auto raw = req.Encode();
+  WireReader r(raw);
+  (void)r.U32();
+  EXPECT_FALSE(CreateRequest::Decode(r).ok());
+}
+
+TEST(Protocol, IoRequestRoundTripWithTrailingData) {
+  IoRequest req;
+  req.handle = 77;
+  req.striping = Striping{0, 8, 16384};
+  req.server_index = 3;
+  req.op = IoOp::kWrite;
+  req.regions = {{0, 100}, {16384, 200}, {99999, 1}};
+  req.payload.resize(64);
+  FillPattern(req.payload, 1, 0);
+
+  auto raw = req.Encode();
+  EXPECT_EQ(PeekType(raw).value(), MsgType::kIo);
+  WireReader r(raw);
+  (void)r.U32();
+  auto decoded = IoRequest::Decode(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->handle, 77u);
+  EXPECT_EQ(decoded->server_index, 3u);
+  EXPECT_EQ(decoded->op, IoOp::kWrite);
+  EXPECT_EQ(decoded->regions, req.regions);
+  EXPECT_EQ(decoded->payload, req.payload);
+}
+
+TEST(Protocol, IoRequestServerIndexBeyondPcountRejected) {
+  IoRequest req;
+  req.striping = Striping{0, 4, 16384};
+  req.server_index = 4;
+  auto raw = req.Encode();
+  WireReader r(raw);
+  (void)r.U32();
+  EXPECT_FALSE(IoRequest::Decode(r).ok());
+}
+
+TEST(Protocol, WireBytesMatchesEncodedSize) {
+  IoRequest req;
+  req.striping = Striping{0, 8, 16384};
+  req.regions.assign(17, Extent{0, 8});
+  auto raw = req.Encode();
+  EXPECT_EQ(raw.size(), IoRequest::WireBytes(17));
+}
+
+TEST(Protocol, MaxListRequestFitsOneEthernetFrame) {
+  // The paper's design rule (§3.3): a list request with 64 regions of
+  // trailing data travels in a single 1500-byte Ethernet frame.
+  EXPECT_LE(IoRequest::WireBytes(kMaxListRegions), 1500u);
+  // And it is the trailing data that dominates the size.
+  EXPECT_GE(IoRequest::WireBytes(kMaxListRegions),
+            kMaxListRegions * 16u);
+}
+
+TEST(Protocol, IoResponseRoundTrip) {
+  IoResponse resp;
+  resp.bytes = 1234;
+  resp.payload.resize(16, std::byte{0x5A});
+  auto decoded = IoResponse::Decode(resp.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->bytes, 1234u);
+  EXPECT_EQ(decoded->payload, resp.payload);
+}
+
+TEST(Protocol, ResponseEnvelopeCarriesStatus) {
+  auto ok_env = EncodeResponse(Status::Ok(), {});
+  auto ok = DecodeResponse(ok_env);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->status.ok());
+
+  auto err_env = EncodeResponse(NotFound("gone"), {});
+  auto err = DecodeResponse(err_env);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->status.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(err->status.message(), "gone");
+}
+
+TEST(Protocol, ResponseEnvelopeCarriesBody) {
+  MetadataResponse meta{{42, Striping{0, 8, 16384}, 1000}};
+  auto env = EncodeResponse(Status::Ok(), meta.Encode());
+  auto decoded = DecodeResponse(env);
+  ASSERT_TRUE(decoded.ok());
+  auto body = MetadataResponse::Decode(decoded->body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body->meta.handle, 42u);
+  EXPECT_EQ(body->meta.size, 1000u);
+}
+
+TEST(Protocol, PeekTypeRejectsGarbage) {
+  WireWriter w;
+  w.U32(999);
+  EXPECT_FALSE(PeekType(w.data()).ok());
+  EXPECT_FALSE(PeekType({}).ok());
+}
+
+TEST(Protocol, AllManagerMessagesRoundTrip) {
+  {
+    auto raw = LookupRequest{"a/b"}.Encode();
+    WireReader r(raw);
+    (void)r.U32();
+    EXPECT_EQ(LookupRequest::Decode(r)->name, "a/b");
+  }
+  {
+    auto raw = RemoveRequest{"gone"}.Encode();
+    WireReader r(raw);
+    (void)r.U32();
+    EXPECT_EQ(RemoveRequest::Decode(r)->name, "gone");
+  }
+  {
+    auto raw = StatRequest{9}.Encode();
+    WireReader r(raw);
+    (void)r.U32();
+    EXPECT_EQ(StatRequest::Decode(r)->handle, 9u);
+  }
+  {
+    auto raw = SetSizeRequest{9, 4096}.Encode();
+    WireReader r(raw);
+    (void)r.U32();
+    auto decoded = SetSizeRequest::Decode(r);
+    EXPECT_EQ(decoded->handle, 9u);
+    EXPECT_EQ(decoded->size, 4096u);
+  }
+  {
+    auto raw = RemoveDataRequest{5}.Encode();
+    WireReader r(raw);
+    (void)r.U32();
+    EXPECT_EQ(RemoveDataRequest::Decode(r)->handle, 5u);
+  }
+}
+
+}  // namespace
+}  // namespace pvfs

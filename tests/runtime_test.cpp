@@ -1,0 +1,203 @@
+// Parallel runtime tests: SPMD groups, barriers, and the threaded cluster
+// with genuinely concurrent clients against daemon event loops.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/bytes.hpp"
+#include "io/method.hpp"
+#include "runtime/spmd.hpp"
+#include "runtime/threaded_cluster.hpp"
+#include "workloads/cyclic.hpp"
+
+namespace pvfs::runtime {
+namespace {
+
+TEST(Spmd, AllRanksRun) {
+  std::atomic<std::uint32_t> mask{0};
+  RunSpmd(8, [&](SpmdContext& ctx) {
+    mask.fetch_or(1u << ctx.rank());
+    EXPECT_EQ(ctx.size(), 8u);
+  });
+  EXPECT_EQ(mask.load(), 0xFFu);
+}
+
+TEST(Spmd, BarrierSynchronizes) {
+  constexpr std::uint32_t kRanks = 6;
+  std::atomic<int> before{0};
+  std::atomic<bool> violated{false};
+  RunSpmd(kRanks, [&](SpmdContext& ctx) {
+    before.fetch_add(1);
+    ctx.Barrier();
+    // After the barrier every rank must observe all arrivals.
+    if (before.load() != kRanks) violated = true;
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(Spmd, ExceptionPropagatesToCaller) {
+  EXPECT_THROW(
+      RunSpmd(3, [&](SpmdContext& ctx) {
+        if (ctx.rank() == 1) throw std::runtime_error("rank 1 failed");
+      }),
+      std::runtime_error);
+}
+
+TEST(ThreadedCluster, SingleClientRoundTrip) {
+  ThreadedCluster cluster(8);
+  Client client(&cluster.transport());
+  auto fd = client.Create("f", Striping{0, 8, 16384});
+  ASSERT_TRUE(fd.ok());
+  ByteBuffer data(100000);
+  FillPattern(data, 1, 0);
+  ASSERT_TRUE(client.Write(*fd, 0, data).ok());
+  ByteBuffer out(data.size());
+  ASSERT_TRUE(client.Read(*fd, 0, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(ThreadedCluster, ConcurrentClientsDisjointFiles) {
+  ThreadedCluster cluster(8);
+  RunSpmd(8, [&](SpmdContext& ctx) {
+    Client client(&cluster.transport());
+    std::string name = "file" + std::to_string(ctx.rank());
+    auto fd = client.Create(name, Striping{0, 8, 16384});
+    ASSERT_TRUE(fd.ok());
+    ByteBuffer data(50000);
+    FillPattern(data, ctx.rank(), 0);
+    ASSERT_TRUE(client.Write(*fd, 0, data).ok());
+    ByteBuffer out(data.size());
+    ASSERT_TRUE(client.Read(*fd, 0, out).ok());
+    ASSERT_EQ(out, data);
+    ASSERT_TRUE(client.Close(*fd).ok());
+  });
+}
+
+TEST(ThreadedCluster, ConcurrentCyclicWritersShareOneFile) {
+  // The paper's artificial benchmark shape: every rank writes its cyclic
+  // share of one file concurrently with list I/O; the merged image must
+  // interleave perfectly.
+  ThreadedCluster cluster(8);
+  constexpr std::uint32_t kClients = 4;
+  workloads::CyclicConfig config{1 << 18, kClients, 64};
+
+  {
+    Client setup(&cluster.transport());
+    ASSERT_TRUE(setup.Create("shared", Striping{0, 8, 16384}).ok());
+  }
+
+  RunSpmd(kClients, [&](SpmdContext& ctx) {
+    Client client(&cluster.transport());
+    auto fd = client.Open("shared");
+    ASSERT_TRUE(fd.ok());
+    auto pattern = workloads::CyclicPattern(config, ctx.rank());
+    ByteBuffer buffer(config.BytesPerClient());
+    FillPattern(buffer, 9000 + ctx.rank(), 0);
+    ASSERT_TRUE(
+        client.WriteList(*fd, pattern.memory, buffer, pattern.file).ok());
+    ctx.Barrier();
+    // Cross-verify: read the next rank's share.
+    Rank peer = (ctx.rank() + 1) % kClients;
+    auto peer_pattern = workloads::CyclicPattern(config, peer);
+    ByteBuffer peer_buf(config.BytesPerClient());
+    ASSERT_TRUE(client
+                    .ReadList(*fd, peer_pattern.memory, peer_buf,
+                              peer_pattern.file)
+                    .ok());
+    EXPECT_FALSE(FindPatternMismatch(peer_buf, 9000 + peer, 0).has_value());
+  });
+}
+
+TEST(ThreadedCluster, ConcurrentMixedMethodsAgree) {
+  ThreadedCluster cluster(4);
+  // One writer per method on disjoint file ranges of a shared file.
+  const io::MethodType kMethods[] = {
+      io::MethodType::kMultiple, io::MethodType::kList,
+      io::MethodType::kHybrid};
+  {
+    Client setup(&cluster.transport());
+    ASSERT_TRUE(setup.Create("mixed", Striping{0, 4, 4096}).ok());
+  }
+  RunSpmd(3, [&](SpmdContext& ctx) {
+    Client client(&cluster.transport());
+    auto fd = client.Open("mixed");
+    ASSERT_TRUE(fd.ok());
+    io::AccessPattern pattern;
+    FileOffset base = ctx.rank() * (1 << 20);
+    for (int i = 0; i < 100; ++i) {
+      pattern.file.push_back(Extent{base + i * 512, 256});
+    }
+    pattern.memory = {Extent{0, 100 * 256}};
+    ByteBuffer buffer(100 * 256);
+    FillPattern(buffer, ctx.rank(), 0);
+    auto method = io::MakeMethod(kMethods[ctx.rank()]);
+    ASSERT_TRUE(method->Write(client, *fd, pattern, buffer).ok());
+  });
+
+  // Verify all three regions with a fourth client.
+  Client verifier(&cluster.transport());
+  auto fd = verifier.Open("mixed");
+  ASSERT_TRUE(fd.ok());
+  for (Rank r = 0; r < 3; ++r) {
+    FileOffset base = r * (1 << 20);
+    for (int i = 0; i < 100; ++i) {
+      ByteBuffer piece(256);
+      ASSERT_TRUE(verifier.Read(*fd, base + i * 512, piece).ok());
+      EXPECT_FALSE(
+          FindPatternMismatch(piece, r, static_cast<ByteCount>(i) * 256)
+              .has_value())
+          << "rank " << r << " piece " << i;
+    }
+  }
+}
+
+TEST(ThreadedCluster, SievingWritersSerializeAcrossThreads) {
+  ThreadedCluster cluster(4);
+  {
+    Client setup(&cluster.transport());
+    ASSERT_TRUE(setup.Create("sieve", Striping{0, 4, 4096}).ok());
+  }
+  io::MutexSerializer serializer;
+  constexpr std::uint32_t kClients = 4;
+  constexpr int kPieces = 32;
+  constexpr ByteCount kPiece = 64;
+
+  RunSpmd(kClients, [&](SpmdContext& ctx) {
+    Client client(&cluster.transport());
+    auto fd = client.Open("sieve");
+    ASSERT_TRUE(fd.ok());
+    io::AccessPattern pattern;
+    for (int i = 0; i < kPieces; ++i) {
+      pattern.file.push_back(
+          Extent{(static_cast<FileOffset>(i) * kClients + ctx.rank()) *
+                     kPiece,
+                 kPiece});
+    }
+    pattern.memory = {Extent{0, kPieces * kPiece}};
+    ByteBuffer buffer(kPieces * kPiece);
+    FillPattern(buffer, 50 + ctx.rank(), 0);
+    io::MethodOptions options;
+    options.sieve_buffer_bytes = 2048;  // many overlapping RMW windows
+    options.serializer = &serializer;
+    auto method = io::MakeMethod(io::MethodType::kDataSieving, options);
+    ASSERT_TRUE(method->Write(client, *fd, pattern, buffer).ok());
+  });
+
+  Client verifier(&cluster.transport());
+  auto fd = verifier.Open("sieve");
+  ByteBuffer image(kPieces * kPiece * kClients);
+  ASSERT_TRUE(verifier.Read(*fd, 0, image).ok());
+  for (Rank r = 0; r < kClients; ++r) {
+    for (int i = 0; i < kPieces; ++i) {
+      for (ByteCount b = 0; b < kPiece; ++b) {
+        ASSERT_EQ(image[(i * kClients + r) * kPiece + b],
+                  PatternByte(50 + r, i * kPiece + b))
+            << "rank " << r << " piece " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pvfs::runtime

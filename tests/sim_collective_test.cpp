@@ -1,0 +1,101 @@
+// Simulated two-phase collective I/O tests.
+#include "simcluster/sim_collective.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcluster/workload_streams.hpp"
+
+namespace pvfs::simcluster {
+namespace {
+
+SimWorkload CyclicWorkload(const workloads::CyclicConfig& config) {
+  SimWorkload wl;
+  wl.file_regions = [config](Rank r) {
+    return std::make_unique<CyclicStream>(config, r);
+  };
+  return wl;
+}
+
+TEST(SimCollective, AggregatorsIssueOneWriteEachOnFullCoverage) {
+  workloads::CyclicConfig config{16 * kMiB, 4, 1000};
+  auto run = RunSimCollective(ChibaCityConfig(4), IoOp::kWrite,
+                              CyclicWorkload(config));
+  // Full interleaved coverage: no RMW reads, one contiguous write per
+  // aggregator.
+  EXPECT_EQ(run.counters.fs_requests, 4u);
+  EXPECT_GT(run.counters.exchange_bytes, 0u);
+}
+
+TEST(SimCollective, PartialCoverageAddsRmwReads)
+{
+  // Only rank 0's share is written (others' slots are holes): aggregators
+  // must read before writing.
+  workloads::CyclicConfig config{8 * kMiB, 4, 512};
+  SimWorkload wl;
+  wl.file_regions = [config](Rank r) {
+    if (r == 0) return std::make_unique<CyclicStream>(config, r);
+    workloads::CyclicConfig empty = config;
+    empty.accesses_per_client = 0;
+    return std::make_unique<CyclicStream>(empty, r);
+  };
+  auto run = RunSimCollective(ChibaCityConfig(4), IoOp::kWrite, wl);
+  // 4 domains touched by rank 0's spread pattern -> reads + writes.
+  EXPECT_EQ(run.counters.fs_requests, 8u);
+}
+
+TEST(SimCollective, FlatInAccessCount) {
+  auto t = [](std::uint64_t accesses) {
+    workloads::CyclicConfig config{16 * kMiB, 8, accesses};
+    return RunSimCollective(ChibaCityConfig(8), IoOp::kWrite,
+                            CyclicWorkload(config))
+        .io_seconds;
+  };
+  double coarse = t(1000);
+  double fine = t(50000);
+  EXPECT_NEAR(fine / coarse, 1.0, 0.05);
+}
+
+TEST(SimCollective, BeatsListOnTightInterleavedWrites) {
+  workloads::CyclicConfig config{16 * kMiB, 8, 20000};
+  auto wl = CyclicWorkload(config);
+  auto list = RunSimWorkload(ChibaCityConfig(8), io::MethodType::kList,
+                             IoOp::kWrite, wl);
+  auto collective = RunSimCollective(ChibaCityConfig(8), IoOp::kWrite, wl);
+  EXPECT_LT(collective.io_seconds, list.io_seconds / 2);
+}
+
+TEST(SimCollective, ReadDistributesAggregatorData) {
+  workloads::CyclicConfig config{16 * kMiB, 4, 2000};
+  auto run = RunSimCollective(ChibaCityConfig(4), IoOp::kRead,
+                              CyclicWorkload(config));
+  EXPECT_EQ(run.counters.fs_requests, 4u);  // one read per aggregator
+  // Everyone's data (minus what they aggregate themselves) crosses the
+  // compute network.
+  EXPECT_GT(run.counters.exchange_bytes, 8 * kMiB);
+  EXPECT_GT(run.io_seconds, 0.0);
+}
+
+TEST(SimCollective, EmptyWorkloadIsNoop) {
+  workloads::CyclicConfig config{16 * kMiB, 4, 1};
+  SimWorkload wl;
+  wl.file_regions = [config](Rank r) {
+    workloads::CyclicConfig empty = config;
+    empty.accesses_per_client = 0;
+    return std::make_unique<CyclicStream>(empty, r);
+  };
+  auto run = RunSimCollective(ChibaCityConfig(4), IoOp::kWrite, wl);
+  EXPECT_EQ(run.counters.fs_requests, 0u);
+}
+
+TEST(SimCollective, Deterministic) {
+  workloads::CyclicConfig config{8 * kMiB, 4, 2000};
+  auto a = RunSimCollective(ChibaCityConfig(4), IoOp::kWrite,
+                            CyclicWorkload(config));
+  auto b = RunSimCollective(ChibaCityConfig(4), IoOp::kWrite,
+                            CyclicWorkload(config));
+  EXPECT_EQ(a.io_seconds, b.io_seconds);
+  EXPECT_EQ(a.events, b.events);
+}
+
+}  // namespace
+}  // namespace pvfs::simcluster

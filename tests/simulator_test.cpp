@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace pvfs::sim {
+namespace {
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(300, [&] { order.push_back(3); });
+  sim.Schedule(100, [&] { order.push_back(1); });
+  sim.Schedule(200, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 300u);
+  EXPECT_EQ(sim.EventsProcessed(), 3u);
+}
+
+TEST(Simulator, TiesBreakInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(50, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(10, [&] {
+    ++fired;
+    sim.Schedule(10, [&] {
+      ++fired;
+      sim.Schedule(10, [&] { ++fired; });
+    });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.Now(), 30u);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(100, [&] { ++fired; });
+  sim.Schedule(200, [&] { ++fired; });
+  sim.RunUntil(150);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 100u);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimTask, AwaitedChildRunsToCompletion) {
+  Simulator sim;
+  std::vector<int> trace;
+
+  auto child = [&]() -> SimTask {
+    trace.push_back(1);
+    co_await sim.Delay(50);
+    trace.push_back(2);
+  };
+  auto parent = [&]() -> SimTask {
+    co_await child();
+    trace.push_back(3);
+  };
+  Spawn(sim, parent());
+  sim.Run();
+  EXPECT_EQ(trace, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 50u);
+}
+
+TEST(SimTask, SpawnedTasksInterleaveByVirtualTime) {
+  Simulator sim;
+  std::vector<std::pair<int, SimTimeNs>> trace;
+  auto proc = [&](int id, SimTimeNs step) -> SimTask {
+    for (int i = 0; i < 3; ++i) {
+      co_await sim.Delay(step);
+      trace.push_back({id, sim.Now()});
+    }
+  };
+  Spawn(sim, proc(1, 10));
+  Spawn(sim, proc(2, 25));
+  sim.Run();
+  ASSERT_EQ(trace.size(), 6u);
+  EXPECT_EQ(trace[0], (std::pair<int, SimTimeNs>{1, 10}));
+  EXPECT_EQ(trace[2], (std::pair<int, SimTimeNs>{2, 25}));
+  EXPECT_EQ(trace[5], (std::pair<int, SimTimeNs>{2, 75}));
+}
+
+TEST(SimTask, UnfinishedDetachedFrameReclaimedAtTeardown) {
+  // A task waiting on a trigger that never fires must not leak (ASAN-able).
+  Simulator sim;
+  auto trigger = std::make_unique<Trigger>(sim);
+  bool resumed = false;
+  auto waiter = [&]() -> SimTask {
+    co_await trigger->Wait();
+    resumed = true;
+  };
+  Spawn(sim, waiter());
+  sim.Run();
+  EXPECT_FALSE(resumed);
+  // Simulator destructor reclaims the suspended frame.
+}
+
+TEST(Trigger, WaitersResumeOnFire) {
+  Simulator sim;
+  Trigger trigger(sim);
+  int resumed = 0;
+  auto waiter = [&]() -> SimTask {
+    co_await trigger.Wait();
+    ++resumed;
+  };
+  Spawn(sim, waiter());
+  Spawn(sim, waiter());
+  sim.Schedule(100, [&] { trigger.Fire(); });
+  sim.Run();
+  EXPECT_EQ(resumed, 2);
+  EXPECT_TRUE(trigger.fired());
+}
+
+TEST(Trigger, WaitAfterFireDoesNotSuspend) {
+  Simulator sim;
+  Trigger trigger(sim);
+  trigger.Fire();
+  bool done = false;
+  auto waiter = [&]() -> SimTask {
+    co_await trigger.Wait();
+    done = true;
+  };
+  Spawn(sim, waiter());
+  sim.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(CountdownLatch, FiresAtZero) {
+  Simulator sim;
+  CountdownLatch latch(sim, 3);
+  bool released = false;
+  auto waiter = [&]() -> SimTask {
+    co_await latch.Wait();
+    released = true;
+  };
+  Spawn(sim, waiter());
+  sim.Schedule(10, [&] { latch.CountDown(); });
+  sim.Schedule(20, [&] { latch.CountDown(); });
+  sim.RunUntil(25);
+  EXPECT_FALSE(released);
+  sim.Schedule(10, [&] { latch.CountDown(); });
+  sim.Run();
+  EXPECT_TRUE(released);
+}
+
+TEST(CountdownLatch, ZeroCountIsImmediatelyOpen) {
+  Simulator sim;
+  CountdownLatch latch(sim, 0);
+  bool released = false;
+  auto waiter = [&]() -> SimTask {
+    co_await latch.Wait();
+    released = true;
+  };
+  Spawn(sim, waiter());
+  sim.Run();
+  EXPECT_TRUE(released);
+}
+
+TEST(Resource, SerializesHolders) {
+  Simulator sim;
+  Resource res(sim, 1);
+  std::vector<std::pair<int, SimTimeNs>> done;
+  auto user = [&](int id) -> SimTask {
+    co_await res.Acquire();
+    co_await sim.Delay(100);
+    res.Release();
+    done.push_back({id, sim.Now()});
+  };
+  Spawn(sim, user(1));
+  Spawn(sim, user(2));
+  Spawn(sim, user(3));
+  sim.Run();
+  ASSERT_EQ(done.size(), 3u);
+  // FIFO: completion at 100, 200, 300.
+  EXPECT_EQ(done[0], (std::pair<int, SimTimeNs>{1, 100}));
+  EXPECT_EQ(done[1], (std::pair<int, SimTimeNs>{2, 200}));
+  EXPECT_EQ(done[2], (std::pair<int, SimTimeNs>{3, 300}));
+}
+
+TEST(Resource, MultipleSlotsAllowParallelHolders) {
+  Simulator sim;
+  Resource res(sim, 2);
+  std::vector<SimTimeNs> done;
+  auto user = [&]() -> SimTask {
+    co_await res.Acquire();
+    co_await sim.Delay(100);
+    res.Release();
+    done.push_back(sim.Now());
+  };
+  for (int i = 0; i < 4; ++i) Spawn(sim, user());
+  sim.Run();
+  ASSERT_EQ(done.size(), 4u);
+  EXPECT_EQ(done[0], 100u);
+  EXPECT_EQ(done[1], 100u);
+  EXPECT_EQ(done[2], 200u);
+  EXPECT_EQ(done[3], 200u);
+}
+
+TEST(SimBarrier, AllPartiesLeaveTogether) {
+  Simulator sim;
+  SimBarrier barrier(sim, 3);
+  std::vector<SimTimeNs> leave;
+  auto proc = [&](SimTimeNs arrive_at) -> SimTask {
+    co_await sim.Delay(arrive_at);
+    co_await barrier.ArriveAndWait();
+    leave.push_back(sim.Now());
+  };
+  Spawn(sim, proc(10));
+  Spawn(sim, proc(50));
+  Spawn(sim, proc(90));
+  sim.Run();
+  ASSERT_EQ(leave.size(), 3u);
+  for (SimTimeNs t : leave) EXPECT_EQ(t, 90u);
+}
+
+TEST(SimBarrier, IsCyclic) {
+  Simulator sim;
+  SimBarrier barrier(sim, 2);
+  int rounds_done = 0;
+  auto proc = [&](SimTimeNs step) -> SimTask {
+    for (int r = 0; r < 3; ++r) {
+      co_await sim.Delay(step);
+      co_await barrier.ArriveAndWait();
+    }
+    ++rounds_done;
+  };
+  Spawn(sim, proc(10));
+  Spawn(sim, proc(17));
+  sim.Run();
+  EXPECT_EQ(rounds_done, 2);
+}
+
+TEST(Stats, AccumulatorMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Stats, EmptyAccumulatorIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.min(), 0.0);
+  EXPECT_EQ(acc.max(), 0.0);
+}
+
+TEST(Stats, HistogramBuckets) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Add(0.5);
+  h.Add(5.0);
+  h.Add(50.0);
+  h.Add(500.0);
+  h.Add(7.0);
+  ASSERT_EQ(h.counts().size(), 4u);
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[1], 2u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.counts()[3], 1u);  // overflow
+  EXPECT_EQ(h.summary().count(), 5u);
+}
+
+}  // namespace
+}  // namespace pvfs::sim

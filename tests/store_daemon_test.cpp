@@ -1,0 +1,263 @@
+// LocalStore, Manager and IoDaemon unit tests.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "pvfs/iod.hpp"
+#include "pvfs/manager.hpp"
+#include "pvfs/store.hpp"
+
+namespace pvfs {
+namespace {
+
+// ---- LocalStore -------------------------------------------------------------
+
+TEST(LocalStore, ReadBackWritten) {
+  LocalStore store;
+  ByteBuffer data(1000);
+  FillPattern(data, 1, 0);
+  store.Write(5, 123, data);
+  ByteBuffer out(1000);
+  store.Read(5, 123, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(LocalStore, UnwrittenReadsZero) {
+  LocalStore store;
+  ByteBuffer out(64, std::byte{0xFF});
+  store.Read(99, 1 << 20, out);
+  for (std::byte b : out) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(LocalStore, HolesReadZeroBetweenWrites) {
+  LocalStore store;
+  ByteBuffer a(10, std::byte{1});
+  store.Write(1, 0, a);
+  store.Write(1, 1000000, a);  // different chunk
+  ByteBuffer out(20);
+  store.Read(1, 500000, out);
+  for (std::byte b : out) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(LocalStore, WriteSpanningChunks) {
+  LocalStore store;
+  ByteBuffer data(3 * LocalStore::kChunkBytes);
+  FillPattern(data, 2, 0);
+  FileOffset at = LocalStore::kChunkBytes / 2;
+  store.Write(7, at, data);
+  ByteBuffer out(data.size());
+  store.Read(7, at, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(LocalStore, SizeIsHighWaterMark) {
+  LocalStore store;
+  ByteBuffer data(100);
+  store.Write(1, 500, data);
+  EXPECT_EQ(store.SizeOf(1), 600u);
+  store.Write(1, 0, data);
+  EXPECT_EQ(store.SizeOf(1), 600u);  // unchanged
+  EXPECT_EQ(store.SizeOf(2), 0u);
+}
+
+TEST(LocalStore, RemoveFreesAndIsIdempotent) {
+  LocalStore store;
+  ByteBuffer data(LocalStore::kChunkBytes);
+  store.Write(1, 0, data);
+  EXPECT_GT(store.AllocatedBytes(), 0u);
+  store.Remove(1);
+  EXPECT_EQ(store.AllocatedBytes(), 0u);
+  EXPECT_FALSE(store.Contains(1));
+  store.Remove(1);  // no-op
+}
+
+TEST(LocalStore, OverwriteUpdatesInPlace) {
+  LocalStore store;
+  ByteBuffer first(100, std::byte{1});
+  ByteBuffer second(50, std::byte{2});
+  store.Write(1, 0, first);
+  store.Write(1, 25, second);
+  ByteBuffer out(100);
+  store.Read(1, 0, out);
+  EXPECT_EQ(out[24], std::byte{1});
+  EXPECT_EQ(out[25], std::byte{2});
+  EXPECT_EQ(out[74], std::byte{2});
+  EXPECT_EQ(out[75], std::byte{1});
+}
+
+// ---- Manager ----------------------------------------------------------------
+
+TEST(Manager, CreateAssignsDistinctHandles) {
+  Manager mgr(8);
+  auto a = mgr.Create("a", Striping{0, 8, 16384});
+  auto b = mgr.Create("b", Striping{0, 8, 16384});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->handle, b->handle);
+  EXPECT_EQ(mgr.file_count(), 2u);
+}
+
+TEST(Manager, CreateValidatesStriping) {
+  Manager mgr(8);
+  EXPECT_EQ(mgr.Create("a", Striping{0, 0, 16384}).status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(mgr.Create("a", Striping{0, 9, 16384}).status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(mgr.Create("a", Striping{8, 8, 16384}).status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(mgr.Create("a", Striping{0, 8, 0}).status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(mgr.Create("", Striping{0, 8, 16384}).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(Manager, DuplicateCreateFails) {
+  Manager mgr(8);
+  ASSERT_TRUE(mgr.Create("f", Striping{0, 8, 16384}).ok());
+  EXPECT_EQ(mgr.Create("f", Striping{0, 8, 16384}).status().code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST(Manager, LookupAndStat) {
+  Manager mgr(8);
+  auto meta = mgr.Create("f", Striping{1, 4, 8192});
+  ASSERT_TRUE(meta.ok());
+  auto by_name = mgr.Lookup("f");
+  ASSERT_TRUE(by_name.ok());
+  EXPECT_EQ(by_name->handle, meta->handle);
+  EXPECT_EQ(by_name->striping, (Striping{1, 4, 8192}));
+  auto by_handle = mgr.Stat(meta->handle);
+  ASSERT_TRUE(by_handle.ok());
+  EXPECT_EQ(by_handle->handle, meta->handle);
+  EXPECT_FALSE(mgr.Lookup("nope").ok());
+  EXPECT_FALSE(mgr.Stat(999).ok());
+}
+
+TEST(Manager, SetSizeIsMaxMerge) {
+  Manager mgr(8);
+  auto meta = mgr.Create("f", Striping{0, 8, 16384});
+  ASSERT_TRUE(mgr.SetSize(meta->handle, 1000).ok());
+  ASSERT_TRUE(mgr.SetSize(meta->handle, 500).ok());  // smaller: ignored
+  EXPECT_EQ(mgr.Stat(meta->handle)->size, 1000u);
+  EXPECT_FALSE(mgr.SetSize(12345, 1).ok());
+}
+
+TEST(Manager, RemoveDropsBothIndexes) {
+  Manager mgr(8);
+  auto meta = mgr.Create("f", Striping{0, 8, 16384});
+  ASSERT_TRUE(mgr.Remove("f").ok());
+  EXPECT_FALSE(mgr.Lookup("f").ok());
+  EXPECT_FALSE(mgr.Stat(meta->handle).ok());
+  EXPECT_FALSE(mgr.Remove("f").ok());
+}
+
+TEST(Manager, HandleMessageDispatch) {
+  Manager mgr(8);
+  auto env = mgr.HandleMessage(CreateRequest{"f", Striping{0, 8, 16384}}.Encode());
+  auto resp = DecodeResponse(env);
+  ASSERT_TRUE(resp.ok());
+  ASSERT_TRUE(resp->status.ok());
+  auto meta = MetadataResponse::Decode(resp->body);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_GT(meta->meta.handle, 0u);
+
+  // Errors travel in the envelope, not as transport failures.
+  auto env2 = mgr.HandleMessage(LookupRequest{"missing"}.Encode());
+  auto resp2 = DecodeResponse(env2);
+  ASSERT_TRUE(resp2.ok());
+  EXPECT_EQ(resp2->status.code(), ErrorCode::kNotFound);
+}
+
+TEST(Manager, HandleMessageRejectsIoTraffic) {
+  Manager mgr(8);
+  IoRequest io;
+  io.striping = Striping{0, 8, 16384};
+  auto resp = DecodeResponse(mgr.HandleMessage(io.Encode()));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_FALSE(resp->status.ok());
+}
+
+// ---- IoDaemon ----------------------------------------------------------------
+
+IoRequest MakeIo(IoOp op, ExtentList regions, ServerId server_index = 0,
+                 Striping striping = Striping{0, 8, 16384}) {
+  IoRequest req;
+  req.handle = 1;
+  req.striping = striping;
+  req.server_index = server_index;
+  req.op = op;
+  req.regions = std::move(regions);
+  return req;
+}
+
+TEST(IoDaemon, WriteThenReadOwnFragments) {
+  IoDaemon iod(0);
+  // Region [0, 100) lives wholly on relative server 0.
+  IoRequest write = MakeIo(IoOp::kWrite, {{0, 100}});
+  write.payload.resize(100);
+  FillPattern(write.payload, 1, 0);
+  auto wr = iod.Serve(write);
+  ASSERT_TRUE(wr.ok());
+  EXPECT_EQ(wr->bytes, 100u);
+
+  auto rd = iod.Serve(MakeIo(IoOp::kRead, {{0, 100}}));
+  ASSERT_TRUE(rd.ok());
+  EXPECT_EQ(rd->payload, write.payload);
+}
+
+TEST(IoDaemon, ServesOnlyItsServerIndexShare) {
+  IoDaemon iod(0);
+  // [0, 32768) spans relative servers 0 and 1; server 0's share is 16384.
+  auto rd = iod.Serve(MakeIo(IoOp::kRead, {{0, 32768}}, 0));
+  ASSERT_TRUE(rd.ok());
+  EXPECT_EQ(rd->bytes, 16384u);
+  auto rd1 = iod.Serve(MakeIo(IoOp::kRead, {{0, 32768}}, 1));
+  ASSERT_TRUE(rd1.ok());
+  EXPECT_EQ(rd1->bytes, 16384u);
+}
+
+TEST(IoDaemon, RegionLimitEnforced) {
+  IoDaemon iod(0, 4);
+  ExtentList regions(5, Extent{0, 1});
+  auto resp = iod.Serve(MakeIo(IoOp::kRead, regions));
+  EXPECT_EQ(resp.status().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(IoDaemon, WritePayloadSizeMismatchRejected) {
+  IoDaemon iod(0);
+  IoRequest write = MakeIo(IoOp::kWrite, {{0, 100}});
+  write.payload.resize(99);
+  EXPECT_EQ(iod.Serve(write).status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(IoDaemon, CountsCoalescedLocalRuns) {
+  IoDaemon iod(0);
+  // Two logically distant regions that are locally adjacent on server 0:
+  // [0,16384) is stripe 0 (local 0..16384); [131072,+16384) is stripe 8
+  // (local 16384..32768) -> one coalesced run.
+  auto resp =
+      iod.Serve(MakeIo(IoOp::kRead, {{0, 16384}, {8 * 16384, 16384}}));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(iod.stats().local_accesses, 1u);
+  EXPECT_EQ(iod.stats().regions, 2u);
+}
+
+TEST(IoDaemon, HandleMessageRemoveData) {
+  IoDaemon iod(0);
+  IoRequest write = MakeIo(IoOp::kWrite, {{0, 10}});
+  write.payload.resize(10, std::byte{1});
+  ASSERT_TRUE(iod.Serve(write).ok());
+  EXPECT_TRUE(iod.store().Contains(1));
+  auto env = iod.HandleMessage(RemoveDataRequest{1}.Encode());
+  EXPECT_TRUE(DecodeResponse(env)->status.ok());
+  EXPECT_FALSE(iod.store().Contains(1));
+}
+
+TEST(IoDaemon, ReadOfUnwrittenDataIsZeros) {
+  IoDaemon iod(0);
+  auto rd = iod.Serve(MakeIo(IoOp::kRead, {{100, 50}}));
+  ASSERT_TRUE(rd.ok());
+  for (std::byte b : rd->payload) EXPECT_EQ(b, std::byte{0});
+}
+
+}  // namespace
+}  // namespace pvfs

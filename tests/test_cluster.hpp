@@ -1,0 +1,37 @@
+// Shared test fixture: a complete in-process PVFS deployment (manager +
+// N I/O daemons + synchronous transport) with real byte movement.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "pvfs/client.hpp"
+#include "pvfs/iod.hpp"
+#include "pvfs/manager.hpp"
+#include "pvfs/transport.hpp"
+
+namespace pvfs::testutil {
+
+struct InProcCluster {
+  explicit InProcCluster(std::uint32_t servers = 8,
+                         std::uint32_t max_list_regions = kMaxListRegions)
+      : manager(servers) {
+    iods.reserve(servers);
+    std::vector<IoDaemon*> ptrs;
+    for (ServerId s = 0; s < servers; ++s) {
+      iods.push_back(std::make_unique<IoDaemon>(s, max_list_regions));
+      ptrs.push_back(iods.back().get());
+    }
+    transport = std::make_unique<InProcTransport>(&manager, std::move(ptrs));
+  }
+
+  Client MakeClient(std::uint32_t max_list_regions = kMaxListRegions) {
+    return Client(transport.get(), max_list_regions);
+  }
+
+  Manager manager;
+  std::vector<std::unique_ptr<IoDaemon>> iods;
+  std::unique_ptr<InProcTransport> transport;
+};
+
+}  // namespace pvfs::testutil

@@ -1,0 +1,131 @@
+// Trace serialization, parsing, builders, replay and sim-adapter tests.
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "runtime/threaded_cluster.hpp"
+#include "simcluster/workload_streams.hpp"
+
+namespace pvfs::trace {
+namespace {
+
+TEST(TraceFormat, SerializeParseRoundTrip) {
+  Trace trace;
+  trace.ranks = 3;
+  trace.ops.push_back({0, IoOp::kWrite, {{0, 100}, {500, 50}}});
+  trace.ops.push_back({2, IoOp::kRead, {{16384, 4096}}});
+  trace.ops.push_back({1, IoOp::kWrite, {{1, 1}}});
+
+  auto parsed = Parse(Serialize(trace));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, trace);
+}
+
+TEST(TraceFormat, ParsesCommentsAndWhitespace) {
+  auto parsed = Parse(
+      "# a trace\n"
+      "ranks 2\n"
+      "\n"
+      "  0 R 0:10,20:10   # trailing comment\n"
+      "1 W 100:5\r\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->ranks, 2u);
+  ASSERT_EQ(parsed->ops.size(), 2u);
+  EXPECT_EQ(parsed->ops[0].regions,
+            (ExtentList{{0, 10}, {20, 10}}));
+  EXPECT_EQ(parsed->ops[1].op, IoOp::kWrite);
+}
+
+TEST(TraceFormat, RejectsMalformedInput) {
+  EXPECT_FALSE(Parse("").ok());                       // no header
+  EXPECT_FALSE(Parse("ranks 0\n").ok());              // zero ranks
+  EXPECT_FALSE(Parse("0 R 0:10\nranks 2\n").ok());    // header not first
+  EXPECT_FALSE(Parse("ranks 2\n5 R 0:10\n").ok());    // rank out of range
+  EXPECT_FALSE(Parse("ranks 2\n0 X 0:10\n").ok());    // bad op
+  EXPECT_FALSE(Parse("ranks 2\n0 R 0-10\n").ok());    // bad region
+  EXPECT_FALSE(Parse("ranks 2\n0 R abc:10\n").ok());  // bad integer
+}
+
+TEST(TraceBuilders, CyclicTraceMatchesWorkload) {
+  Trace trace = CyclicTrace(1 << 20, 4, 64, IoOp::kWrite);
+  EXPECT_EQ(trace.ranks, 4u);
+  EXPECT_EQ(trace.ops.size(), 4u);
+  EXPECT_EQ(trace.TotalBytes(), 1u << 20);
+  workloads::CyclicConfig config{1 << 20, 4, 64};
+  EXPECT_EQ(trace.ops[2].regions,
+            workloads::CyclicPattern(config, 2).file);
+}
+
+TEST(TraceBuilders, TiledTraceHas768RowsPerRank) {
+  Trace trace = TiledVizTrace();
+  EXPECT_EQ(trace.ranks, 6u);
+  for (const TraceOp& op : trace.ops) {
+    EXPECT_EQ(op.regions.size(), 768u);
+    EXPECT_EQ(op.op, IoOp::kRead);
+  }
+}
+
+TEST(TraceReplay, WritesThenReadsThroughCluster) {
+  runtime::ThreadedCluster cluster(8);
+  Trace writes = CyclicTrace(1 << 18, 4, 32, IoOp::kWrite);
+
+  ReplayOptions options;
+  options.method = io::MethodType::kList;
+  auto result = Replay(cluster.transport(), writes, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->bytes_written, 1u << 18);
+  EXPECT_GT(result->fs_requests, 0u);
+
+  // Replay the matching read trace against the same (existing) file.
+  Trace reads = CyclicTrace(1 << 18, 4, 32, IoOp::kRead);
+  auto read_result = Replay(cluster.transport(), reads, options);
+  ASSERT_TRUE(read_result.ok());
+  EXPECT_EQ(read_result->bytes_read, 1u << 18);
+}
+
+TEST(TraceReplay, AllMethodsHandleTheSameTrace) {
+  for (io::MethodType method :
+       {io::MethodType::kMultiple, io::MethodType::kDataSieving,
+        io::MethodType::kList, io::MethodType::kHybrid}) {
+    runtime::ThreadedCluster cluster(8);
+    Trace trace = CyclicTrace(1 << 16, 2, 16, IoOp::kWrite);
+    ReplayOptions options;
+    options.method = method;
+    auto result = Replay(cluster.transport(), trace, options);
+    ASSERT_TRUE(result.ok()) << io::MethodName(method);
+    // Sieving/hybrid RMW writes back gap bytes too, so >= the trace total.
+    EXPECT_GE(result->bytes_written, 1u << 16) << io::MethodName(method);
+  }
+}
+
+TEST(TraceSim, WorkloadAdapterFiltersDirection) {
+  Trace trace;
+  trace.ranks = 2;
+  trace.ops.push_back({0, IoOp::kWrite, {{0, 100}}});
+  trace.ops.push_back({0, IoOp::kRead, {{200, 100}}});
+  trace.ops.push_back({1, IoOp::kRead, {{400, 100}, {600, 100}}});
+
+  simcluster::SimWorkload reads = ToSimWorkload(trace, IoOp::kRead);
+  auto r0 = reads.file_regions(0);
+  EXPECT_EQ(r0->TotalBytes(), 100u);
+  auto r1 = reads.file_regions(1);
+  EXPECT_EQ(r1->TotalBytes(), 200u);
+
+  simcluster::SimWorkload writes = ToSimWorkload(trace, IoOp::kWrite);
+  EXPECT_EQ(writes.file_regions(0)->TotalBytes(), 100u);
+  EXPECT_EQ(writes.file_regions(1)->TotalBytes(), 0u);
+}
+
+TEST(TraceSim, SimulatedTraceRuns) {
+  Trace trace = CyclicTrace(8 * kMiB, 4, 1000, IoOp::kRead);
+  auto workload = ToSimWorkload(trace, IoOp::kRead);
+  auto run = simcluster::RunSimWorkload(simcluster::ChibaCityConfig(4),
+                                        io::MethodType::kList, IoOp::kRead,
+                                        workload);
+  EXPECT_GT(run.io_seconds, 0.0);
+  EXPECT_EQ(run.counters.fs_requests, 4u * ((1000 + 63) / 64));
+}
+
+}  // namespace
+}  // namespace pvfs::trace

@@ -1,0 +1,330 @@
+// Workload generator tests: the patterns must reproduce the paper's
+// geometry and request-count arithmetic exactly (§4.2-4.4).
+#include <gtest/gtest.h>
+
+#include "io/datatype.hpp"
+#include "pvfs/config.hpp"
+#include "workloads/blockblock.hpp"
+#include "workloads/cyclic.hpp"
+#include "workloads/flash.hpp"
+#include "workloads/strided.hpp"
+#include "workloads/tiledviz.hpp"
+
+namespace pvfs::workloads {
+namespace {
+
+// ---- Cyclic ------------------------------------------------------------------
+
+TEST(Cyclic, PartitionsWithoutOverlapOrGap) {
+  CyclicConfig config{1 << 20, 4, 64};
+  ByteCount covered = 0;
+  std::vector<bool> seen(1 << 20, false);
+  for (Rank r = 0; r < config.clients; ++r) {
+    auto pattern = CyclicPattern(config, r);
+    EXPECT_EQ(pattern.file.size(), config.accesses_per_client);
+    for (const Extent& e : pattern.file) {
+      for (FileOffset i = e.offset; i < e.end(); ++i) {
+        ASSERT_FALSE(seen[i]) << "overlap at " << i;
+        seen[i] = true;
+      }
+      covered += e.length;
+    }
+  }
+  EXPECT_EQ(covered, config.EffectiveTotal());
+  EXPECT_EQ(covered, 1u << 20);  // divides evenly here
+}
+
+TEST(Cyclic, BlockSizeShrinksWithAccesses) {
+  CyclicConfig few{kGiB, 8, 1000};
+  CyclicConfig many{kGiB, 8, 1000000};
+  EXPECT_EQ(few.BlockBytes(), kGiB / (8 * 1000));
+  EXPECT_EQ(many.BlockBytes(), kGiB / (8 * 1000000));
+  // The paper's 9-client turning point arithmetic: ~149 bytes/access.
+  CyclicConfig paper{kGiB, 9, 800000};
+  EXPECT_EQ(paper.BlockBytes(), 149u);
+}
+
+TEST(Cyclic, InterleavingIsRoundRobin) {
+  CyclicConfig config{4096, 4, 4};  // block = 256
+  auto p0 = CyclicPattern(config, 0);
+  auto p1 = CyclicPattern(config, 1);
+  EXPECT_EQ(p0.file[0], (Extent{0, 256}));
+  EXPECT_EQ(p1.file[0], (Extent{256, 256}));
+  EXPECT_EQ(p0.file[1], (Extent{1024, 256}));
+  EXPECT_EQ(p1.file[1], (Extent{1280, 256}));
+}
+
+TEST(Cyclic, MemorySideIsContiguous) {
+  CyclicConfig config{1 << 16, 2, 8};
+  auto p = CyclicPattern(config, 1);
+  ASSERT_EQ(p.memory.size(), 1u);
+  EXPECT_EQ(p.memory[0].length, config.BytesPerClient());
+}
+
+// ---- Block-block --------------------------------------------------------------
+
+TEST(BlockBlock, TilesPartitionTheArray) {
+  BlockBlockConfig config{1 << 20, 4, 64};  // 1024x1024, 2x2 grid
+  std::vector<bool> seen(1 << 20, false);
+  ByteCount covered = 0;
+  for (Rank r = 0; r < config.clients; ++r) {
+    auto pattern = BlockBlockPattern(config, r);
+    for (const Extent& e : pattern.file) {
+      for (FileOffset i = e.offset; i < e.end(); ++i) {
+        ASSERT_FALSE(seen[i]) << "overlap at " << i;
+        seen[i] = true;
+      }
+      covered += e.length;
+    }
+  }
+  EXPECT_EQ(covered, 1u << 20);  // exact cover: no gaps
+}
+
+TEST(BlockBlock, RowsAreTheContiguityLimit) {
+  BlockBlockConfig config{1 << 20, 4, 8};  // few accesses: frag = row
+  auto pattern = BlockBlockPattern(config, 0);
+  // Tile is 512x512: 512 rows of 512 bytes each.
+  EXPECT_EQ(pattern.file.size(), 512u);
+  EXPECT_EQ(pattern.file[0], (Extent{0, 512}));
+  EXPECT_EQ(pattern.file[1], (Extent{1024, 512}));  // next array row
+}
+
+TEST(BlockBlock, AccessCountFragmentsRows) {
+  BlockBlockConfig config{1 << 20, 4, 2048};  // frag = 256K/2048 = 128
+  auto pattern = BlockBlockPattern(config, 3);
+  EXPECT_EQ(pattern.file.size(), 2048u);
+  EXPECT_EQ(pattern.file[0].length, 128u);
+  // Adjacent fragments within one row are file-contiguous but separate.
+  EXPECT_EQ(pattern.file[1].offset, pattern.file[0].end());
+}
+
+TEST(BlockBlock, UnevenGeometryStillCovers) {
+  // 9 clients over a side not divisible by 3 (the paper's 9-client case).
+  BlockBlockConfig config{100 * 100, 9, 50};
+  ByteCount covered = 0;
+  for (Rank r = 0; r < 9; ++r) {
+    covered += TotalBytes(BlockBlockPattern(config, r).file);
+  }
+  EXPECT_EQ(covered, 10000u);
+}
+
+TEST(BlockBlock, PaperAccessSizeArithmetic) {
+  // (1 GiB)/(9 clients)/(800k accesses) ~ 149 bytes per access.
+  BlockBlockConfig config{kGiB, 9, 800000};
+  auto pattern = BlockBlockPattern(config, 4);
+  // Fragment size should be close to 149 (tile rounding makes it vary).
+  EXPECT_GE(pattern.file[0].length, 140u);
+  EXPECT_LE(pattern.file[0].length, 160u);
+}
+
+// ---- FLASH ---------------------------------------------------------------------
+
+TEST(Flash, PaperArithmetic) {
+  FlashConfig config;
+  config.nprocs = 1;
+  // §4.3.1: 80*8*8*8*24 = 983,040 memory regions of 8 bytes...
+  EXPECT_EQ(config.MemRegionsPerProc(), 983040u);
+  // ...1,920 file regions of 4,096 bytes...
+  EXPECT_EQ(config.FileRegionsPerProc(), 1920u);
+  EXPECT_EQ(config.FileChunkBytes(), 4096u);
+  // ...7,864,320 bytes per processor.
+  EXPECT_EQ(config.BytesPerProc(), 7864320u);
+  // List I/O: 80*24/64 = 30 requests per processor.
+  EXPECT_EQ(config.FileRegionsPerProc() / kMaxListRegions, 30u);
+}
+
+TEST(Flash, PatternMatchesArithmetic) {
+  FlashConfig config;
+  config.nprocs = 4;
+  config.blocks_per_proc = 4;  // scaled down for materialization
+  config.nvars = 6;
+  auto pattern = FlashCheckpointPattern(config, 2);
+  EXPECT_EQ(pattern.file.size(), config.FileRegionsPerProc());
+  EXPECT_EQ(pattern.memory.size(), config.MemRegionsPerProc());
+  EXPECT_EQ(TotalBytes(pattern.file), config.BytesPerProc());
+  EXPECT_EQ(TotalBytes(pattern.memory), config.BytesPerProc());
+}
+
+TEST(Flash, FileLayoutIsVariableMajor) {
+  FlashConfig config;
+  config.nprocs = 2;
+  config.blocks_per_proc = 3;
+  config.nvars = 2;
+  auto p0 = FlashCheckpointPattern(config, 0);
+  auto p1 = FlashCheckpointPattern(config, 1);
+  ByteCount chunk = config.FileChunkBytes();
+  // Proc 0 block 0 var 0 at offset 0; proc 1 right after.
+  EXPECT_EQ(p0.file[0].offset, 0u);
+  EXPECT_EQ(p1.file[0].offset, chunk);
+  // Var 1 starts after all blocks of var 0 across both procs.
+  EXPECT_EQ(p0.file[3].offset, 3u * 2 * chunk);
+}
+
+TEST(Flash, RanksInterleaveWithoutOverlap) {
+  FlashConfig config;
+  config.nprocs = 3;
+  config.blocks_per_proc = 2;
+  config.nvars = 2;
+  config.nxb = config.nyb = config.nzb = 2;
+  config.nguard = 1;
+  std::vector<bool> seen(config.FileBytes(), false);
+  for (Rank r = 0; r < 3; ++r) {
+    auto pattern = FlashCheckpointPattern(config, r);
+    for (const Extent& e : pattern.file) {
+      for (FileOffset i = e.offset; i < e.end(); ++i) {
+        ASSERT_FALSE(seen[i]);
+        seen[i] = true;
+      }
+    }
+  }
+  for (bool b : seen) EXPECT_TRUE(b);  // exact cover
+}
+
+TEST(Flash, MemoryRegionsSkipGuardCells) {
+  FlashConfig config;
+  config.nprocs = 1;
+  config.blocks_per_proc = 1;
+  config.nvars = 1;
+  config.nxb = config.nyb = config.nzb = 2;
+  config.nguard = 1;
+  // Padded block is 4x4x4 = 64 elements; interior 8.
+  auto pattern = FlashCheckpointPattern(config, 0);
+  ASSERT_EQ(pattern.memory.size(), 8u);
+  // First interior element (x=y=z=0 -> padded (1,1,1)).
+  ByteCount elem = config.var_bytes * config.nvars;
+  EXPECT_EQ(pattern.memory[0].offset, ((1 * 4 + 1) * 4 + 1) * elem);
+  // All memory offsets inside the padded buffer.
+  for (const Extent& m : pattern.memory) {
+    EXPECT_LE(m.end(), config.MemBytesPerProc());
+  }
+}
+
+TEST(Flash, VariablesInterleaveInMemory) {
+  FlashConfig config;
+  config.nprocs = 1;
+  config.blocks_per_proc = 1;
+  config.nvars = 3;
+  config.nxb = config.nyb = config.nzb = 2;
+  config.nguard = 0;
+  auto pattern = FlashCheckpointPattern(config, 0);
+  // Memory region for var v of element 0 sits v*8 bytes into the element.
+  ByteCount per_var_regions = 8;  // 2x2x2 interior
+  EXPECT_EQ(pattern.memory[0].offset, 0u);
+  EXPECT_EQ(pattern.memory[per_var_regions].offset, 8u);      // var 1
+  EXPECT_EQ(pattern.memory[2 * per_var_regions].offset, 16u); // var 2
+}
+
+// ---- Nested strided ------------------------------------------------------------
+
+TEST(NestedStrided, SimpleStridedMatchesVectorDatatype) {
+  // One level: equivalent to an MPI vector type.
+  NestedStridedConfig config;
+  config.base = 1000;
+  config.levels = {{10, 256}};
+  config.block_bytes = 64;
+  EXPECT_EQ(config.RegionCount(), 10u);
+  EXPECT_EQ(config.TotalBytes(), 640u);
+
+  ExtentList regions = NestedStridedRegions(config);
+  io::Datatype vec = io::Datatype::HVector(10, 1, 256, io::Datatype::Bytes(64));
+  EXPECT_EQ(regions, vec.Flatten(1000));
+}
+
+TEST(NestedStrided, TwoLevelNestingMatchesNestedVectors) {
+  NestedStridedConfig config;
+  config.levels = {{3, 10000}, {4, 100}};
+  config.block_bytes = 16;
+  ExtentList regions = NestedStridedRegions(config);
+  ASSERT_EQ(regions.size(), 12u);
+  EXPECT_EQ(regions[0], (Extent{0, 16}));
+  EXPECT_EQ(regions[3], (Extent{300, 16}));
+  EXPECT_EQ(regions[4], (Extent{10000, 16}));
+
+  io::Datatype inner =
+      io::Datatype::HVector(4, 1, 100, io::Datatype::Bytes(16));
+  io::Datatype outer = io::Datatype::HVector(3, 1, 10000, inner);
+  EXPECT_EQ(regions, outer.Flatten(0));
+}
+
+TEST(NestedStrided, DenseStrideCoalesces) {
+  NestedStridedConfig config;
+  config.levels = {{5, 32}};
+  config.block_bytes = 32;  // stride == block: contiguous
+  ExtentList regions = NestedStridedRegions(config);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0], (Extent{0, 160}));
+}
+
+TEST(NestedStrided, ZeroBlockIsEmpty) {
+  NestedStridedConfig config;
+  config.levels = {{5, 100}};
+  config.block_bytes = 0;
+  EXPECT_TRUE(NestedStridedRegions(config).empty());
+  EXPECT_EQ(config.TotalBytes(), 0u);
+}
+
+TEST(NestedStrided, NoLevelsIsSingleBlock) {
+  NestedStridedConfig config;
+  config.base = 77;
+  config.block_bytes = 10;
+  EXPECT_EQ(NestedStridedRegions(config), (ExtentList{{77, 10}}));
+}
+
+// ---- Tiled visualization --------------------------------------------------------
+
+TEST(TiledViz, PaperGeometry) {
+  TiledVizConfig config;
+  EXPECT_EQ(config.clients(), 6u);
+  EXPECT_EQ(config.WallWidth(), 2532u);
+  EXPECT_EQ(config.WallHeight(), 1408u);
+  // §4.4.1: "bringing the file size to about 10.2 MBytes".
+  EXPECT_EQ(config.FileBytes(), 10695168u);
+}
+
+TEST(TiledViz, PaperRequestCounts) {
+  TiledVizConfig config;
+  auto pattern = TiledVizPattern(config, 0);
+  // 768 noncontiguous rows -> 768 multiple-I/O requests, 12 list requests.
+  EXPECT_EQ(pattern.file.size(), 768u);
+  EXPECT_EQ((pattern.file.size() + kMaxListRegions - 1) / kMaxListRegions,
+            12u);
+  EXPECT_EQ(pattern.file[0].length, 3072u);  // 1024 px * 3 B
+  EXPECT_EQ(TotalBytes(pattern.file), config.TileBytes());
+}
+
+TEST(TiledViz, RowsStrideByWallWidth) {
+  TiledVizConfig config;
+  auto pattern = TiledVizPattern(config, 0);
+  ByteCount stride = config.WallWidth() * config.bytes_per_pixel;
+  EXPECT_EQ(pattern.file[1].offset - pattern.file[0].offset, stride);
+}
+
+TEST(TiledViz, OverlapsMakeNeighboursShareBytes) {
+  TiledVizConfig config;
+  auto left = TiledVizPattern(config, 0);
+  auto right = TiledVizPattern(config, 1);
+  // Tile 1 starts 1024-270 = 754 pixels in; row 0 of both tiles overlap
+  // in [754*3, 1024*3).
+  EXPECT_EQ(right.file[0].offset, 754u * 3);
+  EXPECT_LT(right.file[0].offset, left.file[0].end());
+}
+
+TEST(TiledViz, BottomRowTilesOffsetByOverlap) {
+  TiledVizConfig config;
+  auto bottom = TiledVizPattern(config, 3);  // tile row 1, col 0
+  ByteCount row_stride = config.WallWidth() * config.bytes_per_pixel;
+  EXPECT_EQ(bottom.file[0].offset, (768u - 128u) * row_stride);
+}
+
+TEST(TiledViz, AllPatternsStayInFile) {
+  TiledVizConfig config;
+  for (Rank r = 0; r < config.clients(); ++r) {
+    auto pattern = TiledVizPattern(config, r);
+    for (const Extent& e : pattern.file) {
+      EXPECT_LE(e.end(), config.FileBytes()) << "rank " << r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pvfs::workloads
