@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_listlimit.dir/ablation_listlimit.cpp.o"
+  "CMakeFiles/bench_ablation_listlimit.dir/ablation_listlimit.cpp.o.d"
+  "bench_ablation_listlimit"
+  "bench_ablation_listlimit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_listlimit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

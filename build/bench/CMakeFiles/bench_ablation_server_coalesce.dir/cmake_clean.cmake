@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_server_coalesce.dir/ablation_server_coalesce.cpp.o"
+  "CMakeFiles/bench_ablation_server_coalesce.dir/ablation_server_coalesce.cpp.o.d"
+  "bench_ablation_server_coalesce"
+  "bench_ablation_server_coalesce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_server_coalesce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stripe.dir/ablation_stripe.cpp.o"
+  "CMakeFiles/bench_ablation_stripe.dir/ablation_stripe.cpp.o.d"
+  "bench_ablation_stripe"
+  "bench_ablation_stripe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stripe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_cyclic_read.dir/fig09_cyclic_read.cpp.o"
+  "CMakeFiles/bench_fig09_cyclic_read.dir/fig09_cyclic_read.cpp.o.d"
+  "bench_fig09_cyclic_read"
+  "bench_fig09_cyclic_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_cyclic_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_blockblock_read.dir/fig11_blockblock_read.cpp.o"
+  "CMakeFiles/bench_fig11_blockblock_read.dir/fig11_blockblock_read.cpp.o.d"
+  "bench_fig11_blockblock_read"
+  "bench_fig11_blockblock_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_blockblock_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

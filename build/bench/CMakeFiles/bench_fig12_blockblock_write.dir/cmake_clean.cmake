@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_blockblock_write.dir/fig12_blockblock_write.cpp.o"
+  "CMakeFiles/bench_fig12_blockblock_write.dir/fig12_blockblock_write.cpp.o.d"
+  "bench_fig12_blockblock_write"
+  "bench_fig12_blockblock_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_blockblock_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_flash.dir/fig15_flash.cpp.o"
+  "CMakeFiles/bench_fig15_flash.dir/fig15_flash.cpp.o.d"
+  "bench_fig15_flash"
+  "bench_fig15_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig17_tiledviz.cpp" "bench/CMakeFiles/bench_fig17_tiledviz.dir/fig17_tiledviz.cpp.o" "gcc" "bench/CMakeFiles/bench_fig17_tiledviz.dir/fig17_tiledviz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pvfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pvfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/pvfs_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/pvfs/CMakeFiles/pvfs_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pvfs_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/pvfs_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pvfs_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcluster/CMakeFiles/pvfs_simcluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

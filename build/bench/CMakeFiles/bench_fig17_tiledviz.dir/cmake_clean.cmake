@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_tiledviz.dir/fig17_tiledviz.cpp.o"
+  "CMakeFiles/bench_fig17_tiledviz.dir/fig17_tiledviz.cpp.o.d"
+  "bench_fig17_tiledviz"
+  "bench_fig17_tiledviz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_tiledviz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

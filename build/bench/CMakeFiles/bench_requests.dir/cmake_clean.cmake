@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_requests.dir/requests_analysis.cpp.o"
+  "CMakeFiles/bench_requests.dir/requests_analysis.cpp.o.d"
+  "bench_requests"
+  "bench_requests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_requests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_servers.dir/scaling_servers.cpp.o"
+  "CMakeFiles/bench_scaling_servers.dir/scaling_servers.cpp.o.d"
+  "bench_scaling_servers"
+  "bench_scaling_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

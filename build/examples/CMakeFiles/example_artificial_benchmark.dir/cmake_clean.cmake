@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_artificial_benchmark.dir/artificial_benchmark.cpp.o"
+  "CMakeFiles/example_artificial_benchmark.dir/artificial_benchmark.cpp.o.d"
+  "example_artificial_benchmark"
+  "example_artificial_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_artificial_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

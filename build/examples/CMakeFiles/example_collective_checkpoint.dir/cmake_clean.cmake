@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_collective_checkpoint.dir/collective_checkpoint.cpp.o"
+  "CMakeFiles/example_collective_checkpoint.dir/collective_checkpoint.cpp.o.d"
+  "example_collective_checkpoint"
+  "example_collective_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_collective_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

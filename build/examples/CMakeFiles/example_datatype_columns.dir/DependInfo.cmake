@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/datatype_columns.cpp" "examples/CMakeFiles/example_datatype_columns.dir/datatype_columns.cpp.o" "gcc" "examples/CMakeFiles/example_datatype_columns.dir/datatype_columns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pvfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pvfs/CMakeFiles/pvfs_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pvfs_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/pvfs_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpiio/CMakeFiles/pvfs_mpiio.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pvfs_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcluster/CMakeFiles/pvfs_simcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pvfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/pvfs_models.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

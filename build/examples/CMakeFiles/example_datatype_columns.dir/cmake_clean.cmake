@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_datatype_columns.dir/datatype_columns.cpp.o"
+  "CMakeFiles/example_datatype_columns.dir/datatype_columns.cpp.o.d"
+  "example_datatype_columns"
+  "example_datatype_columns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_datatype_columns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_flash_checkpoint.dir/flash_checkpoint.cpp.o"
+  "CMakeFiles/example_flash_checkpoint.dir/flash_checkpoint.cpp.o.d"
+  "example_flash_checkpoint"
+  "example_flash_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_flash_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tiled_viewer.dir/tiled_viewer.cpp.o"
+  "CMakeFiles/example_tiled_viewer.dir/tiled_viewer.cpp.o.d"
+  "example_tiled_viewer"
+  "example_tiled_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tiled_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

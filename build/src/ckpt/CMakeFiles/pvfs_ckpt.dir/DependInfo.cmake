@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckpt/checkpoint.cpp" "src/ckpt/CMakeFiles/pvfs_ckpt.dir/checkpoint.cpp.o" "gcc" "src/ckpt/CMakeFiles/pvfs_ckpt.dir/checkpoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpiio/CMakeFiles/pvfs_mpiio.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/pvfs_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/pvfs/CMakeFiles/pvfs_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pvfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfs_ckpt.dir/checkpoint.cpp.o"
+  "CMakeFiles/pvfs_ckpt.dir/checkpoint.cpp.o.d"
+  "libpvfs_ckpt.a"
+  "libpvfs_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfs_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfs_common.dir/bytes.cpp.o"
+  "CMakeFiles/pvfs_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/pvfs_common.dir/extent.cpp.o"
+  "CMakeFiles/pvfs_common.dir/extent.cpp.o.d"
+  "CMakeFiles/pvfs_common.dir/log.cpp.o"
+  "CMakeFiles/pvfs_common.dir/log.cpp.o.d"
+  "CMakeFiles/pvfs_common.dir/status.cpp.o"
+  "CMakeFiles/pvfs_common.dir/status.cpp.o.d"
+  "CMakeFiles/pvfs_common.dir/wire.cpp.o"
+  "CMakeFiles/pvfs_common.dir/wire.cpp.o.d"
+  "libpvfs_common.a"
+  "libpvfs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

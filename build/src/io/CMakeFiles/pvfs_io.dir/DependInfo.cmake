@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/access_pattern.cpp" "src/io/CMakeFiles/pvfs_io.dir/access_pattern.cpp.o" "gcc" "src/io/CMakeFiles/pvfs_io.dir/access_pattern.cpp.o.d"
+  "/root/repo/src/io/data_sieving.cpp" "src/io/CMakeFiles/pvfs_io.dir/data_sieving.cpp.o" "gcc" "src/io/CMakeFiles/pvfs_io.dir/data_sieving.cpp.o.d"
+  "/root/repo/src/io/datatype.cpp" "src/io/CMakeFiles/pvfs_io.dir/datatype.cpp.o" "gcc" "src/io/CMakeFiles/pvfs_io.dir/datatype.cpp.o.d"
+  "/root/repo/src/io/datatype_io.cpp" "src/io/CMakeFiles/pvfs_io.dir/datatype_io.cpp.o" "gcc" "src/io/CMakeFiles/pvfs_io.dir/datatype_io.cpp.o.d"
+  "/root/repo/src/io/hybrid_io.cpp" "src/io/CMakeFiles/pvfs_io.dir/hybrid_io.cpp.o" "gcc" "src/io/CMakeFiles/pvfs_io.dir/hybrid_io.cpp.o.d"
+  "/root/repo/src/io/list_io.cpp" "src/io/CMakeFiles/pvfs_io.dir/list_io.cpp.o" "gcc" "src/io/CMakeFiles/pvfs_io.dir/list_io.cpp.o.d"
+  "/root/repo/src/io/method.cpp" "src/io/CMakeFiles/pvfs_io.dir/method.cpp.o" "gcc" "src/io/CMakeFiles/pvfs_io.dir/method.cpp.o.d"
+  "/root/repo/src/io/multiple_io.cpp" "src/io/CMakeFiles/pvfs_io.dir/multiple_io.cpp.o" "gcc" "src/io/CMakeFiles/pvfs_io.dir/multiple_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pvfs/CMakeFiles/pvfs_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pvfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfs_io.dir/access_pattern.cpp.o"
+  "CMakeFiles/pvfs_io.dir/access_pattern.cpp.o.d"
+  "CMakeFiles/pvfs_io.dir/data_sieving.cpp.o"
+  "CMakeFiles/pvfs_io.dir/data_sieving.cpp.o.d"
+  "CMakeFiles/pvfs_io.dir/datatype.cpp.o"
+  "CMakeFiles/pvfs_io.dir/datatype.cpp.o.d"
+  "CMakeFiles/pvfs_io.dir/datatype_io.cpp.o"
+  "CMakeFiles/pvfs_io.dir/datatype_io.cpp.o.d"
+  "CMakeFiles/pvfs_io.dir/hybrid_io.cpp.o"
+  "CMakeFiles/pvfs_io.dir/hybrid_io.cpp.o.d"
+  "CMakeFiles/pvfs_io.dir/list_io.cpp.o"
+  "CMakeFiles/pvfs_io.dir/list_io.cpp.o.d"
+  "CMakeFiles/pvfs_io.dir/method.cpp.o"
+  "CMakeFiles/pvfs_io.dir/method.cpp.o.d"
+  "CMakeFiles/pvfs_io.dir/multiple_io.cpp.o"
+  "CMakeFiles/pvfs_io.dir/multiple_io.cpp.o.d"
+  "libpvfs_io.a"
+  "libpvfs_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfs_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfs_models.dir/disk.cpp.o"
+  "CMakeFiles/pvfs_models.dir/disk.cpp.o.d"
+  "CMakeFiles/pvfs_models.dir/page_cache.cpp.o"
+  "CMakeFiles/pvfs_models.dir/page_cache.cpp.o.d"
+  "libpvfs_models.a"
+  "libpvfs_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfs_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

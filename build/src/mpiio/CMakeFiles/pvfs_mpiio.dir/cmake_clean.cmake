@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfs_mpiio.dir/file.cpp.o"
+  "CMakeFiles/pvfs_mpiio.dir/file.cpp.o.d"
+  "libpvfs_mpiio.a"
+  "libpvfs_mpiio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfs_mpiio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

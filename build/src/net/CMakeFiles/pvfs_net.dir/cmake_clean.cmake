@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfs_net.dir/socket_transport.cpp.o"
+  "CMakeFiles/pvfs_net.dir/socket_transport.cpp.o.d"
+  "libpvfs_net.a"
+  "libpvfs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

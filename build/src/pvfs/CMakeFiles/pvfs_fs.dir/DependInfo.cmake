@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pvfs/client.cpp" "src/pvfs/CMakeFiles/pvfs_fs.dir/client.cpp.o" "gcc" "src/pvfs/CMakeFiles/pvfs_fs.dir/client.cpp.o.d"
+  "/root/repo/src/pvfs/distribution.cpp" "src/pvfs/CMakeFiles/pvfs_fs.dir/distribution.cpp.o" "gcc" "src/pvfs/CMakeFiles/pvfs_fs.dir/distribution.cpp.o.d"
+  "/root/repo/src/pvfs/iod.cpp" "src/pvfs/CMakeFiles/pvfs_fs.dir/iod.cpp.o" "gcc" "src/pvfs/CMakeFiles/pvfs_fs.dir/iod.cpp.o.d"
+  "/root/repo/src/pvfs/manager.cpp" "src/pvfs/CMakeFiles/pvfs_fs.dir/manager.cpp.o" "gcc" "src/pvfs/CMakeFiles/pvfs_fs.dir/manager.cpp.o.d"
+  "/root/repo/src/pvfs/posixio.cpp" "src/pvfs/CMakeFiles/pvfs_fs.dir/posixio.cpp.o" "gcc" "src/pvfs/CMakeFiles/pvfs_fs.dir/posixio.cpp.o.d"
+  "/root/repo/src/pvfs/protocol.cpp" "src/pvfs/CMakeFiles/pvfs_fs.dir/protocol.cpp.o" "gcc" "src/pvfs/CMakeFiles/pvfs_fs.dir/protocol.cpp.o.d"
+  "/root/repo/src/pvfs/store.cpp" "src/pvfs/CMakeFiles/pvfs_fs.dir/store.cpp.o" "gcc" "src/pvfs/CMakeFiles/pvfs_fs.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pvfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

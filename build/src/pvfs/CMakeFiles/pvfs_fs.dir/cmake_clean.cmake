@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfs_fs.dir/client.cpp.o"
+  "CMakeFiles/pvfs_fs.dir/client.cpp.o.d"
+  "CMakeFiles/pvfs_fs.dir/distribution.cpp.o"
+  "CMakeFiles/pvfs_fs.dir/distribution.cpp.o.d"
+  "CMakeFiles/pvfs_fs.dir/iod.cpp.o"
+  "CMakeFiles/pvfs_fs.dir/iod.cpp.o.d"
+  "CMakeFiles/pvfs_fs.dir/manager.cpp.o"
+  "CMakeFiles/pvfs_fs.dir/manager.cpp.o.d"
+  "CMakeFiles/pvfs_fs.dir/posixio.cpp.o"
+  "CMakeFiles/pvfs_fs.dir/posixio.cpp.o.d"
+  "CMakeFiles/pvfs_fs.dir/protocol.cpp.o"
+  "CMakeFiles/pvfs_fs.dir/protocol.cpp.o.d"
+  "CMakeFiles/pvfs_fs.dir/store.cpp.o"
+  "CMakeFiles/pvfs_fs.dir/store.cpp.o.d"
+  "libpvfs_fs.a"
+  "libpvfs_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfs_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

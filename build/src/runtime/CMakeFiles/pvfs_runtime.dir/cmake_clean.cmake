@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfs_runtime.dir/threaded_cluster.cpp.o"
+  "CMakeFiles/pvfs_runtime.dir/threaded_cluster.cpp.o.d"
+  "libpvfs_runtime.a"
+  "libpvfs_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfs_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

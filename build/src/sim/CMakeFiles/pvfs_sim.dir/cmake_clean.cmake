@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfs_sim.dir/simulator.cpp.o"
+  "CMakeFiles/pvfs_sim.dir/simulator.cpp.o.d"
+  "libpvfs_sim.a"
+  "libpvfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfs_simcluster.dir/sim_cluster.cpp.o"
+  "CMakeFiles/pvfs_simcluster.dir/sim_cluster.cpp.o.d"
+  "CMakeFiles/pvfs_simcluster.dir/sim_collective.cpp.o"
+  "CMakeFiles/pvfs_simcluster.dir/sim_collective.cpp.o.d"
+  "CMakeFiles/pvfs_simcluster.dir/sim_run.cpp.o"
+  "CMakeFiles/pvfs_simcluster.dir/sim_run.cpp.o.d"
+  "CMakeFiles/pvfs_simcluster.dir/workload_streams.cpp.o"
+  "CMakeFiles/pvfs_simcluster.dir/workload_streams.cpp.o.d"
+  "libpvfs_simcluster.a"
+  "libpvfs_simcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfs_simcluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

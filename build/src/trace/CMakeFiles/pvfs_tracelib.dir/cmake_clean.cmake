@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfs_tracelib.dir/trace.cpp.o"
+  "CMakeFiles/pvfs_tracelib.dir/trace.cpp.o.d"
+  "libpvfs_tracelib.a"
+  "libpvfs_tracelib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfs_tracelib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/blockblock.cpp" "src/workloads/CMakeFiles/pvfs_workloads.dir/blockblock.cpp.o" "gcc" "src/workloads/CMakeFiles/pvfs_workloads.dir/blockblock.cpp.o.d"
+  "/root/repo/src/workloads/cyclic.cpp" "src/workloads/CMakeFiles/pvfs_workloads.dir/cyclic.cpp.o" "gcc" "src/workloads/CMakeFiles/pvfs_workloads.dir/cyclic.cpp.o.d"
+  "/root/repo/src/workloads/flash.cpp" "src/workloads/CMakeFiles/pvfs_workloads.dir/flash.cpp.o" "gcc" "src/workloads/CMakeFiles/pvfs_workloads.dir/flash.cpp.o.d"
+  "/root/repo/src/workloads/strided.cpp" "src/workloads/CMakeFiles/pvfs_workloads.dir/strided.cpp.o" "gcc" "src/workloads/CMakeFiles/pvfs_workloads.dir/strided.cpp.o.d"
+  "/root/repo/src/workloads/tiledviz.cpp" "src/workloads/CMakeFiles/pvfs_workloads.dir/tiledviz.cpp.o" "gcc" "src/workloads/CMakeFiles/pvfs_workloads.dir/tiledviz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/pvfs_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/pvfs/CMakeFiles/pvfs_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pvfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfs_workloads.dir/blockblock.cpp.o"
+  "CMakeFiles/pvfs_workloads.dir/blockblock.cpp.o.d"
+  "CMakeFiles/pvfs_workloads.dir/cyclic.cpp.o"
+  "CMakeFiles/pvfs_workloads.dir/cyclic.cpp.o.d"
+  "CMakeFiles/pvfs_workloads.dir/flash.cpp.o"
+  "CMakeFiles/pvfs_workloads.dir/flash.cpp.o.d"
+  "CMakeFiles/pvfs_workloads.dir/strided.cpp.o"
+  "CMakeFiles/pvfs_workloads.dir/strided.cpp.o.d"
+  "CMakeFiles/pvfs_workloads.dir/tiledviz.cpp.o"
+  "CMakeFiles/pvfs_workloads.dir/tiledviz.cpp.o.d"
+  "libpvfs_workloads.a"
+  "libpvfs_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfs_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

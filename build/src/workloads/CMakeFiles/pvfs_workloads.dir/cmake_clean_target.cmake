@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpvfs_workloads.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extent.dir/extent_test.cpp.o"
+  "CMakeFiles/test_extent.dir/extent_test.cpp.o.d"
+  "test_extent"
+  "test_extent.pdb"
+  "test_extent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_methods.dir/methods_test.cpp.o"
+  "CMakeFiles/test_methods.dir/methods_test.cpp.o.d"
+  "test_methods"
+  "test_methods.pdb"
+  "test_methods[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_posixio.dir/posixio_test.cpp.o"
+  "CMakeFiles/test_posixio.dir/posixio_test.cpp.o.d"
+  "test_posixio"
+  "test_posixio.pdb"
+  "test_posixio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_posixio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

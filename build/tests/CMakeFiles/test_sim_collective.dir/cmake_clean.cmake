@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_collective.dir/sim_collective_test.cpp.o"
+  "CMakeFiles/test_sim_collective.dir/sim_collective_test.cpp.o.d"
+  "test_sim_collective"
+  "test_sim_collective.pdb"
+  "test_sim_collective[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_socket_transport.dir/socket_transport_test.cpp.o"
+  "CMakeFiles/test_socket_transport.dir/socket_transport_test.cpp.o.d"
+  "test_socket_transport"
+  "test_socket_transport.pdb"
+  "test_socket_transport[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_socket_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

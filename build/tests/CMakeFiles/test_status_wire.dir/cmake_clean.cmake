@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_status_wire.dir/status_wire_test.cpp.o"
+  "CMakeFiles/test_status_wire.dir/status_wire_test.cpp.o.d"
+  "test_status_wire"
+  "test_status_wire.pdb"
+  "test_status_wire[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_status_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_store_daemon.dir/store_daemon_test.cpp.o"
+  "CMakeFiles/test_store_daemon.dir/store_daemon_test.cpp.o.d"
+  "test_store_daemon"
+  "test_store_daemon.pdb"
+  "test_store_daemon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_store_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

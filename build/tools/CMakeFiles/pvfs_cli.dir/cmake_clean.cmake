@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfs_cli.dir/pvfs_cli.cpp.o"
+  "CMakeFiles/pvfs_cli.dir/pvfs_cli.cpp.o.d"
+  "pvfs_cli"
+  "pvfs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfs_trace.dir/pvfs_trace.cpp.o"
+  "CMakeFiles/pvfs_trace.dir/pvfs_trace.cpp.o.d"
+  "pvfs_trace"
+  "pvfs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/pvfsd.cpp" "tools/CMakeFiles/pvfsd.dir/pvfsd.cpp.o" "gcc" "tools/CMakeFiles/pvfsd.dir/pvfsd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/pvfs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pvfs/CMakeFiles/pvfs_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pvfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

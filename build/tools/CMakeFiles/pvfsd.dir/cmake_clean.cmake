@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvfsd.dir/pvfsd.cpp.o"
+  "CMakeFiles/pvfsd.dir/pvfsd.cpp.o.d"
+  "pvfsd"
+  "pvfsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvfsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

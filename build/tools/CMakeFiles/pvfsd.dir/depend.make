@@ -1,0 +1,2 @@
+# Empty dependencies file for pvfsd.
+# This may be replaced when dependencies are built.
