@@ -14,6 +14,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
     case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case ErrorCode::kInternal: return "INTERNAL";
     case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -23,6 +23,8 @@ enum class ErrorCode : int {
   kFailedPrecondition,// operation on closed file, wrong state
   kInternal,          // invariant violation inside the library
   kUnimplemented,
+  kUnavailable,       // endpoint unreachable / daemon down (transient)
+  kDeadlineExceeded,  // per-request timeout or retry budget exhausted
 };
 
 /// Human-readable name of an ErrorCode ("kOk" -> "OK", ...).
@@ -79,6 +81,20 @@ inline Status Internal(std::string msg) {
 }
 inline Status Unimplemented(std::string msg) {
   return {ErrorCode::kUnimplemented, std::move(msg)};
+}
+inline Status Unavailable(std::string msg) {
+  return {ErrorCode::kUnavailable, std::move(msg)};
+}
+inline Status DeadlineExceeded(std::string msg) {
+  return {ErrorCode::kDeadlineExceeded, std::move(msg)};
+}
+
+/// True for error codes a retry of an idempotent request may clear:
+/// transient unavailability, timeouts, and garbled (droppable) responses.
+inline bool IsRetryable(ErrorCode code) {
+  return code == ErrorCode::kUnavailable ||
+         code == ErrorCode::kDeadlineExceeded ||
+         code == ErrorCode::kProtocol;
 }
 
 /// Result<T>: a value or a non-OK Status. Accessing value() on an error

@@ -1,0 +1,228 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace pvfs::fault {
+
+namespace {
+
+// Decision sites. Distinct constants keep every injection point on its own
+// hash stream; the functional transport and the simulator never share one.
+constexpr std::uint32_t kSiteNet = 1;
+constexpr std::uint32_t kSiteDiskRead = 2;
+constexpr std::uint32_t kSiteDiskWrite = 3;
+constexpr std::uint32_t kSiteCrash = 4;
+constexpr std::uint32_t kSiteSimLeg = 5;
+
+}  // namespace
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kFrameDrop: return "frame-drop";
+    case FaultKind::kFrameDuplicate: return "frame-dup";
+    case FaultKind::kFrameDelay: return "frame-delay";
+    case FaultKind::kDiskReadError: return "disk-read-error";
+    case FaultKind::kDiskWriteError: return "disk-write-error";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kRestart: return "restart";
+    case FaultKind::kRetransmit: return "retransmit";
+  }
+  return "unknown";
+}
+
+std::string SerializeFaultEvents(const std::vector<FaultEvent>& events) {
+  std::string out;
+  for (const FaultEvent& e : events) {
+    out += "fault ";
+    out += std::to_string(e.seq);
+    out += ' ';
+    out += FaultKindName(e.kind);
+    out += " iod=";
+    out += std::to_string(e.server);
+    out += " detail=";
+    out += std::to_string(e.detail);
+    out += '\n';
+  }
+  return out;
+}
+
+double FaultInjector::Uniform(std::uint32_t site, ServerId server,
+                              std::uint64_t seq, std::uint32_t draw) const {
+  // Spread the coordinates across the 64-bit state with odd multipliers,
+  // then let SplitMix64's finalizer mix them; one warm-up step decorrelates
+  // nearby coordinates.
+  SplitMix64 rng(config_.seed ^
+                 (static_cast<std::uint64_t>(site) * 0xD1B54A32D192ED03ull) ^
+                 ((static_cast<std::uint64_t>(server) + 1) *
+                  0x8CB92BA72F3D8DD7ull) ^
+                 ((seq + 1) * 0x2545F4914F6CDD1Dull) ^
+                 (static_cast<std::uint64_t>(draw) * 0x9E3779B97F4A7C15ull));
+  (void)rng.Next();
+  return rng.UniformDouble();
+}
+
+std::uint64_t FaultInjector::UniformInt(std::uint32_t site, ServerId server,
+                                        std::uint64_t seq, std::uint32_t draw,
+                                        std::uint64_t lo,
+                                        std::uint64_t hi) const {
+  if (hi <= lo) return lo;
+  return lo + static_cast<std::uint64_t>(Uniform(site, server, seq, draw) *
+                                         static_cast<double>(hi - lo + 1));
+}
+
+std::uint64_t FaultInjector::NextSeq(std::uint32_t site, ServerId server) {
+  std::uint64_t key =
+      (static_cast<std::uint64_t>(site) << 32) | static_cast<std::uint64_t>(server);
+  return seq_[key]++;
+}
+
+void FaultInjector::Log(FaultKind kind, ServerId server,
+                        std::uint64_t detail) {
+  events_.push_back(
+      FaultEvent{static_cast<std::uint64_t>(events_.size()), kind, server,
+                 detail});
+}
+
+NetFault FaultInjector::OnNetExchange(ServerId server) {
+  NetFault out;
+  if (config_.drop_rate <= 0 && config_.duplicate_rate <= 0 &&
+      config_.delay_rate <= 0) {
+    return out;
+  }
+  std::lock_guard lock(mutex_);
+  std::uint64_t seq = NextSeq(kSiteNet, server);
+  if (config_.drop_rate > 0 &&
+      Uniform(kSiteNet, server, seq, 0) < config_.drop_rate) {
+    out.drop = true;
+    out.request_lost = Uniform(kSiteNet, server, seq, 1) < 0.5;
+    ++counters_.frames_dropped;
+    Log(FaultKind::kFrameDrop, server, out.request_lost ? 0 : 1);
+    return out;  // a lost frame can't also be duplicated or delayed
+  }
+  if (config_.duplicate_rate > 0 &&
+      Uniform(kSiteNet, server, seq, 2) < config_.duplicate_rate) {
+    out.duplicate = true;
+    ++counters_.frames_duplicated;
+    Log(FaultKind::kFrameDuplicate, server, 0);
+  }
+  if (config_.delay_rate > 0 &&
+      Uniform(kSiteNet, server, seq, 3) < config_.delay_rate) {
+    out.delay_us = UniformInt(kSiteNet, server, seq, 4, config_.delay_min_us,
+                              config_.delay_max_us);
+    ++counters_.frames_delayed;
+    counters_.delay_us_injected += out.delay_us;
+    Log(FaultKind::kFrameDelay, server, out.delay_us);
+  }
+  return out;
+}
+
+bool FaultInjector::OnDiskAccess(ServerId server, bool is_write) {
+  double rate =
+      is_write ? config_.disk_write_error_rate : config_.disk_read_error_rate;
+  if (rate <= 0) return false;
+  std::lock_guard lock(mutex_);
+  std::uint32_t site = is_write ? kSiteDiskWrite : kSiteDiskRead;
+  std::uint64_t seq = NextSeq(site, server);
+  if (Uniform(site, server, seq, 0) >= rate) return false;
+  if (is_write) {
+    ++counters_.disk_write_errors;
+    Log(FaultKind::kDiskWriteError, server, 0);
+  } else {
+    ++counters_.disk_read_errors;
+    Log(FaultKind::kDiskReadError, server, 0);
+  }
+  return true;
+}
+
+bool FaultInjector::OnServe(ServerId server) {
+  if (config_.crash_rate <= 0) return false;
+  std::lock_guard lock(mutex_);
+  std::uint64_t seq = NextSeq(kSiteCrash, server);
+  if (Uniform(kSiteCrash, server, seq, 0) >= config_.crash_rate) return false;
+  down_[server] = config_.crash_down_calls;
+  ++counters_.crashes;
+  Log(FaultKind::kCrash, server, config_.crash_down_calls);
+  return true;
+}
+
+bool FaultInjector::ConsumeDownTick(ServerId server) {
+  std::lock_guard lock(mutex_);
+  auto it = down_.find(server);
+  if (it == down_.end() || it->second == 0) return false;
+  ++counters_.refused_calls;
+  if (--it->second == 0) {
+    ++counters_.restarts;
+    Log(FaultKind::kRestart, server, 0);
+    down_.erase(it);
+  }
+  return true;
+}
+
+void FaultInjector::CrashServer(ServerId server, std::uint32_t down_calls) {
+  std::lock_guard lock(mutex_);
+  down_[server] = down_calls;
+  ++counters_.crashes;
+  Log(FaultKind::kCrash, server, down_calls);
+}
+
+SimTimeNs FaultInjector::OnSimLeg(ServerId server, SimTimeNs wire_ns,
+                                  SimTimeNs retransmit_timeout_ns) {
+  if (config_.drop_rate <= 0 && config_.duplicate_rate <= 0 &&
+      config_.delay_rate <= 0) {
+    return 0;
+  }
+  std::lock_guard lock(mutex_);
+  std::uint64_t seq = NextSeq(kSiteSimLeg, server);
+  SimTimeNs extra = 0;
+  if (config_.drop_rate > 0) {
+    // Each lost transmission costs one retransmit timeout plus the resent
+    // frame's serialization. Geometric, capped so a hostile drop rate
+    // cannot stall the simulation.
+    std::uint32_t draw = 0;
+    std::uint64_t retransmits = 0;
+    while (retransmits < 16 &&
+           Uniform(kSiteSimLeg, server, seq, draw++) < config_.drop_rate) {
+      ++retransmits;
+      extra += retransmit_timeout_ns + wire_ns;
+    }
+    if (retransmits > 0) {
+      counters_.frames_dropped += retransmits;
+      counters_.retransmits += retransmits;
+      Log(FaultKind::kRetransmit, server, retransmits);
+    }
+  }
+  if (config_.duplicate_rate > 0 &&
+      Uniform(kSiteSimLeg, server, seq, 20) < config_.duplicate_rate) {
+    extra += wire_ns;  // the duplicate occupies the wire once more
+    ++counters_.frames_duplicated;
+    Log(FaultKind::kFrameDuplicate, server, 0);
+  }
+  if (config_.delay_rate > 0 &&
+      Uniform(kSiteSimLeg, server, seq, 21) < config_.delay_rate) {
+    std::uint64_t us = UniformInt(kSiteSimLeg, server, seq, 22,
+                                  config_.delay_min_us, config_.delay_max_us);
+    extra += us * kNsPerUs;
+    ++counters_.frames_delayed;
+    counters_.delay_us_injected += us;
+    Log(FaultKind::kFrameDelay, server, us);
+  }
+  return extra;
+}
+
+sim::FaultCounters FaultInjector::counters() const {
+  std::lock_guard lock(mutex_);
+  return counters_;
+}
+
+std::vector<FaultEvent> FaultInjector::events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::string FaultInjector::SerializeEvents() const {
+  return SerializeFaultEvents(events());
+}
+
+}  // namespace pvfs::fault

@@ -1,0 +1,161 @@
+// Deterministic fault injection for the functional file system and the
+// simulated cluster: frame drop/duplication/delay, transient iod
+// crash-and-restart, and disk read/write error injection.
+//
+// Every decision is a pure function of (seed, decision site, server,
+// per-site sequence number) hashed through SplitMix64 — no shared stream —
+// so the fault schedule for a given seed does not depend on thread
+// interleaving across endpoints, and two runs of the same workload with
+// the same seed inject exactly the same faults (see docs/faults.md for the
+// precise determinism guarantee). A config with every probability zero
+// never consumes randomness and injects nothing: the zero-overhead
+// configuration used by the benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "sim/stats.hpp"
+
+namespace pvfs::fault {
+
+/// Probabilities and shape parameters for one fault schedule. Defaults are
+/// all-zero: injection disabled, no overhead, no randomness consumed.
+struct FaultConfig {
+  std::uint64_t seed = 1;
+
+  // ---- Network faults (per client<->iod exchange) -----------------------
+  double drop_rate = 0.0;       // frame lost; the client sees a timeout
+  double duplicate_rate = 0.0;  // frame delivered twice (idempotency test)
+  double delay_rate = 0.0;      // frame held back delay_{min,max}_us
+  std::uint64_t delay_min_us = 50;
+  std::uint64_t delay_max_us = 500;
+
+  // ---- Storage faults ---------------------------------------------------
+  double disk_read_error_rate = 0.0;   // transient media error on read
+  double disk_write_error_rate = 0.0;  // transient media error on write
+
+  // ---- Daemon crash-and-restart -----------------------------------------
+  /// Per-served-call probability that the target iod crashes. While down
+  /// it refuses `crash_down_calls` calls, then restarts with its on-disk
+  /// state intact (a daemon restart, not a disk loss).
+  double crash_rate = 0.0;
+  std::uint32_t crash_down_calls = 4;
+
+  bool enabled() const {
+    return drop_rate > 0 || duplicate_rate > 0 || delay_rate > 0 ||
+           disk_read_error_rate > 0 || disk_write_error_rate > 0 ||
+           crash_rate > 0;
+  }
+};
+
+enum class FaultKind : std::uint8_t {
+  kFrameDrop,
+  kFrameDuplicate,
+  kFrameDelay,
+  kDiskReadError,
+  kDiskWriteError,
+  kCrash,
+  kRestart,
+  kRetransmit,  // simulated retransmission after a dropped frame
+};
+
+std::string_view FaultKindName(FaultKind kind);
+
+/// One injected fault, in injection order. `detail` is kind-specific:
+/// delay microseconds, refused-calls-until-restart, or retransmit count.
+struct FaultEvent {
+  std::uint64_t seq = 0;
+  FaultKind kind = FaultKind::kFrameDrop;
+  ServerId server = 0;
+  std::uint64_t detail = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Serializes events to the line-oriented trace form used by the
+/// determinism tests and `pvfs_trace`:  `fault <seq> <kind> iod=<s> detail=<n>`.
+std::string SerializeFaultEvents(const std::vector<FaultEvent>& events);
+
+/// The network-fault decision for one exchange.
+struct NetFault {
+  bool drop = false;
+  /// When dropping: true = the request frame was lost before reaching the
+  /// daemon; false = the daemon served the call but its response was lost.
+  bool request_lost = true;
+  bool duplicate = false;
+  std::uint64_t delay_us = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config) : config_(config) {}
+
+  const FaultConfig& config() const { return config_; }
+  bool enabled() const { return config_.enabled(); }
+
+  // ---- Functional-path decision sites -----------------------------------
+
+  /// Network fate of one client<->iod exchange.
+  NetFault OnNetExchange(ServerId server);
+
+  /// True if this access hits an injected transient disk error.
+  bool OnDiskAccess(ServerId server, bool is_write);
+
+  /// Crash decision for one served call; on true the server is marked
+  /// down for config().crash_down_calls subsequent calls.
+  bool OnServe(ServerId server);
+
+  /// Consumes one down "tick" if `server` is down: returns true (the call
+  /// must be refused) and logs the restart once the countdown reaches
+  /// zero. Checked even when probabilities are all zero, so explicitly
+  /// scheduled crashes work with an otherwise fault-free config.
+  bool ConsumeDownTick(ServerId server);
+
+  /// Explicitly crash `server` for the next `down_calls` calls (chaos
+  /// tests schedule crashes precisely with this instead of crash_rate).
+  void CrashServer(ServerId server, std::uint32_t down_calls);
+
+  // ---- Simulated-network decision site ----------------------------------
+
+  /// Extra virtual time to charge for one wire leg of `wire_ns`
+  /// serialization time: lost frames each pay `retransmit_timeout_ns`, a
+  /// duplicated frame pays one extra serialization, a delayed frame pays
+  /// the configured jitter. Returns 0 almost always when disabled.
+  SimTimeNs OnSimLeg(ServerId server, SimTimeNs wire_ns,
+                     SimTimeNs retransmit_timeout_ns);
+
+  // ---- Observability ----------------------------------------------------
+
+  sim::FaultCounters counters() const;
+  std::vector<FaultEvent> events() const;
+  std::string SerializeEvents() const;
+
+ private:
+  /// Uniform double in [0,1) for draw `draw` of decision `seq` at `site`
+  /// on `server` — a pure hash, independent of call interleaving.
+  double Uniform(std::uint32_t site, ServerId server, std::uint64_t seq,
+                 std::uint32_t draw) const;
+  std::uint64_t UniformInt(std::uint32_t site, ServerId server,
+                           std::uint64_t seq, std::uint32_t draw,
+                           std::uint64_t lo, std::uint64_t hi) const;
+
+  /// Next per-(site, server) sequence number. Caller holds mutex_.
+  std::uint64_t NextSeq(std::uint32_t site, ServerId server);
+  void Log(FaultKind kind, ServerId server, std::uint64_t detail);
+
+  FaultConfig config_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::uint64_t> seq_;  // (site,server)
+  std::unordered_map<ServerId, std::uint32_t> down_;      // refusals left
+  sim::FaultCounters counters_;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace pvfs::fault

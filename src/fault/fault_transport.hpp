@@ -1,0 +1,80 @@
+// FaultInjectingTransport: a Transport decorator that subjects the data
+// path (client <-> iod exchanges) to an injector's fault schedule. Wraps
+// any Transport — the in-process cluster, the threaded runtime, or real
+// TCP sockets — so the same chaos suite runs against every deployment
+// shape.
+//
+// Fault semantics per call to an I/O daemon:
+//   down      — the daemon is crashed: the call is refused with
+//               kUnavailable, consuming one restart tick.
+//   crash     — this call triggers a crash: refused with kUnavailable and
+//               the daemon stays down for crash_down_calls calls.
+//   drop      — the request or response frame is lost: the caller sees
+//               kDeadlineExceeded (its timeout firing). A lost response
+//               means the daemon DID execute the request — retries must be
+//               idempotent, which PVFS reads/writes are.
+//   duplicate — the request is delivered twice (the daemon executes it
+//               twice); the second response is returned.
+//   delay     — the exchange is held back briefly before delivery.
+//
+// Manager calls pass through untouched: metadata operations are not
+// idempotent (create/remove), and the single-manager failure mode is the
+// ROADMAP's replication work, not this layer's.
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+#include "fault/fault.hpp"
+#include "pvfs/transport.hpp"
+
+namespace pvfs::fault {
+
+class FaultInjectingTransport final : public Transport {
+ public:
+  FaultInjectingTransport(Transport* inner, FaultInjector* injector)
+      : inner_(inner), injector_(injector) {}
+
+  Result<std::vector<std::byte>> Call(
+      const Endpoint& dest, std::span<const std::byte> request) override {
+    if (injector_ == nullptr || dest.is_manager) {
+      return inner_->Call(dest, request);
+    }
+    const ServerId server = dest.server;
+    if (injector_->ConsumeDownTick(server)) {
+      return Unavailable("iod " + std::to_string(server) +
+                         " is down (injected crash)");
+    }
+    if (injector_->OnServe(server)) {
+      return Unavailable("iod " + std::to_string(server) +
+                         " crashed (injected)");
+    }
+    NetFault net = injector_->OnNetExchange(server);
+    if (net.delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(net.delay_us));
+    }
+    if (net.drop) {
+      if (!net.request_lost) {
+        // The daemon serves the request; only the response is lost.
+        (void)inner_->Call(dest, request);
+      }
+      return DeadlineExceeded("request to iod " + std::to_string(server) +
+                              " timed out (injected frame drop)");
+    }
+    auto response = inner_->Call(dest, request);
+    if (net.duplicate) {
+      return inner_->Call(dest, request);
+    }
+    return response;
+  }
+
+  std::uint32_t server_count() const override {
+    return inner_->server_count();
+  }
+
+ private:
+  Transport* inner_;
+  FaultInjector* injector_;
+};
+
+}  // namespace pvfs::fault

@@ -34,7 +34,7 @@ SimTimeNs DiskModel::PositioningCost(FileOffset offset) const {
 }
 
 SimTimeNs DiskModel::Access(FileOffset offset, ByteCount length,
-                            bool /*is_write*/) {
+                            bool is_write) {
   SimTimeNs positioning = PositioningCost(offset);
   if (positioning == 0) {
     ++sequential_hits_;
@@ -44,7 +44,15 @@ SimTimeNs DiskModel::Access(FileOffset offset, ByteCount length,
   double transfer_s = static_cast<double>(length) /
                       (params_.media_transfer_mbps * 1.0e6);
   head_ = offset + length;
-  return positioning + SecondsToNs(transfer_s);
+  SimTimeNs recovery = 0;
+  if (fault_ != nullptr && fault_->OnDiskAccess(fault_server_, is_write)) {
+    // Recovered media error: recalibrate (full stroke) and wait one
+    // revolution for the sector to come around again.
+    ++recovered_errors_;
+    recovery =
+        SecondsToNs((params_.full_stroke_ms + params_.RotationMs()) / 1000.0);
+  }
+  return positioning + SecondsToNs(transfer_s) + recovery;
 }
 
 }  // namespace pvfs::models

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "common/types.hpp"
+#include "fault/fault.hpp"
 
 namespace pvfs::models {
 
@@ -43,12 +44,26 @@ class DiskModel {
   FileOffset head_position() const { return head_; }
   std::uint64_t seeks() const { return seeks_; }
   std::uint64_t sequential_hits() const { return sequential_hits_; }
+  std::uint64_t recovered_errors() const { return recovered_errors_; }
+
+  /// Arms transient media-error injection (src/fault): an access hit by an
+  /// injected error pays a recalibration penalty — a full-stroke seek plus
+  /// one revolution — before the drive's internal retry succeeds, as real
+  /// drives do on recovered errors. `server` attributes events in the
+  /// fault log. Pass nullptr to disarm (the default: zero overhead).
+  void set_fault_injector(fault::FaultInjector* injector, ServerId server) {
+    fault_ = injector;
+    fault_server_ = server;
+  }
 
  private:
   DiskParams params_;
   FileOffset head_ = 0;
   std::uint64_t seeks_ = 0;
   std::uint64_t sequential_hits_ = 0;
+  std::uint64_t recovered_errors_ = 0;
+  fault::FaultInjector* fault_ = nullptr;
+  ServerId fault_server_ = 0;
 };
 
 }  // namespace pvfs::models

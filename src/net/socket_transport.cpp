@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -13,13 +14,20 @@ namespace pvfs::net {
 
 namespace {
 
+// Transmission failures are transient from the caller's perspective — the
+// peer daemon may be restarting — so they surface as kUnavailable (and
+// armed socket timeouts as kDeadlineExceeded), the codes the client retry
+// layer treats as retryable.
 Status SendAll(int fd, const void* data, size_t len) {
   const char* p = static_cast<const char*>(data);
   while (len > 0) {
     ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Internal(std::string("send: ") + std::strerror(errno));
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return DeadlineExceeded("send: request timed out");
+      }
+      return Unavailable(std::string("send: ") + std::strerror(errno));
     }
     p += n;
     len -= static_cast<size_t>(n);
@@ -31,10 +39,13 @@ Status RecvAll(int fd, void* data, size_t len) {
   char* p = static_cast<char*>(data);
   while (len > 0) {
     ssize_t n = ::recv(fd, p, len, 0);
-    if (n == 0) return Internal("connection closed");
+    if (n == 0) return Unavailable("connection closed");
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Internal(std::string("recv: ") + std::strerror(errno));
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return DeadlineExceeded("recv: response timed out");
+      }
+      return Unavailable(std::string("recv: ") + std::strerror(errno));
     }
     p += n;
     len -= static_cast<size_t>(n);
@@ -117,7 +128,15 @@ SocketServer::~SocketServer() {
     std::lock_guard lock(workers_mutex_);
     for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
   }
-  // jthreads join as `workers_` destructs.
+  // Join workers before any member destructs: exiting workers touch
+  // live_fds_ and workers_mutex_, which are destroyed before `workers_`
+  // would join on its own (members destruct in reverse order).
+  std::vector<std::jthread> workers;
+  {
+    std::lock_guard lock(workers_mutex_);
+    workers.swap(workers_);
+  }
+  workers.clear();  // joins
 }
 
 void SocketServer::AcceptLoop() {
@@ -158,7 +177,9 @@ void SocketServer::ServeConnection(int fd) {
 // ---- SocketTransport --------------------------------------------------------
 
 SocketTransport::SocketTransport(SocketAddress manager,
-                                 std::vector<SocketAddress> iods) {
+                                 std::vector<SocketAddress> iods,
+                                 std::chrono::milliseconds call_timeout)
+    : call_timeout_(call_timeout) {
   manager_.address = std::move(manager);
   iods_.reserve(iods.size());
   for (SocketAddress& addr : iods) {
@@ -191,10 +212,18 @@ Result<std::vector<std::byte>> SocketTransport::CallOn(
     }
     if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
       ::close(fd);
-      return Internal(std::string("connect: ") + std::strerror(errno));
+      return Unavailable(std::string("connect: ") + std::strerror(errno));
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    if (call_timeout_.count() > 0) {
+      timeval tv{};
+      tv.tv_sec = static_cast<time_t>(call_timeout_.count() / 1000);
+      tv.tv_usec =
+          static_cast<suseconds_t>((call_timeout_.count() % 1000) * 1000);
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    }
     conn.fd = fd;
   }
   Status sent = SendFrame(conn.fd, request);
@@ -250,23 +279,48 @@ Result<std::unique_ptr<SocketCluster>> SocketCluster::Start(
                                       std::span<const std::byte> req) {
           return iod->HandleMessage(req);
         }));
+    cluster->iod_ports_.push_back(server->port());
     cluster->iod_servers_.push_back(std::move(server));
   }
   return cluster;
 }
 
+Status SocketCluster::StopIod(ServerId s) {
+  if (s >= iod_servers_.size()) return NotFound("no such I/O server");
+  if (iod_servers_[s] == nullptr) {
+    return FailedPrecondition("iod already stopped");
+  }
+  iod_servers_[s].reset();  // closes the listener and live connections
+  return Status::Ok();
+}
+
+Status SocketCluster::RestartIod(ServerId s) {
+  if (s >= iod_servers_.size()) return NotFound("no such I/O server");
+  if (iod_servers_[s] != nullptr) {
+    return FailedPrecondition("iod already running");
+  }
+  PVFS_ASSIGN_OR_RETURN(
+      iod_servers_[s],
+      SocketServer::Start(iod_ports_[s], [iod = iods_[s].get()](
+                                             std::span<const std::byte> req) {
+        return iod->HandleMessage(req);
+      }));
+  return Status::Ok();
+}
+
 std::vector<SocketAddress> SocketCluster::iod_addresses() const {
   std::vector<SocketAddress> out;
-  out.reserve(iod_servers_.size());
-  for (const auto& server : iod_servers_) {
-    out.push_back({"127.0.0.1", server->port()});
+  out.reserve(iod_ports_.size());
+  for (std::uint16_t port : iod_ports_) {
+    out.push_back({"127.0.0.1", port});
   }
   return out;
 }
 
-std::unique_ptr<SocketTransport> SocketCluster::Connect() const {
+std::unique_ptr<SocketTransport> SocketCluster::Connect(
+    std::chrono::milliseconds call_timeout) const {
   return std::make_unique<SocketTransport>(manager_address(),
-                                           iod_addresses());
+                                           iod_addresses(), call_timeout);
 }
 
 }  // namespace pvfs::net

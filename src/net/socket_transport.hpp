@@ -16,6 +16,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -76,7 +77,14 @@ struct SocketAddress {
 class SocketTransport final : public Transport {
  public:
   /// manager + iods[i] addresses; connections open on first use.
-  SocketTransport(SocketAddress manager, std::vector<SocketAddress> iods);
+  /// `call_timeout` > 0 arms SO_RCVTIMEO/SO_SNDTIMEO per connection: a
+  /// call whose daemon does not respond in time fails with
+  /// kDeadlineExceeded instead of blocking forever (the client retry
+  /// layer's per-request timeout). Zero keeps the historical blocking
+  /// behaviour.
+  SocketTransport(SocketAddress manager, std::vector<SocketAddress> iods,
+                  std::chrono::milliseconds call_timeout =
+                      std::chrono::milliseconds{0});
   ~SocketTransport() override;
 
   Result<std::vector<std::byte>> Call(
@@ -98,6 +106,7 @@ class SocketTransport final : public Transport {
 
   Connection manager_;
   std::vector<std::unique_ptr<Connection>> iods_;
+  std::chrono::milliseconds call_timeout_{0};
 };
 
 /// An entire functional PVFS deployment behind real TCP sockets on
@@ -111,8 +120,20 @@ class SocketCluster {
       std::uint16_t base_port = 0);
 
   /// Builds a transport connected to this cluster (each caller gets its
-  /// own connections; safe to create one per client thread).
-  std::unique_ptr<SocketTransport> Connect() const;
+  /// own connections; safe to create one per client thread). A non-zero
+  /// `call_timeout` arms per-request socket timeouts — required when the
+  /// caller expects daemons to crash (see StopIod).
+  std::unique_ptr<SocketTransport> Connect(
+      std::chrono::milliseconds call_timeout =
+          std::chrono::milliseconds{0}) const;
+
+  /// Crash one I/O daemon: its TCP server stops accepting and all its
+  /// live connections die. The daemon object (and its store — the "disk")
+  /// survives, as a real iod's on-disk data survives a daemon crash.
+  Status StopIod(ServerId s);
+  /// Restart a stopped daemon on its original port.
+  Status RestartIod(ServerId s);
+  bool IodRunning(ServerId s) const { return iod_servers_[s] != nullptr; }
 
   SocketAddress manager_address() const {
     return {"127.0.0.1", manager_server_->port()};
@@ -130,6 +151,7 @@ class SocketCluster {
   std::vector<std::unique_ptr<IoDaemon>> iods_;
   std::unique_ptr<SocketServer> manager_server_;
   std::vector<std::unique_ptr<SocketServer>> iod_servers_;
+  std::vector<std::uint16_t> iod_ports_;  // survive StopIod for restart
 };
 
 }  // namespace pvfs::net

@@ -172,12 +172,17 @@ Status Client::TryLockRange(Fd fd, Extent range, bool exclusive) {
 }
 
 Status Client::LockRange(Fd fd, Extent range, bool exclusive) {
-  std::chrono::microseconds backoff{50};
-  while (true) {
+  std::chrono::microseconds backoff = options_.lock_initial_backoff;
+  for (std::uint32_t attempt = 1;; ++attempt) {
     Status status = TryLockRange(fd, range, exclusive);
     if (status.code() != ErrorCode::kResourceExhausted) return status;
+    if (attempt >= options_.lock_max_attempts) {
+      return DeadlineExceeded("LockRange: lock still contended after " +
+                              std::to_string(attempt) + " attempts");
+    }
     std::this_thread::sleep_for(backoff);
-    backoff = std::min(backoff * 2, std::chrono::microseconds{5000});
+    backoff_us_ += static_cast<std::uint64_t>(backoff.count());
+    backoff = std::min(backoff * 2, options_.lock_max_backoff);
   }
 }
 
@@ -226,7 +231,7 @@ Status Client::ValidateListArgs(std::span<const Extent> mem_regions,
   return Status::Ok();
 }
 
-Result<std::vector<std::byte>> Client::ExchangeWithServer(
+Result<std::vector<std::byte>> Client::ExchangeOnce(
     const OpenFile& file, ServerId relative, const IoRequest& request) const {
   ServerId global = (file.meta.striping.base + relative) %
                     transport_->server_count();
@@ -236,6 +241,32 @@ Result<std::vector<std::byte>> Client::ExchangeWithServer(
   PVFS_ASSIGN_OR_RETURN(DecodedResponse resp, DecodeResponse(raw));
   if (!resp.status.ok()) return resp.status;
   return std::move(resp.body);
+}
+
+Result<std::vector<std::byte>> Client::ExchangeWithServer(
+    const OpenFile& file, ServerId relative, const IoRequest& request) const {
+  const RetryPolicy& policy = options_.retry;
+  std::chrono::microseconds backoff = policy.initial_backoff;
+  std::uint32_t attempt = 1;
+  while (true) {
+    auto result = ExchangeOnce(file, relative, request);
+    if (result.ok() || !IsRetryable(result.status().code()) ||
+        policy.max_attempts <= 1) {
+      return result;
+    }
+    if (attempt >= policy.max_attempts) {
+      ++retry_exhausted_;
+      return DeadlineExceeded(
+          "exchange with server " + std::to_string(relative) + " failed " +
+          std::to_string(attempt) + " attempts; last error: " +
+          result.status().ToString());
+    }
+    ++attempt;
+    ++retries_;
+    std::this_thread::sleep_for(backoff);
+    backoff_us_ += static_cast<std::uint64_t>(backoff.count());
+    backoff = std::min(backoff * 2, policy.max_backoff);
+  }
 }
 
 namespace {

@@ -13,6 +13,8 @@
 // descriptors and Close flushes the observed file size to the manager.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -58,6 +60,30 @@ class Client {
  public:
   using Fd = int;
 
+  /// Retry discipline for one per-server data exchange. PVFS list /
+  /// multiple / sieving requests are idempotent (regions + payload fully
+  /// describe the effect), so a request whose response was lost can be
+  /// resent safely. Retryable errors are kUnavailable, kDeadlineExceeded
+  /// and kProtocol (see IsRetryable); everything else surfaces
+  /// immediately.
+  struct RetryPolicy {
+    /// Total attempts per exchange; 1 = fail fast (the historical
+    /// behaviour, and the default).
+    std::uint32_t max_attempts = 1;
+    /// Backoff doubles from `initial_backoff` up to the `max_backoff`
+    /// cap between attempts.
+    std::chrono::microseconds initial_backoff{100};
+    std::chrono::microseconds max_backoff{10'000};
+  };
+
+  /// Client-side recovery counters (atomic: exchanges retry concurrently
+  /// under parallel_fanout).
+  struct RetryCounters {
+    std::uint64_t retries = 0;        // exchanges resent
+    std::uint64_t exhausted = 0;      // exchanges that ran out of attempts
+    std::uint64_t backoff_us = 0;     // total time spent backing off
+  };
+
   struct Options {
     std::uint32_t max_list_regions = kMaxListRegions;
     ListChunking chunking = ListChunking::kFileRegions;
@@ -66,6 +92,14 @@ class Client {
     /// socket-per-iod fan-out did. Requires a thread-safe transport (all
     /// transports in this repository are).
     bool parallel_fanout = false;
+    RetryPolicy retry{};
+    /// Blocking LockRange bounds: backoff doubles from
+    /// `lock_initial_backoff` to the `lock_max_backoff` cap; after
+    /// `lock_max_attempts` conflicted tries the call gives up with
+    /// kDeadlineExceeded instead of spinning forever.
+    std::uint32_t lock_max_attempts = 200;
+    std::chrono::microseconds lock_initial_backoff{50};
+    std::chrono::microseconds lock_max_backoff{5000};
   };
 
   explicit Client(Transport* transport,
@@ -92,8 +126,9 @@ class Client {
   /// Non-blocking try-acquire on the manager; kResourceExhausted on
   /// conflict. A zero-length range locks the whole file.
   Status TryLockRange(Fd fd, Extent range, bool exclusive = true);
-  /// Blocking acquire: retries with backoff until granted or a
-  /// non-conflict error occurs.
+  /// Blocking acquire: retries with capped exponential backoff until
+  /// granted, a non-conflict error occurs, or the attempt budget
+  /// (Options::lock_max_attempts) runs out — then kDeadlineExceeded.
   Status LockRange(Fd fd, Extent range, bool exclusive = true);
   Status UnlockRange(Fd fd, Extent range);
   /// This client's lock-owner token (unique per Client instance).
@@ -122,6 +157,10 @@ class Client {
 
   const ClientStats& stats() const { return stats_; }
   void ResetStats() { stats_ = {}; }
+  /// Snapshot of the retry/backoff counters.
+  RetryCounters retry_counters() const {
+    return {retries_.load(), retry_exhausted_.load(), backoff_us_.load()};
+  }
   std::uint32_t max_list_regions() const { return options_.max_list_regions; }
   ListChunking chunking() const { return options_.chunking; }
   /// Number of I/O daemons reachable through the underlying transport.
@@ -155,11 +194,17 @@ class Client {
                                       std::span<const Extent> file_regions)
       const;
 
-  /// One per-server exchange of a chunk: encode, call, decode envelope.
-  /// Thread-safe (no client state touched).
+  /// One per-server exchange of a chunk: encode, call, decode envelope,
+  /// retrying per Options::retry. Thread-safe (only atomic retry counters
+  /// are touched).
   Result<std::vector<std::byte>> ExchangeWithServer(
       const OpenFile& file, ServerId relative,
       const IoRequest& request) const;
+
+  /// The exchange body without the retry loop.
+  Result<std::vector<std::byte>> ExchangeOnce(const OpenFile& file,
+                                              ServerId relative,
+                                              const IoRequest& request) const;
 
   static std::uint64_t NextLockOwner();
 
@@ -168,6 +213,9 @@ class Client {
   Fd next_fd_ = 3;  // leave stdin/stdout/stderr-looking values free
   std::unordered_map<Fd, OpenFile> open_files_;
   ClientStats stats_;
+  mutable std::atomic<std::uint64_t> retries_{0};
+  mutable std::atomic<std::uint64_t> retry_exhausted_{0};
+  mutable std::atomic<std::uint64_t> backoff_us_{0};
   std::uint64_t lock_owner_ = NextLockOwner();
 };
 

@@ -42,6 +42,16 @@ Result<IoResponse> IoDaemon::Serve(const IoRequest& req) {
   }
   stats_.local_accesses += runs;
 
+  // Transient disk error injection: fail before touching the store so the
+  // stripe is never half-written by a request that reported failure.
+  if (fault_ != nullptr &&
+      fault_->OnDiskAccess(id_, req.op == IoOp::kWrite)) {
+    ++stats_.injected_errors;
+    return Unavailable(std::string("injected transient disk ") +
+                       (req.op == IoOp::kWrite ? "write" : "read") +
+                       " error on iod " + std::to_string(id_));
+  }
+
   IoResponse resp;
   if (req.op == IoOp::kRead) {
     resp.payload.resize(my_bytes);

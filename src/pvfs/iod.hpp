@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "fault/fault.hpp"
 #include "pvfs/config.hpp"
 #include "pvfs/distribution.hpp"
 #include "pvfs/protocol.hpp"
@@ -39,12 +40,22 @@ class IoDaemon {
   LocalStore& store() { return store_; }
   const LocalStore& store() const { return store_; }
 
+  /// Arms transient disk read/write error injection (src/fault). The
+  /// injected failure is reported BEFORE any byte touches the store, so a
+  /// failed request leaves this server's stripe unchanged and an
+  /// idempotent resend repairs nothing worse than a clean miss. Pass
+  /// nullptr to disarm.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
+
   struct Stats {
     std::uint64_t requests = 0;
     std::uint64_t regions = 0;        // trailing-data entries received
     std::uint64_t local_accesses = 0; // coalesced local runs touched
     std::uint64_t bytes_read = 0;
     std::uint64_t bytes_written = 0;
+    std::uint64_t injected_errors = 0;  // requests failed by fault injection
   };
   const Stats& stats() const { return stats_; }
 
@@ -53,6 +64,7 @@ class IoDaemon {
   std::uint32_t max_list_regions_;
   LocalStore store_;
   Stats stats_;
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace pvfs

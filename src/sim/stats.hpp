@@ -46,6 +46,32 @@ class Accumulator {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/// Counters for injected faults and the recoveries they triggered, shared
+/// by the functional fault-injection transport (src/fault) and the
+/// simulated cluster's lossy-network model. All zeros when injection is
+/// disabled.
+struct FaultCounters {
+  std::uint64_t frames_dropped = 0;     // request/response frames lost
+  std::uint64_t frames_duplicated = 0;  // frames delivered twice
+  std::uint64_t frames_delayed = 0;     // frames held back
+  std::uint64_t delay_us_injected = 0;  // total injected delay
+  std::uint64_t disk_read_errors = 0;
+  std::uint64_t disk_write_errors = 0;
+  std::uint64_t crashes = 0;            // iod crash events
+  std::uint64_t restarts = 0;           // iod restart events
+  std::uint64_t refused_calls = 0;      // calls rejected while an iod is down
+  std::uint64_t retransmits = 0;        // simulated retransmissions charged
+
+  std::uint64_t total() const {
+    return frames_dropped + frames_duplicated + frames_delayed +
+           disk_read_errors + disk_write_errors + crashes + restarts +
+           refused_calls + retransmits;
+  }
+
+  friend bool operator==(const FaultCounters&, const FaultCounters&) =
+      default;
+};
+
 /// Fixed-boundary histogram for latency distributions.
 class Histogram {
  public:

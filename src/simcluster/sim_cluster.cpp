@@ -20,15 +20,27 @@ SimCluster::SimCluster(const SimClusterConfig& config)
       cpu_model_(config.cpu),
       dist_(config.striping),
       rmw_token_(sim_, 1) {
+  if (config_.fault.enabled()) {
+    fault_ = std::make_unique<fault::FaultInjector>(config_.fault);
+  }
   servers_.reserve(config_.servers);
   for (std::uint32_t s = 0; s < config_.servers; ++s) {
     servers_.push_back(std::make_unique<ServerNode>(sim_, config_));
+    if (fault_) {
+      servers_.back()->disk.set_fault_injector(fault_.get(), s);
+    }
   }
   clients_.reserve(config_.clients);
   for (std::uint32_t c = 0; c < config_.clients; ++c) {
     clients_.push_back(std::make_unique<ClientNode>(sim_));
   }
   server_load_.resize(config_.servers);
+}
+
+SimTimeNs SimCluster::FaultLegDelay(ServerId global, ByteCount bytes) {
+  if (!fault_) return 0;
+  return fault_->OnSimLeg(global, net_.WireTime(bytes),
+                          config_.fault_retransmit_ns);
 }
 
 sim::SimTask SimCluster::ServerExchange(Rank client, ServerId relative,
@@ -73,6 +85,10 @@ sim::SimTask SimCluster::ServerExchange(Rank client, ServerId relative,
   co_await node.nic_out.Acquire();
   co_await sim_.Delay(net_.WireTime(request_bytes));
   node.nic_out.Release();
+  if (fault_) {
+    SimTimeNs extra = FaultLegDelay(global, request_bytes);
+    if (extra > 0) co_await sim_.Delay(extra);
+  }
   co_await sim_.Delay(net_.MessageLatency());
   co_await server.nic_in.Acquire();
   co_await sim_.Delay(net_.WireTime(request_bytes));
@@ -115,7 +131,8 @@ sim::SimTask SimCluster::ServerExchange(Rank client, ServerId relative,
       load.storage_busy_s += NsToSeconds(storage_ns);
       if (storage_ns > 0) co_await sim_.Delay(storage_ns);
       server.disk_queue.Release();
-      Spawn(sim_, SendResponseUnit(&server, &node, bytes + header, &sends));
+      Spawn(sim_,
+            SendResponseUnit(&server, global, &node, bytes + header, &sends));
       header = 0;
     }
     sends.CountDown();  // our own slot: all units dispatched
@@ -140,6 +157,10 @@ sim::SimTask SimCluster::ServerExchange(Rank client, ServerId relative,
   co_await server.nic_out.Acquire();
   co_await sim_.Delay(net_.WireTime(response_bytes));
   server.nic_out.Release();
+  if (fault_) {
+    SimTimeNs extra = FaultLegDelay(global, response_bytes);
+    if (extra > 0) co_await sim_.Delay(extra);
+  }
   co_await sim_.Delay(net_.MessageLatency());
   co_await node.nic_in.Acquire();
   co_await sim_.Delay(net_.WireTime(response_bytes));
@@ -148,12 +169,16 @@ sim::SimTask SimCluster::ServerExchange(Rank client, ServerId relative,
   latch->CountDown();
 }
 
-sim::SimTask SimCluster::SendResponseUnit(ServerNode* server,
+sim::SimTask SimCluster::SendResponseUnit(ServerNode* server, ServerId global,
                                           ClientNode* node, ByteCount bytes,
                                           sim::CountdownLatch* sends) {
   co_await server->nic_out.Acquire();
   co_await sim_.Delay(net_.WireTime(bytes));
   server->nic_out.Release();
+  if (fault_) {
+    SimTimeNs extra = FaultLegDelay(global, bytes);
+    if (extra > 0) co_await sim_.Delay(extra);
+  }
   co_await sim_.Delay(net_.MessageLatency());
   co_await node->nic_in.Acquire();
   co_await sim_.Delay(net_.WireTime(bytes));

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/extent.hpp"
+#include "fault/fault.hpp"
 #include "models/disk.hpp"
 #include "models/ethernet.hpp"
 #include "models/page_cache.hpp"
@@ -60,6 +61,14 @@ struct SimClusterConfig {
   /// than 2002 PVFS, which processed one entry at a time). Ablation knob:
   /// turning this on removes the block-block list-I/O upturn of Fig. 11.
   bool server_coalesces_entries = false;
+  /// Fault schedule for the lossy-network / flaky-disk variants. The
+  /// default (all rates zero) builds no injector and leaves every timing
+  /// path untouched — benchmark results are bit-identical to a build
+  /// without this field.
+  fault::FaultConfig fault{};
+  /// TCP-like retransmission timeout charged per lost frame (2002-era
+  /// Linux RTO floor).
+  SimTimeNs fault_retransmit_ns = 200 * kNsPerMs;
 };
 
 /// The paper's testbed configuration: write-through server storage (2.4-era
@@ -105,6 +114,13 @@ class SimCluster {
     return servers_[global]->cache.stats();
   }
 
+  /// Injected-fault counters (all zero when config().fault is disabled).
+  sim::FaultCounters fault_counters() const {
+    return fault_ ? fault_->counters() : sim::FaultCounters{};
+  }
+  /// The injector, or nullptr when fault injection is disabled.
+  const fault::FaultInjector* fault_injector() const { return fault_.get(); }
+
   /// Distribution of client-observed request latencies (seconds).
   const sim::Accumulator& request_latency() const {
     return request_latency_;
@@ -149,8 +165,9 @@ class SimCluster {
                               sim::CountdownLatch* latch);
 
   /// One pipelined response unit: server NIC -> switch -> client NIC.
-  sim::SimTask SendResponseUnit(ServerNode* server, ClientNode* node,
-                                ByteCount bytes, sim::CountdownLatch* sends);
+  sim::SimTask SendResponseUnit(ServerNode* server, ServerId global,
+                                ClientNode* node, ByteCount bytes,
+                                sim::CountdownLatch* sends);
 
   /// Granularity at which an iod overlaps storage with the network (a real
   /// server reads and sends in buffer-sized units, not whole requests).
@@ -160,8 +177,12 @@ class SimCluster {
     return (config_.striping.base + relative) % config_.servers;
   }
 
+  /// Injected extra latency for one wire leg (0 when faults are off).
+  SimTimeNs FaultLegDelay(ServerId global, ByteCount bytes);
+
   SimClusterConfig config_;
   sim::Simulator sim_;
+  std::unique_ptr<fault::FaultInjector> fault_;
   models::EthernetModel net_;
   models::ServerCpuModel cpu_model_;
   Distribution dist_;

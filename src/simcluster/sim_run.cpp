@@ -172,6 +172,7 @@ SimRunResult RunSimWorkload(const SimClusterConfig& config,
   result.mean_request_latency_s = cluster.request_latency().mean();
   result.max_request_latency_s = cluster.request_latency().max();
   result.server_load = cluster.server_load();
+  result.faults = cluster.fault_counters();
   return result;
 }
 

@@ -54,6 +54,8 @@ struct SimRunResult {
   double max_request_latency_s = 0.0;
   /// Per-server busy time (index = global server id).
   std::vector<SimCluster::ServerLoad> server_load;
+  /// Injected-fault tally (all zero when config.fault is disabled).
+  sim::FaultCounters faults;
 };
 
 SimRunResult RunSimWorkload(const SimClusterConfig& config,

@@ -1,9 +1,11 @@
 #include "trace/trace.hpp"
 
 #include <charconv>
+#include <optional>
 #include <sstream>
 
 #include "common/bytes.hpp"
+#include "fault/fault_transport.hpp"
 #include "runtime/spmd.hpp"
 #include "workloads/cyclic.hpp"
 #include "workloads/flash.hpp"
@@ -174,8 +176,20 @@ Trace TiledVizTrace() {
 Result<ReplayResult> Replay(Transport& transport, const Trace& trace,
                             const ReplayOptions& options) {
   if (trace.ranks == 0) return InvalidArgument("empty trace");
+
+  // Chaos replay: route every rank through the fault-injecting decorator
+  // and give clients the caller's retry policy. With no injector the
+  // original transport is used directly — zero overhead.
+  std::optional<fault::FaultInjectingTransport> faulty;
+  Transport& wire =
+      options.injector != nullptr
+          ? static_cast<Transport&>(faulty.emplace(&transport, options.injector))
+          : transport;
+  Client::Options client_options;
+  client_options.retry = options.retry;
+
   {
-    Client setup(&transport);
+    Client setup(&wire, client_options);
     auto fd = setup.Create(options.file_name, options.striping);
     if (fd.ok()) {
       (void)setup.Close(*fd);
@@ -193,7 +207,7 @@ Result<ReplayResult> Replay(Transport& transport, const Trace& trace,
   Status first_error = Status::Ok();
 
   runtime::RunSpmd(trace.ranks, [&](runtime::SpmdContext& ctx) {
-    Client client(&transport);
+    Client client(&wire, client_options);
     auto fd = client.Open(options.file_name);
     if (!fd.ok()) {
       std::lock_guard lock(result_mutex);
@@ -224,9 +238,13 @@ Result<ReplayResult> Replay(Transport& transport, const Trace& trace,
     result.messages += client.stats().messages;
     result.bytes_read += client.stats().bytes_read;
     result.bytes_written += client.stats().bytes_written;
+    result.retries += client.retry_counters().retries;
   });
 
   if (!first_error.ok()) return first_error;
+  if (options.injector != nullptr) {
+    result.faults = options.injector->counters();
+  }
   return result;
 }
 

@@ -21,6 +21,7 @@
 
 #include "common/extent.hpp"
 #include "common/status.hpp"
+#include "fault/fault.hpp"
 #include "io/method.hpp"
 #include "pvfs/transport.hpp"
 #include "simcluster/sim_run.hpp"
@@ -61,6 +62,11 @@ struct ReplayOptions {
   /// Seed for synthetic write payloads; reads verify nothing (the replay
   /// measures movement, not content).
   std::uint64_t seed = 1;
+  /// When set, every rank's data-path calls run through a
+  /// FaultInjectingTransport over this injector, and the replay's client
+  /// retry policy below applies — chaos replay of a recorded workload.
+  fault::FaultInjector* injector = nullptr;
+  Client::RetryPolicy retry{};
 };
 
 struct ReplayResult {
@@ -68,6 +74,8 @@ struct ReplayResult {
   std::uint64_t messages = 0;
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
+  std::uint64_t retries = 0;          // exchanges resent under faults
+  sim::FaultCounters faults;          // injected-fault tally (zero if none)
 };
 
 /// Replays the trace against a functional cluster: one thread per rank,

@@ -5,10 +5,16 @@
 
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
+#include "fault/fault.hpp"
+#include "fault/fault_transport.hpp"
+#include "io/method.hpp"
 #include "pvfs/client.hpp"
 #include "pvfs/iod.hpp"
 #include "pvfs/manager.hpp"
 #include "test_cluster.hpp"
+#include "workloads/blockblock.hpp"
+#include "workloads/cyclic.hpp"
+#include "workloads/strided.hpp"
 
 namespace pvfs {
 namespace {
@@ -195,6 +201,118 @@ TEST(FaultInjection, FailedWriteLeavesOtherServersConsistent) {
   ByteBuffer out(data.size());
   ASSERT_TRUE(reliable.Read(*rfd, 0, out).ok());
   EXPECT_EQ(out, data);
+}
+
+// ---- Fault-schedule fuzzing --------------------------------------------------
+
+/// One random workload pattern drawn from the repertoire in src/workloads/.
+io::AccessPattern FuzzPattern(SplitMix64& rng) {
+  switch (rng.Uniform(0, 2)) {
+    case 0: {
+      workloads::CyclicConfig config;
+      config.total_bytes = 64 * 1024;
+      config.clients = 4;
+      config.accesses_per_client = 8 + rng.Uniform(0, 24);
+      return workloads::CyclicPattern(
+          config, static_cast<Rank>(rng.Uniform(0, config.clients - 1)));
+    }
+    case 1: {
+      workloads::BlockBlockConfig config;
+      config.total_bytes = 64 * 1024;  // 256-byte side
+      config.clients = 4;
+      config.accesses_per_client = 8 + rng.Uniform(0, 24);
+      return workloads::BlockBlockPattern(
+          config, static_cast<Rank>(rng.Uniform(0, config.clients - 1)));
+    }
+    default: {
+      workloads::NestedStridedConfig config;
+      config.base = rng.Uniform(0, 4096);
+      config.block_bytes = 64 + rng.Uniform(0, 960);
+      config.levels.push_back(
+          {4 + rng.Uniform(0, 12), config.block_bytes + rng.Uniform(0, 4096)});
+      return workloads::NestedStridedPattern(config);
+    }
+  }
+}
+
+// Random fault schedule x access method x workload, under a fixed
+// iteration budget. Invariants: nothing crashes or hangs; an ok result
+// implies byte-identical contents versus a fault-free read; a failure is a
+// typed, retryable Status (the injector only produces transient faults).
+TEST(FaultScheduleFuzz, RandomSeedMethodWorkloadHoldInvariants) {
+  constexpr int kIterations = 40;  // budget: ~each combo a few times
+  SplitMix64 rng(2026);
+  const io::MethodType kAllMethods[] = {io::MethodType::kMultiple,
+                                        io::MethodType::kDataSieving,
+                                        io::MethodType::kList,
+                                        io::MethodType::kHybrid};
+
+  testutil::InProcCluster cluster;
+  const ByteCount file_bytes = 256 * 1024;
+  ByteBuffer golden(file_bytes);
+  FillPattern(golden, 1234, 0);
+  {
+    Client reliable = cluster.MakeClient();
+    auto fd = reliable.Create("f", Striping{0, 8, 16384});
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(reliable.Write(*fd, 0, golden).ok());
+    ASSERT_TRUE(reliable.Close(*fd).ok());
+  }
+
+  for (int i = 0; i < kIterations; ++i) {
+    fault::FaultConfig config;
+    config.seed = rng.Next();
+    config.drop_rate = 0.35 * rng.UniformDouble();
+    config.duplicate_rate = 0.2 * rng.UniformDouble();
+    config.disk_read_error_rate = 0.2 * rng.UniformDouble();
+    config.crash_rate = 0.02 * rng.UniformDouble();
+    config.crash_down_calls = 1 + static_cast<std::uint32_t>(rng.Uniform(0, 3));
+    fault::FaultInjector injector(config);
+    for (auto& iod : cluster.iods) iod->set_fault_injector(&injector);
+    fault::FaultInjectingTransport chaos(cluster.transport.get(), &injector);
+
+    Client::Options options;
+    options.retry.max_attempts = 1 + static_cast<std::uint32_t>(rng.Uniform(0, 11));
+    options.retry.initial_backoff = std::chrono::microseconds{1};
+    options.retry.max_backoff = std::chrono::microseconds{32};
+    Client client(&chaos, options);
+
+    io::MethodType type = kAllMethods[rng.Uniform(0, 3)];
+    io::AccessPattern pattern = FuzzPattern(rng);
+    // Keep the pattern inside the golden image.
+    ExtentList clipped;
+    for (const Extent& region : pattern.file) {
+      if (region.end() <= file_bytes) clipped.push_back(region);
+    }
+    if (clipped.empty()) continue;
+    pattern = io::AccessPattern::ContiguousMemory(std::move(clipped));
+
+    auto fd = client.Open("f");
+    if (!fd.ok()) {
+      ADD_FAILURE() << "manager is never injected; open failed: "
+                    << fd.status().message();
+      continue;
+    }
+    ByteBuffer buffer(pattern.total_bytes());
+    auto method = io::MakeMethod(type);
+    Status status = method->Read(client, *fd, pattern, buffer);
+    if (status.ok()) {
+      ByteBuffer expected;
+      expected.reserve(pattern.total_bytes());
+      for (const Extent& region : pattern.file) {
+        expected.insert(
+            expected.end(),
+            golden.begin() + static_cast<std::ptrdiff_t>(region.offset),
+            golden.begin() + static_cast<std::ptrdiff_t>(region.end()));
+      }
+      EXPECT_EQ(buffer, expected) << "iteration " << i;
+    } else {
+      EXPECT_TRUE(IsRetryable(status.code()))
+          << "iteration " << i << ": " << status.message();
+    }
+    (void)client.Close(*fd);
+    for (auto& iod : cluster.iods) iod->set_fault_injector(nullptr);
+  }
 }
 
 }  // namespace

@@ -135,6 +135,34 @@ TEST(ClientLocks, BlockingLockWaitsForRelease) {
   EXPECT_TRUE(acquired.load());
 }
 
+TEST(ClientLocks, BlockingLockGivesUpWithDeadlineExceeded) {
+  // The blocking acquire is bounded: against a lock that is never
+  // released it must stop backing off after Options::lock_max_attempts
+  // and return kDeadlineExceeded instead of spinning forever.
+  InProcCluster cluster;
+  Client holder = cluster.MakeClient();
+  auto hfd = holder.Create("f", kDefault);
+  ASSERT_TRUE(hfd.ok());
+  ASSERT_TRUE(holder.TryLockRange(*hfd, {0, 0}).ok());
+
+  Client::Options options;
+  options.lock_max_attempts = 5;
+  options.lock_initial_backoff = std::chrono::microseconds{1};
+  options.lock_max_backoff = std::chrono::microseconds{8};
+  Client waiter(cluster.transport.get(), options);
+  auto wfd = waiter.Open("f");
+  ASSERT_TRUE(wfd.ok());
+  Status status = waiter.LockRange(*wfd, {0, 0});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kDeadlineExceeded) << status.message();
+
+  // The budget only bounds contention; once the conflict clears the same
+  // client acquires normally.
+  ASSERT_TRUE(holder.UnlockRange(*hfd, {0, 0}).ok());
+  EXPECT_TRUE(waiter.LockRange(*wfd, {0, 0}).ok());
+  EXPECT_TRUE(waiter.UnlockRange(*wfd, {0, 0}).ok());
+}
+
 // ---- Lock-serialized sieving writes ---------------------------------------------
 
 TEST(ClientLocks, LockSerializedSievingWritesOverSockets) {

@@ -25,9 +25,20 @@ TEST(Status, ErrorCarriesCodeAndMessage) {
 }
 
 TEST(Status, EveryCodeHasName) {
-  for (int c = 0; c <= static_cast<int>(ErrorCode::kUnimplemented); ++c) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kDeadlineExceeded); ++c) {
     EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(c)), "UNKNOWN");
   }
+}
+
+TEST(Status, RetryableCodesAreTransientOnly) {
+  EXPECT_TRUE(IsRetryable(ErrorCode::kUnavailable));
+  EXPECT_TRUE(IsRetryable(ErrorCode::kDeadlineExceeded));
+  EXPECT_TRUE(IsRetryable(ErrorCode::kProtocol));
+  EXPECT_FALSE(IsRetryable(ErrorCode::kOk));
+  EXPECT_FALSE(IsRetryable(ErrorCode::kNotFound));
+  EXPECT_FALSE(IsRetryable(ErrorCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetryable(ErrorCode::kAlreadyExists));
+  EXPECT_FALSE(IsRetryable(ErrorCode::kInternal));
 }
 
 TEST(Result, HoldsValue) {
