@@ -16,6 +16,7 @@ std::string_view ErrorCodeName(ErrorCode code) {
     case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
     case ErrorCode::kUnavailable: return "UNAVAILABLE";
     case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case ErrorCode::kCorruption: return "CORRUPTION";
   }
   return "UNKNOWN";
 }

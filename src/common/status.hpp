@@ -25,6 +25,7 @@ enum class ErrorCode : int {
   kUnimplemented,
   kUnavailable,       // endpoint unreachable / daemon down (transient)
   kDeadlineExceeded,  // per-request timeout or retry budget exhausted
+  kCorruption,        // checksum mismatch: frame or stored chunk damaged
 };
 
 /// Human-readable name of an ErrorCode ("kOk" -> "OK", ...).
@@ -88,13 +89,19 @@ inline Status Unavailable(std::string msg) {
 inline Status DeadlineExceeded(std::string msg) {
   return {ErrorCode::kDeadlineExceeded, std::move(msg)};
 }
+inline Status CorruptionError(std::string msg) {
+  return {ErrorCode::kCorruption, std::move(msg)};
+}
 
 /// True for error codes a retry of an idempotent request may clear:
 /// transient unavailability, timeouts, and garbled (droppable) responses.
+/// A corrupt frame is equivalent to a lost frame — resending an idempotent
+/// request over a clean link clears it — so kCorruption is retryable too.
 inline bool IsRetryable(ErrorCode code) {
   return code == ErrorCode::kUnavailable ||
          code == ErrorCode::kDeadlineExceeded ||
-         code == ErrorCode::kProtocol;
+         code == ErrorCode::kProtocol ||
+         code == ErrorCode::kCorruption;
 }
 
 /// Result<T>: a value or a non-OK Status. Accessing value() on an error

@@ -1,6 +1,63 @@
 #include "common/wire.hpp"
 
+#include <array>
+
 namespace pvfs {
+
+namespace {
+
+/// Reflected CRC32C lookup table, built once at static initialization.
+constexpr std::array<std::uint32_t, 256> MakeCrc32cTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrc32cTable = MakeCrc32cTable();
+
+}  // namespace
+
+std::uint32_t Crc32c(std::span<const std::byte> data, std::uint32_t crc) {
+  crc = ~crc;
+  for (std::byte b : data) {
+    crc = kCrc32cTable[(crc ^ std::to_integer<std::uint32_t>(b)) & 0xFFu] ^
+          (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::vector<std::byte> SealFrame(std::vector<std::byte> frame) {
+  std::uint32_t crc = Crc32c(frame);
+  for (size_t i = 0; i < kFrameCrcBytes; ++i) {
+    frame.push_back(std::byte{static_cast<std::uint8_t>(crc >> (8 * i))});
+  }
+  return frame;
+}
+
+Result<std::span<const std::byte>> OpenFrame(
+    std::span<const std::byte> frame) {
+  if (frame.size() < kFrameCrcBytes) {
+    return CorruptionError("frame shorter than its CRC32C trailer");
+  }
+  std::span<const std::byte> payload =
+      frame.first(frame.size() - kFrameCrcBytes);
+  std::uint32_t expect = 0;
+  for (size_t i = 0; i < kFrameCrcBytes; ++i) {
+    expect |= std::to_integer<std::uint32_t>(frame[payload.size() + i])
+              << (8 * i);
+  }
+  std::uint32_t actual = Crc32c(payload);
+  if (actual != expect) {
+    return CorruptionError("frame CRC32C mismatch");
+  }
+  return payload;
+}
 
 Result<std::uint8_t> WireReader::U8() { return ReadLe<std::uint8_t>(); }
 Result<std::uint16_t> WireReader::U16() { return ReadLe<std::uint16_t>(); }
@@ -14,6 +71,12 @@ Result<std::int64_t> WireReader::I64() {
 
 Result<std::vector<std::byte>> WireReader::Bytes() {
   PVFS_ASSIGN_OR_RETURN(std::uint32_t n, U32());
+  // Validate the prefix against the bytes actually present BEFORE any
+  // allocation happens: a hostile/corrupt length (e.g. 0xFFFFFFFF) must
+  // yield a typed decode error, never a multi-GB allocation attempt.
+  if (n > remaining()) {
+    return ProtocolError("wire: length prefix exceeds remaining bytes");
+  }
   return Raw(n);
 }
 

@@ -7,6 +7,7 @@
 // these encoders.
 #pragma once
 
+#include <cstdint>
 #include <cstring>
 #include <span>
 #include <string>
@@ -17,6 +18,33 @@
 #include "common/types.hpp"
 
 namespace pvfs {
+
+// ---- CRC32C integrity framing ----------------------------------------------
+//
+// Every protocol frame (request and response envelope, including trailing
+// data payloads) travels sealed: the encoded message followed by a 4-byte
+// little-endian CRC32C of everything before it. Daemons and clients verify
+// the trailer before decoding; a mismatch is a typed kCorruption error, the
+// retryable signal the client's backoff loop already understands. The
+// checksum lives at the framing layer, not in the message encodings, so
+// the paper's wire-size arithmetic (IoRequest::WireBytes, the 64-region
+// Ethernet-frame fit) and the simulator's 2002-era unchecksummed wire model
+// are unchanged.
+
+/// CRC32C (Castagnoli, polynomial 0x1EDC6F41 reflected) of `data`, seeded
+/// with `crc` for incremental use (pass the previous return value).
+std::uint32_t Crc32c(std::span<const std::byte> data, std::uint32_t crc = 0);
+
+/// Size of the per-frame integrity trailer.
+inline constexpr size_t kFrameCrcBytes = 4;
+
+/// Append the CRC32C trailer to an encoded frame.
+std::vector<std::byte> SealFrame(std::vector<std::byte> frame);
+
+/// Verify and strip a sealed frame's trailer. Returns a view of the
+/// payload (borrowing `frame`'s storage) or kCorruption if the frame is
+/// shorter than the trailer or the checksum mismatches.
+Result<std::span<const std::byte>> OpenFrame(std::span<const std::byte> frame);
 
 /// Append-only little-endian encoder.
 class WireWriter {

@@ -15,6 +15,9 @@ constexpr std::uint32_t kSiteDiskRead = 2;
 constexpr std::uint32_t kSiteDiskWrite = 3;
 constexpr std::uint32_t kSiteCrash = 4;
 constexpr std::uint32_t kSiteSimLeg = 5;
+constexpr std::uint32_t kSiteFrame = 6;
+constexpr std::uint32_t kSiteRot = 7;
+constexpr std::uint32_t kSiteTorn = 8;
 
 }  // namespace
 
@@ -28,6 +31,10 @@ std::string_view FaultKindName(FaultKind kind) {
     case FaultKind::kCrash: return "crash";
     case FaultKind::kRestart: return "restart";
     case FaultKind::kRetransmit: return "retransmit";
+    case FaultKind::kFrameCorrupt: return "frame-corrupt";
+    case FaultKind::kFrameTruncate: return "frame-truncate";
+    case FaultKind::kChunkRot: return "chunk-rot";
+    case FaultKind::kTornWrite: return "torn-write";
   }
   return "unknown";
 }
@@ -70,6 +77,19 @@ std::uint64_t FaultInjector::UniformInt(std::uint32_t site, ServerId server,
   if (hi <= lo) return lo;
   return lo + static_cast<std::uint64_t>(Uniform(site, server, seq, draw) *
                                          static_cast<double>(hi - lo + 1));
+}
+
+std::uint64_t FaultInjector::HashBits(std::uint32_t site, ServerId server,
+                                      std::uint64_t seq,
+                                      std::uint32_t draw) const {
+  SplitMix64 rng(config_.seed ^
+                 (static_cast<std::uint64_t>(site) * 0xD1B54A32D192ED03ull) ^
+                 ((static_cast<std::uint64_t>(server) + 1) *
+                  0x8CB92BA72F3D8DD7ull) ^
+                 ((seq + 1) * 0x2545F4914F6CDD1Dull) ^
+                 (static_cast<std::uint64_t>(draw) * 0x9E3779B97F4A7C15ull));
+  (void)rng.Next();
+  return rng.Next();
 }
 
 std::uint64_t FaultInjector::NextSeq(std::uint32_t site, ServerId server) {
@@ -115,6 +135,72 @@ NetFault FaultInjector::OnNetExchange(ServerId server) {
     counters_.delay_us_injected += out.delay_us;
     Log(FaultKind::kFrameDelay, server, out.delay_us);
   }
+  return out;
+}
+
+FrameFault FaultInjector::OnFrameIntegrity(ServerId server) {
+  FrameFault out;
+  if (config_.frame_corrupt_rate <= 0 && config_.frame_truncate_rate <= 0) {
+    return out;  // zero-rate config consumes no randomness
+  }
+  std::lock_guard lock(mutex_);
+  std::uint64_t seq = NextSeq(kSiteFrame, server);
+  if (config_.frame_corrupt_rate > 0 &&
+      Uniform(kSiteFrame, server, seq, 0) < config_.frame_corrupt_rate) {
+    bool request = Uniform(kSiteFrame, server, seq, 1) < 0.5;
+    out.corrupt_request = request;
+    out.corrupt_response = !request;
+    ++counters_.frames_corrupted;
+    Log(FaultKind::kFrameCorrupt, server, request ? 0 : 1);
+  }
+  if (config_.frame_truncate_rate > 0 &&
+      Uniform(kSiteFrame, server, seq, 2) < config_.frame_truncate_rate) {
+    bool request = Uniform(kSiteFrame, server, seq, 3) < 0.5;
+    out.truncate_request = request;
+    out.truncate_response = !request;
+    ++counters_.frames_truncated;
+    Log(FaultKind::kFrameTruncate, server, request ? 0 : 1);
+  }
+  if (out.corrupt_request || out.corrupt_response || out.truncate_request ||
+      out.truncate_response) {
+    out.selector = HashBits(kSiteFrame, server, seq, 4);
+  }
+  return out;
+}
+
+RotFault FaultInjector::OnStoredRead(ServerId server) {
+  RotFault out;
+  if (config_.chunk_rot_rate <= 0) return out;
+  std::lock_guard lock(mutex_);
+  std::uint64_t seq = NextSeq(kSiteRot, server);
+  if (Uniform(kSiteRot, server, seq, 0) >= config_.chunk_rot_rate) {
+    return out;
+  }
+  out.rot = true;
+  out.selector = HashBits(kSiteRot, server, seq, 1);
+  ++counters_.chunks_rotted;
+  Log(FaultKind::kChunkRot, server, out.selector % 4096);
+  return out;
+}
+
+TornWriteFault FaultInjector::OnStoredWrite(ServerId server) {
+  TornWriteFault out;
+  if (config_.torn_write_rate <= 0) return out;
+  std::lock_guard lock(mutex_);
+  std::uint64_t seq = NextSeq(kSiteTorn, server);
+  if (Uniform(kSiteTorn, server, seq, 0) >= config_.torn_write_rate) {
+    return out;
+  }
+  out.torn = true;
+  out.keep_permille = UniformInt(kSiteTorn, server, seq, 1, 0, 999);
+  // Roughly a third of crashes hit the journal append itself (rollback
+  // path); the rest interrupt the chunk writes (replay path).
+  out.torn_journal = Uniform(kSiteTorn, server, seq, 2) < 0.34;
+  out.down_calls = config_.torn_down_calls;
+  down_[server] = config_.torn_down_calls;
+  ++counters_.torn_writes;
+  ++counters_.crashes;  // a torn write IS a crash, mid-write
+  Log(FaultKind::kTornWrite, server, out.keep_permille);
   return out;
 }
 
@@ -170,7 +256,8 @@ void FaultInjector::CrashServer(ServerId server, std::uint32_t down_calls) {
 SimTimeNs FaultInjector::OnSimLeg(ServerId server, SimTimeNs wire_ns,
                                   SimTimeNs retransmit_timeout_ns) {
   if (config_.drop_rate <= 0 && config_.duplicate_rate <= 0 &&
-      config_.delay_rate <= 0) {
+      config_.delay_rate <= 0 && config_.frame_corrupt_rate <= 0 &&
+      config_.frame_truncate_rate <= 0) {
     return 0;
   }
   std::lock_guard lock(mutex_);
@@ -207,6 +294,23 @@ SimTimeNs FaultInjector::OnSimLeg(ServerId server, SimTimeNs wire_ns,
     ++counters_.frames_delayed;
     counters_.delay_us_injected += us;
     Log(FaultKind::kFrameDelay, server, us);
+  }
+  // A frame the receiver's checksum rejects costs the same as a lost one:
+  // the sender times out and resends (the sim models detection, not the
+  // CRC bytes themselves — the 2002 wire had no checksum to carry).
+  if (config_.frame_corrupt_rate > 0 &&
+      Uniform(kSiteSimLeg, server, seq, 30) < config_.frame_corrupt_rate) {
+    extra += retransmit_timeout_ns + wire_ns;
+    ++counters_.frames_corrupted;
+    ++counters_.retransmits;
+    Log(FaultKind::kFrameCorrupt, server, 1);
+  }
+  if (config_.frame_truncate_rate > 0 &&
+      Uniform(kSiteSimLeg, server, seq, 31) < config_.frame_truncate_rate) {
+    extra += retransmit_timeout_ns + wire_ns;
+    ++counters_.frames_truncated;
+    ++counters_.retransmits;
+    Log(FaultKind::kFrameTruncate, server, 1);
   }
   return extra;
 }

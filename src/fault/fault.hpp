@@ -48,10 +48,28 @@ struct FaultConfig {
   double crash_rate = 0.0;
   std::uint32_t crash_down_calls = 4;
 
+  // ---- Data corruption (see docs/integrity.md) --------------------------
+  /// P(a frame is bit-flipped in flight) per client<->iod exchange; a
+  /// second draw picks the request or the response frame. Detected by the
+  /// CRC32C framing layer as kCorruption, which the client retries.
+  double frame_corrupt_rate = 0.0;
+  /// P(a frame is cut short in flight); direction drawn like corruption.
+  double frame_truncate_rate = 0.0;
+  /// P(one stored bit rots before a read is served) per iod read. The
+  /// store's per-chunk checksum catches it; the journal may repair it.
+  double chunk_rot_rate = 0.0;
+  /// P(the iod crashes mid-write) per served write: the store is left
+  /// with a torn intent (journal or data), the daemon refuses
+  /// `torn_down_calls` calls, and recovery replays or rolls back.
+  double torn_write_rate = 0.0;
+  std::uint32_t torn_down_calls = 2;
+
   bool enabled() const {
     return drop_rate > 0 || duplicate_rate > 0 || delay_rate > 0 ||
            disk_read_error_rate > 0 || disk_write_error_rate > 0 ||
-           crash_rate > 0;
+           crash_rate > 0 || frame_corrupt_rate > 0 ||
+           frame_truncate_rate > 0 || chunk_rot_rate > 0 ||
+           torn_write_rate > 0;
   }
 };
 
@@ -63,7 +81,11 @@ enum class FaultKind : std::uint8_t {
   kDiskWriteError,
   kCrash,
   kRestart,
-  kRetransmit,  // simulated retransmission after a dropped frame
+  kRetransmit,     // simulated retransmission after a dropped frame
+  kFrameCorrupt,   // bit flip in flight (detail: 0 = request, 1 = response)
+  kFrameTruncate,  // frame cut short (detail: 0 = request, 1 = response)
+  kChunkRot,       // stored bit rotted at rest (detail: selector)
+  kTornWrite,      // crash mid-write (detail: permille of bytes applied)
 };
 
 std::string_view FaultKindName(FaultKind kind);
@@ -93,6 +115,35 @@ struct NetFault {
   std::uint64_t delay_us = 0;
 };
 
+/// The integrity fate of one exchange's frames (decided separately from
+/// NetFault so schedules stay comparable when new rates are added).
+struct FrameFault {
+  bool corrupt_request = false;
+  bool corrupt_response = false;
+  bool truncate_request = false;
+  bool truncate_response = false;
+  /// Picks the flipped bit (modulo frame bits) or the truncated length
+  /// (modulo frame size).
+  std::uint64_t selector = 0;
+};
+
+/// Stored-data rot decision for one served read.
+struct RotFault {
+  bool rot = false;
+  std::uint64_t selector = 0;  // forwarded to LocalStore::CorruptStoredBit
+};
+
+/// Torn-write decision for one served write.
+struct TornWriteFault {
+  bool torn = false;
+  /// Permille of the intent's bytes that reach storage before the crash.
+  std::uint64_t keep_permille = 0;
+  /// True: the crash hit the journal append (rollback on recovery);
+  /// false: the crash hit the chunk writes (replay on recovery).
+  bool torn_journal = false;
+  std::uint32_t down_calls = 0;  // refusals before the daemon restarts
+};
+
 class FaultInjector {
  public:
   explicit FaultInjector(FaultConfig config) : config_(config) {}
@@ -104,6 +155,17 @@ class FaultInjector {
 
   /// Network fate of one client<->iod exchange.
   NetFault OnNetExchange(ServerId server);
+
+  /// Integrity fate of one exchange's frames (bit flip / truncation).
+  FrameFault OnFrameIntegrity(ServerId server);
+
+  /// Stored-data rot decision for one served read on `server`.
+  RotFault OnStoredRead(ServerId server);
+
+  /// Torn-write decision for one served write on `server`. On a torn
+  /// write the server is also marked down for config().torn_down_calls
+  /// calls — the crash and the torn state are one event.
+  TornWriteFault OnStoredWrite(ServerId server);
 
   /// True if this access hits an injected transient disk error.
   bool OnDiskAccess(ServerId server, bool is_write);
@@ -145,6 +207,9 @@ class FaultInjector {
   std::uint64_t UniformInt(std::uint32_t site, ServerId server,
                            std::uint64_t seq, std::uint32_t draw,
                            std::uint64_t lo, std::uint64_t hi) const;
+  /// Raw 64-bit hash for the same coordinates (selector material).
+  std::uint64_t HashBits(std::uint32_t site, ServerId server,
+                         std::uint64_t seq, std::uint32_t draw) const;
 
   /// Next per-(site, server) sequence number. Caller holds mutex_.
   std::uint64_t NextSeq(std::uint32_t site, ServerId server);

@@ -16,6 +16,12 @@
 //   duplicate — the request is delivered twice (the daemon executes it
 //               twice); the second response is returned.
 //   delay     — the exchange is held back briefly before delivery.
+//   corrupt   — one bit of the request or response frame is flipped in
+//               flight. The CRC32C framing layer at the receiver detects
+//               it: a corrupt request is rejected by the daemon with
+//               kCorruption (typed, inside a well-formed sealed envelope);
+//               a corrupt response fails the client's own verification.
+//   truncate  — the frame is cut short in flight; detected the same way.
 //
 // Manager calls pass through untouched: metadata operations are not
 // idempotent (create/remove), and the single-manager failure mode is the
@@ -61,9 +67,21 @@ class FaultInjectingTransport final : public Transport {
       return DeadlineExceeded("request to iod " + std::to_string(server) +
                               " timed out (injected frame drop)");
     }
+    FrameFault frame = injector_->OnFrameIntegrity(server);
+    std::vector<std::byte> damaged;
+    if (frame.corrupt_request || frame.truncate_request) {
+      damaged.assign(request.begin(), request.end());
+      if (frame.corrupt_request) FlipBit(damaged, frame.selector);
+      if (frame.truncate_request) Truncate(damaged, frame.selector);
+      request = damaged;
+    }
     auto response = inner_->Call(dest, request);
     if (net.duplicate) {
-      return inner_->Call(dest, request);
+      response = inner_->Call(dest, request);
+    }
+    if (response.ok()) {
+      if (frame.corrupt_response) FlipBit(*response, frame.selector);
+      if (frame.truncate_response) Truncate(*response, frame.selector);
     }
     return response;
   }
@@ -73,6 +91,17 @@ class FaultInjectingTransport final : public Transport {
   }
 
  private:
+  static void FlipBit(std::vector<std::byte>& frame, std::uint64_t selector) {
+    if (frame.empty()) return;
+    std::uint64_t bit = selector % (frame.size() * 8);
+    frame[bit / 8] ^= std::byte{static_cast<std::uint8_t>(1u << (bit % 8))};
+  }
+
+  static void Truncate(std::vector<std::byte>& frame, std::uint64_t selector) {
+    if (frame.empty()) return;
+    frame.resize(selector % frame.size());  // strictly shorter
+  }
+
   Transport* inner_;
   FaultInjector* injector_;
 };

@@ -268,7 +268,7 @@ Result<std::unique_ptr<SocketCluster>> SocketCluster::Start(
       cluster->manager_server_,
       SocketServer::Start(base_port, [m = &cluster->manager_](
                                          std::span<const std::byte> req) {
-        return m->HandleMessage(req);
+        return m->HandleSealedMessage(req);
       }));
   for (ServerId s = 0; s < server_count; ++s) {
     std::uint16_t port =
@@ -277,7 +277,7 @@ Result<std::unique_ptr<SocketCluster>> SocketCluster::Start(
         auto server,
         SocketServer::Start(port, [iod = cluster->iods_[s].get()](
                                       std::span<const std::byte> req) {
-          return iod->HandleMessage(req);
+          return iod->HandleSealedMessage(req);
         }));
     cluster->iod_ports_.push_back(server->port());
     cluster->iod_servers_.push_back(std::move(server));
@@ -299,11 +299,15 @@ Status SocketCluster::RestartIod(ServerId s) {
   if (iod_servers_[s] != nullptr) {
     return FailedPrecondition("iod already running");
   }
+  // A restarted daemon replays or rolls back pending write intents before
+  // accepting its first request, mirroring a real iod's journal recovery
+  // at boot (done before the listener exists so no request can race it).
+  iods_[s]->RecoverStore();
   PVFS_ASSIGN_OR_RETURN(
       iod_servers_[s],
       SocketServer::Start(iod_ports_[s], [iod = iods_[s].get()](
                                              std::span<const std::byte> req) {
-        return iod->HandleMessage(req);
+        return iod->HandleSealedMessage(req);
       }));
   return Status::Ok();
 }

@@ -77,22 +77,35 @@ class StreamCursor {
 
 // ---- Namespace & lifecycle ------------------------------------------------
 
-Result<Metadata> Client::CallManagerMeta(std::span<const std::byte> request) {
+Result<DecodedResponse> Client::SealedCall(
+    const Endpoint& dest, std::vector<std::byte> request) const {
+  PVFS_ASSIGN_OR_RETURN(
+      std::vector<std::byte> raw,
+      transport_->Call(dest, SealFrame(std::move(request))));
+  auto payload = OpenFrame(raw);
+  if (!payload.ok()) {
+    ++corruptions_;
+    return payload.status();
+  }
+  PVFS_ASSIGN_OR_RETURN(DecodedResponse resp, DecodeResponse(*payload));
+  if (resp.status.code() == ErrorCode::kCorruption) ++corruptions_;
+  return resp;
+}
+
+Result<Metadata> Client::CallManagerMeta(std::vector<std::byte> request) {
   ++stats_.manager_messages;
-  PVFS_ASSIGN_OR_RETURN(std::vector<std::byte> raw,
-                        transport_->Call(Endpoint::ManagerNode(), request));
-  PVFS_ASSIGN_OR_RETURN(DecodedResponse resp, DecodeResponse(raw));
+  PVFS_ASSIGN_OR_RETURN(
+      DecodedResponse resp,
+      SealedCall(Endpoint::ManagerNode(), std::move(request)));
   if (!resp.status.ok()) return resp.status;
   PVFS_ASSIGN_OR_RETURN(MetadataResponse meta,
                         MetadataResponse::Decode(resp.body));
   return meta.meta;
 }
 
-Status Client::CallManagerVoid(std::span<const std::byte> request) {
+Status Client::CallManagerVoid(std::vector<std::byte> request) {
   ++stats_.manager_messages;
-  auto raw = transport_->Call(Endpoint::ManagerNode(), request);
-  if (!raw.ok()) return raw.status();
-  auto resp = DecodeResponse(*raw);
+  auto resp = SealedCall(Endpoint::ManagerNode(), std::move(request));
   if (!resp.ok()) return resp.status();
   return resp->status;
 }
@@ -137,9 +150,7 @@ Status Client::Remove(const std::string& name) {
     ServerId server = (meta->striping.base + s) %
                       transport_->server_count();
     ++stats_.messages;
-    auto raw = transport_->Call(Endpoint::Iod(server), encoded);
-    if (!raw.ok()) return raw.status();
-    auto resp = DecodeResponse(*raw);
+    auto resp = SealedCall(Endpoint::Iod(server), encoded);
     if (!resp.ok()) return resp.status();
     PVFS_RETURN_IF_ERROR(resp->status);
   }
@@ -149,10 +160,8 @@ Status Client::Remove(const std::string& name) {
 Result<std::vector<std::string>> Client::ListFiles(const std::string& prefix) {
   ++stats_.manager_messages;
   PVFS_ASSIGN_OR_RETURN(
-      std::vector<std::byte> raw,
-      transport_->Call(Endpoint::ManagerNode(),
-                       ListNamesRequest{prefix}.Encode()));
-  PVFS_ASSIGN_OR_RETURN(DecodedResponse resp, DecodeResponse(raw));
+      DecodedResponse resp,
+      SealedCall(Endpoint::ManagerNode(), ListNamesRequest{prefix}.Encode()));
   if (!resp.status.ok()) return resp.status;
   PVFS_ASSIGN_OR_RETURN(NamesResponse names, NamesResponse::Decode(resp.body));
   return names.names;
@@ -236,9 +245,8 @@ Result<std::vector<std::byte>> Client::ExchangeOnce(
   ServerId global = (file.meta.striping.base + relative) %
                     transport_->server_count();
   PVFS_ASSIGN_OR_RETURN(
-      std::vector<std::byte> raw,
-      transport_->Call(Endpoint::Iod(global), request.Encode()));
-  PVFS_ASSIGN_OR_RETURN(DecodedResponse resp, DecodeResponse(raw));
+      DecodedResponse resp,
+      SealedCall(Endpoint::Iod(global), request.Encode()));
   if (!resp.status.ok()) return resp.status;
   return std::move(resp.body);
 }

@@ -82,6 +82,7 @@ class Client {
     std::uint64_t retries = 0;        // exchanges resent
     std::uint64_t exhausted = 0;      // exchanges that ran out of attempts
     std::uint64_t backoff_us = 0;     // total time spent backing off
+    std::uint64_t corruptions = 0;    // kCorruption responses observed
   };
 
   struct Options {
@@ -159,7 +160,8 @@ class Client {
   void ResetStats() { stats_ = {}; }
   /// Snapshot of the retry/backoff counters.
   RetryCounters retry_counters() const {
-    return {retries_.load(), retry_exhausted_.load(), backoff_us_.load()};
+    return {retries_.load(), retry_exhausted_.load(), backoff_us_.load(),
+            corruptions_.load()};
   }
   std::uint32_t max_list_regions() const { return options_.max_list_regions; }
   ListChunking chunking() const { return options_.chunking; }
@@ -174,8 +176,14 @@ class Client {
     ByteCount high_water = 0;  // max end offset written through this fd
   };
 
-  Result<Metadata> CallManagerMeta(std::span<const std::byte> request);
-  Status CallManagerVoid(std::span<const std::byte> request);
+  /// One sealed round trip: CRC32C-seal the encoded request, call, verify
+  /// the response frame's trailer, decode the envelope. A failed response
+  /// check surfaces as kCorruption (retryable) and is counted.
+  Result<DecodedResponse> SealedCall(const Endpoint& dest,
+                                     std::vector<std::byte> request) const;
+
+  Result<Metadata> CallManagerMeta(std::vector<std::byte> request);
+  Status CallManagerVoid(std::vector<std::byte> request);
 
   /// One chunked list-I/O operation (<= max_list_regions file regions).
   /// For writes, `stream` holds the chunk's logical byte stream; for
@@ -216,6 +224,7 @@ class Client {
   mutable std::atomic<std::uint64_t> retries_{0};
   mutable std::atomic<std::uint64_t> retry_exhausted_{0};
   mutable std::atomic<std::uint64_t> backoff_us_{0};
+  mutable std::atomic<std::uint64_t> corruptions_{0};
   std::uint64_t lock_owner_ = NextLockOwner();
 };
 

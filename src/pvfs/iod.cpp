@@ -4,7 +4,27 @@
 
 namespace pvfs {
 
+void IoDaemon::RecoverStore() {
+  if (!store_.NeedsRecovery()) return;
+  LocalStore::RecoveryStats rec = store_.Recover();
+  stats_.journal_replays += rec.replayed;
+  stats_.journal_rollbacks += rec.rolled_back;
+}
+
+LocalStore::ScrubStats IoDaemon::Scrub() {
+  RecoverStore();  // never scrub across pending intents
+  LocalStore::ScrubStats scrub = store_.Scrub();
+  stats_.scrub_chunks_scanned += scrub.chunks_scanned;
+  stats_.scrub_corruptions += scrub.corrupt_chunks;
+  stats_.scrub_repairs += scrub.repaired_chunks;
+  return scrub;
+}
+
 Result<IoResponse> IoDaemon::Serve(const IoRequest& req) {
+  // A restarted daemon recovers its store before serving anything, so the
+  // first post-crash request sees replayed-or-rolled-back (consistent)
+  // state, never a torn write.
+  RecoverStore();
   ++stats_.requests;
   stats_.regions += req.regions.size();
 
@@ -54,11 +74,22 @@ Result<IoResponse> IoDaemon::Serve(const IoRequest& req) {
 
   IoResponse resp;
   if (req.op == IoOp::kRead) {
+    // Stored-data rot injection: flip one bit at rest before serving, so
+    // the read path exercises checksum detection and journal repair.
+    if (fault_ != nullptr) {
+      fault::RotFault rot = fault_->OnStoredRead(id_);
+      if (rot.rot) (void)store_.CorruptStoredBit(rot.selector);
+    }
     resp.payload.resize(my_bytes);
     ByteCount cursor = 0;
     for (const Fragment& f : mine) {
-      store_.Read(req.handle, f.local_offset,
-                  std::span{resp.payload}.subspan(cursor, f.length));
+      Status read = store_.Read(
+          req.handle, f.local_offset,
+          std::span{resp.payload}.subspan(cursor, f.length));
+      if (!read.ok()) {
+        ++stats_.corruptions_detected;
+        return read;
+      }
       cursor += f.length;
     }
     resp.bytes = my_bytes;
@@ -72,12 +103,30 @@ Result<IoResponse> IoDaemon::Serve(const IoRequest& req) {
                            std::to_string(my_bytes) + ", got " +
                            std::to_string(req.payload.size()));
   }
+  std::vector<LocalStore::WritePiece> pieces;
+  pieces.reserve(mine.size());
   ByteCount cursor = 0;
   for (const Fragment& f : mine) {
-    store_.Write(req.handle, f.local_offset,
-                 std::span{req.payload}.subspan(cursor, f.length));
+    pieces.push_back({f.local_offset,
+                      std::span{req.payload}.subspan(cursor, f.length)});
     cursor += f.length;
   }
+  // Torn-write injection: the daemon "crashes" partway through applying
+  // this intent and refuses calls until its scheduled restart, when
+  // Serve's recovery pass replays or rolls the intent back.
+  if (fault_ != nullptr) {
+    fault::TornWriteFault torn = fault_->OnStoredWrite(id_);
+    if (torn.torn) {
+      ++stats_.torn_writes;
+      store_.WriteVTorn(req.handle, pieces,
+                        my_bytes * torn.keep_permille / 1000,
+                        torn.torn_journal);
+      return Unavailable("iod " + std::to_string(id_) +
+                         " crashed mid-write (injected torn write)");
+    }
+  }
+  // One journaled intent covers every fragment of this request.
+  store_.WriteV(req.handle, pieces);
   resp.bytes = my_bytes;
   stats_.bytes_written += my_bytes;
   return resp;
@@ -102,6 +151,7 @@ std::vector<std::byte> IoDaemon::HandleMessage(
     case MsgType::kRemoveData: {
       auto req = RemoveDataRequest::Decode(r);
       if (!req.ok()) return EncodeResponse(req.status(), {});
+      RecoverStore();  // pending intents for the handle die with it
       store_.Remove(req->handle);
       return EncodeResponse(Status::Ok(), {});
     }
@@ -109,6 +159,16 @@ std::vector<std::byte> IoDaemon::HandleMessage(
       return EncodeResponse(
           InvalidArgument("message type not handled by iod"), {});
   }
+}
+
+std::vector<std::byte> IoDaemon::HandleSealedMessage(
+    std::span<const std::byte> raw) {
+  auto payload = OpenFrame(raw);
+  if (!payload.ok()) {
+    ++stats_.corruptions_detected;
+    return SealFrame(EncodeResponse(payload.status(), {}));
+  }
+  return SealFrame(HandleMessage(*payload));
 }
 
 }  // namespace pvfs

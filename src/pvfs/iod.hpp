@@ -33,8 +33,24 @@ class IoDaemon {
 
   std::vector<std::byte> HandleMessage(std::span<const std::byte> raw);
 
+  /// Transport entry point: verifies the request frame's CRC32C trailer,
+  /// dispatches, and seals the response. A corrupt request is rejected
+  /// with a (sealed) kCorruption envelope — typed, never a crash. All
+  /// transports call this; HandleMessage remains for direct unit tests.
+  std::vector<std::byte> HandleSealedMessage(std::span<const std::byte> raw);
+
   /// Direct-call service path (also used by HandleMessage).
   Result<IoResponse> Serve(const IoRequest& req);
+
+  /// Replay-or-rollback any write intents left pending by a crash. Runs
+  /// automatically at the start of every served request (the first call
+  /// after a restart recovers the store before touching data); exposed
+  /// for eager recovery on explicit daemon restarts.
+  void RecoverStore();
+
+  /// On-demand integrity scrub of the whole store; results accumulate in
+  /// stats() and the store's integrity counters.
+  LocalStore::ScrubStats Scrub();
 
   ServerId id() const { return id_; }
   LocalStore& store() { return store_; }
@@ -56,6 +72,13 @@ class IoDaemon {
     std::uint64_t bytes_read = 0;
     std::uint64_t bytes_written = 0;
     std::uint64_t injected_errors = 0;  // requests failed by fault injection
+    std::uint64_t corruptions_detected = 0;  // corrupt frames + store CRCs
+    std::uint64_t journal_replays = 0;       // intents redone on recovery
+    std::uint64_t journal_rollbacks = 0;     // torn intents discarded
+    std::uint64_t torn_writes = 0;           // injected mid-write crashes
+    std::uint64_t scrub_chunks_scanned = 0;
+    std::uint64_t scrub_corruptions = 0;
+    std::uint64_t scrub_repairs = 0;
   };
   const Stats& stats() const { return stats_; }
 

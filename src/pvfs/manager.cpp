@@ -111,6 +111,16 @@ std::size_t Manager::LockCount(FileHandle handle) const {
   return it == locks_.end() ? 0 : it->second.size();
 }
 
+std::vector<std::byte> Manager::HandleSealedMessage(
+    std::span<const std::byte> raw) {
+  auto payload = OpenFrame(raw);
+  if (!payload.ok()) {
+    ++stats_.corruptions_detected;
+    return SealFrame(EncodeResponse(payload.status(), {}));
+  }
+  return SealFrame(HandleMessage(*payload));
+}
+
 std::vector<std::byte> Manager::HandleMessage(std::span<const std::byte> raw) {
   ++stats_.requests;
   auto type = PeekType(raw);

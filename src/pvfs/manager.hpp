@@ -29,6 +29,11 @@ class Manager {
   /// response envelope (errors travel inside the envelope).
   std::vector<std::byte> HandleMessage(std::span<const std::byte> raw);
 
+  /// Transport entry point: verifies the request frame's CRC32C trailer,
+  /// dispatches, and seals the response. A corrupt request is rejected
+  /// with a (sealed) kCorruption envelope.
+  std::vector<std::byte> HandleSealedMessage(std::span<const std::byte> raw);
+
   // Direct-call API (used by tests and by HandleMessage).
   Result<Metadata> Create(const std::string& name, Striping striping);
   Result<Metadata> Lookup(const std::string& name) const;
@@ -57,6 +62,7 @@ class Manager {
     std::uint64_t requests = 0;
     std::uint64_t creates = 0;
     std::uint64_t lookups = 0;
+    std::uint64_t corruptions_detected = 0;  // corrupt frames rejected
   };
   const Stats& stats() const { return stats_; }
 

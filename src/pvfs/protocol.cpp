@@ -144,6 +144,11 @@ Result<NamesResponse> NamesResponse::Decode(std::span<const std::byte> raw) {
   WireReader r(raw);
   PVFS_ASSIGN_OR_RETURN(std::uint32_t count, r.U32());
   NamesResponse resp;
+  // Each name costs at least its 4-byte length prefix; bound the count by
+  // the bytes present before reserving (hostile-frame allocation guard).
+  if (static_cast<std::uint64_t>(count) * 4 > r.remaining()) {
+    return ProtocolError("name count exceeds remaining bytes");
+  }
   resp.names.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     PVFS_ASSIGN_OR_RETURN(std::string name, r.String());
@@ -223,6 +228,11 @@ Result<IoRequest> IoRequest::Decode(WireReader& r) {
   if (op_raw > 1) return ProtocolError("bad IoOp");
   req.op = static_cast<IoOp>(op_raw);
   PVFS_ASSIGN_OR_RETURN(std::uint32_t count, r.U32());
+  // 16 wire bytes per region; bound the count by the bytes present before
+  // reserving so a corrupt count cannot trigger a huge allocation.
+  if (static_cast<std::uint64_t>(count) * 16 > r.remaining()) {
+    return ProtocolError("region count exceeds remaining bytes");
+  }
   req.regions.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     Extent e;

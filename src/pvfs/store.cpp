@@ -3,59 +3,305 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/wire.hpp"
+
 namespace pvfs {
 
-void LocalStore::Read(FileHandle handle, FileOffset offset,
-                      std::span<std::byte> out) {
-  auto fit = files_.find(handle);
-  if (fit == files_.end()) {
-    std::memset(out.data(), 0, out.size());
-    return;
+// ---- Journal records -------------------------------------------------------
+
+std::uint32_t LocalStore::RecordCrc(const JournalRecord& rec) {
+  WireWriter w;
+  w.U64(rec.seq);
+  w.U64(rec.handle);
+  w.U32(static_cast<std::uint32_t>(rec.pieces.size()));
+  for (const auto& [offset, length] : rec.pieces) {
+    w.U64(offset);
+    w.U64(length);
   }
-  const SparseFile& file = fit->second;
-  size_t done = 0;
-  while (done < out.size()) {
-    FileOffset pos = offset + done;
-    std::uint64_t chunk = pos / kChunkBytes;
-    ByteCount within = pos % kChunkBytes;
-    size_t take = static_cast<size_t>(
-        std::min<ByteCount>(kChunkBytes - within, out.size() - done));
-    auto cit = file.chunks.find(chunk);
-    if (cit == file.chunks.end()) {
-      std::memset(out.data() + done, 0, take);
-    } else {
-      std::memcpy(out.data() + done, cit->second.data() + within, take);
-    }
-    done += take;
-  }
+  std::uint32_t crc = Crc32c(w.data());
+  return Crc32c(rec.data, crc);
 }
 
-void LocalStore::Write(FileHandle handle, FileOffset offset,
-                       std::span<const std::byte> data) {
+bool LocalStore::RecordIntact(const JournalRecord& rec) {
+  ByteCount total = 0;
+  for (const auto& [offset, length] : rec.pieces) total += length;
+  if (total != rec.data.size()) return false;  // torn append
+  return RecordCrc(rec) == rec.crc;
+}
+
+LocalStore::JournalRecord LocalStore::MakeRecord(
+    FileHandle handle, std::span<const WritePiece> pieces) {
+  JournalRecord rec;
+  rec.seq = next_seq_++;
+  rec.handle = handle;
+  rec.pieces.reserve(pieces.size());
+  ByteCount total = 0;
+  for (const WritePiece& p : pieces) total += p.data.size();
+  rec.data.reserve(total);
+  for (const WritePiece& p : pieces) {
+    rec.pieces.emplace_back(p.offset, p.data.size());
+    rec.data.insert(rec.data.end(), p.data.begin(), p.data.end());
+  }
+  rec.crc = RecordCrc(rec);
+  return rec;
+}
+
+// ---- Chunk-level plumbing --------------------------------------------------
+
+void LocalStore::ApplyBytes(FileHandle handle, FileOffset offset,
+                            std::span<const std::byte> data,
+                            std::uint64_t seq) {
+  if (data.empty()) return;
   SparseFile& file = files_[handle];
   size_t done = 0;
   while (done < data.size()) {
     FileOffset pos = offset + done;
-    std::uint64_t chunk = pos / kChunkBytes;
+    std::uint64_t index = pos / kChunkBytes;
     ByteCount within = pos % kChunkBytes;
     size_t take = static_cast<size_t>(
         std::min<ByteCount>(kChunkBytes - within, data.size() - done));
-    auto [cit, inserted] = file.chunks.try_emplace(chunk);
+    auto [cit, inserted] = file.chunks.try_emplace(index);
+    Chunk& chunk = cit->second;
     if (inserted) {
-      cit->second.assign(kChunkBytes, std::byte{0});
+      chunk.data.assign(kChunkBytes, std::byte{0});
+      chunk.first_write_seq = seq;
       allocated_ += kChunkBytes;
     }
-    std::memcpy(cit->second.data() + within, data.data() + done, take);
+    std::memcpy(chunk.data.data() + within, data.data() + done, take);
+    chunk.crc = Crc32c(chunk.data);
     done += take;
   }
   file.size = std::max<ByteCount>(file.size, offset + data.size());
 }
 
+void LocalStore::ApplyRecord(const JournalRecord& rec) {
+  ByteCount cursor = 0;
+  for (const auto& [offset, length] : rec.pieces) {
+    ApplyBytes(rec.handle, offset,
+               std::span{rec.data}.subspan(cursor, length), rec.seq);
+    cursor += length;
+  }
+}
+
+void LocalStore::TrimJournal() {
+  while (journal_data_bytes_ > kJournalRetainBytes && journal_.size() > 1 &&
+         journal_.front().committed) {
+    journal_data_bytes_ -= journal_.front().data.size();
+    retained_min_seq_ = journal_.front().seq + 1;
+    journal_.pop_front();
+  }
+}
+
+// ---- Public write paths ----------------------------------------------------
+
+void LocalStore::Write(FileHandle handle, FileOffset offset,
+                       std::span<const std::byte> data) {
+  WritePiece piece{offset, data};
+  WriteV(handle, std::span{&piece, 1});
+}
+
+void LocalStore::WriteV(FileHandle handle,
+                        std::span<const WritePiece> pieces) {
+  JournalRecord& rec = journal_.emplace_back(MakeRecord(handle, pieces));
+  journal_data_bytes_ += rec.data.size();
+  ApplyRecord(rec);
+  rec.committed = true;  // commit mark written only after the data landed
+  TrimJournal();
+}
+
+void LocalStore::WriteVTorn(FileHandle handle,
+                            std::span<const WritePiece> pieces,
+                            ByteCount keep_bytes, bool torn_journal) {
+  JournalRecord rec = MakeRecord(handle, pieces);
+  if (rec.data.empty()) return;  // nothing to tear
+  if (torn_journal) {
+    // The crash hit the journal append itself: keep a truncated record
+    // whose CRC cannot verify. No chunk was touched.
+    rec.data.resize(rec.data.size() - rec.data.size() / 2 - 1);
+    journal_data_bytes_ += rec.data.size();
+    journal_.push_back(std::move(rec));
+    return;
+  }
+  // The record is durable, but the crash interrupted the chunk writes:
+  // only the first keep_bytes of the intent reached storage, and the
+  // commit mark was never set.
+  journal_data_bytes_ += rec.data.size();
+  ByteCount applied = 0;
+  ByteCount cursor = 0;
+  for (const auto& [offset, length] : rec.pieces) {
+    if (applied >= keep_bytes) break;
+    ByteCount take = std::min<ByteCount>(length, keep_bytes - applied);
+    ApplyBytes(handle, offset, std::span{rec.data}.subspan(cursor, take),
+               rec.seq);
+    applied += take;
+    cursor += length;
+  }
+  journal_.push_back(std::move(rec));
+}
+
+// ---- Recovery and scrub ----------------------------------------------------
+
+bool LocalStore::NeedsRecovery() const {
+  for (const JournalRecord& rec : journal_) {
+    if (!rec.committed) return true;
+  }
+  return false;
+}
+
+LocalStore::RecoveryStats LocalStore::Recover() {
+  RecoveryStats stats;
+  for (JournalRecord& rec : journal_) {
+    if (rec.committed) continue;
+    if (RecordIntact(rec)) {
+      // The intent survived the crash in full: redo it. Re-applying bytes
+      // that already landed is idempotent.
+      ApplyRecord(rec);
+      rec.committed = true;
+      ++stats.replayed;
+    }
+  }
+  // Torn records never touched a chunk, so dropping them rolls the file
+  // back to its consistent pre-write state.
+  std::erase_if(journal_, [&](const JournalRecord& rec) {
+    if (rec.committed) return false;
+    journal_data_bytes_ -= rec.data.size();
+    ++stats.rolled_back;
+    return true;
+  });
+  integrity_.journal_replays += stats.replayed;
+  integrity_.journal_rollbacks += stats.rolled_back;
+  TrimJournal();
+  return stats;
+}
+
+bool LocalStore::RepairChunk(FileHandle handle, std::uint64_t chunk_index) {
+  auto fit = files_.find(handle);
+  if (fit == files_.end()) return false;
+  auto cit = fit->second.chunks.find(chunk_index);
+  if (cit == fit->second.chunks.end()) return false;
+  Chunk& chunk = cit->second;
+  // Reconstructible only if every write since the chunk was allocated is
+  // still in the retained journal window.
+  if (chunk.first_write_seq < retained_min_seq_) return false;
+
+  const FileOffset chunk_begin = chunk_index * kChunkBytes;
+  const FileOffset chunk_end = chunk_begin + kChunkBytes;
+  std::fill(chunk.data.begin(), chunk.data.end(), std::byte{0});
+  for (const JournalRecord& rec : journal_) {
+    if (rec.handle != handle || !rec.committed) continue;
+    ByteCount cursor = 0;
+    for (const auto& [offset, length] : rec.pieces) {
+      FileOffset begin = std::max<FileOffset>(offset, chunk_begin);
+      FileOffset end = std::min<FileOffset>(offset + length, chunk_end);
+      if (begin < end) {
+        std::memcpy(chunk.data.data() + (begin - chunk_begin),
+                    rec.data.data() + cursor + (begin - offset),
+                    static_cast<size_t>(end - begin));
+      }
+      cursor += length;
+    }
+  }
+  chunk.crc = Crc32c(chunk.data);
+  return true;
+}
+
+LocalStore::ScrubStats LocalStore::Scrub() {
+  ScrubStats stats;
+  for (auto& [handle, file] : files_) {
+    for (auto& [index, chunk] : file.chunks) {
+      ++stats.chunks_scanned;
+      if (Crc32c(chunk.data) == chunk.crc) continue;
+      ++stats.corrupt_chunks;
+      if (RepairChunk(handle, index)) ++stats.repaired_chunks;
+    }
+  }
+  integrity_.scrub_chunks_scanned += stats.chunks_scanned;
+  integrity_.scrub_corruptions += stats.corrupt_chunks;
+  integrity_.scrub_repairs += stats.repaired_chunks;
+  return stats;
+}
+
+bool LocalStore::CorruptStoredBit(std::uint64_t selector) {
+  // Deterministic victim selection: walk files in sorted handle order so
+  // equal selectors over equal store states rot the same bit regardless of
+  // unordered_map iteration order.
+  std::vector<FileHandle> handles;
+  handles.reserve(files_.size());
+  std::uint64_t chunk_total = 0;
+  for (const auto& [handle, file] : files_) {
+    if (!file.chunks.empty()) handles.push_back(handle);
+    chunk_total += file.chunks.size();
+  }
+  if (chunk_total == 0) return false;
+  std::sort(handles.begin(), handles.end());
+
+  std::uint64_t target = selector % chunk_total;
+  for (FileHandle handle : handles) {
+    SparseFile& file = files_[handle];
+    if (target >= file.chunks.size()) {
+      target -= file.chunks.size();
+      continue;
+    }
+    auto cit = file.chunks.begin();
+    std::advance(cit, static_cast<std::ptrdiff_t>(target));
+    Chunk& chunk = cit->second;
+    std::uint64_t bit = (selector / chunk_total) % (kChunkBytes * 8);
+    chunk.data[bit / 8] ^= std::byte{static_cast<std::uint8_t>(1u << (bit % 8))};
+    return true;  // checksum left stale on purpose: that is the corruption
+  }
+  return false;
+}
+
+// ---- Reads and bookkeeping -------------------------------------------------
+
+Status LocalStore::Read(FileHandle handle, FileOffset offset,
+                        std::span<std::byte> out) {
+  auto fit = files_.find(handle);
+  if (fit == files_.end()) {
+    std::memset(out.data(), 0, out.size());
+    return Status::Ok();
+  }
+  SparseFile& file = fit->second;
+  size_t done = 0;
+  while (done < out.size()) {
+    FileOffset pos = offset + done;
+    std::uint64_t index = pos / kChunkBytes;
+    ByteCount within = pos % kChunkBytes;
+    size_t take = static_cast<size_t>(
+        std::min<ByteCount>(kChunkBytes - within, out.size() - done));
+    auto cit = file.chunks.find(index);
+    if (cit == file.chunks.end()) {
+      std::memset(out.data() + done, 0, take);
+    } else {
+      Chunk& chunk = cit->second;
+      if (Crc32c(chunk.data) != chunk.crc) {
+        ++integrity_.read_corruptions;
+        if (!RepairChunk(handle, index)) {
+          return CorruptionError(
+              "stored chunk failed checksum (handle " +
+              std::to_string(handle) + ", chunk " + std::to_string(index) +
+              ") and its write history is no longer retained");
+        }
+        ++integrity_.read_repairs;
+      }
+      std::memcpy(out.data() + done, chunk.data.data() + within, take);
+    }
+    done += take;
+  }
+  return Status::Ok();
+}
+
 void LocalStore::Remove(FileHandle handle) {
   auto it = files_.find(handle);
-  if (it == files_.end()) return;
-  allocated_ -= it->second.chunks.size() * kChunkBytes;
-  files_.erase(it);
+  if (it != files_.end()) {
+    allocated_ -= it->second.chunks.size() * kChunkBytes;
+    files_.erase(it);
+  }
+  std::erase_if(journal_, [&](const JournalRecord& rec) {
+    if (rec.handle != handle) return false;
+    journal_data_bytes_ -= rec.data.size();
+    return true;
+  });
 }
 
 ByteCount LocalStore::SizeOf(FileHandle handle) const {

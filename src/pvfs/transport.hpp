@@ -62,13 +62,13 @@ class InProcTransport final : public Transport {
       const Endpoint& dest, std::span<const std::byte> request) override {
     if (dest.is_manager) {
       std::lock_guard lock(locks_[0]);
-      return manager_->HandleMessage(request);
+      return manager_->HandleSealedMessage(request);
     }
     if (dest.server >= iods_.size()) {
       return NotFound("no such I/O server");
     }
     std::lock_guard lock(locks_[dest.server + 1]);
-    return iods_[dest.server]->HandleMessage(request);
+    return iods_[dest.server]->HandleSealedMessage(request);
   }
 
   std::uint32_t server_count() const override {

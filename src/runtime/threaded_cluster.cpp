@@ -48,13 +48,13 @@ ThreadedCluster::ThreadedCluster(std::uint32_t server_count,
   }
   manager_loop_ = std::make_unique<EventLoop>(
       [this](std::span<const std::byte> req) {
-        return manager_.HandleMessage(req);
+        return manager_.HandleSealedMessage(req);
       });
   for (ServerId s = 0; s < server_count; ++s) {
     IoDaemon* iod = iods_[s].get();
     iod_loops_.push_back(std::make_unique<EventLoop>(
         [iod](std::span<const std::byte> req) {
-          return iod->HandleMessage(req);
+          return iod->HandleSealedMessage(req);
         }));
   }
   transport_ = std::make_unique<QueueTransport>(this);

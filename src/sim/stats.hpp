@@ -61,11 +61,16 @@ struct FaultCounters {
   std::uint64_t restarts = 0;           // iod restart events
   std::uint64_t refused_calls = 0;      // calls rejected while an iod is down
   std::uint64_t retransmits = 0;        // simulated retransmissions charged
+  std::uint64_t frames_corrupted = 0;   // frames bit-flipped in flight
+  std::uint64_t frames_truncated = 0;   // frames cut short in flight
+  std::uint64_t chunks_rotted = 0;      // stored-chunk bits rotted at rest
+  std::uint64_t torn_writes = 0;        // iod crashes mid multi-chunk write
 
   std::uint64_t total() const {
     return frames_dropped + frames_duplicated + frames_delayed +
            disk_read_errors + disk_write_errors + crashes + restarts +
-           refused_calls + retransmits;
+           refused_calls + retransmits + frames_corrupted +
+           frames_truncated + chunks_rotted + torn_writes;
   }
 
   friend bool operator==(const FaultCounters&, const FaultCounters&) =

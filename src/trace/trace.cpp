@@ -239,6 +239,7 @@ Result<ReplayResult> Replay(Transport& transport, const Trace& trace,
     result.bytes_read += client.stats().bytes_read;
     result.bytes_written += client.stats().bytes_written;
     result.retries += client.retry_counters().retries;
+    result.corruptions_detected += client.retry_counters().corruptions;
   });
 
   if (!first_error.ok()) return first_error;

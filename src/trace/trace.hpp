@@ -75,6 +75,7 @@ struct ReplayResult {
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
   std::uint64_t retries = 0;          // exchanges resent under faults
+  std::uint64_t corruptions_detected = 0;  // checksum failures clients saw
   sim::FaultCounters faults;          // injected-fault tally (zero if none)
 };
 

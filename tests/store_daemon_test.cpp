@@ -17,14 +17,14 @@ TEST(LocalStore, ReadBackWritten) {
   FillPattern(data, 1, 0);
   store.Write(5, 123, data);
   ByteBuffer out(1000);
-  store.Read(5, 123, out);
+  EXPECT_TRUE(store.Read(5, 123, out).ok());
   EXPECT_EQ(out, data);
 }
 
 TEST(LocalStore, UnwrittenReadsZero) {
   LocalStore store;
   ByteBuffer out(64, std::byte{0xFF});
-  store.Read(99, 1 << 20, out);
+  EXPECT_TRUE(store.Read(99, 1 << 20, out).ok());
   for (std::byte b : out) EXPECT_EQ(b, std::byte{0});
 }
 
@@ -34,7 +34,7 @@ TEST(LocalStore, HolesReadZeroBetweenWrites) {
   store.Write(1, 0, a);
   store.Write(1, 1000000, a);  // different chunk
   ByteBuffer out(20);
-  store.Read(1, 500000, out);
+  EXPECT_TRUE(store.Read(1, 500000, out).ok());
   for (std::byte b : out) EXPECT_EQ(b, std::byte{0});
 }
 
@@ -45,7 +45,7 @@ TEST(LocalStore, WriteSpanningChunks) {
   FileOffset at = LocalStore::kChunkBytes / 2;
   store.Write(7, at, data);
   ByteBuffer out(data.size());
-  store.Read(7, at, out);
+  EXPECT_TRUE(store.Read(7, at, out).ok());
   EXPECT_EQ(out, data);
 }
 
@@ -77,11 +77,110 @@ TEST(LocalStore, OverwriteUpdatesInPlace) {
   store.Write(1, 0, first);
   store.Write(1, 25, second);
   ByteBuffer out(100);
-  store.Read(1, 0, out);
+  EXPECT_TRUE(store.Read(1, 0, out).ok());
   EXPECT_EQ(out[24], std::byte{1});
   EXPECT_EQ(out[25], std::byte{2});
   EXPECT_EQ(out[74], std::byte{2});
   EXPECT_EQ(out[75], std::byte{1});
+}
+
+// ---- LocalStore integrity: checksums, journal, recovery, scrub --------------
+
+TEST(LocalStoreIntegrity, RotIsDetectedAsCorruption) {
+  LocalStore store;
+  ByteBuffer data(1000);
+  FillPattern(data, 3, 0);
+  store.Write(1, 0, data);
+  // Age the write out of the journal so it cannot be auto-repaired.
+  ByteBuffer filler(LocalStore::kChunkBytes);
+  for (int i = 0; i < 20; ++i) store.Write(2, 0, filler);
+
+  ASSERT_TRUE(store.CorruptStoredBit(0));
+  // Selector 0 rots the first chunk of the lowest handle: our data.
+  ByteBuffer out(1000);
+  Status read = store.Read(1, 0, out);
+  EXPECT_EQ(read.code(), ErrorCode::kCorruption);
+  EXPECT_GE(store.integrity().read_corruptions, 1u);
+}
+
+TEST(LocalStoreIntegrity, RotWithinJournalWindowIsRepairedOnRead) {
+  LocalStore store;
+  ByteBuffer data(1000);
+  FillPattern(data, 4, 0);
+  store.Write(1, 0, data);
+  ASSERT_TRUE(store.CorruptStoredBit(0));
+  ByteBuffer out(1000);
+  ASSERT_TRUE(store.Read(1, 0, out).ok());  // healed from the journal
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(store.integrity().read_repairs, 1u);
+}
+
+TEST(LocalStoreIntegrity, ScrubDetectsAndRepairs) {
+  LocalStore store;
+  ByteBuffer data(100);
+  FillPattern(data, 5, 0);
+  store.Write(1, 0, data);
+  auto clean = store.Scrub();
+  EXPECT_EQ(clean.chunks_scanned, 1u);
+  EXPECT_EQ(clean.corrupt_chunks, 0u);
+
+  ASSERT_TRUE(store.CorruptStoredBit(7));
+  auto dirty = store.Scrub();
+  EXPECT_EQ(dirty.corrupt_chunks, 1u);
+  EXPECT_EQ(dirty.repaired_chunks, 1u);
+  ByteBuffer out(100);
+  ASSERT_TRUE(store.Read(1, 0, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(LocalStoreIntegrity, TornDataWriteReplaysOnRecovery) {
+  LocalStore store;
+  ByteBuffer a(300), b(300);
+  FillPattern(a, 6, 0);
+  FillPattern(b, 7, 0);
+  LocalStore::WritePiece pieces[] = {{0, a}, {1000, b}};
+  // Crash after only 100 of 600 bytes reached the chunks.
+  store.WriteVTorn(1, pieces, 100, /*torn_journal=*/false);
+  ASSERT_TRUE(store.NeedsRecovery());
+
+  auto rec = store.Recover();
+  EXPECT_EQ(rec.replayed, 1u);
+  EXPECT_EQ(rec.rolled_back, 0u);
+  ByteBuffer out_a(300), out_b(300);
+  ASSERT_TRUE(store.Read(1, 0, out_a).ok());
+  ASSERT_TRUE(store.Read(1, 1000, out_b).ok());
+  EXPECT_EQ(out_a, a);  // the whole intent landed
+  EXPECT_EQ(out_b, b);
+  EXPECT_FALSE(store.NeedsRecovery());
+}
+
+TEST(LocalStoreIntegrity, TornJournalWriteRollsBack) {
+  LocalStore store;
+  ByteBuffer before(200, std::byte{0xAB});
+  store.Write(1, 0, before);
+  ByteBuffer update(200, std::byte{0xCD});
+  LocalStore::WritePiece pieces[] = {{0, update}};
+  // Crash during the journal append itself: no chunk touched.
+  store.WriteVTorn(1, pieces, 0, /*torn_journal=*/true);
+  ASSERT_TRUE(store.NeedsRecovery());
+
+  auto rec = store.Recover();
+  EXPECT_EQ(rec.replayed, 0u);
+  EXPECT_EQ(rec.rolled_back, 1u);
+  ByteBuffer out(200);
+  ASSERT_TRUE(store.Read(1, 0, out).ok());
+  EXPECT_EQ(out, before);  // consistent pre-write state
+}
+
+TEST(LocalStoreIntegrity, MultiPieceWriteVIsOneIntent) {
+  LocalStore store;
+  ByteBuffer a(100, std::byte{1}), b(100, std::byte{2});
+  LocalStore::WritePiece pieces[] = {{0, a}, {LocalStore::kChunkBytes, b}};
+  store.WriteV(1, pieces);
+  ByteBuffer out(100);
+  ASSERT_TRUE(store.Read(1, LocalStore::kChunkBytes, out).ok());
+  EXPECT_EQ(out, b);
+  EXPECT_FALSE(store.NeedsRecovery());
 }
 
 // ---- Manager ----------------------------------------------------------------
