@@ -16,12 +16,15 @@ int main(int argc, char** argv) {
               "cyclic write (tight interleave) and FLASH checkpoint write",
               flags);
 
+  BenchJson json(flags, "ablation_collective",
+                 "Two-phase collective I/O vs list and sieving");
+
   std::printf("-- cyclic write, 8 clients --\n");
   std::printf("%12s %12s %12s %14s %16s\n", "accesses", "list s", "2-phase s",
               "2ph file reqs", "exchange MB");
-  const std::vector<std::uint64_t> sweeps =
-      flags.full ? std::vector<std::uint64_t>{100000, 400000, 1000000}
-                 : std::vector<std::uint64_t>{10000, 40000, 100000};
+  const std::vector<std::uint64_t> sweeps = SmokeSweep(
+      flags, flags.full ? std::vector<std::uint64_t>{100000, 400000, 1000000}
+                        : std::vector<std::uint64_t>{10000, 40000, 100000});
   for (std::uint64_t accesses : sweeps) {
     workloads::CyclicConfig config{flags.full ? kGiB : 128 * kMiB, 8,
                                    accesses};
@@ -33,6 +36,8 @@ int main(int argc, char** argv) {
                         IoOp::kWrite, workload);
     auto collective =
         RunSimCollective(ChibaCityConfig(8), IoOp::kWrite, workload);
+    json.Cell(8, accesses, "list", "write", list);
+    json.Cell(8, accesses, "two-phase", "write", collective);
     std::printf("%12llu %12.3f %12.3f %14llu %16.1f\n",
                 static_cast<unsigned long long>(accesses), list.io_seconds,
                 collective.io_seconds,
@@ -45,9 +50,9 @@ int main(int argc, char** argv) {
   std::printf("\n-- FLASH checkpoint write --\n");
   std::printf("%12s %12s %12s %12s\n", "clients", "list s", "sieving s",
               "2-phase s");
-  const std::vector<std::uint32_t> client_counts =
-      flags.full ? std::vector<std::uint32_t>{2, 4, 8, 16, 32}
-                 : std::vector<std::uint32_t>{2, 4, 8};
+  const std::vector<std::uint32_t> client_counts = SmokeSweep(
+      flags, flags.full ? std::vector<std::uint32_t>{2, 4, 8, 16, 32}
+                        : std::vector<std::uint32_t>{2, 4, 8});
   for (std::uint32_t clients : client_counts) {
     workloads::FlashConfig config;
     config.nprocs = clients;
@@ -66,6 +71,9 @@ int main(int argc, char** argv) {
                            workload);
     auto collective =
         RunSimCollective(ChibaCityConfig(clients), IoOp::kWrite, workload);
+    json.Cell(clients, 0, "flash-list", "write", list);
+    json.Cell(clients, 0, "flash-sieving", "write", sieving);
+    json.Cell(clients, 0, "flash-two-phase", "write", collective);
     std::printf("%12u %12.1f %12.1f %12.1f\n", clients, list.io_seconds,
                 sieving.io_seconds, collective.io_seconds);
   }

@@ -21,9 +21,12 @@ int main(int argc, char** argv) {
               flags);
 
   const ByteCount aggregate = flags.full ? kGiB : 128 * kMiB;
-  const std::vector<std::uint64_t> sweeps =
-      flags.full ? std::vector<std::uint64_t>{50000, 200000, 1000000}
-                 : std::vector<std::uint64_t>{5000, 20000, 80000};
+  const std::vector<std::uint64_t> sweeps = SmokeSweep(
+      flags, flags.full ? std::vector<std::uint64_t>{50000, 200000, 1000000}
+                        : std::vector<std::uint64_t>{5000, 20000, 80000});
+
+  BenchJson json(flags, "ablation_datatype",
+                 "List I/O vs one datatype-described request per operation");
 
   std::printf("%12s %12s %12s %14s %14s\n", "accesses", "list s",
               "datatype s", "list reqs", "dtype descr B");
@@ -49,6 +52,8 @@ int main(int argc, char** argv) {
     dtype_cluster.request_description_bytes = vec.DescriptionWireBytes();
     auto dtype = RunCell(dtype_cluster, io::MethodType::kList, IoOp::kRead,
                          workload);
+    json.Cell(8, accesses, "list", "read", list);
+    json.Cell(8, accesses, "datatype", "read", dtype);
 
     std::printf("%12llu %12.3f %12.3f %14llu %14llu\n",
                 static_cast<unsigned long long>(accesses), list.io_seconds,

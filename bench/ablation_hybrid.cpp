@@ -39,6 +39,8 @@ int main(int argc, char** argv) {
               flags);
 
   SimClusterConfig cluster = ChibaCityConfig(4);
+  BenchJson json(flags, "ablation_hybrid",
+                 "Hybrid list+sieving gap-threshold and buffer sweeps");
 
   std::printf("-- clustered reads (800 clusters x 8 x 64 B, 16 B gaps) --\n");
   std::printf("%16s %12s %12s\n", "gap threshold", "seconds", "requests");
@@ -50,6 +52,7 @@ int main(int argc, char** argv) {
   auto list_run = RunCell(cluster, io::MethodType::kList, IoOp::kRead, wl);
   std::printf("%16s %12.3f %12llu\n", "plain list", list_run.io_seconds,
               static_cast<unsigned long long>(list_run.counters.fs_requests));
+  json.Cell(4, 0, "list", "read", list_run);
   for (ByteCount gap : {0ull, 16ull, 256ull, 4096ull, 1ull << 20}) {
     SimRunOptions options;
     options.hybrid_gap_threshold = gap;
@@ -58,6 +61,7 @@ int main(int argc, char** argv) {
     std::printf("%16llu %12.3f %12llu\n",
                 static_cast<unsigned long long>(gap), run.io_seconds,
                 static_cast<unsigned long long>(run.counters.fs_requests));
+    json.Cell(4, gap, "hybrid-clustered", "read", run);
   }
 
   std::printf("\n-- uniform cyclic reads (4 clients, 20k accesses) --\n");
@@ -70,6 +74,7 @@ int main(int argc, char** argv) {
   auto ulist = RunCell(cluster, io::MethodType::kList, IoOp::kRead, uniform);
   std::printf("%16s %12.3f %12llu\n", "plain list", ulist.io_seconds,
               static_cast<unsigned long long>(ulist.counters.fs_requests));
+  json.Cell(4, 20000, "list", "read", ulist);
   for (ByteCount gap : {0ull, 4096ull, 65536ull}) {
     SimRunOptions options;
     options.hybrid_gap_threshold = gap;
@@ -78,6 +83,7 @@ int main(int argc, char** argv) {
     std::printf("%16llu %12.3f %12llu\n",
                 static_cast<unsigned long long>(gap), run.io_seconds,
                 static_cast<unsigned long long>(run.counters.fs_requests));
+    json.Cell(4, gap, "hybrid-uniform", "read", run);
   }
 
   std::printf("\n-- sieve-buffer sweep (cyclic read, 4 clients) --\n");
@@ -91,6 +97,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(buffer / kMiB),
                 run.io_seconds,
                 static_cast<unsigned long long>(run.counters.fs_requests));
+    json.Cell(4, buffer, "sieving-buffer", "read", run);
   }
   return 0;
 }

@@ -23,15 +23,23 @@ int main(int argc, char** argv) {
     return std::make_unique<CyclicStream>(config, r);
   };
 
+  BenchJson json(flags, "ablation_listlimit",
+                 "List-I/O trailing-data region-limit sweep");
+
   std::printf("%8s %12s %12s %14s %12s\n", "limit", "read s", "write s",
               "wire bytes", "frames");
-  for (std::uint32_t limit : {8u, 16u, 32u, 64u, 128u, 256u, 1024u}) {
+  const std::vector<std::uint32_t> limits = SmokeSweep(
+      flags,
+      std::vector<std::uint32_t>{8u, 16u, 32u, 64u, 128u, 256u, 1024u});
+  for (std::uint32_t limit : limits) {
     SimClusterConfig cluster = ChibaCityConfig(8);
     cluster.max_list_regions = limit;
     auto read = RunCell(cluster, io::MethodType::kList, IoOp::kRead,
                         workload);
     auto write = RunCell(cluster, io::MethodType::kList, IoOp::kWrite,
                          workload);
+    json.Cell(8, limit, "list", "read", read);
+    json.Cell(8, limit, "list", "write", write);
     ByteCount wire = IoRequest::WireBytes(limit);
     models::EthernetModel net;
     std::printf("%8u %12.3f %12.3f %14llu %12llu%s\n", limit,

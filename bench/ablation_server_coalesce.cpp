@@ -17,11 +17,15 @@ int main(int argc, char** argv) {
               flags);
 
   const ByteCount aggregate = flags.full ? kGiB : 256 * kMiB;
-  const std::vector<std::uint64_t> sweeps =
+  const std::vector<std::uint64_t> sweeps = SmokeSweep(
+      flags,
       flags.full
           ? std::vector<std::uint64_t>{125000, 250000, 500000, 800000,
                                        1000000}
-          : std::vector<std::uint64_t>{12500, 25000, 50000, 100000, 200000};
+          : std::vector<std::uint64_t>{12500, 25000, 50000, 100000, 200000});
+
+  BenchJson json(flags, "ablation_server_coalesce",
+                 "Per-entry vs coalescing I/O daemons on block-block reads");
 
   std::printf("%12s %14s %16s %16s\n", "accesses", "bytes/access",
               "per-entry iod s", "coalescing iod s");
@@ -39,6 +43,8 @@ int main(int argc, char** argv) {
     auto a = RunCell(per_entry, io::MethodType::kList, IoOp::kRead, workload);
     auto b =
         RunCell(coalescing, io::MethodType::kList, IoOp::kRead, workload);
+    json.Cell(9, accesses, "per-entry", "read", a);
+    json.Cell(9, accesses, "coalescing", "read", b);
     std::printf("%12llu %14llu %16.3f %16.3f\n",
                 static_cast<unsigned long long>(accesses),
                 static_cast<unsigned long long>(aggregate / 9 / accesses),

@@ -22,9 +22,14 @@ int main(int argc, char** argv) {
     return std::make_unique<CyclicStream>(config, r);
   };
 
+  BenchJson json(flags, "ablation_stripe",
+                 "Stripe-unit size sweep on the cyclic workload");
+
   std::printf("%10s %12s %12s %12s %14s\n", "stripe", "list rd s",
               "list wr s", "multi rd s", "msgs/list req");
-  for (ByteCount stripe : {4096ull, 16384ull, 65536ull, 262144ull}) {
+  const std::vector<ByteCount> stripes = SmokeSweep(
+      flags, std::vector<ByteCount>{4096ull, 16384ull, 65536ull, 262144ull});
+  for (ByteCount stripe : stripes) {
     SimClusterConfig cluster = ChibaCityConfig(8);
     cluster.striping.ssize = stripe;
     auto list_rd =
@@ -33,6 +38,9 @@ int main(int argc, char** argv) {
         RunCell(cluster, io::MethodType::kList, IoOp::kWrite, workload);
     auto multi_rd =
         RunCell(cluster, io::MethodType::kMultiple, IoOp::kRead, workload);
+    json.Cell(8, stripe, "list", "read", list_rd);
+    json.Cell(8, stripe, "list", "write", list_wr);
+    json.Cell(8, stripe, "multiple", "read", multi_rd);
     std::printf("%9lluK %12.3f %12.3f %12.3f %14.2f%s\n",
                 static_cast<unsigned long long>(stripe / 1024),
                 list_rd.io_seconds, list_wr.io_seconds, multi_rd.io_seconds,

@@ -13,6 +13,9 @@
 #include <vector>
 
 #include "io/method.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "simcluster/sim_run.hpp"
 #include "simcluster/workload_streams.hpp"
 
@@ -20,20 +23,34 @@ namespace pvfs::bench {
 
 struct BenchFlags {
   bool full = false;          // paper-scale sweep (slow)
+  bool smoke = false;         // single tiny cell per table (CI smoke run)
   bool verbose = false;       // per-run counters
   const char* csv = nullptr;  // mirror rows to this CSV file
+  const char* json = nullptr; // result JSON path (default BENCH_<name>.json)
 };
 
 inline BenchFlags ParseFlags(int argc, char** argv) {
   BenchFlags flags;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) flags.full = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) flags.smoke = true;
     if (std::strcmp(argv[i], "--verbose") == 0) flags.verbose = true;
     if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       flags.csv = argv[++i];
     }
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      flags.json = argv[++i];
+    }
   }
   return flags;
+}
+
+/// Truncate a sweep to its first (smallest) element under --smoke.
+template <typename T>
+inline std::vector<T> SmokeSweep(const BenchFlags& flags,
+                                 std::vector<T> sweep) {
+  if (flags.smoke && sweep.size() > 1) sweep.resize(1);
+  return sweep;
 }
 
 /// Mirrors measurement rows to a CSV file when --csv is given:
@@ -74,8 +91,113 @@ class CsvSink {
 inline void PrintBanner(const char* figure, const char* description,
                         const BenchFlags& flags) {
   std::printf("=== %s ===\n%s\nscale: %s\n\n", figure, description,
-              flags.full ? "full (paper: 1 GiB aggregate)" : "reduced");
+              flags.full    ? "full (paper: 1 GiB aggregate)"
+              : flags.smoke ? "smoke"
+                            : "reduced");
 }
+
+/// Structured result sink: every bench binary writes BENCH_<name>.json
+/// (schema "pvfs-bench-v1", validated by tools/bench_json_check) holding
+/// one cell per (clients, accesses, method, op) run — virtual elapsed
+/// time, request counters, fault counters and latency percentiles — plus
+/// an embedded metrics-registry snapshot aggregated across the cells.
+class BenchJson {
+ public:
+  BenchJson(const BenchFlags& flags, const char* name,
+            const char* description)
+      : name_(name),
+        path_(flags.json != nullptr ? flags.json
+                                    : std::string("BENCH_") + name + ".json"),
+        cells_(obs::JsonValue::Array()) {
+    root_ = obs::JsonValue::Object();
+    root_.Set("schema", obs::JsonValue("pvfs-bench-v1"));
+    root_.Set("name", obs::JsonValue(name));
+    root_.Set("description", obs::JsonValue(description));
+    root_.Set("scale", obs::JsonValue(flags.full    ? "full"
+                                      : flags.smoke ? "smoke"
+                                                    : "reduced"));
+  }
+  ~BenchJson() { Write(); }
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  /// Record one simulated run cell.
+  void Cell(std::uint32_t clients, std::uint64_t accesses,
+            std::string_view method, std::string_view op,
+            const simcluster::SimRunResult& run) {
+    obs::JsonValue cell = obs::JsonValue::Object();
+    cell.Set("clients", obs::JsonValue(clients));
+    cell.Set("accesses", obs::JsonValue(accesses));
+    cell.Set("method", obs::JsonValue(method));
+    cell.Set("op", obs::JsonValue(op));
+    cell.Set("io_seconds", obs::JsonValue(run.io_seconds));
+    cell.Set("total_seconds", obs::JsonValue(run.total_seconds));
+    cell.Set("fs_requests", obs::JsonValue(run.counters.fs_requests));
+    cell.Set("messages", obs::JsonValue(run.counters.messages));
+    cell.Set("regions_sent", obs::JsonValue(run.counters.regions_sent));
+    cell.Set("bytes_to_servers",
+             obs::JsonValue(run.counters.bytes_to_servers));
+    cell.Set("bytes_from_servers",
+             obs::JsonValue(run.counters.bytes_from_servers));
+    cell.Set("events", obs::JsonValue(run.events));
+    // Latency percentiles: NaN (no samples) dumps as null by design.
+    obs::JsonValue latency = obs::JsonValue::Object();
+    latency.Set("count", obs::JsonValue(run.request_latency_samples));
+    latency.Set("mean",
+                run.request_latency_samples
+                    ? obs::JsonValue(run.mean_request_latency_s)
+                    : obs::JsonValue::Null());
+    latency.Set("max", run.request_latency_samples
+                           ? obs::JsonValue(run.max_request_latency_s)
+                           : obs::JsonValue::Null());
+    latency.Set("p50", obs::JsonValue(run.p50_request_latency_s));
+    latency.Set("p95", obs::JsonValue(run.p95_request_latency_s));
+    latency.Set("p99", obs::JsonValue(run.p99_request_latency_s));
+    cell.Set("latency", std::move(latency));
+    cell.Set("faults", obs::FaultCountersJson(run.faults));
+    cells_.Append(std::move(cell));
+
+    // Aggregate the same quantities into the registry, labelled by
+    // method/op, so the embedded snapshot gives per-method totals.
+    obs::Labels labels{{"method", std::string(method)},
+                       {"op", std::string(op)}};
+    registry_.Counter("bench.cells", labels).Increment();
+    registry_.Counter("bench.fs_requests", labels)
+        .Increment(run.counters.fs_requests);
+    registry_.Counter("bench.messages", labels)
+        .Increment(run.counters.messages);
+    registry_.Histogram("bench.io_seconds", labels)
+        .Observe(run.io_seconds);
+    obs::ExportFaultCounters(registry_, run.faults, labels);
+  }
+
+  /// Record a free-form row (closed-form benches with no sim run).
+  void Row(obs::JsonValue row) { cells_.Append(std::move(row)); }
+
+  obs::Registry& registry() { return registry_; }
+
+ private:
+  void Write() {
+    root_.Set("cells", std::move(cells_));
+    root_.Set("metrics", registry_.Snapshot());
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::string text = root_.Dump(2);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("results: %s\n", path_.c_str());
+  }
+
+  const char* name_;
+  std::string path_;
+  obs::JsonValue root_;
+  obs::JsonValue cells_;
+  obs::Registry registry_;
+};
 
 /// Runs one (method, op) cell and returns virtual seconds of the I/O phase.
 inline simcluster::SimRunResult RunCell(

@@ -17,15 +17,20 @@ int main(int argc, char** argv) {
               flags);
 
   const ByteCount aggregate = flags.full ? kGiB : 256 * kMiB;
-  const std::vector<std::uint64_t> sweeps =
+  const std::vector<std::uint64_t> sweeps = SmokeSweep(
+      flags,
       flags.full ? std::vector<std::uint64_t>{125000, 250000, 500000, 1000000}
-                 : std::vector<std::uint64_t>{12500, 25000, 50000, 100000};
+                 : std::vector<std::uint64_t>{12500, 25000, 50000, 100000});
   const std::vector<io::MethodType> methods = {io::MethodType::kMultiple,
                                                io::MethodType::kDataSieving,
                                                io::MethodType::kList};
   CsvSink csv(flags, "fig09");
+  BenchJson json(flags, "fig09",
+                 "1-D cyclic read: time vs accesses per method");
 
-  for (std::uint32_t clients : {8u, 16u, 32u}) {
+  const std::vector<std::uint32_t> client_counts =
+      SmokeSweep(flags, std::vector<std::uint32_t>{8u, 16u, 32u});
+  for (std::uint32_t clients : client_counts) {
     std::printf("-- %u clients --\n", clients);
     PrintRowHeader(methods);
     for (std::uint64_t accesses : sweeps) {
@@ -41,6 +46,7 @@ int main(int argc, char** argv) {
         seconds.push_back(run.io_seconds);
         csv.Row(clients, accesses, io::MethodName(method), run.io_seconds,
                 run.counters.fs_requests);
+        json.Cell(clients, accesses, io::MethodName(method), "read", run);
         if (flags.verbose) {
           std::printf("    [%s] requests=%llu messages=%llu\n",
                       io::MethodName(method).data(),

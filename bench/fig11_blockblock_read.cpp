@@ -20,17 +20,22 @@ int main(int argc, char** argv) {
               flags);
 
   const ByteCount aggregate = flags.full ? kGiB : 256 * kMiB;
-  const std::vector<std::uint64_t> sweeps =
+  const std::vector<std::uint64_t> sweeps = SmokeSweep(
+      flags,
       flags.full
           ? std::vector<std::uint64_t>{125000, 250000, 500000, 800000,
                                        1000000}
-          : std::vector<std::uint64_t>{12500, 25000, 50000, 100000, 200000};
+          : std::vector<std::uint64_t>{12500, 25000, 50000, 100000, 200000});
   const std::vector<io::MethodType> methods = {io::MethodType::kMultiple,
                                                io::MethodType::kDataSieving,
                                                io::MethodType::kList};
   CsvSink csv(flags, "fig11");
+  BenchJson json(flags, "fig11",
+                 "2-D block-block read: time vs accesses per method");
 
-  for (std::uint32_t clients : {4u, 9u, 16u}) {
+  const std::vector<std::uint32_t> client_counts =
+      SmokeSweep(flags, std::vector<std::uint32_t>{4u, 9u, 16u});
+  for (std::uint32_t clients : client_counts) {
     std::printf("-- %u clients --\n", clients);
     PrintRowHeader(methods);
     for (std::uint64_t accesses : sweeps) {
@@ -46,6 +51,7 @@ int main(int argc, char** argv) {
         seconds.push_back(run.io_seconds);
         csv.Row(clients, accesses, io::MethodName(method), run.io_seconds,
                 run.counters.fs_requests);
+        json.Cell(clients, accesses, io::MethodName(method), "read", run);
       }
       PrintCells(accesses, seconds);
       std::printf("%14s bytes/access ~ %llu\n", "",

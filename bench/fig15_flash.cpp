@@ -25,13 +25,15 @@ int main(int argc, char** argv) {
               "file is variable-major",
               flags);
 
-  const std::vector<std::uint32_t> client_counts =
-      flags.full ? std::vector<std::uint32_t>{2, 4, 8, 16, 32}
-                 : std::vector<std::uint32_t>{2, 4, 8};
+  const std::vector<std::uint32_t> client_counts = SmokeSweep(
+      flags, flags.full ? std::vector<std::uint32_t>{2, 4, 8, 16, 32}
+                        : std::vector<std::uint32_t>{2, 4, 8});
 
   std::printf("%8s %14s %14s %14s %18s   (virtual seconds)\n", "clients",
               "multiple", "data-sieving", "list", "list/file-chunked");
   CsvSink csv(flags, "fig15");
+  BenchJson json(flags, "fig15",
+                 "FLASH I/O checkpoint write: time per method vs clients");
 
   for (std::uint32_t clients : client_counts) {
     workloads::FlashConfig config;
@@ -71,6 +73,10 @@ int main(int argc, char** argv) {
     csv.Row(clients, 0, "list", list.io_seconds, list.counters.fs_requests);
     csv.Row(clients, 0, "list-file-chunked", list_native.io_seconds,
             list_native.counters.fs_requests);
+    json.Cell(clients, 0, "multiple", "write", multiple);
+    json.Cell(clients, 0, "data-sieving", "write", sieving);
+    json.Cell(clients, 0, "list", "write", list);
+    json.Cell(clients, 0, "list-file-chunked", "write", list_native);
     if (flags.verbose) {
       std::printf("  requests/proc: multiple=%llu list=%llu native=%llu\n",
                   static_cast<unsigned long long>(

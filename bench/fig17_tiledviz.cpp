@@ -28,6 +28,9 @@ int main(int argc, char** argv) {
   SimRunOptions options;
   options.include_meta = true;
 
+  BenchJson json(flags, "fig17",
+                 "Tiled visualization read: open/read/close per method");
+
   std::printf("%14s %10s %10s %10s %12s   (virtual seconds)\n", "method",
               "open", "read", "close", "requests");
   for (io::MethodType method :
@@ -38,6 +41,7 @@ int main(int argc, char** argv) {
                 io::MethodName(method).data(), run.open_seconds,
                 run.io_seconds, run.close_seconds,
                 static_cast<unsigned long long>(run.counters.fs_requests));
+    json.Cell(config.clients(), 0, io::MethodName(method), "read", run);
   }
   std::printf(
       "\npaper expectation: multiple=768 req/client, list=%u req/client, "

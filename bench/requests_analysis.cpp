@@ -3,6 +3,7 @@
 // the same planner primitives the client library uses.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "io/method.hpp"
 #include "pvfs/client.hpp"
 #include "workloads/cyclic.hpp"
@@ -10,8 +11,20 @@
 #include "workloads/tiledviz.hpp"
 
 using namespace pvfs;
+using namespace pvfs::bench;
 
 namespace {
+
+BenchJson* g_json = nullptr;
+
+void EmitCell(const char* workload, const char* method,
+              std::uint64_t requests) {
+  obs::JsonValue cell = obs::JsonValue::Object();
+  cell.Set("workload", obs::JsonValue(workload));
+  cell.Set("method", obs::JsonValue(method));
+  cell.Set("fs_requests", obs::JsonValue(requests));
+  g_json->Row(std::move(cell));
+}
 
 void Row(const char* workload, std::uint64_t segments,
          std::uint64_t file_regions) {
@@ -21,11 +34,18 @@ void Row(const char* workload, std::uint64_t segments,
               static_cast<unsigned long long>(segments),
               static_cast<unsigned long long>(list_romio),
               static_cast<unsigned long long>(list));
+  EmitCell(workload, "multiple", segments);
+  EmitCell(workload, "list-2002", list_romio);
+  EmitCell(workload, "list-native", list);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseFlags(argc, argv);
+  BenchJson json(flags, "requests",
+                 "Closed-form request counts per client per method");
+  g_json = &json;
   std::printf("=== Request counts per client (paper §3.4 analysis) ===\n");
   std::printf("%-34s %14s %14s %14s\n", "workload", "multiple",
               "list(2002)", "list(native)");

@@ -19,8 +19,13 @@ int main(int argc, char** argv) {
   const ByteCount aggregate = flags.full ? kGiB : 128 * kMiB;
   constexpr std::uint32_t kClients = 4;
 
+  BenchJson json(flags, "scaling_servers",
+                 "Aggregate bandwidth vs I/O server count");
+
   std::printf("%10s %18s %18s\n", "servers", "contig MB/s", "list-4K MB/s");
-  for (std::uint32_t servers : {1u, 2u, 4u, 8u}) {
+  const std::vector<std::uint32_t> server_counts =
+      SmokeSweep(flags, std::vector<std::uint32_t>{1u, 2u, 4u, 8u});
+  for (std::uint32_t servers : server_counts) {
     SimClusterConfig cluster = ChibaCityConfig(kClients);
     cluster.servers = servers;
     cluster.striping = Striping{0, servers, 16384};
@@ -43,6 +48,8 @@ int main(int argc, char** argv) {
     };
     auto f = RunCell(cluster, io::MethodType::kList, IoOp::kRead,
                      fragmented);
+    json.Cell(kClients, servers, "contiguous", "read", c);
+    json.Cell(kClients, servers, "list-4k", "read", f);
 
     auto mbps = [aggregate](double seconds) {
       return static_cast<double>(aggregate) / 1e6 / seconds;

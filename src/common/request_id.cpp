@@ -1,0 +1,22 @@
+#include "common/request_id.hpp"
+
+#include <atomic>
+
+namespace pvfs::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_request_id{1};
+thread_local std::uint64_t t_current_request_id = 0;
+
+}  // namespace
+
+std::uint64_t NextRequestId() {
+  return g_next_request_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t CurrentRequestId() { return t_current_request_id; }
+
+void SetCurrentRequestId(std::uint64_t id) { t_current_request_id = id; }
+
+}  // namespace pvfs::obs

@@ -1,0 +1,46 @@
+// Request-id context: the causality token the observability layer threads
+// through the wire framing (src/common/wire) so spans recorded on the
+// client, the manager and the I/O daemons for one logical exchange can be
+// stitched together afterwards.
+//
+// The id travels inside the sealed frame (behind the CRC32C trailer, see
+// wire.hpp), never inside the message encodings, so the paper's wire-size
+// arithmetic (IoRequest::WireBytes, the 64-region Ethernet-frame fit) is
+// untouched. Propagation is by thread-local ambient context: a client
+// allocates an id per call and seals it into the request; a daemon opening
+// the frame installs the id for the duration of its handler, so every span
+// (and the sealed response) carries it automatically.
+//
+// This lives in pvfs_common (not src/obs) because the wire layer consumes
+// it; the span layer in src/obs builds on top.
+#pragma once
+
+#include <cstdint>
+
+namespace pvfs::obs {
+
+/// A fresh, process-unique request id (never 0; 0 means "no id").
+std::uint64_t NextRequestId();
+
+/// The ambient request id of the calling thread (0 when none is set).
+std::uint64_t CurrentRequestId();
+
+/// Install `id` as the calling thread's ambient request id.
+void SetCurrentRequestId(std::uint64_t id);
+
+/// Scoped install/restore of the ambient request id.
+class RequestIdScope {
+ public:
+  explicit RequestIdScope(std::uint64_t id)
+      : saved_(CurrentRequestId()) {
+    SetCurrentRequestId(id);
+  }
+  ~RequestIdScope() { SetCurrentRequestId(saved_); }
+  RequestIdScope(const RequestIdScope&) = delete;
+  RequestIdScope& operator=(const RequestIdScope&) = delete;
+
+ private:
+  std::uint64_t saved_;
+};
+
+}  // namespace pvfs::obs

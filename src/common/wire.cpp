@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "common/request_id.hpp"
+
 namespace pvfs {
 
 namespace {
@@ -33,6 +35,15 @@ std::uint32_t Crc32c(std::span<const std::byte> data, std::uint32_t crc) {
 }
 
 std::vector<std::byte> SealFrame(std::vector<std::byte> frame) {
+  return SealFrameWithId(std::move(frame), obs::CurrentRequestId());
+}
+
+std::vector<std::byte> SealFrameWithId(std::vector<std::byte> frame,
+                                       std::uint64_t request_id) {
+  for (size_t i = 0; i < kFrameIdBytes; ++i) {
+    frame.push_back(
+        std::byte{static_cast<std::uint8_t>(request_id >> (8 * i))});
+  }
   std::uint32_t crc = Crc32c(frame);
   for (size_t i = 0; i < kFrameCrcBytes; ++i) {
     frame.push_back(std::byte{static_cast<std::uint8_t>(crc >> (8 * i))});
@@ -40,23 +51,35 @@ std::vector<std::byte> SealFrame(std::vector<std::byte> frame) {
   return frame;
 }
 
-Result<std::span<const std::byte>> OpenFrame(
-    std::span<const std::byte> frame) {
-  if (frame.size() < kFrameCrcBytes) {
-    return CorruptionError("frame shorter than its CRC32C trailer");
+Result<OpenedFrame> OpenFrameWithId(std::span<const std::byte> frame) {
+  if (frame.size() < kFrameTrailerBytes) {
+    return CorruptionError("frame shorter than its trailer");
   }
-  std::span<const std::byte> payload =
+  std::span<const std::byte> sealed =
       frame.first(frame.size() - kFrameCrcBytes);
   std::uint32_t expect = 0;
   for (size_t i = 0; i < kFrameCrcBytes; ++i) {
-    expect |= std::to_integer<std::uint32_t>(frame[payload.size() + i])
+    expect |= std::to_integer<std::uint32_t>(frame[sealed.size() + i])
               << (8 * i);
   }
-  std::uint32_t actual = Crc32c(payload);
-  if (actual != expect) {
+  if (Crc32c(sealed) != expect) {
     return CorruptionError("frame CRC32C mismatch");
   }
-  return payload;
+  OpenedFrame out;
+  out.payload = sealed.first(sealed.size() - kFrameIdBytes);
+  for (size_t i = 0; i < kFrameIdBytes; ++i) {
+    out.request_id |=
+        static_cast<std::uint64_t>(
+            std::to_integer<std::uint8_t>(sealed[out.payload.size() + i]))
+        << (8 * i);
+  }
+  return out;
+}
+
+Result<std::span<const std::byte>> OpenFrame(
+    std::span<const std::byte> frame) {
+  PVFS_ASSIGN_OR_RETURN(OpenedFrame opened, OpenFrameWithId(frame));
+  return opened.payload;
 }
 
 Result<std::uint8_t> WireReader::U8() { return ReadLe<std::uint8_t>(); }

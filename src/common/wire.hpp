@@ -22,29 +22,51 @@ namespace pvfs {
 // ---- CRC32C integrity framing ----------------------------------------------
 //
 // Every protocol frame (request and response envelope, including trailing
-// data payloads) travels sealed: the encoded message followed by a 4-byte
-// little-endian CRC32C of everything before it. Daemons and clients verify
-// the trailer before decoding; a mismatch is a typed kCorruption error, the
-// retryable signal the client's backoff loop already understands. The
-// checksum lives at the framing layer, not in the message encodings, so
-// the paper's wire-size arithmetic (IoRequest::WireBytes, the 64-region
-// Ethernet-frame fit) and the simulator's 2002-era unchecksummed wire model
-// are unchanged.
+// data payloads) travels sealed: the encoded message, an 8-byte
+// little-endian observability request id, then a 4-byte little-endian
+// CRC32C of everything before it. Daemons and clients verify the trailer
+// before decoding; a mismatch is a typed kCorruption error, the retryable
+// signal the client's backoff loop already understands. Both the checksum
+// and the request id live at the framing layer, not in the message
+// encodings, so the paper's wire-size arithmetic (IoRequest::WireBytes,
+// the 64-region Ethernet-frame fit) and the simulator's 2002-era
+// unchecksummed wire model are unchanged. The request id stitches
+// client -> manager/iod causality for span tracing (src/obs/span.hpp);
+// it is 0 when the sender had no ambient id.
 
 /// CRC32C (Castagnoli, polynomial 0x1EDC6F41 reflected) of `data`, seeded
 /// with `crc` for incremental use (pass the previous return value).
 std::uint32_t Crc32c(std::span<const std::byte> data, std::uint32_t crc = 0);
 
-/// Size of the per-frame integrity trailer.
+/// Size of the CRC portion of the per-frame trailer.
 inline constexpr size_t kFrameCrcBytes = 4;
+/// Size of the request-id portion of the per-frame trailer.
+inline constexpr size_t kFrameIdBytes = 8;
+/// Total framing overhead per sealed frame.
+inline constexpr size_t kFrameTrailerBytes = kFrameIdBytes + kFrameCrcBytes;
 
-/// Append the CRC32C trailer to an encoded frame.
+/// Append the request-id + CRC32C trailer to an encoded frame, stamping
+/// the calling thread's ambient request id (obs::CurrentRequestId()).
 std::vector<std::byte> SealFrame(std::vector<std::byte> frame);
+
+/// As SealFrame, but with an explicit request id.
+std::vector<std::byte> SealFrameWithId(std::vector<std::byte> frame,
+                                       std::uint64_t request_id);
 
 /// Verify and strip a sealed frame's trailer. Returns a view of the
 /// payload (borrowing `frame`'s storage) or kCorruption if the frame is
 /// shorter than the trailer or the checksum mismatches.
 Result<std::span<const std::byte>> OpenFrame(std::span<const std::byte> frame);
+
+/// A verified frame: the payload view plus the request id the sender
+/// sealed in.
+struct OpenedFrame {
+  std::span<const std::byte> payload;
+  std::uint64_t request_id = 0;
+};
+
+/// As OpenFrame, but also returns the sealed-in request id.
+Result<OpenedFrame> OpenFrameWithId(std::span<const std::byte> frame);
 
 /// Append-only little-endian encoder.
 class WireWriter {

@@ -55,19 +55,36 @@ std::string SerializeFaultEvents(const std::vector<FaultEvent>& events) {
   return out;
 }
 
-double FaultInjector::Uniform(std::uint32_t site, ServerId server,
-                              std::uint64_t seq, std::uint32_t draw) const {
+double HashedUniform(std::uint64_t seed, std::uint32_t site,
+                     std::uint64_t stream, std::uint64_t seq,
+                     std::uint32_t draw) {
   // Spread the coordinates across the 64-bit state with odd multipliers,
   // then let SplitMix64's finalizer mix them; one warm-up step decorrelates
   // nearby coordinates.
-  SplitMix64 rng(config_.seed ^
+  SplitMix64 rng(seed ^
                  (static_cast<std::uint64_t>(site) * 0xD1B54A32D192ED03ull) ^
-                 ((static_cast<std::uint64_t>(server) + 1) *
-                  0x8CB92BA72F3D8DD7ull) ^
+                 ((stream + 1) * 0x8CB92BA72F3D8DD7ull) ^
                  ((seq + 1) * 0x2545F4914F6CDD1Dull) ^
                  (static_cast<std::uint64_t>(draw) * 0x9E3779B97F4A7C15ull));
   (void)rng.Next();
   return rng.UniformDouble();
+}
+
+std::uint64_t HashedBits(std::uint64_t seed, std::uint32_t site,
+                         std::uint64_t stream, std::uint64_t seq,
+                         std::uint32_t draw) {
+  SplitMix64 rng(seed ^
+                 (static_cast<std::uint64_t>(site) * 0xD1B54A32D192ED03ull) ^
+                 ((stream + 1) * 0x8CB92BA72F3D8DD7ull) ^
+                 ((seq + 1) * 0x2545F4914F6CDD1Dull) ^
+                 (static_cast<std::uint64_t>(draw) * 0x9E3779B97F4A7C15ull));
+  (void)rng.Next();
+  return rng.Next();
+}
+
+double FaultInjector::Uniform(std::uint32_t site, ServerId server,
+                              std::uint64_t seq, std::uint32_t draw) const {
+  return HashedUniform(config_.seed, site, server, seq, draw);
 }
 
 std::uint64_t FaultInjector::UniformInt(std::uint32_t site, ServerId server,
@@ -82,14 +99,7 @@ std::uint64_t FaultInjector::UniformInt(std::uint32_t site, ServerId server,
 std::uint64_t FaultInjector::HashBits(std::uint32_t site, ServerId server,
                                       std::uint64_t seq,
                                       std::uint32_t draw) const {
-  SplitMix64 rng(config_.seed ^
-                 (static_cast<std::uint64_t>(site) * 0xD1B54A32D192ED03ull) ^
-                 ((static_cast<std::uint64_t>(server) + 1) *
-                  0x8CB92BA72F3D8DD7ull) ^
-                 ((seq + 1) * 0x2545F4914F6CDD1Dull) ^
-                 (static_cast<std::uint64_t>(draw) * 0x9E3779B97F4A7C15ull));
-  (void)rng.Next();
-  return rng.Next();
+  return HashedBits(config_.seed, site, server, seq, draw);
 }
 
 std::uint64_t FaultInjector::NextSeq(std::uint32_t site, ServerId server) {

@@ -105,6 +105,32 @@ struct FaultEvent {
 /// determinism tests and `pvfs_trace`:  `fault <seq> <kind> iod=<s> detail=<n>`.
 std::string SerializeFaultEvents(const std::vector<FaultEvent>& events);
 
+// ---- Deterministic hashed-seed randomness ---------------------------------
+//
+// Every random decision in this repo is a pure function of
+// (seed, decision site, stream, per-stream sequence number, draw index)
+// hashed through SplitMix64 — never a shared mutable RNG stream — so
+// schedules are reproducible for a given seed and independent of thread
+// interleaving. FaultInjector uses these internally; the client's
+// decorrelated retry jitter (pvfs::RetryPolicy) reuses them with its own
+// site constants so retry schedules get the same determinism guarantee.
+
+/// Uniform double in [0,1) for draw `draw` of decision `seq` on `stream`
+/// at decision site `site`.
+double HashedUniform(std::uint64_t seed, std::uint32_t site,
+                     std::uint64_t stream, std::uint64_t seq,
+                     std::uint32_t draw);
+
+/// Raw 64-bit hash for the same coordinates (selector material).
+std::uint64_t HashedBits(std::uint64_t seed, std::uint32_t site,
+                         std::uint64_t stream, std::uint64_t seq,
+                         std::uint32_t draw);
+
+/// Decision sites reserved for client retry jitter (FaultInjector owns
+/// sites 1-8 internally; keep new sites distinct).
+inline constexpr std::uint32_t kSiteRetryBackoff = 16;
+inline constexpr std::uint32_t kSiteLockBackoff = 17;
+
 /// The network-fault decision for one exchange.
 struct NetFault {
   bool drop = false;

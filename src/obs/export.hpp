@@ -1,0 +1,34 @@
+// Adapters migrating the repo's pre-existing counter structs onto the
+// metrics registry and into JSON: sim::FaultCounters, sim::Accumulator,
+// sim::Histogram. Component-owned counters (ClientStats, retry counters,
+// IoDaemon::Stats, Manager::Stats) export themselves via their classes'
+// ExportMetrics/StatsJson methods; SimRunResult exports through
+// bench::BenchJson (bench/bench_util.hpp), which builds on these.
+#pragma once
+
+#include <string_view>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "sim/stats.hpp"
+
+namespace pvfs::obs {
+
+/// Mirror every fault counter into `reg` as counters named
+/// "fault.<field>" with the given base labels.
+void ExportFaultCounters(Registry& reg, const sim::FaultCounters& faults,
+                         const Labels& base = {});
+
+/// {"frames_dropped":.., ...,"total":..}.
+JsonValue FaultCountersJson(const sim::FaultCounters& faults);
+
+/// {count, sum, mean, min, max} — min/max are null when the accumulator
+/// is empty (never 0.0: empty and all-zero samples must be
+/// distinguishable).
+JsonValue AccumulatorJson(const sim::Accumulator& acc);
+
+/// {count, sum, mean, min, max, p50, p95, p99}; quantile fields are null
+/// when empty.
+JsonValue HistogramJson(const sim::Histogram& hist);
+
+}  // namespace pvfs::obs

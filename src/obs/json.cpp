@@ -1,0 +1,304 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace pvfs::obs {
+
+namespace {
+
+void AppendEscaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendDouble(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no inf/nan
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Trim to the shortest representation that round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char probe[32];
+    std::snprintf(probe, sizeof probe, "%.*g", precision, v);
+    double back = 0.0;
+    std::sscanf(probe, "%lf", &back);
+    if (back == v) {
+      out += probe;
+      return;
+    }
+  }
+  out += buf;
+}
+
+void Newline(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<size_t>(indent * depth), ' ');
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Document() {
+    PVFS_ASSIGN_OR_RETURN(JsonValue v, Value());
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return InvalidArgument("json: trailing garbage at offset " +
+                             std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> Value() {
+    SkipWs();
+    if (pos_ >= text_.size()) return InvalidArgument("json: truncated");
+    char c = text_[pos_];
+    if (c == '{') return ObjectValue();
+    if (c == '[') return ArrayValue();
+    if (c == '"') {
+      PVFS_ASSIGN_OR_RETURN(std::string s, StringToken());
+      return JsonValue(std::move(s));
+    }
+    if (ConsumeWord("null")) return JsonValue::Null();
+    if (ConsumeWord("true")) return JsonValue(true);
+    if (ConsumeWord("false")) return JsonValue(false);
+    return NumberValue();
+  }
+
+  Result<JsonValue> NumberValue() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool is_integer = true;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        is_integer = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") {
+      return InvalidArgument("json: bad number at offset " +
+                             std::to_string(start));
+    }
+    if (is_integer) {
+      if (token[0] == '-') {
+        std::int64_t v = 0;
+        auto [p, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), v);
+        if (ec == std::errc() && p == token.data() + token.size()) {
+          return JsonValue(v);
+        }
+      } else {
+        std::uint64_t v = 0;
+        auto [p, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), v);
+        if (ec == std::errc() && p == token.data() + token.size()) {
+          return JsonValue(v);
+        }
+      }
+    }
+    double d = 0.0;
+    std::string owned(token);
+    if (std::sscanf(owned.c_str(), "%lf", &d) != 1) {
+      return InvalidArgument("json: bad number '" + owned + "'");
+    }
+    return JsonValue(d);
+  }
+
+  Result<std::string> StringToken() {
+    if (!Consume('"')) return InvalidArgument("json: expected string");
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return InvalidArgument("json: truncated \\u escape");
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return InvalidArgument("json: bad \\u escape");
+            }
+            // ASCII + Latin-1 coverage is enough for our schemas.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return InvalidArgument("json: bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return InvalidArgument("json: unterminated string");
+  }
+
+  Result<JsonValue> ArrayValue() {
+    (void)Consume('[');
+    JsonValue out = JsonValue::Array();
+    SkipWs();
+    if (Consume(']')) return out;
+    while (true) {
+      PVFS_ASSIGN_OR_RETURN(JsonValue v, Value());
+      out.Append(std::move(v));
+      SkipWs();
+      if (Consume(']')) return out;
+      if (!Consume(',')) return InvalidArgument("json: expected , or ]");
+    }
+  }
+
+  Result<JsonValue> ObjectValue() {
+    (void)Consume('{');
+    JsonValue out = JsonValue::Object();
+    SkipWs();
+    if (Consume('}')) return out;
+    while (true) {
+      SkipWs();
+      PVFS_ASSIGN_OR_RETURN(std::string key, StringToken());
+      SkipWs();
+      if (!Consume(':')) return InvalidArgument("json: expected :");
+      PVFS_ASSIGN_OR_RETURN(JsonValue v, Value());
+      out.Set(std::move(key), std::move(v));
+      SkipWs();
+      if (Consume('}')) return out;
+      if (!Consume(',')) return InvalidArgument("json: expected , or }");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; return;
+    case Kind::kBool: out += bool_ ? "true" : "false"; return;
+    case Kind::kInt: out += std::to_string(int_); return;
+    case Kind::kUint: out += std::to_string(uint_); return;
+    case Kind::kDouble: AppendDouble(out, double_); return;
+    case Kind::kString: AppendEscaped(out, string_); return;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i) out += ',';
+        Newline(out, indent, depth + 1);
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      Newline(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (size_t i = 0; i < object_.size(); ++i) {
+        if (i) out += ',';
+        Newline(out, indent, depth + 1);
+        AppendEscaped(out, object_[i].first);
+        out += indent > 0 ? ": " : ":";
+        object_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      Newline(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return Parser(text).Document();
+}
+
+}  // namespace pvfs::obs

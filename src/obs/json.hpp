@@ -1,0 +1,135 @@
+// Minimal JSON document model for the observability layer: registry
+// snapshots, bench exports (BENCH_<name>.json) and the daemon stats-dump
+// protocol all speak through this. Self-contained on purpose — the
+// container bakes no JSON library, and the schema checker in tools/ needs
+// a parser too.
+//
+// Supported: null, bool, signed/unsigned 64-bit integers (printed
+// exactly), double, string, array, object (insertion-ordered, so dumps
+// are deterministic).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace pvfs::obs {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kUint, kDouble, kString, kArray,
+                    kObject };
+
+  JsonValue() = default;  // null
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(std::int64_t v) : kind_(Kind::kInt), int_(v) {}
+  JsonValue(std::uint64_t v) : kind_(Kind::kUint), uint_(v) {}
+  JsonValue(int v) : kind_(Kind::kInt), int_(v) {}
+  JsonValue(unsigned v) : kind_(Kind::kUint), uint_(v) {}
+  JsonValue(double v) : kind_(Kind::kDouble), double_(v) {}
+  JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  JsonValue(std::string_view s) : kind_(Kind::kString), string_(s) {}
+  JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kUint ||
+           kind_ == Kind::kDouble;
+  }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_double() const {
+    switch (kind_) {
+      case Kind::kInt: return static_cast<double>(int_);
+      case Kind::kUint: return static_cast<double>(uint_);
+      case Kind::kDouble: return double_;
+      default: return 0.0;
+    }
+  }
+  std::int64_t as_int() const {
+    switch (kind_) {
+      case Kind::kInt: return int_;
+      case Kind::kUint: return static_cast<std::int64_t>(uint_);
+      case Kind::kDouble: return static_cast<std::int64_t>(double_);
+      default: return 0;
+    }
+  }
+  std::uint64_t as_uint() const {
+    return static_cast<std::uint64_t>(as_int());
+  }
+  const std::string& as_string() const { return string_; }
+
+  // ---- Array access ----------------------------------------------------
+  size_t size() const {
+    return is_array() ? array_.size() : (is_object() ? object_.size() : 0);
+  }
+  void Append(JsonValue v) { array_.push_back(std::move(v)); }
+  const JsonValue& at(size_t i) const { return array_[i]; }
+  const std::vector<JsonValue>& items() const { return array_; }
+
+  // ---- Object access ---------------------------------------------------
+  /// Sets key (appending; last write wins on lookup of duplicates).
+  void Set(std::string key, JsonValue v) {
+    for (auto& [k, existing] : object_) {
+      if (k == key) {
+        existing = std::move(v);
+        return;
+      }
+    }
+    object_.emplace_back(std::move(key), std::move(v));
+  }
+  bool Has(std::string_view key) const { return Find(key) != nullptr; }
+  /// Pointer to the member value, or nullptr.
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [k, v] : object_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return object_;
+  }
+
+  /// Serialize. indent > 0 pretty-prints with that many spaces per level.
+  std::string Dump(int indent = 0) const;
+
+  /// Parse one JSON document (trailing whitespace allowed, trailing
+  /// garbage rejected).
+  static Result<JsonValue> Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+}  // namespace pvfs::obs

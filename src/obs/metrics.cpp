@@ -1,0 +1,231 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pvfs::obs {
+
+// ---- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  std::erase_if(bounds_, [](double b) { return !std::isfinite(b); });
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double x) {
+  std::lock_guard lock(mutex_);
+  auto it = std::upper_bound(bounds_.begin(), bounds_.end(), x);
+  ++counts_[static_cast<size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard lock(mutex_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard lock(mutex_);
+  return count_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+double Histogram::max() const {
+  std::lock_guard lock(mutex_);
+  return count_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::lock_guard lock(mutex_);
+  return counts_;
+}
+
+double Histogram::Quantile(double q) const {
+  std::lock_guard lock(mutex_);
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += counts_[i];
+    if (static_cast<double>(seen) < rank) continue;
+    // The target rank lands in bucket i: interpolate linearly between its
+    // boundaries, clamped to the observed extremes.
+    double lo = i == 0 ? min_ : bounds_[i - 1];
+    double hi = i < bounds_.size() ? bounds_[i] : max_;
+    lo = std::max(lo, min_);
+    hi = std::min(hi, max_);
+    if (hi <= lo) return lo;
+    const double frac =
+        (rank - before) / static_cast<double>(counts_[i]);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return max_;
+}
+
+JsonValue Histogram::SummaryJson() const {
+  JsonValue out = JsonValue::Object();
+  {
+    std::lock_guard lock(mutex_);
+    out.Set("count", JsonValue(count_));
+    out.Set("sum", JsonValue(sum_));
+    if (count_ == 0) {
+      // Empty: min/max/percentiles are null, never 0.0 — a run with no
+      // samples must not look like a run of zero-latency samples.
+      out.Set("min", JsonValue::Null());
+      out.Set("max", JsonValue::Null());
+      out.Set("p50", JsonValue::Null());
+      out.Set("p95", JsonValue::Null());
+      out.Set("p99", JsonValue::Null());
+      return out;
+    }
+    out.Set("min", JsonValue(min_));
+    out.Set("max", JsonValue(max_));
+  }
+  out.Set("p50", JsonValue(Quantile(0.50)));
+  out.Set("p95", JsonValue(Quantile(0.95)));
+  out.Set("p99", JsonValue(Quantile(0.99)));
+  return out;
+}
+
+std::vector<double> LogBuckets(double lo, double hi, int per_decade) {
+  std::vector<double> bounds;
+  if (lo <= 0 || hi <= lo || per_decade <= 0) return bounds;
+  const double factor = std::pow(10.0, 1.0 / per_decade);
+  for (double b = lo; b < hi * factor; b *= factor) {
+    bounds.push_back(b);
+    if (bounds.size() > 512) break;  // guard absurd ranges
+  }
+  return bounds;
+}
+
+// ---- Registry ---------------------------------------------------------------
+
+Labels CanonicalLabels(Labels labels) {
+  std::sort(labels.begin(), labels.end(),
+            [](const Label& a, const Label& b) { return a.key < b.key; });
+  return labels;
+}
+
+template <typename T>
+T* Registry::FindOrNull(std::vector<Entry<T>>& entries, std::string_view name,
+                        const Labels& labels) {
+  for (Entry<T>& e : entries) {
+    if (e.name == name && e.labels == labels) return e.instrument.get();
+  }
+  return nullptr;
+}
+
+Counter& Registry::Counter(std::string_view name, Labels labels) {
+  labels = CanonicalLabels(std::move(labels));
+  std::lock_guard lock(mutex_);
+  if (auto* found = FindOrNull(counters_, name, labels)) return *found;
+  counters_.push_back(Entry<class Counter>{
+      std::string(name), std::move(labels), std::make_unique<class Counter>()});
+  return *counters_.back().instrument;
+}
+
+Gauge& Registry::Gauge(std::string_view name, Labels labels) {
+  labels = CanonicalLabels(std::move(labels));
+  std::lock_guard lock(mutex_);
+  if (auto* found = FindOrNull(gauges_, name, labels)) return *found;
+  gauges_.push_back(Entry<class Gauge>{
+      std::string(name), std::move(labels), std::make_unique<class Gauge>()});
+  return *gauges_.back().instrument;
+}
+
+Histogram& Registry::Histogram(std::string_view name, Labels labels,
+                               std::vector<double> upper_bounds) {
+  labels = CanonicalLabels(std::move(labels));
+  std::lock_guard lock(mutex_);
+  if (auto* found = FindOrNull(histograms_, name, labels)) return *found;
+  if (upper_bounds.empty()) {
+    upper_bounds = LogBuckets(1e-6, 1e3);  // seconds: 1 us .. ~17 min
+  }
+  histograms_.push_back(
+      Entry<class Histogram>{std::string(name), std::move(labels),
+                             std::make_unique<class Histogram>(
+                                 std::move(upper_bounds))});
+  return *histograms_.back().instrument;
+}
+
+namespace {
+
+JsonValue LabelsJson(const Labels& labels) {
+  JsonValue out = JsonValue::Object();
+  for (const Label& l : labels) out.Set(l.key, JsonValue(l.value));
+  return out;
+}
+
+}  // namespace
+
+JsonValue Registry::Snapshot() const {
+  std::lock_guard lock(mutex_);
+  JsonValue out = JsonValue::Object();
+  JsonValue counters = JsonValue::Array();
+  for (const auto& e : counters_) {
+    JsonValue row = JsonValue::Object();
+    row.Set("name", JsonValue(e.name));
+    row.Set("labels", LabelsJson(e.labels));
+    row.Set("value", JsonValue(e.instrument->value()));
+    counters.Append(std::move(row));
+  }
+  out.Set("counters", std::move(counters));
+
+  JsonValue gauges = JsonValue::Array();
+  for (const auto& e : gauges_) {
+    JsonValue row = JsonValue::Object();
+    row.Set("name", JsonValue(e.name));
+    row.Set("labels", LabelsJson(e.labels));
+    row.Set("value", JsonValue(e.instrument->value()));
+    gauges.Append(std::move(row));
+  }
+  out.Set("gauges", std::move(gauges));
+
+  JsonValue histograms = JsonValue::Array();
+  for (const auto& e : histograms_) {
+    JsonValue row = JsonValue::Object();
+    row.Set("name", JsonValue(e.name));
+    row.Set("labels", LabelsJson(e.labels));
+    JsonValue summary = e.instrument->SummaryJson();
+    for (const auto& [k, v] : summary.members()) row.Set(k, v);
+    histograms.Append(std::move(row));
+  }
+  out.Set("histograms", std::move(histograms));
+  return out;
+}
+
+std::string Registry::SnapshotJson(int indent) const {
+  return Snapshot().Dump(indent);
+}
+
+void Registry::Reset() {
+  std::lock_guard lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+Registry& Registry::Global() {
+  static Registry* instance = new Registry();  // leaked: outlive everything
+  return *instance;
+}
+
+}  // namespace pvfs::obs

@@ -1,0 +1,152 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/request_id.hpp"
+
+namespace pvfs::obs {
+
+namespace {
+
+bool EnvEnabled() {
+  const char* v = std::getenv("PVFS_OBS_SPANS");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+std::atomic<bool> g_spans_enabled{EnvEnabled()};
+std::atomic<std::uint32_t> g_next_thread_ordinal{0};
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The collector: finished spans from exited threads plus pointers to the
+/// live per-thread buffers.
+class Collector {
+ public:
+  static Collector& Instance() {
+    static Collector* instance = new Collector();  // outlives all threads
+    return *instance;
+  }
+
+  void Register(std::vector<SpanRecord>* buffer) {
+    std::lock_guard lock(mutex_);
+    live_.push_back(buffer);
+  }
+
+  void Retire(std::vector<SpanRecord>* buffer) {
+    std::lock_guard lock(mutex_);
+    retired_.insert(retired_.end(), buffer->begin(), buffer->end());
+    std::erase(live_, buffer);
+  }
+
+  std::vector<SpanRecord> Drain() {
+    std::lock_guard lock(mutex_);
+    std::vector<SpanRecord> out = std::move(retired_);
+    retired_ = {};
+    for (std::vector<SpanRecord>* buffer : live_) {
+      out.insert(out.end(), buffer->begin(), buffer->end());
+      buffer->clear();
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                return a.start_ns < b.start_ns;
+              });
+    return out;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::vector<SpanRecord>*> live_;
+  std::vector<SpanRecord> retired_;
+};
+
+/// Per-thread state, registered with the collector for its lifetime.
+/// Buffer mutation is single-threaded; Drain() synchronizes through the
+/// collector mutex, which Append also takes (spans are off on hot paths
+/// by default, so the lock is fine when tracing).
+struct ThreadBuffer {
+  ThreadBuffer()
+      : ordinal(g_next_thread_ordinal.fetch_add(
+            1, std::memory_order_relaxed)) {
+    Collector::Instance().Register(&spans);
+  }
+  ~ThreadBuffer() { Collector::Instance().Retire(&spans); }
+
+  std::vector<SpanRecord> spans;
+  std::uint32_t ordinal;
+  std::uint32_t depth = 0;
+};
+
+ThreadBuffer& LocalBuffer() {
+  thread_local ThreadBuffer buffer;
+  return buffer;
+}
+
+std::mutex& CollectorMutex() {
+  // Shared with Collector::mutex_ conceptually; Append uses the
+  // collector's lock via these helpers to stay race-free with Drain().
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+
+}  // namespace
+
+void SetSpanTracing(bool enabled) {
+  g_spans_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool SpanTracingEnabled() {
+  return g_spans_enabled.load(std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> DrainSpans() {
+  std::lock_guard lock(CollectorMutex());
+  return Collector::Instance().Drain();
+}
+
+JsonValue SpansJson(const std::vector<SpanRecord>& spans) {
+  JsonValue out = JsonValue::Array();
+  for (const SpanRecord& s : spans) {
+    JsonValue row = JsonValue::Object();
+    row.Set("name", JsonValue(s.name));
+    row.Set("request_id", JsonValue(s.request_id));
+    row.Set("start_ns", JsonValue(s.start_ns));
+    row.Set("duration_ns", JsonValue(s.duration_ns));
+    row.Set("thread", JsonValue(s.thread));
+    row.Set("depth", JsonValue(s.depth));
+    out.Append(std::move(row));
+  }
+  return out;
+}
+
+ScopedSpan::ScopedSpan(const char* name) : name_(name) {
+  if (!SpanTracingEnabled()) return;
+  armed_ = true;
+  ++LocalBuffer().depth;
+  start_ns_ = NowNs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!armed_) return;
+  const std::uint64_t end_ns = NowNs();
+  ThreadBuffer& buffer = LocalBuffer();
+  SpanRecord record;
+  record.name = name_;
+  record.request_id = CurrentRequestId();
+  record.start_ns = start_ns_;
+  record.duration_ns = end_ns - start_ns_;
+  record.thread = buffer.ordinal;
+  record.depth = --buffer.depth;
+  std::lock_guard lock(CollectorMutex());
+  buffer.spans.push_back(record);
+}
+
+}  // namespace pvfs::obs

@@ -1,0 +1,66 @@
+// Lightweight span tracing: PVFS_SPAN("client.exchange")-style scoped
+// timers that record into thread-local buffers, stamped with the ambient
+// request id (common/request_id.hpp) so client -> manager -> iod causality
+// can be stitched per exchange.
+//
+// Cost discipline: tracing is off by default. A disabled ScopedSpan is two
+// relaxed atomic loads and no clock reads, no allocation, no locking —
+// the fig09-12 sim results are bit-identical either way (spans never feed
+// back into timing; they only observe). Enable with SetSpanTracing(true)
+// or PVFS_OBS_SPANS=1 in the environment.
+//
+// Buffers are thread-local and registered with a process-wide collector;
+// DrainSpans() gathers the records of every live and exited thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace pvfs::obs {
+
+/// One finished span. Times come from a monotonic clock, ns since an
+/// arbitrary process epoch.
+struct SpanRecord {
+  const char* name = "";        // static string (macro literal)
+  std::uint64_t request_id = 0; // ambient id at entry (0 = none)
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  std::uint32_t thread = 0;     // small per-thread ordinal
+  std::uint32_t depth = 0;      // nesting depth within the thread
+};
+
+/// Globally enable/disable span recording (default: disabled).
+void SetSpanTracing(bool enabled);
+bool SpanTracingEnabled();
+
+/// Move every recorded span (all threads, finished spans only) out of the
+/// collector, ordered by start time.
+std::vector<SpanRecord> DrainSpans();
+
+/// Spans as a JSON array [{name, request_id, start_ns, duration_ns,
+/// thread, depth}, ...].
+JsonValue SpansJson(const std::vector<SpanRecord>& spans);
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  bool armed_ = false;
+};
+
+#define PVFS_SPAN_CONCAT2(a, b) a##b
+#define PVFS_SPAN_CONCAT(a, b) PVFS_SPAN_CONCAT2(a, b)
+/// Scoped span covering the rest of the enclosing block.
+#define PVFS_SPAN(name) \
+  ::pvfs::obs::ScopedSpan PVFS_SPAN_CONCAT(pvfs_span_, __LINE__)(name)
+
+}  // namespace pvfs::obs

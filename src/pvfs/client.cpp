@@ -6,6 +6,10 @@
 #include <cstring>
 #include <thread>
 
+#include "common/request_id.hpp"
+#include "fault/fault.hpp"
+#include "obs/span.hpp"
+
 namespace pvfs {
 
 std::vector<ExtentList> ChunkRegions(std::span<const Extent> regions,
@@ -79,6 +83,10 @@ class StreamCursor {
 
 Result<DecodedResponse> Client::SealedCall(
     const Endpoint& dest, std::vector<std::byte> request) const {
+  // Every round trip gets a fresh request id; SealFrame stamps it into the
+  // frame trailer so server-side spans can be stitched to this call.
+  obs::RequestIdScope id_scope(obs::NextRequestId());
+  PVFS_SPAN("client.call");
   PVFS_ASSIGN_OR_RETURN(
       std::vector<std::byte> raw,
       transport_->Call(dest, SealFrame(std::move(request))));
@@ -181,6 +189,7 @@ Status Client::TryLockRange(Fd fd, Extent range, bool exclusive) {
 }
 
 Status Client::LockRange(Fd fd, Extent range, bool exclusive) {
+  PVFS_SPAN("client.lock_range");
   std::chrono::microseconds backoff = options_.lock_initial_backoff;
   for (std::uint32_t attempt = 1;; ++attempt) {
     Status status = TryLockRange(fd, range, exclusive);
@@ -191,7 +200,9 @@ Status Client::LockRange(Fd fd, Extent range, bool exclusive) {
     }
     std::this_thread::sleep_for(backoff);
     backoff_us_ += static_cast<std::uint64_t>(backoff.count());
-    backoff = std::min(backoff * 2, options_.lock_max_backoff);
+    backoff = NextBackoff(backoff, options_.lock_initial_backoff,
+                          options_.lock_max_backoff,
+                          fault::kSiteLockBackoff, lock_owner_, attempt);
   }
 }
 
@@ -251,15 +262,46 @@ Result<std::vector<std::byte>> Client::ExchangeOnce(
   return std::move(resp.body);
 }
 
+std::chrono::microseconds Client::NextBackoff(
+    std::chrono::microseconds prev, std::chrono::microseconds initial,
+    std::chrono::microseconds cap, std::uint32_t site, std::uint64_t stream,
+    std::uint64_t seq) const {
+  if (!options_.retry.jitter) return std::min(prev * 2, cap);
+  // Decorrelated jitter: uniform in [initial, 3*prev]. Grows about as fast
+  // as doubling in expectation, but concurrent clients that failed
+  // together spread out instead of re-colliding in lockstep. The draw is
+  // a pure hash of (seed, site, stream, attempt), so a client's schedule
+  // is reproducible and independent of thread interleaving.
+  const double u = fault::HashedUniform(options_.retry.jitter_seed, site,
+                                        stream, seq, 0);
+  const double lo = static_cast<double>(initial.count());
+  const double hi = static_cast<double>(prev.count()) * 3.0;
+  const double next = lo + u * std::max(0.0, hi - lo);
+  return std::min(
+      std::chrono::microseconds(static_cast<std::int64_t>(next)), cap);
+}
+
 Result<std::vector<std::byte>> Client::ExchangeWithServer(
     const OpenFile& file, ServerId relative, const IoRequest& request) const {
+  PVFS_SPAN("client.exchange");
   const RetryPolicy& policy = options_.retry;
+  // Distinct jitter stream per (client, server): mix the client's unique
+  // lock-owner token with the server id.
+  const std::uint64_t stream =
+      lock_owner_ * 0x9E3779B97F4A7C15ull ^ static_cast<std::uint64_t>(relative);
   std::chrono::microseconds backoff = policy.initial_backoff;
   std::uint32_t attempt = 1;
   while (true) {
     auto result = ExchangeOnce(file, relative, request);
-    if (result.ok() || !IsRetryable(result.status().code()) ||
-        policy.max_attempts <= 1) {
+    if (result.ok() || !IsRetryable(result.status().code())) {
+      return result;
+    }
+    if (policy.max_attempts <= 1) {
+      // Fail-fast still exhausts its (single-attempt) budget: count it, or
+      // the "exchanges that ran out of attempts" counter under-reports
+      // exactly when retries are disabled. The original error is
+      // surfaced unchanged.
+      ++retry_exhausted_;
       return result;
     }
     if (attempt >= policy.max_attempts) {
@@ -273,7 +315,8 @@ Result<std::vector<std::byte>> Client::ExchangeWithServer(
     ++retries_;
     std::this_thread::sleep_for(backoff);
     backoff_us_ += static_cast<std::uint64_t>(backoff.count());
-    backoff = std::min(backoff * 2, policy.max_backoff);
+    backoff = NextBackoff(backoff, policy.initial_backoff, policy.max_backoff,
+                          fault::kSiteRetryBackoff, stream, attempt);
   }
 }
 
@@ -464,6 +507,56 @@ Status Client::Write(Fd fd, FileOffset offset,
   const Extent mem[] = {{0, data.size()}};
   const Extent file[] = {{offset, data.size()}};
   return WriteList(fd, mem, data, file);
+}
+
+// ---- Observability ----------------------------------------------------------
+
+void Client::ExportMetrics(obs::Registry& reg, const obs::Labels& base) const {
+  reg.Counter("client.operations", base).Set(stats_.operations);
+  reg.Counter("client.fs_requests", base).Set(stats_.fs_requests);
+  reg.Counter("client.messages", base).Set(stats_.messages);
+  reg.Counter("client.regions_sent", base).Set(stats_.regions_sent);
+  reg.Counter("client.bytes_read", base).Set(stats_.bytes_read);
+  reg.Counter("client.bytes_written", base).Set(stats_.bytes_written);
+  reg.Counter("client.manager_messages", base).Set(stats_.manager_messages);
+  const RetryCounters retry = retry_counters();
+  reg.Counter("client.retries", base).Set(retry.retries);
+  reg.Counter("client.retry_exhausted", base).Set(retry.exhausted);
+  reg.Counter("client.backoff_us", base).Set(retry.backoff_us);
+  reg.Counter("client.corruptions", base).Set(retry.corruptions);
+}
+
+obs::JsonValue Client::StatsJson() const {
+  obs::JsonValue out = obs::JsonValue::Object();
+  out.Set("operations", obs::JsonValue(stats_.operations));
+  out.Set("fs_requests", obs::JsonValue(stats_.fs_requests));
+  out.Set("messages", obs::JsonValue(stats_.messages));
+  out.Set("regions_sent", obs::JsonValue(stats_.regions_sent));
+  out.Set("bytes_read", obs::JsonValue(stats_.bytes_read));
+  out.Set("bytes_written", obs::JsonValue(stats_.bytes_written));
+  out.Set("manager_messages", obs::JsonValue(stats_.manager_messages));
+  const RetryCounters retry = retry_counters();
+  out.Set("retries", obs::JsonValue(retry.retries));
+  out.Set("retry_exhausted", obs::JsonValue(retry.exhausted));
+  out.Set("backoff_us", obs::JsonValue(retry.backoff_us));
+  out.Set("corruptions", obs::JsonValue(retry.corruptions));
+  return out;
+}
+
+Result<std::string> Client::FetchServerStats(int server) {
+  Endpoint dest = server < 0
+                      ? Endpoint::ManagerNode()
+                      : Endpoint::Iod(static_cast<ServerId>(server));
+  if (server < 0) {
+    ++stats_.manager_messages;
+  } else {
+    ++stats_.messages;
+  }
+  PVFS_ASSIGN_OR_RETURN(DecodedResponse resp,
+                        SealedCall(dest, StatsRequest{}.Encode()));
+  if (!resp.status.ok()) return resp.status;
+  PVFS_ASSIGN_OR_RETURN(StatsResponse stats, StatsResponse::Decode(resp.body));
+  return stats.json;
 }
 
 }  // namespace pvfs

@@ -23,6 +23,8 @@
 
 #include "common/extent.hpp"
 #include "common/status.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "pvfs/config.hpp"
 #include "pvfs/distribution.hpp"
 #include "pvfs/protocol.hpp"
@@ -70,10 +72,20 @@ class Client {
     /// Total attempts per exchange; 1 = fail fast (the historical
     /// behaviour, and the default).
     std::uint32_t max_attempts = 1;
-    /// Backoff doubles from `initial_backoff` up to the `max_backoff`
-    /// cap between attempts.
+    /// Backoff grows from `initial_backoff` up to the `max_backoff` cap
+    /// between attempts: decorrelated jitter by default (next drawn
+    /// uniformly from [initial, 3*previous], capped), plain doubling when
+    /// `jitter` is off. Pure exponential backoff synchronizes concurrent
+    /// clients that fail together — they all retry together, collide
+    /// again, and re-dilate in lockstep; the jitter draws are hashed from
+    /// (jitter_seed, site, lock owner, server, attempt) via
+    /// fault::HashedUniform, so schedules stay deterministic per client
+    /// and independent of thread interleaving while distinct clients
+    /// decorrelate.
     std::chrono::microseconds initial_backoff{100};
     std::chrono::microseconds max_backoff{10'000};
+    bool jitter = true;
+    std::uint64_t jitter_seed = 1;
   };
 
   /// Client-side recovery counters (atomic: exchanges retry concurrently
@@ -163,6 +175,15 @@ class Client {
     return {retries_.load(), retry_exhausted_.load(), backoff_us_.load(),
             corruptions_.load()};
   }
+  /// Mirror this client's counters (ClientStats + RetryCounters) into a
+  /// metrics registry as "client.*" counters with the given base labels.
+  void ExportMetrics(obs::Registry& reg, const obs::Labels& base = {}) const;
+  /// The same counters as one JSON object.
+  obs::JsonValue StatsJson() const;
+
+  /// Fetch the manager's (server < 0) or an iod's stats snapshot as a
+  /// JSON text via the kStats protocol message.
+  Result<std::string> FetchServerStats(int server = -1);
   std::uint32_t max_list_regions() const { return options_.max_list_regions; }
   ListChunking chunking() const { return options_.chunking; }
   /// Number of I/O daemons reachable through the underlying transport.
@@ -215,6 +236,16 @@ class Client {
                                               const IoRequest& request) const;
 
   static std::uint64_t NextLockOwner();
+
+  /// Next backoff after sleeping `prev`: decorrelated jitter (uniform in
+  /// [initial, 3*prev], capped) when the policy enables it, else plain
+  /// doubling. `site`/`seq` address the deterministic hash draw.
+  std::chrono::microseconds NextBackoff(std::chrono::microseconds prev,
+                                        std::chrono::microseconds initial,
+                                        std::chrono::microseconds cap,
+                                        std::uint32_t site,
+                                        std::uint64_t stream,
+                                        std::uint64_t seq) const;
 
   Transport* transport_;
   Options options_;

@@ -1,6 +1,10 @@
 #include "pvfs/iod.hpp"
 
 #include <cstring>
+#include <string>
+
+#include "common/request_id.hpp"
+#include "obs/span.hpp"
 
 namespace pvfs {
 
@@ -21,6 +25,7 @@ LocalStore::ScrubStats IoDaemon::Scrub() {
 }
 
 Result<IoResponse> IoDaemon::Serve(const IoRequest& req) {
+  PVFS_SPAN("iod.serve");
   // A restarted daemon recovers its store before serving anything, so the
   // first post-crash request sees replayed-or-rolled-back (consistent)
   // state, never a torn write.
@@ -155,6 +160,10 @@ std::vector<std::byte> IoDaemon::HandleMessage(
       store_.Remove(req->handle);
       return EncodeResponse(Status::Ok(), {});
     }
+    case MsgType::kStats: {
+      StatsResponse resp{StatsJson().Dump()};
+      return EncodeResponse(Status::Ok(), resp.Encode());
+    }
     default:
       return EncodeResponse(
           InvalidArgument("message type not handled by iod"), {});
@@ -163,12 +172,61 @@ std::vector<std::byte> IoDaemon::HandleMessage(
 
 std::vector<std::byte> IoDaemon::HandleSealedMessage(
     std::span<const std::byte> raw) {
-  auto payload = OpenFrame(raw);
-  if (!payload.ok()) {
+  auto opened = OpenFrameWithId(raw);
+  if (!opened.ok()) {
     ++stats_.corruptions_detected;
-    return SealFrame(EncodeResponse(payload.status(), {}));
+    return SealFrame(EncodeResponse(opened.status(), {}));
   }
-  return SealFrame(HandleMessage(*payload));
+  // Adopt the caller's request id so iod-side spans and the sealed
+  // response stitch to the client call that caused them.
+  obs::RequestIdScope id_scope(opened->request_id);
+  PVFS_SPAN("iod.handle");
+  return SealFrame(HandleMessage(opened->payload));
+}
+
+obs::JsonValue IoDaemon::StatsJson() const {
+  obs::JsonValue out = obs::JsonValue::Object();
+  out.Set("role", obs::JsonValue("iod"));
+  out.Set("server", obs::JsonValue(static_cast<std::uint64_t>(id_)));
+  out.Set("requests", obs::JsonValue(stats_.requests));
+  out.Set("regions", obs::JsonValue(stats_.regions));
+  out.Set("local_accesses", obs::JsonValue(stats_.local_accesses));
+  out.Set("bytes_read", obs::JsonValue(stats_.bytes_read));
+  out.Set("bytes_written", obs::JsonValue(stats_.bytes_written));
+  out.Set("injected_errors", obs::JsonValue(stats_.injected_errors));
+  out.Set("corruptions_detected",
+          obs::JsonValue(stats_.corruptions_detected));
+  out.Set("journal_replays", obs::JsonValue(stats_.journal_replays));
+  out.Set("journal_rollbacks", obs::JsonValue(stats_.journal_rollbacks));
+  out.Set("torn_writes", obs::JsonValue(stats_.torn_writes));
+  out.Set("scrub_chunks_scanned",
+          obs::JsonValue(stats_.scrub_chunks_scanned));
+  out.Set("scrub_corruptions", obs::JsonValue(stats_.scrub_corruptions));
+  out.Set("scrub_repairs", obs::JsonValue(stats_.scrub_repairs));
+  return out;
+}
+
+void IoDaemon::ExportMetrics(obs::Registry& reg,
+                             const obs::Labels& base) const {
+  obs::Labels labels = base;
+  labels.push_back({"server", std::to_string(id_)});
+  reg.Counter("iod.requests", labels).Set(stats_.requests);
+  reg.Counter("iod.regions", labels).Set(stats_.regions);
+  reg.Counter("iod.local_accesses", labels).Set(stats_.local_accesses);
+  reg.Counter("iod.bytes_read", labels).Set(stats_.bytes_read);
+  reg.Counter("iod.bytes_written", labels).Set(stats_.bytes_written);
+  reg.Counter("iod.injected_errors", labels).Set(stats_.injected_errors);
+  reg.Counter("iod.corruptions_detected", labels)
+      .Set(stats_.corruptions_detected);
+  reg.Counter("iod.journal_replays", labels).Set(stats_.journal_replays);
+  reg.Counter("iod.journal_rollbacks", labels)
+      .Set(stats_.journal_rollbacks);
+  reg.Counter("iod.torn_writes", labels).Set(stats_.torn_writes);
+  reg.Counter("iod.scrub_chunks_scanned", labels)
+      .Set(stats_.scrub_chunks_scanned);
+  reg.Counter("iod.scrub_corruptions", labels)
+      .Set(stats_.scrub_corruptions);
+  reg.Counter("iod.scrub_repairs", labels).Set(stats_.scrub_repairs);
 }
 
 }  // namespace pvfs

@@ -15,6 +15,8 @@
 
 #include "common/status.hpp"
 #include "fault/fault.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "pvfs/config.hpp"
 #include "pvfs/distribution.hpp"
 #include "pvfs/protocol.hpp"
@@ -81,6 +83,11 @@ class IoDaemon {
     std::uint64_t scrub_repairs = 0;
   };
   const Stats& stats() const { return stats_; }
+  /// The counters as one JSON object (the kStats response body).
+  obs::JsonValue StatsJson() const;
+  /// Mirror the counters into a metrics registry as "iod.*" with a
+  /// server=<id> label appended to `base`.
+  void ExportMetrics(obs::Registry& reg, const obs::Labels& base = {}) const;
 
  private:
   ServerId id_;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/request_id.hpp"
+#include "obs/span.hpp"
+
 namespace pvfs {
 
 Result<Metadata> Manager::Create(const std::string& name, Striping striping) {
@@ -113,12 +116,17 @@ std::size_t Manager::LockCount(FileHandle handle) const {
 
 std::vector<std::byte> Manager::HandleSealedMessage(
     std::span<const std::byte> raw) {
-  auto payload = OpenFrame(raw);
-  if (!payload.ok()) {
+  auto opened = OpenFrameWithId(raw);
+  if (!opened.ok()) {
     ++stats_.corruptions_detected;
-    return SealFrame(EncodeResponse(payload.status(), {}));
+    return SealFrame(EncodeResponse(opened.status(), {}));
   }
-  return SealFrame(HandleMessage(*payload));
+  // Adopt the caller's request id for the scope of this request so
+  // manager-side spans (and the sealed response) stitch to the client
+  // call that caused them.
+  obs::RequestIdScope id_scope(opened->request_id);
+  PVFS_SPAN("manager.handle");
+  return SealFrame(HandleMessage(opened->payload));
 }
 
 std::vector<std::byte> Manager::HandleMessage(std::span<const std::byte> raw) {
@@ -179,10 +187,37 @@ std::vector<std::byte> Manager::HandleMessage(std::span<const std::byte> raw) {
       if (!req.ok()) return EncodeResponse(req.status(), {});
       return EncodeResponse(Unlock(req->handle, req->range, req->owner), {});
     }
+    case MsgType::kStats: {
+      StatsResponse resp{StatsJson().Dump()};
+      return EncodeResponse(Status::Ok(), resp.Encode());
+    }
     default:
       return EncodeResponse(
           InvalidArgument("message type not handled by manager"), {});
   }
+}
+
+obs::JsonValue Manager::StatsJson() const {
+  obs::JsonValue out = obs::JsonValue::Object();
+  out.Set("role", obs::JsonValue("manager"));
+  out.Set("requests", obs::JsonValue(stats_.requests));
+  out.Set("creates", obs::JsonValue(stats_.creates));
+  out.Set("lookups", obs::JsonValue(stats_.lookups));
+  out.Set("corruptions_detected",
+          obs::JsonValue(stats_.corruptions_detected));
+  out.Set("files", obs::JsonValue(static_cast<std::uint64_t>(file_count())));
+  return out;
+}
+
+void Manager::ExportMetrics(obs::Registry& reg,
+                            const obs::Labels& base) const {
+  reg.Counter("manager.requests", base).Set(stats_.requests);
+  reg.Counter("manager.creates", base).Set(stats_.creates);
+  reg.Counter("manager.lookups", base).Set(stats_.lookups);
+  reg.Counter("manager.corruptions_detected", base)
+      .Set(stats_.corruptions_detected);
+  reg.Gauge("manager.files", base)
+      .Set(static_cast<std::int64_t>(file_count()));
 }
 
 }  // namespace pvfs

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "pvfs/protocol.hpp"
 
 namespace pvfs {
@@ -65,6 +67,10 @@ class Manager {
     std::uint64_t corruptions_detected = 0;  // corrupt frames rejected
   };
   const Stats& stats() const { return stats_; }
+  /// The counters as one JSON object (the kStats response body).
+  obs::JsonValue StatsJson() const;
+  /// Mirror the counters into a metrics registry as "manager.*".
+  void ExportMetrics(obs::Registry& reg, const obs::Labels& base = {}) const;
 
  private:
   struct RangeLock {

@@ -282,12 +282,35 @@ Result<RemoveDataRequest> RemoveDataRequest::Decode(WireReader& r) {
   return req;
 }
 
+std::vector<std::byte> StatsRequest::Encode() const {
+  WireWriter w;
+  w.U32(static_cast<std::uint32_t>(MsgType::kStats));
+  return w.Take();
+}
+
+Result<StatsRequest> StatsRequest::Decode(WireReader&) {
+  return StatsRequest{};
+}
+
+std::vector<std::byte> StatsResponse::Encode() const {
+  WireWriter w;
+  w.String(json);
+  return w.Take();
+}
+
+Result<StatsResponse> StatsResponse::Decode(std::span<const std::byte> raw) {
+  WireReader r(raw);
+  StatsResponse resp;
+  PVFS_ASSIGN_OR_RETURN(resp.json, r.String());
+  return resp;
+}
+
 // ---- Envelope helpers ---------------------------------------------------
 
 Result<MsgType> PeekType(std::span<const std::byte> raw) {
   WireReader r(raw);
   PVFS_ASSIGN_OR_RETURN(std::uint32_t t, r.U32());
-  if (t < 1 || t > 10) return ProtocolError("unknown message type");
+  if (t < 1 || t > 11) return ProtocolError("unknown message type");
   return static_cast<MsgType>(t);
 }
 

@@ -32,6 +32,7 @@ enum class MsgType : std::uint32_t {
   kListNames = 8,   // manager: enumerate names under a prefix
   kLock = 9,        // manager: try-acquire an advisory byte-range lock
   kUnlock = 10,     // manager: release a byte-range lock
+  kStats = 11,      // manager/iod: stats snapshot as JSON text
 };
 
 enum class IoOp : std::uint8_t { kRead = 0, kWrite = 1 };
@@ -163,6 +164,25 @@ struct RemoveDataRequest {
 
   std::vector<std::byte> Encode() const;
   static Result<RemoveDataRequest> Decode(WireReader& r);
+};
+
+// ---- Stats (manager and iod) --------------------------------------------
+
+/// Ask a daemon for its counters. Served by both the manager and the I/O
+/// daemons; the body is empty.
+struct StatsRequest {
+  std::vector<std::byte> Encode() const;
+  static Result<StatsRequest> Decode(WireReader& r);
+};
+
+/// The daemon's stats snapshot, as JSON text (schema owned by the daemon;
+/// see docs/observability.md). JSON rather than fixed fields so servers
+/// can grow counters without a protocol rev.
+struct StatsResponse {
+  std::string json;
+
+  std::vector<std::byte> Encode() const;
+  static Result<StatsResponse> Decode(std::span<const std::byte> raw);
 };
 
 // ---- Envelope helpers ---------------------------------------------------

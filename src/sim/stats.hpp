@@ -24,12 +24,16 @@ class Accumulator {
   }
 
   std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
   double sum() const { return sum_; }
   double mean() const { return count_ ? mean_ : 0.0; }
   double variance() const {
     return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
   }
   double stddev() const { return std::sqrt(variance()); }
+  // min()/max() return 0.0 for an empty accumulator for numeric callers;
+  // JSON exports must use empty() and emit null instead, so an empty run
+  // is distinguishable from a zero-latency one (obs::AccumulatorJson).
   double min() const {
     return count_ ? min_ : 0.0;
   }
@@ -77,13 +81,18 @@ struct FaultCounters {
       default;
 };
 
-/// Fixed-boundary histogram for latency distributions.
+/// Fixed-boundary histogram for latency distributions. Values land in the
+/// first bucket whose upper bound exceeds them, overflow in the last
+/// bucket.
 class Histogram {
  public:
-  /// Boundaries must be strictly increasing; values land in the first
-  /// bucket whose upper bound exceeds them, overflow in the last bucket.
+  /// Boundaries are canonicalized at construction: sorted ascending with
+  /// duplicates and non-finite entries dropped. (They used to be trusted
+  /// verbatim, so non-increasing input silently misbucketed every Add —
+  /// std::upper_bound requires a sorted range.)
   explicit Histogram(std::vector<double> upper_bounds)
-      : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {}
+      : bounds_(Canonicalize(std::move(upper_bounds))),
+        counts_(bounds_.size() + 1, 0) {}
 
   void Add(double x) {
     auto it = std::upper_bound(bounds_.begin(), bounds_.end(), x);
@@ -91,13 +100,59 @@ class Histogram {
     acc_.Add(x);
   }
 
+  /// q in [0,1]: percentile estimated by linear interpolation within the
+  /// owning bucket, clamped to the observed min/max. NaN when empty.
+  double Quantile(double q) const {
+    if (acc_.empty()) return std::numeric_limits<double>::quiet_NaN();
+    q = std::clamp(q, 0.0, 1.0);
+    const double rank = q * static_cast<double>(acc_.count());
+    std::uint64_t seen = 0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] == 0) continue;
+      const double before = static_cast<double>(seen);
+      seen += counts_[i];
+      if (static_cast<double>(seen) < rank) continue;
+      double lo = i == 0 ? acc_.min() : bounds_[i - 1];
+      double hi = i < bounds_.size() ? bounds_[i] : acc_.max();
+      lo = std::max(lo, acc_.min());
+      hi = std::min(hi, acc_.max());
+      if (hi <= lo) return lo;
+      const double frac = std::clamp(
+          (rank - before) / static_cast<double>(counts_[i]), 0.0, 1.0);
+      return lo + (hi - lo) * frac;
+    }
+    return acc_.max();
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
   const std::vector<std::uint64_t>& counts() const { return counts_; }
   const Accumulator& summary() const { return acc_; }
 
  private:
+  static std::vector<double> Canonicalize(std::vector<double> bounds) {
+    std::erase_if(bounds, [](double b) { return !std::isfinite(b); });
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+    return bounds;
+  }
+
   std::vector<double> bounds_;
   std::vector<std::uint64_t> counts_;
   Accumulator acc_;
 };
+
+/// Log-spaced bucket boundaries covering [lo, hi] with `per_decade`
+/// buckets per factor of 10 (latency bucketing for request histograms).
+inline std::vector<double> LogLatencyBuckets(double lo, double hi,
+                                             int per_decade = 5) {
+  std::vector<double> bounds;
+  if (lo <= 0 || hi <= lo || per_decade <= 0) return bounds;
+  const double factor = std::pow(10.0, 1.0 / per_decade);
+  for (double b = lo; b < hi * factor; b *= factor) {
+    bounds.push_back(b);
+    if (bounds.size() > 512) break;
+  }
+  return bounds;
+}
 
 }  // namespace pvfs::sim

@@ -121,8 +121,10 @@ class SimCluster {
   /// The injector, or nullptr when fault injection is disabled.
   const fault::FaultInjector* fault_injector() const { return fault_.get(); }
 
-  /// Distribution of client-observed request latencies (seconds).
-  const sim::Accumulator& request_latency() const {
+  /// Distribution of client-observed request latencies (seconds), with
+  /// log-spaced buckets for percentile estimates. Recording is purely
+  /// observational — it never feeds back into simulated timing.
+  const sim::Histogram& request_latency() const {
     return request_latency_;
   }
 
@@ -190,7 +192,8 @@ class SimCluster {
   std::vector<std::unique_ptr<ClientNode>> clients_;
   sim::Resource rmw_token_;
   Counters counters_;
-  sim::Accumulator request_latency_;
+  sim::Histogram request_latency_{
+      sim::LogLatencyBuckets(1e-6, 1e3)};  // 1 us .. ~17 min
   std::vector<ServerLoad> server_load_;
 };
 

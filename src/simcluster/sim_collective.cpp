@@ -174,8 +174,13 @@ SimRunResult RunSimCollective(const SimClusterConfig& config, pvfs::IoOp op,
   result.total_seconds = result.io_seconds;
   result.counters = cluster.counters();
   result.events = cluster.simulator().EventsProcessed();
-  result.mean_request_latency_s = cluster.request_latency().mean();
-  result.max_request_latency_s = cluster.request_latency().max();
+  const sim::Histogram& latency = cluster.request_latency();
+  result.mean_request_latency_s = latency.summary().mean();
+  result.max_request_latency_s = latency.summary().max();
+  result.p50_request_latency_s = latency.Quantile(0.50);
+  result.p95_request_latency_s = latency.Quantile(0.95);
+  result.p99_request_latency_s = latency.Quantile(0.99);
+  result.request_latency_samples = latency.summary().count();
   result.server_load = cluster.server_load();
   return result;
 }

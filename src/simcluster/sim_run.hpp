@@ -52,6 +52,12 @@ struct SimRunResult {
   /// Client-observed request latency distribution (seconds).
   double mean_request_latency_s = 0.0;
   double max_request_latency_s = 0.0;
+  /// Percentiles from the cluster's latency histogram; NaN when the run
+  /// issued no requests (JSON export turns NaN into null).
+  double p50_request_latency_s = 0.0;
+  double p95_request_latency_s = 0.0;
+  double p99_request_latency_s = 0.0;
+  std::uint64_t request_latency_samples = 0;
   /// Per-server busy time (index = global server id).
   std::vector<SimCluster::ServerLoad> server_load;
   /// Injected-fault tally (all zero when config.fault is disabled).

@@ -1,0 +1,517 @@
+// Tests for the observability layer (src/obs): metrics registry with
+// label canonicalization, JSON model round-trips, span tracing with
+// cross-layer request-id propagation, the stats-over-the-wire protocol,
+// and regression tests for the bugs this layer's migration surfaced
+// (fail-fast retry accounting, synchronized backoff, histogram bound
+// canonicalization, empty-accumulator JSON).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/request_id.hpp"
+#include "common/wire.hpp"
+#include "fault/fault.hpp"
+#include "fault/fault_transport.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "sim/stats.hpp"
+#include "simcluster/sim_run.hpp"
+#include "simcluster/workload_streams.hpp"
+#include "test_cluster.hpp"
+#include "workloads/cyclic.hpp"
+
+namespace pvfs {
+namespace {
+
+using std::chrono::microseconds;
+
+constexpr Striping kStriping{0, 8, 16384};
+
+// ---- Metrics registry ---------------------------------------------------
+
+TEST(Registry, FindOrCreateCanonicalizesLabelOrder) {
+  obs::Registry reg;
+  obs::Counter& a = reg.Counter("reqs", {{"b", "2"}, {"a", "1"}});
+  obs::Counter& b = reg.Counter("reqs", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(&a, &b);  // same instrument regardless of label order
+
+  obs::Counter& c = reg.Counter("reqs", {{"a", "1"}, {"b", "3"}});
+  EXPECT_NE(&a, &c);
+  obs::Counter& d = reg.Counter("other", {{"a", "1"}, {"b", "2"}});
+  EXPECT_NE(&a, &d);
+
+  a.Increment(5);
+  EXPECT_EQ(b.value(), 5u);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Registry, GaugeSetAndAdd) {
+  obs::Registry reg;
+  obs::Gauge& g = reg.Gauge("open_files");
+  g.Set(7);
+  g.Add(-3);
+  EXPECT_EQ(g.value(), 4);
+  EXPECT_EQ(reg.Gauge("open_files").value(), 4);
+}
+
+TEST(Registry, HistogramQuantilesTrackObservations) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.Histogram("lat", {}, {1.0, 2.0, 4.0, 8.0, 16.0});
+  for (int i = 1; i <= 100; ++i) h.Observe(static_cast<double>(i) * 0.1);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.1);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  const double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 2.0);
+  EXPECT_LE(p50, 8.0);
+  EXPECT_LE(h.Quantile(0.1), h.Quantile(0.9));  // monotone
+  EXPECT_GE(h.Quantile(0.0), h.min());
+  EXPECT_LE(h.Quantile(1.0), h.max());
+}
+
+TEST(Registry, EmptyHistogramReportsNull) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.Histogram("lat");
+  EXPECT_TRUE(std::isnan(h.Quantile(0.5)));
+  obs::JsonValue summary = h.SummaryJson();
+  ASSERT_NE(summary.Find("min"), nullptr);
+  EXPECT_TRUE(summary.Find("min")->is_null());
+  EXPECT_TRUE(summary.Find("max")->is_null());
+  EXPECT_TRUE(summary.Find("p50")->is_null());
+  EXPECT_EQ(summary.Find("count")->as_uint(), 0u);
+}
+
+TEST(Registry, SnapshotShape) {
+  obs::Registry reg;
+  reg.Counter("ops", {{"method", "list"}}).Increment(3);
+  reg.Gauge("files").Set(2);
+  reg.Histogram("lat").Observe(0.5);
+
+  obs::JsonValue snap = reg.Snapshot();
+  ASSERT_TRUE(snap.is_object());
+  const obs::JsonValue* counters = snap.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_EQ(counters->size(), 1u);
+  const obs::JsonValue& row = counters->at(0);
+  EXPECT_EQ(row.Find("name")->as_string(), "ops");
+  EXPECT_EQ(row.Find("value")->as_uint(), 3u);
+  EXPECT_EQ(row.Find("labels")->Find("method")->as_string(), "list");
+  EXPECT_EQ(snap.Find("gauges")->size(), 1u);
+  EXPECT_EQ(snap.Find("histograms")->size(), 1u);
+}
+
+// ---- JSON model ---------------------------------------------------------
+
+TEST(Json, DumpParseRoundTrip) {
+  obs::JsonValue root = obs::JsonValue::Object();
+  root.Set("str", obs::JsonValue("he\"llo\n\t\\"));
+  root.Set("int", obs::JsonValue(std::int64_t{-42}));
+  root.Set("uint", obs::JsonValue(std::uint64_t{18446744073709551615ull}));
+  root.Set("dbl", obs::JsonValue(1.5));
+  root.Set("yes", obs::JsonValue(true));
+  root.Set("nil", obs::JsonValue::Null());
+  obs::JsonValue arr = obs::JsonValue::Array();
+  arr.Append(obs::JsonValue(1));
+  arr.Append(obs::JsonValue("two"));
+  root.Set("arr", std::move(arr));
+
+  for (int indent : {0, 2}) {
+    auto parsed = obs::JsonValue::Parse(root.Dump(indent));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->Find("str")->as_string(), "he\"llo\n\t\\");
+    EXPECT_EQ(parsed->Find("int")->as_int(), -42);
+    EXPECT_EQ(parsed->Find("uint")->Dump(), "18446744073709551615");
+    EXPECT_DOUBLE_EQ(parsed->Find("dbl")->as_double(), 1.5);
+    EXPECT_TRUE(parsed->Find("yes")->as_bool());
+    EXPECT_TRUE(parsed->Find("nil")->is_null());
+    ASSERT_EQ(parsed->Find("arr")->size(), 2u);
+    EXPECT_EQ(parsed->Find("arr")->at(1).as_string(), "two");
+  }
+}
+
+TEST(Json, NanDumpsAsNull) {
+  obs::JsonValue v(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(v.Dump(), "null");
+}
+
+TEST(Json, ParseRejectsTrailingGarbage) {
+  EXPECT_FALSE(obs::JsonValue::Parse("{} x").ok());
+  EXPECT_FALSE(obs::JsonValue::Parse("[1,]").ok());
+  EXPECT_TRUE(obs::JsonValue::Parse("  {\"a\": [1, 2]}  ").ok());
+}
+
+// ---- Export adapters ----------------------------------------------------
+
+TEST(Export, EmptyAccumulatorEmitsNullNotZero) {
+  sim::Accumulator acc;
+  obs::JsonValue empty = obs::AccumulatorJson(acc);
+  EXPECT_TRUE(empty.Find("min")->is_null());
+  EXPECT_TRUE(empty.Find("max")->is_null());
+  EXPECT_TRUE(empty.Find("mean")->is_null());
+  EXPECT_EQ(empty.Find("count")->as_uint(), 0u);
+
+  // A genuine zero sample must NOT read as null — that is the bug: with
+  // min()/max() returning 0.0 when empty, the two were indistinguishable.
+  acc.Add(0.0);
+  obs::JsonValue zero = obs::AccumulatorJson(acc);
+  ASSERT_TRUE(zero.Find("min")->is_number());
+  EXPECT_DOUBLE_EQ(zero.Find("min")->as_double(), 0.0);
+}
+
+TEST(Export, FaultCountersMirrorIntoRegistry) {
+  sim::FaultCounters faults;
+  faults.frames_dropped = 4;
+  faults.retransmits = 2;
+  obs::Registry reg;
+  obs::ExportFaultCounters(reg, faults, {{"op", "read"}});
+  EXPECT_EQ(reg.Counter("fault.frames_dropped", {{"op", "read"}}).value(),
+            4u);
+  EXPECT_EQ(reg.Counter("fault.retransmits", {{"op", "read"}}).value(), 2u);
+
+  obs::JsonValue json = obs::FaultCountersJson(faults);
+  EXPECT_EQ(json.Find("frames_dropped")->as_uint(), 4u);
+  EXPECT_EQ(json.Find("total")->as_uint(), faults.total());
+}
+
+// ---- sim::Histogram regressions -----------------------------------------
+
+TEST(SimHistogram, CanonicalizesNonIncreasingBounds) {
+  // Non-increasing, duplicated and non-finite bounds used to be trusted
+  // verbatim, breaking std::upper_bound's sorted-range requirement and
+  // silently misbucketing every Add.
+  sim::Histogram h({10.0, 1.0, 5.0, 5.0,
+                    std::numeric_limits<double>::infinity(),
+                    std::numeric_limits<double>::quiet_NaN()});
+  EXPECT_EQ(h.bounds(), (std::vector<double>{1.0, 5.0, 10.0}));
+
+  h.Add(0.5);   // bucket (-inf, 1]
+  h.Add(3.0);   // bucket (1, 5]
+  h.Add(7.0);   // bucket (5, 10]
+  h.Add(20.0);  // overflow
+  EXPECT_EQ(h.counts(), (std::vector<std::uint64_t>{1, 1, 1, 1}));
+}
+
+TEST(SimHistogram, QuantileClampedAndMonotone) {
+  sim::Histogram h(sim::LogLatencyBuckets(1e-6, 1e3));
+  EXPECT_TRUE(std::isnan(h.Quantile(0.5)));
+  for (int i = 0; i < 1000; ++i) h.Add(1e-3 * (1 + i % 10));
+  const double p50 = h.Quantile(0.5);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_GE(p50, h.summary().min());
+  EXPECT_LE(p99, h.summary().max());
+  EXPECT_LE(p50, p99);
+}
+
+// ---- Spans & request-id propagation -------------------------------------
+
+TEST(Spans, DisabledByDefaultRecordsNothing) {
+  obs::SetSpanTracing(false);
+  (void)obs::DrainSpans();
+  {
+    PVFS_SPAN("test.noop");
+  }
+  testutil::InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  auto fd = client.Create("f", kStriping);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(client.Close(*fd).ok());
+  EXPECT_TRUE(obs::DrainSpans().empty());
+}
+
+TEST(Spans, NestingDepthAndAmbientRequestId) {
+  obs::SetSpanTracing(true);
+  (void)obs::DrainSpans();
+  {
+    obs::RequestIdScope scope(1234);
+    PVFS_SPAN("outer");
+    {
+      PVFS_SPAN("inner");
+    }
+  }
+  obs::SetSpanTracing(false);
+  auto spans = obs::DrainSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Drain order is by start time: outer first.
+  EXPECT_STREQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_STREQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[0].request_id, 1234u);
+  EXPECT_EQ(spans[1].request_id, 1234u);
+  EXPECT_GE(spans[0].duration_ns, spans[1].duration_ns);
+}
+
+TEST(Spans, RequestIdPropagatesClientToManagerToIod) {
+  testutil::InProcCluster cluster;
+  Client client = cluster.MakeClient();
+
+  obs::SetSpanTracing(true);
+  (void)obs::DrainSpans();
+  auto fd = client.Create("f", kStriping);
+  ASSERT_TRUE(fd.ok());
+  ByteBuffer data(3 * 16384);
+  FillPattern(data, 5, 0);
+  ASSERT_TRUE(client.Write(*fd, 0, data).ok());
+  ASSERT_TRUE(client.Close(*fd).ok());
+  obs::SetSpanTracing(false);
+
+  auto spans = obs::DrainSpans();
+  std::vector<std::uint64_t> client_ids;
+  bool saw_manager = false;
+  bool saw_iod = false;
+  for (const auto& s : spans) {
+    if (std::string_view(s.name) == "client.call") {
+      EXPECT_NE(s.request_id, 0u);
+      client_ids.push_back(s.request_id);
+    }
+  }
+  ASSERT_FALSE(client_ids.empty());
+  // Every daemon-side span carries the id the client sealed into the
+  // frame for that exchange — the cross-layer stitch.
+  for (const auto& s : spans) {
+    const std::string_view name(s.name);
+    if (name != "manager.handle" && name != "iod.handle") continue;
+    (name == "manager.handle" ? saw_manager : saw_iod) = true;
+    EXPECT_NE(s.request_id, 0u);
+    EXPECT_NE(std::find(client_ids.begin(), client_ids.end(), s.request_id),
+              client_ids.end())
+        << name << " span has request id " << s.request_id
+        << " not allocated by any client.call";
+  }
+  EXPECT_TRUE(saw_manager);
+  EXPECT_TRUE(saw_iod);
+
+  obs::JsonValue json = obs::SpansJson(spans);
+  ASSERT_TRUE(json.is_array());
+  EXPECT_EQ(json.size(), spans.size());
+}
+
+TEST(Wire, FrameRoundTripsRequestId) {
+  std::vector<std::byte> payload{std::byte{1}, std::byte{2}, std::byte{3}};
+  auto sealed = SealFrameWithId(payload, 0xDEADBEEFCAFEull);
+  EXPECT_EQ(sealed.size(), payload.size() + kFrameTrailerBytes);
+  auto opened = OpenFrameWithId(sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened->request_id, 0xDEADBEEFCAFEull);
+  EXPECT_TRUE(std::equal(opened->payload.begin(), opened->payload.end(),
+                         payload.begin(), payload.end()));
+  // Plain OpenFrame still verifies and strips the whole trailer.
+  auto plain = OpenFrame(sealed);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->size(), payload.size());
+}
+
+// ---- Stats over the wire (kStats) ---------------------------------------
+
+TEST(Stats, FetchServerStatsReturnsParseableJson) {
+  testutil::InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  auto fd = client.Create("f", kStriping);
+  ASSERT_TRUE(fd.ok());
+  ByteBuffer data(16384);
+  FillPattern(data, 9, 0);
+  ASSERT_TRUE(client.Write(*fd, 0, data).ok());
+  ASSERT_TRUE(client.Close(*fd).ok());
+
+  auto mgr = client.FetchServerStats(-1);
+  ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+  auto mgr_json = obs::JsonValue::Parse(*mgr);
+  ASSERT_TRUE(mgr_json.ok());
+  EXPECT_EQ(mgr_json->Find("role")->as_string(), "manager");
+  EXPECT_GE(mgr_json->Find("requests")->as_uint(), 2u);  // create+close
+
+  auto iod = client.FetchServerStats(0);
+  ASSERT_TRUE(iod.ok());
+  auto iod_json = obs::JsonValue::Parse(*iod);
+  ASSERT_TRUE(iod_json.ok());
+  EXPECT_EQ(iod_json->Find("role")->as_string(), "iod");
+  EXPECT_EQ(iod_json->Find("server")->as_uint(), 0u);
+}
+
+TEST(Stats, ComponentsExportMetricsIntoOneRegistry) {
+  testutil::InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  auto fd = client.Create("f", kStriping);
+  ASSERT_TRUE(fd.ok());
+  ByteBuffer data(2 * 16384);
+  FillPattern(data, 3, 0);
+  ASSERT_TRUE(client.Write(*fd, 0, data).ok());
+  ASSERT_TRUE(client.Close(*fd).ok());
+
+  obs::Registry reg;
+  client.ExportMetrics(reg, {{"component", "client"}});
+  cluster.manager.ExportMetrics(reg);
+  for (auto& iod : cluster.iods) iod->ExportMetrics(reg);
+
+  EXPECT_GE(reg.Counter("client.operations", {{"component", "client"}})
+                .value(),
+            1u);
+  EXPECT_GE(reg.Counter("manager.requests").value(), 2u);
+  // The write touched iods 0 and 1; their per-server labels keep the
+  // instruments distinct in one registry.
+  EXPECT_GE(reg.Counter("iod.bytes_written", {{"server", "0"}}).value(),
+            16384u);
+  EXPECT_GE(reg.Counter("iod.bytes_written", {{"server", "1"}}).value(),
+            16384u);
+}
+
+// ---- Bugfix regressions -------------------------------------------------
+
+// ExchangeWithServer with max_attempts <= 1 (fail fast) used to return
+// the retryable error WITHOUT counting the exchange as exhausted, so the
+// counter under-reported exactly when retries were disabled.
+TEST(RetryRegression, FailFastCountsExhaustedAndKeepsOriginalError) {
+  testutil::InProcCluster cluster;
+  Client reliable = cluster.MakeClient();
+  auto fd = reliable.Create("f", kStriping);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(reliable.Close(*fd).ok());
+
+  fault::FaultConfig config;
+  config.crash_rate = 1.0;  // every iod call refused with kUnavailable
+  config.crash_down_calls = 1000;
+  fault::FaultInjector injector(config);
+  fault::FaultInjectingTransport faulty(cluster.transport.get(), &injector);
+
+  Client::Options options;
+  options.retry.max_attempts = 1;  // historical fail-fast default
+  Client client(&faulty, options);
+  auto fd2 = client.Open("f");
+  ASSERT_TRUE(fd2.ok());
+  ByteBuffer data(16384);
+  Status s = client.Write(*fd2, 0, data);
+  ASSERT_FALSE(s.ok());
+  // The original retryable error surfaces unchanged (not rewrapped as
+  // kDeadlineExceeded by the retry loop).
+  EXPECT_EQ(s.code(), ErrorCode::kUnavailable);
+  EXPECT_GE(client.retry_counters().exhausted, 1u);
+  EXPECT_EQ(client.retry_counters().retries, 0u);
+}
+
+TEST(RetryRegression, ExhaustedBudgetStillCountsWithRetriesEnabled) {
+  testutil::InProcCluster cluster;
+  Client reliable = cluster.MakeClient();
+  auto fd = reliable.Create("f", kStriping);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(reliable.Close(*fd).ok());
+
+  fault::FaultConfig config;
+  config.crash_rate = 1.0;
+  config.crash_down_calls = 1000;
+  fault::FaultInjector injector(config);
+  fault::FaultInjectingTransport faulty(cluster.transport.get(), &injector);
+
+  Client::Options options;
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff = microseconds{1};
+  options.retry.max_backoff = microseconds{8};
+  Client client(&faulty, options);
+  auto fd2 = client.Open("f");
+  ASSERT_TRUE(fd2.ok());
+  ByteBuffer data(16384);
+  Status s = client.Write(*fd2, 0, data);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_GE(client.retry_counters().exhausted, 1u);
+  EXPECT_GE(client.retry_counters().retries, 2u);
+}
+
+// Both client backoff loops used pure exponential doubling: concurrent
+// clients that failed together retried together, collided again, and
+// re-dilated in lockstep. The fix draws decorrelated jitter from the
+// deterministic hashed-seed scheme.
+TEST(RetryRegression, BackoffDoublesWithJitterOffAndVariesWithJitterOn) {
+  auto run_faulty_write = [](Client::RetryPolicy retry) {
+    testutil::InProcCluster cluster;
+    Client reliable = cluster.MakeClient();
+    auto fd = reliable.Create("f", kStriping);
+    EXPECT_TRUE(fd.ok());
+    EXPECT_TRUE(reliable.Close(*fd).ok());
+
+    fault::FaultConfig config;
+    config.crash_rate = 1.0;
+    config.crash_down_calls = 1000;
+    fault::FaultInjector injector(config);
+    fault::FaultInjectingTransport faulty(cluster.transport.get(),
+                                          &injector);
+    Client::Options options;
+    options.retry = retry;
+    Client client(&faulty, options);
+    auto fd2 = client.Open("f");
+    EXPECT_TRUE(fd2.ok());
+    ByteBuffer data(16384);
+    (void)client.Write(*fd2, 0, data);
+    return client.retry_counters();
+  };
+
+  Client::RetryPolicy doubling;
+  doubling.max_attempts = 4;
+  doubling.initial_backoff = microseconds{100};
+  doubling.max_backoff = microseconds{10000};
+  doubling.jitter = false;
+  // Sleeps: 100, 200, 400 — exact doubling from initial.
+  EXPECT_EQ(run_faulty_write(doubling).backoff_us, 700u);
+
+  Client::RetryPolicy jittered = doubling;
+  jittered.jitter = true;
+  const std::uint64_t total = run_faulty_write(jittered).backoff_us;
+  // First sleep is always `initial`; each later one is drawn from
+  // [initial, min(cap, 3*prev)].
+  EXPECT_GE(total, 300u);
+  EXPECT_LE(total, 100u + 2 * 10000u);
+}
+
+TEST(RetryRegression, JitterDrawsAreDeterministicPerAddress) {
+  const double u =
+      fault::HashedUniform(1, fault::kSiteRetryBackoff, 42, 2, 0);
+  EXPECT_EQ(u, fault::HashedUniform(1, fault::kSiteRetryBackoff, 42, 2, 0));
+  EXPECT_GE(u, 0.0);
+  EXPECT_LT(u, 1.0);
+  // Distinct streams / sequence numbers / seeds decorrelate.
+  EXPECT_NE(u, fault::HashedUniform(1, fault::kSiteRetryBackoff, 43, 2, 0));
+  EXPECT_NE(u, fault::HashedUniform(1, fault::kSiteRetryBackoff, 42, 3, 0));
+  EXPECT_NE(u, fault::HashedUniform(2, fault::kSiteRetryBackoff, 42, 2, 0));
+  EXPECT_NE(u, fault::HashedUniform(1, fault::kSiteLockBackoff, 42, 2, 0));
+}
+
+// ---- Zero overhead when disabled ----------------------------------------
+
+// The sim results the figures are built from must be bit-identical with
+// span tracing on or off: spans observe, they never feed back into
+// simulated timing.
+TEST(ZeroOverhead, SimResultsIdenticalWithSpansOnOrOff) {
+  workloads::CyclicConfig config{4 * 1024 * 1024, 4, 2000};
+  simcluster::SimWorkload workload;
+  workload.file_regions = [config](Rank r) {
+    return std::make_unique<simcluster::CyclicStream>(config, r);
+  };
+  auto run = [&] {
+    return simcluster::RunSimWorkload(simcluster::ChibaCityConfig(4),
+                                      io::MethodType::kList, IoOp::kRead,
+                                      workload);
+  };
+
+  obs::SetSpanTracing(false);
+  auto baseline = run();
+  obs::SetSpanTracing(true);
+  auto traced = run();
+  obs::SetSpanTracing(false);
+  (void)obs::DrainSpans();
+
+  EXPECT_EQ(baseline.io_seconds, traced.io_seconds);  // bitwise, no epsilon
+  EXPECT_EQ(baseline.total_seconds, traced.total_seconds);
+  EXPECT_EQ(baseline.counters.fs_requests, traced.counters.fs_requests);
+  EXPECT_EQ(baseline.counters.messages, traced.counters.messages);
+  EXPECT_EQ(baseline.events, traced.events);
+  EXPECT_EQ(baseline.mean_request_latency_s, traced.mean_request_latency_s);
+  EXPECT_EQ(baseline.p99_request_latency_s, traced.p99_request_latency_s);
+}
+
+}  // namespace
+}  // namespace pvfs

@@ -1,0 +1,193 @@
+// bench_json_check: validate BENCH_<name>.json files written by the
+// bench binaries (schema "pvfs-bench-v1"). CI runs the smoke-mode
+// benches and feeds every emitted file through this checker, so a bench
+// that silently drifts from the schema fails the build instead of
+// producing artifacts no tooling can read.
+//
+//   bench_json_check <file.json> [file.json ...]
+//
+// Exit 0 when every file validates; 1 otherwise, with one diagnostic
+// line per problem.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+using pvfs::obs::JsonValue;
+
+namespace {
+
+int g_errors = 0;
+
+void Fail(const char* path, const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n", path, message.c_str());
+  ++g_errors;
+}
+
+bool RequireNumber(const char* path, const JsonValue& obj,
+                   const char* key, const std::string& where) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) {
+    Fail(path, where + ": missing \"" + key + "\"");
+    return false;
+  }
+  if (!v->is_number()) {
+    Fail(path, where + ": \"" + key + "\" is not a number");
+    return false;
+  }
+  return true;
+}
+
+/// Latency stats may legitimately be null (no samples recorded).
+void RequireNumberOrNull(const char* path, const JsonValue& obj,
+                         const char* key, const std::string& where) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) {
+    Fail(path, where + ": missing \"" + key + "\"");
+  } else if (!v->is_number() && !v->is_null()) {
+    Fail(path, where + ": \"" + key + "\" is neither number nor null");
+  }
+}
+
+void CheckSimCell(const char* path, const JsonValue& cell,
+                  const std::string& where) {
+  for (const char* key : {"clients", "accesses", "io_seconds",
+                          "total_seconds", "fs_requests", "messages",
+                          "regions_sent", "bytes_to_servers",
+                          "bytes_from_servers", "events"}) {
+    RequireNumber(path, cell, key, where);
+  }
+  for (const char* key : {"method", "op"}) {
+    const JsonValue* v = cell.Find(key);
+    if (v == nullptr || !v->is_string() || v->as_string().empty()) {
+      Fail(path, where + ": \"" + key + "\" missing or not a string");
+    }
+  }
+  const JsonValue* latency = cell.Find("latency");
+  if (latency == nullptr || !latency->is_object()) {
+    Fail(path, where + ": missing \"latency\" object");
+  } else {
+    RequireNumber(path, *latency, "count", where + ".latency");
+    for (const char* key : {"mean", "max", "p50", "p95", "p99"}) {
+      RequireNumberOrNull(path, *latency, key, where + ".latency");
+    }
+  }
+  const JsonValue* faults = cell.Find("faults");
+  if (faults == nullptr || !faults->is_object()) {
+    Fail(path, where + ": missing \"faults\" object");
+  } else if (!faults->Has("total")) {
+    Fail(path, where + ".faults: missing \"total\"");
+  }
+}
+
+void CheckMetricRows(const char* path, const JsonValue& metrics,
+                     const char* section) {
+  const JsonValue* rows = metrics.Find(section);
+  if (rows == nullptr || !rows->is_array()) {
+    Fail(path, std::string("metrics: missing \"") + section + "\" array");
+    return;
+  }
+  for (size_t i = 0; i < rows->size(); ++i) {
+    const JsonValue& row = rows->at(i);
+    std::string where =
+        std::string("metrics.") + section + "[" + std::to_string(i) + "]";
+    if (!row.is_object()) {
+      Fail(path, where + ": not an object");
+      continue;
+    }
+    const JsonValue* name = row.Find("name");
+    if (name == nullptr || !name->is_string() || name->as_string().empty()) {
+      Fail(path, where + ": missing \"name\"");
+    }
+    const JsonValue* labels = row.Find("labels");
+    if (labels == nullptr || !labels->is_object()) {
+      Fail(path, where + ": missing \"labels\" object");
+    }
+  }
+}
+
+void CheckFile(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    Fail(path, "cannot open");
+    return;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = JsonValue::Parse(buffer.str());
+  if (!parsed.ok()) {
+    Fail(path, "parse error: " + parsed.status().ToString());
+    return;
+  }
+  const JsonValue& root = *parsed;
+  if (!root.is_object()) {
+    Fail(path, "top level is not an object");
+    return;
+  }
+  const JsonValue* schema = root.Find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "pvfs-bench-v1") {
+    Fail(path, "\"schema\" is not \"pvfs-bench-v1\"");
+  }
+  for (const char* key : {"name", "description", "scale"}) {
+    const JsonValue* v = root.Find(key);
+    if (v == nullptr || !v->is_string() || v->as_string().empty()) {
+      Fail(path, std::string("\"") + key + "\" missing or not a string");
+    }
+  }
+
+  const JsonValue* cells = root.Find("cells");
+  if (cells == nullptr || !cells->is_array()) {
+    Fail(path, "missing \"cells\" array");
+  } else {
+    if (cells->size() == 0) Fail(path, "\"cells\" is empty");
+    for (size_t i = 0; i < cells->size(); ++i) {
+      const JsonValue& cell = cells->at(i);
+      std::string where = "cells[" + std::to_string(i) + "]";
+      if (!cell.is_object()) {
+        Fail(path, where + ": not an object");
+        continue;
+      }
+      // Sim-run cells carry io_seconds; closed-form rows (e.g. the
+      // request-count analysis) are free-form objects and only need a
+      // method tag plus at least one numeric field.
+      if (cell.Has("io_seconds")) {
+        CheckSimCell(path, cell, where);
+      } else {
+        if (!cell.Has("method")) Fail(path, where + ": missing \"method\"");
+        bool has_number = false;
+        for (const auto& [k, v] : cell.members()) {
+          (void)k;
+          if (v.is_number()) has_number = true;
+        }
+        if (!has_number) Fail(path, where + ": no numeric field");
+      }
+    }
+  }
+
+  const JsonValue* metrics = root.Find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    Fail(path, "missing \"metrics\" object");
+  } else {
+    CheckMetricRows(path, *metrics, "counters");
+    CheckMetricRows(path, *metrics, "gauges");
+    CheckMetricRows(path, *metrics, "histograms");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: bench_json_check <file.json> ...\n");
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    int before = g_errors;
+    CheckFile(argv[i]);
+    if (g_errors == before) std::printf("%s: ok\n", argv[i]);
+  }
+  return g_errors == 0 ? 0 : 1;
+}

@@ -5,8 +5,11 @@
 //   pvfs_cli <mgr_port> <iod_ports>                get <name> <local-file>
 //   pvfs_cli <mgr_port> <iod_ports>                rm <name>
 //   pvfs_cli <mgr_port> <iod_ports>                stat <name>
+//   pvfs_cli <mgr_port> <iod_ports>                stats
 //
-// Daemon addresses are loopback ports as printed by pvfsd.
+// Daemon addresses are loopback ports as printed by pvfsd. `stats`
+// fetches every daemon's live counters over the wire (kStats message)
+// and prints them, together with this client's own counters, as JSON.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,6 +17,7 @@
 
 #include "common/bytes.hpp"
 #include "net/socket_transport.hpp"
+#include "obs/json.hpp"
 #include "pvfs/posixio.hpp"
 
 using namespace pvfs;
@@ -23,7 +27,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: pvfs_cli <mgr_port> <iod_port,iod_port,...> "
-               "<ls|put|get|rm|stat> [args]\n");
+               "<ls|put|get|rm|stat|stats> [args]\n");
   return 2;
 }
 
@@ -131,6 +135,33 @@ int DoStat(Client& client, int argc, char** argv) {
   return 0;
 }
 
+int DoStats(Client& client) {
+  obs::JsonValue dump = obs::JsonValue::Object();
+  auto manager = client.FetchServerStats(-1);
+  if (!manager.ok()) {
+    std::fprintf(stderr, "%s\n", manager.status().ToString().c_str());
+    return 1;
+  }
+  auto parsed = obs::JsonValue::Parse(*manager);
+  dump.Set("manager", parsed.ok() ? std::move(*parsed)
+                                  : obs::JsonValue(*manager));
+  obs::JsonValue iods = obs::JsonValue::Array();
+  for (int s = 0; s < static_cast<int>(client.TransportServerCount()); ++s) {
+    auto stats = client.FetchServerStats(s);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "iod %d: %s\n", s,
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    auto iod = obs::JsonValue::Parse(*stats);
+    iods.Append(iod.ok() ? std::move(*iod) : obs::JsonValue(*stats));
+  }
+  dump.Set("iods", std::move(iods));
+  dump.Set("client", client.StatsJson());
+  std::printf("%s\n", dump.Dump(2).c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -145,5 +176,6 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[3], "get") == 0) return DoGet(client, argc, argv);
   if (std::strcmp(argv[3], "rm") == 0) return DoRm(client, argc, argv);
   if (std::strcmp(argv[3], "stat") == 0) return DoStat(client, argc, argv);
+  if (std::strcmp(argv[3], "stats") == 0) return DoStats(client);
   return Usage();
 }

@@ -6,10 +6,13 @@
 // With base_port 0 (default) each daemon picks an ephemeral port and the
 // bound ports are printed; otherwise the manager listens on base_port and
 // iod k on base_port + 1 + k. Runs until stdin reaches EOF (Ctrl-D).
+// Typing "stats" on stdin dumps every daemon's counters as JSON.
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "net/socket_transport.hpp"
+#include "obs/json.hpp"
 
 using namespace pvfs;
 
@@ -36,12 +39,29 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < iods.size(); ++i) {
     std::printf("pvfs iod %zu on 127.0.0.1:%u\n", i, iods[i].port);
   }
-  std::printf("serving; press Ctrl-D to stop.\n");
+  std::printf("serving; type 'stats' for counters, Ctrl-D to stop.\n");
   std::fflush(stdout);
 
-  // Block until stdin closes.
+  // Block until stdin closes; "stats" dumps live daemon counters.
+  std::string line;
   int c;
   while ((c = std::getchar()) != EOF) {
+    if (c != '\n') {
+      line.push_back(static_cast<char>(c));
+      continue;
+    }
+    if (line == "stats") {
+      obs::JsonValue dump = obs::JsonValue::Object();
+      dump.Set("manager", (*cluster)->manager().StatsJson());
+      obs::JsonValue iod_stats = obs::JsonValue::Array();
+      for (std::uint32_t s = 0; s < servers; ++s) {
+        iod_stats.Append((*cluster)->iod(s).StatsJson());
+      }
+      dump.Set("iods", std::move(iod_stats));
+      std::printf("%s\n", dump.Dump(2).c_str());
+      std::fflush(stdout);
+    }
+    line.clear();
   }
   std::printf("shutting down.\n");
   return 0;
