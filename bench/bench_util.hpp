@@ -25,6 +25,7 @@ struct BenchFlags {
   bool full = false;          // paper-scale sweep (slow)
   bool smoke = false;         // single tiny cell per table (CI smoke run)
   bool verbose = false;       // per-run counters
+  bool coalesce = false;      // servers schedule/coalesce fragment runs
   const char* csv = nullptr;  // mirror rows to this CSV file
   const char* json = nullptr; // result JSON path (default BENCH_<name>.json)
 };
@@ -35,6 +36,7 @@ inline BenchFlags ParseFlags(int argc, char** argv) {
     if (std::strcmp(argv[i], "--full") == 0) flags.full = true;
     if (std::strcmp(argv[i], "--smoke") == 0) flags.smoke = true;
     if (std::strcmp(argv[i], "--verbose") == 0) flags.verbose = true;
+    if (std::strcmp(argv[i], "--coalesce") == 0) flags.coalesce = true;
     if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       flags.csv = argv[++i];
     }
@@ -139,6 +141,9 @@ class BenchJson {
              obs::JsonValue(run.counters.bytes_to_servers));
     cell.Set("bytes_from_servers",
              obs::JsonValue(run.counters.bytes_from_servers));
+    // Server-side disk runs: with --coalesce (sorted-merge scheduling)
+    // strictly fewer than the per-entry default on cyclic workloads.
+    cell.Set("local_accesses", obs::JsonValue(run.counters.disk_runs));
     cell.Set("events", obs::JsonValue(run.events));
     // Latency percentiles: NaN (no samples) dumps as null by design.
     obs::JsonValue latency = obs::JsonValue::Object();

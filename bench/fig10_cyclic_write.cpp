@@ -42,8 +42,9 @@ int main(int argc, char** argv) {
       };
       std::vector<double> seconds;
       for (io::MethodType method : methods) {
-        auto run = RunCell(ChibaCityConfig(clients), method, IoOp::kWrite,
-                           workload);
+        SimClusterConfig cluster = ChibaCityConfig(clients);
+        cluster.server_coalesces_entries = flags.coalesce;
+        auto run = RunCell(cluster, method, IoOp::kWrite, workload);
         seconds.push_back(run.io_seconds);
         csv.Row(clients, accesses, io::MethodName(method), run.io_seconds,
                 run.counters.fs_requests);

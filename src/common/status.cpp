@@ -17,6 +17,7 @@ std::string_view ErrorCodeName(ErrorCode code) {
     case ErrorCode::kUnavailable: return "UNAVAILABLE";
     case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case ErrorCode::kCorruption: return "CORRUPTION";
+    case ErrorCode::kBusy: return "BUSY";
   }
   return "UNKNOWN";
 }

@@ -26,6 +26,7 @@ enum class ErrorCode : int {
   kUnavailable,       // endpoint unreachable / daemon down (transient)
   kDeadlineExceeded,  // per-request timeout or retry budget exhausted
   kCorruption,        // checksum mismatch: frame or stored chunk damaged
+  kBusy,              // admission queue full: retry after backoff
 };
 
 /// Human-readable name of an ErrorCode ("kOk" -> "OK", ...).
@@ -92,16 +93,23 @@ inline Status DeadlineExceeded(std::string msg) {
 inline Status CorruptionError(std::string msg) {
   return {ErrorCode::kCorruption, std::move(msg)};
 }
+inline Status Busy(std::string msg) {
+  return {ErrorCode::kBusy, std::move(msg)};
+}
 
 /// True for error codes a retry of an idempotent request may clear:
 /// transient unavailability, timeouts, and garbled (droppable) responses.
 /// A corrupt frame is equivalent to a lost frame — resending an idempotent
 /// request over a clean link clears it — so kCorruption is retryable too.
+/// kBusy is the admission controller's typed shed signal: the server is up
+/// but its bounded queue is full, and the client's decorrelated-jitter
+/// backoff is what spreads the resends out (docs/server-scheduling.md).
 inline bool IsRetryable(ErrorCode code) {
   return code == ErrorCode::kUnavailable ||
          code == ErrorCode::kDeadlineExceeded ||
          code == ErrorCode::kProtocol ||
-         code == ErrorCode::kCorruption;
+         code == ErrorCode::kCorruption ||
+         code == ErrorCode::kBusy;
 }
 
 /// Result<T>: a value or a non-OK Status. Accessing value() on an error

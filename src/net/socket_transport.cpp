@@ -84,8 +84,9 @@ Result<std::vector<std::byte>> RecvFrame(int fd) {
 
 // ---- SocketServer ----------------------------------------------------------
 
-Result<std::unique_ptr<SocketServer>> SocketServer::Start(std::uint16_t port,
-                                                          ServiceFn service) {
+Result<std::unique_ptr<SocketServer>> SocketServer::Start(
+    std::uint16_t port, ServiceFn service, AdmissionController* admission,
+    ServerId server) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Internal("socket() failed");
   int one = 1;
@@ -109,12 +110,18 @@ Result<std::unique_ptr<SocketServer>> SocketServer::Start(std::uint16_t port,
     return Internal("getsockname failed");
   }
   return std::unique_ptr<SocketServer>(
-      new SocketServer(fd, ntohs(addr.sin_port), std::move(service)));
+      new SocketServer(fd, ntohs(addr.sin_port), std::move(service),
+                       admission, server));
 }
 
 SocketServer::SocketServer(int listen_fd, std::uint16_t port,
-                           ServiceFn service)
-    : listen_fd_(listen_fd), port_(port), service_(std::move(service)) {
+                           ServiceFn service, AdmissionController* admission,
+                           ServerId server)
+    : listen_fd_(listen_fd),
+      port_(port),
+      service_(std::move(service)),
+      admission_(admission),
+      server_(server) {
   acceptor_ = std::jthread([this] { AcceptLoop(); });
 }
 
@@ -160,11 +167,21 @@ void SocketServer::ServeConnection(int fd) {
   while (!stopping_.load()) {
     auto request = RecvFrame(fd);
     if (!request.ok()) break;  // peer closed or error: drop connection
+    // Admission happens before queueing on the service mutex: a daemon at
+    // its bound answers busy immediately, keeping the connection alive so
+    // the client's backed-off resend reuses it.
+    AdmissionController::Slot slot;
+    if (admission_ != nullptr && !admission_->TryAdmit(slot)) {
+      if (!SendFrame(fd, SealedBusyResponse(server_)).ok()) break;
+      continue;
+    }
     std::vector<std::byte> response;
     {
       std::lock_guard lock(service_mutex_);
+      if (admission_ != nullptr) admission_->BeginService(slot);
       response = service_(*request);
     }
+    if (admission_ != nullptr) admission_->Finish(slot);
     if (!SendFrame(fd, response).ok()) break;
   }
   {
@@ -250,19 +267,30 @@ Result<std::vector<std::byte>> SocketTransport::Call(
 // ---- SocketCluster ----------------------------------------------------------
 
 SocketCluster::SocketCluster(std::uint32_t server_count,
-                             std::uint32_t max_list_regions)
+                             const ServerConfig& config,
+                             obs::Registry* registry)
     : manager_(server_count) {
   iods_.reserve(server_count);
+  admissions_.reserve(server_count);
   for (ServerId s = 0; s < server_count; ++s) {
-    iods_.push_back(std::make_unique<IoDaemon>(s, max_list_regions));
+    iods_.push_back(std::make_unique<IoDaemon>(s, config));
+    admissions_.push_back(std::make_unique<AdmissionController>(
+        s, config.max_queue_depth, registry));
   }
 }
 
 Result<std::unique_ptr<SocketCluster>> SocketCluster::Start(
     std::uint32_t server_count, std::uint32_t max_list_regions,
     std::uint16_t base_port) {
+  return Start(server_count,
+               ServerConfig{.max_list_regions = max_list_regions}, base_port);
+}
+
+Result<std::unique_ptr<SocketCluster>> SocketCluster::Start(
+    std::uint32_t server_count, const ServerConfig& config,
+    std::uint16_t base_port, obs::Registry* registry) {
   std::unique_ptr<SocketCluster> cluster(
-      new SocketCluster(server_count, max_list_regions));
+      new SocketCluster(server_count, config, registry));
 
   PVFS_ASSIGN_OR_RETURN(
       cluster->manager_server_,
@@ -275,10 +303,12 @@ Result<std::unique_ptr<SocketCluster>> SocketCluster::Start(
         base_port == 0 ? 0 : static_cast<std::uint16_t>(base_port + 1 + s);
     PVFS_ASSIGN_OR_RETURN(
         auto server,
-        SocketServer::Start(port, [iod = cluster->iods_[s].get()](
-                                      std::span<const std::byte> req) {
-          return iod->HandleSealedMessage(req);
-        }));
+        SocketServer::Start(
+            port,
+            [iod = cluster->iods_[s].get()](std::span<const std::byte> req) {
+              return iod->HandleSealedMessage(req);
+            },
+            cluster->admissions_[s].get(), s));
     cluster->iod_ports_.push_back(server->port());
     cluster->iod_servers_.push_back(std::move(server));
   }
@@ -305,10 +335,12 @@ Status SocketCluster::RestartIod(ServerId s) {
   iods_[s]->RecoverStore();
   PVFS_ASSIGN_OR_RETURN(
       iod_servers_[s],
-      SocketServer::Start(iod_ports_[s], [iod = iods_[s].get()](
-                                             std::span<const std::byte> req) {
-        return iod->HandleSealedMessage(req);
-      }));
+      SocketServer::Start(
+          iod_ports_[s],
+          [iod = iods_[s].get()](std::span<const std::byte> req) {
+            return iod->HandleSealedMessage(req);
+          },
+          admissions_[s].get(), s));
   return Status::Ok();
 }
 

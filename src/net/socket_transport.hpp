@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "pvfs/admission.hpp"
 #include "pvfs/iod.hpp"
 #include "pvfs/manager.hpp"
 #include "pvfs/transport.hpp"
@@ -39,9 +40,13 @@ class SocketServer {
   using ServiceFn =
       std::function<std::vector<std::byte>(std::span<const std::byte>)>;
 
-  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts accepting.
-  static Result<std::unique_ptr<SocketServer>> Start(std::uint16_t port,
-                                                     ServiceFn service);
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts accepting. With an
+  /// `admission` controller, a request that arrives while the controller
+  /// is at its bound is answered with a sealed kBusy frame (for `server`)
+  /// instead of queueing on the service mutex.
+  static Result<std::unique_ptr<SocketServer>> Start(
+      std::uint16_t port, ServiceFn service,
+      AdmissionController* admission = nullptr, ServerId server = 0);
   ~SocketServer();
 
   SocketServer(const SocketServer&) = delete;
@@ -51,7 +56,8 @@ class SocketServer {
   std::uint64_t connections_served() const { return connections_.load(); }
 
  private:
-  SocketServer(int listen_fd, std::uint16_t port, ServiceFn service);
+  SocketServer(int listen_fd, std::uint16_t port, ServiceFn service,
+               AdmissionController* admission, ServerId server);
 
   void AcceptLoop();
   void ServeConnection(int fd);
@@ -59,6 +65,8 @@ class SocketServer {
   int listen_fd_;
   std::uint16_t port_;
   ServiceFn service_;
+  AdmissionController* admission_;  // may be null (manager, legacy starts)
+  ServerId server_;                 // id stamped into busy responses
   std::mutex service_mutex_;  // daemon event-loop discipline
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> connections_{0};
@@ -119,6 +127,14 @@ class SocketCluster {
       std::uint32_t max_list_regions = kMaxListRegions,
       std::uint16_t base_port = 0);
 
+  /// Full per-iod service configuration: fragment scheduling plus bounded
+  /// admission queues (config.max_queue_depth > 0 sheds excess load with
+  /// retryable kBusy). Admission instruments register in `registry`
+  /// (default: obs::Registry::Global()).
+  static Result<std::unique_ptr<SocketCluster>> Start(
+      std::uint32_t server_count, const ServerConfig& config,
+      std::uint16_t base_port, obs::Registry* registry = nullptr);
+
   /// Builds a transport connected to this cluster (each caller gets its
   /// own connections; safe to create one per client thread). A non-zero
   /// `call_timeout` arms per-request socket timeouts — required when the
@@ -142,13 +158,15 @@ class SocketCluster {
 
   Manager& manager() { return manager_; }
   IoDaemon& iod(ServerId s) { return *iods_[s]; }
+  AdmissionController& admission(ServerId s) { return *admissions_[s]; }
 
  private:
-  explicit SocketCluster(std::uint32_t server_count,
-                         std::uint32_t max_list_regions);
+  SocketCluster(std::uint32_t server_count, const ServerConfig& config,
+                obs::Registry* registry);
 
   Manager manager_;
   std::vector<std::unique_ptr<IoDaemon>> iods_;
+  std::vector<std::unique_ptr<AdmissionController>> admissions_;
   std::unique_ptr<SocketServer> manager_server_;
   std::vector<std::unique_ptr<SocketServer>> iod_servers_;
   std::vector<std::uint16_t> iod_ports_;  // survive StopIod for restart

@@ -1,0 +1,76 @@
+#include "pvfs/admission.hpp"
+
+#include <string>
+
+#include "common/wire.hpp"
+#include "pvfs/protocol.hpp"
+
+namespace pvfs {
+
+namespace {
+
+obs::Labels ServerLabels(ServerId server) {
+  return {{"server", std::to_string(server)}};
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(ServerId server,
+                                         std::uint32_t max_depth,
+                                         obs::Registry* registry)
+    : max_depth_(max_depth),
+      depth_gauge_((registry ? *registry : obs::Registry::Global())
+                       .Gauge("iod.admission.queue_depth",
+                              ServerLabels(server))),
+      admitted_((registry ? *registry : obs::Registry::Global())
+                    .Counter("iod.admission.admitted", ServerLabels(server))),
+      rejected_((registry ? *registry : obs::Registry::Global())
+                    .Counter("iod.admission.rejected", ServerLabels(server))),
+      wait_us_((registry ? *registry : obs::Registry::Global())
+                   .Histogram("iod.admission.queue_wait_us",
+                              ServerLabels(server),
+                              obs::LogBuckets(1.0, 1e7))),
+      service_us_((registry ? *registry : obs::Registry::Global())
+                      .Histogram("iod.admission.service_us",
+                                 ServerLabels(server),
+                                 obs::LogBuckets(1.0, 1e7))) {}
+
+bool AdmissionController::TryAdmit(Slot& slot) {
+  // Optimistic claim, undone on overflow: Add returns no old value, so
+  // read-check-undo keeps the depth gauge exact without a mutex. A rare
+  // race can shed one request early at the boundary — admission is a
+  // shedding heuristic, and kBusy is retryable, so that is benign.
+  depth_gauge_.Add(1);
+  if (max_depth_ != 0 &&
+      depth_gauge_.value() > static_cast<std::int64_t>(max_depth_)) {
+    depth_gauge_.Add(-1);
+    rejected_.Increment();
+    return false;
+  }
+  admitted_.Increment();
+  slot.admitted = std::chrono::steady_clock::now();
+  return true;
+}
+
+void AdmissionController::BeginService(Slot& slot) {
+  slot.started = std::chrono::steady_clock::now();
+  wait_us_.Observe(
+      std::chrono::duration<double, std::micro>(slot.started - slot.admitted)
+          .count());
+}
+
+void AdmissionController::Finish(const Slot& slot) {
+  service_us_.Observe(std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - slot.started)
+                          .count());
+  depth_gauge_.Add(-1);
+}
+
+std::vector<std::byte> SealedBusyResponse(ServerId server) {
+  return SealFrame(EncodeResponse(
+      Busy("iod " + std::to_string(server) +
+           " admission queue full; retry after backoff"),
+      {}));
+}
+
+}  // namespace pvfs

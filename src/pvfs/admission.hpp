@@ -1,0 +1,74 @@
+// Admission control for the real (threaded / TCP) transports: a bounded
+// per-iod request queue. A request arriving while `max_queue_depth`
+// requests are already queued or in service is shed with a typed,
+// retryable kBusy response instead of growing the queue without bound;
+// the client's existing decorrelated-jitter backoff spreads the resends
+// (docs/server-scheduling.md).
+//
+// The controller also owns the queue's observability: a depth gauge,
+// admitted/rejected counters, and wait/service latency histograms, all
+// registered in an obs::Registry under "iod.admission.*" with a
+// server=<id> label.
+//
+// Thread safety: fully thread-safe; TryAdmit/BeginService/Finish are
+// called from transport worker threads.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/metrics.hpp"
+
+namespace pvfs {
+
+class AdmissionController {
+ public:
+  /// Per-request admission state, carried from arrival to completion by
+  /// the transport (it is POD; the controller does not retain pointers).
+  struct Slot {
+    std::chrono::steady_clock::time_point admitted;
+    std::chrono::steady_clock::time_point started;
+  };
+
+  /// `max_depth` == 0 means unbounded (admission always succeeds; the
+  /// instruments still record). `registry` defaults to the process-wide
+  /// obs::Registry::Global().
+  AdmissionController(ServerId server, std::uint32_t max_depth,
+                      obs::Registry* registry = nullptr);
+
+  /// Take a queue slot at request arrival. False means the queue is full:
+  /// the caller must respond with a sealed kBusy frame (SealedBusyResponse)
+  /// and MUST NOT call BeginService/Finish for this request.
+  bool TryAdmit(Slot& slot);
+
+  /// The request left the queue and service is starting; records queue
+  /// wait time.
+  void BeginService(Slot& slot);
+
+  /// Service finished (successfully or not); records service time and
+  /// releases the queue slot.
+  void Finish(const Slot& slot);
+
+  std::uint32_t max_depth() const { return max_depth_; }
+  std::int64_t depth() const { return depth_gauge_.value(); }
+  std::uint64_t admitted() const { return admitted_.value(); }
+  std::uint64_t rejected() const { return rejected_.value(); }
+
+ private:
+  std::uint32_t max_depth_;
+  obs::Gauge& depth_gauge_;
+  obs::Counter& admitted_;
+  obs::Counter& rejected_;
+  obs::Histogram& wait_us_;
+  obs::Histogram& service_us_;
+};
+
+/// The sealed wire frame a transport sends when admission fails: a kBusy
+/// response envelope with an empty body, CRC-sealed like every other
+/// protocol message.
+std::vector<std::byte> SealedBusyResponse(ServerId server);
+
+}  // namespace pvfs

@@ -97,6 +97,7 @@ Result<DecodedResponse> Client::SealedCall(
   }
   PVFS_ASSIGN_OR_RETURN(DecodedResponse resp, DecodeResponse(*payload));
   if (resp.status.code() == ErrorCode::kCorruption) ++corruptions_;
+  if (resp.status.code() == ErrorCode::kBusy) ++busy_rejections_;
   return resp;
 }
 
@@ -239,6 +240,12 @@ Status Client::ValidateListArgs(std::span<const Extent> mem_regions,
                            "byte totals");
   }
   for (const Extent& m : mem_regions) {
+    // Check for offset+length wraparound BEFORE the bounds check: a
+    // wrapping extent has a small m.end() that passes the bounds check and
+    // then indexes the caller's buffer out of range.
+    if (m.offset + m.length < m.offset) {
+      return InvalidArgument("memory region overflows offset space");
+    }
     if (m.end() > buffer_size) {
       return InvalidArgument("memory region outside caller buffer");
     }
@@ -323,17 +330,19 @@ Result<std::vector<std::byte>> Client::ExchangeWithServer(
 namespace {
 
 /// Runs one callable per element, either inline or on one thread each
-/// (the client library's per-iod fan-out); returns the first error.
+/// (the client library's per-iod fan-out). BOTH modes contact every
+/// server and return the first (index-order) error: stopping the serial
+/// walk at the first failure would leave a different partial-write
+/// footprint than the parallel path, making recovery behaviour depend on
+/// `parallel_fanout`.
 template <typename Item, typename Fn>
 Status ForEachServer(bool parallel, std::vector<Item>& items, const Fn& fn) {
+  std::vector<Status> results(items.size());
   if (!parallel || items.size() <= 1) {
     for (size_t i = 0; i < items.size(); ++i) {
-      PVFS_RETURN_IF_ERROR(fn(i));
+      results[i] = fn(i);
     }
-    return Status::Ok();
-  }
-  std::vector<Status> results(items.size());
-  {
+  } else {
     std::vector<std::jthread> threads;
     threads.reserve(items.size());
     for (size_t i = 0; i < items.size(); ++i) {
@@ -364,6 +373,13 @@ Status Client::WriteChunk(OpenFile& file, std::span<const Extent> chunk,
   std::vector<std::pair<ServerId, std::vector<std::byte>>> payloads(
       std::make_move_iterator(payload_map.begin()),
       std::make_move_iterator(payload_map.end()));
+  // unordered_map iteration order is implementation-defined: sort by
+  // server id so contact order — and with it the per-(client,server)
+  // jitter streams and serial-mode failure footprint — is deterministic
+  // across platforms and runs (and matches ReadChunk's InvolvedServers
+  // order).
+  std::sort(payloads.begin(), payloads.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
 
   stats_.messages += payloads.size();
   stats_.regions_sent += payloads.size() * chunk.size();
@@ -524,6 +540,7 @@ void Client::ExportMetrics(obs::Registry& reg, const obs::Labels& base) const {
   reg.Counter("client.retry_exhausted", base).Set(retry.exhausted);
   reg.Counter("client.backoff_us", base).Set(retry.backoff_us);
   reg.Counter("client.corruptions", base).Set(retry.corruptions);
+  reg.Counter("client.busy_rejections", base).Set(retry.busy_rejections);
 }
 
 obs::JsonValue Client::StatsJson() const {
@@ -540,6 +557,7 @@ obs::JsonValue Client::StatsJson() const {
   out.Set("retry_exhausted", obs::JsonValue(retry.exhausted));
   out.Set("backoff_us", obs::JsonValue(retry.backoff_us));
   out.Set("corruptions", obs::JsonValue(retry.corruptions));
+  out.Set("busy_rejections", obs::JsonValue(retry.busy_rejections));
   return out;
 }
 

@@ -65,9 +65,9 @@ class Client {
   /// Retry discipline for one per-server data exchange. PVFS list /
   /// multiple / sieving requests are idempotent (regions + payload fully
   /// describe the effect), so a request whose response was lost can be
-  /// resent safely. Retryable errors are kUnavailable, kDeadlineExceeded
-  /// and kProtocol (see IsRetryable); everything else surfaces
-  /// immediately.
+  /// resent safely. Retryable errors are kUnavailable, kDeadlineExceeded,
+  /// kProtocol, kCorruption and kBusy — the admission controller's shed
+  /// signal (see IsRetryable); everything else surfaces immediately.
   struct RetryPolicy {
     /// Total attempts per exchange; 1 = fail fast (the historical
     /// behaviour, and the default).
@@ -95,6 +95,7 @@ class Client {
     std::uint64_t exhausted = 0;      // exchanges that ran out of attempts
     std::uint64_t backoff_us = 0;     // total time spent backing off
     std::uint64_t corruptions = 0;    // kCorruption responses observed
+    std::uint64_t busy_rejections = 0; // kBusy admission sheds observed
   };
 
   struct Options {
@@ -173,7 +174,7 @@ class Client {
   /// Snapshot of the retry/backoff counters.
   RetryCounters retry_counters() const {
     return {retries_.load(), retry_exhausted_.load(), backoff_us_.load(),
-            corruptions_.load()};
+            corruptions_.load(), busy_rejections_.load()};
   }
   /// Mirror this client's counters (ClientStats + RetryCounters) into a
   /// metrics registry as "client.*" counters with the given base labels.
@@ -256,6 +257,7 @@ class Client {
   mutable std::atomic<std::uint64_t> retry_exhausted_{0};
   mutable std::atomic<std::uint64_t> backoff_us_{0};
   mutable std::atomic<std::uint64_t> corruptions_{0};
+  mutable std::atomic<std::uint64_t> busy_rejections_{0};
   std::uint64_t lock_owner_ = NextLockOwner();
 };
 

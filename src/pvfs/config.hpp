@@ -27,4 +27,25 @@ inline constexpr std::uint32_t kMaxListRegions = 64;
 /// sieving buffer at 32 MB for our testing purposes").
 inline constexpr ByteCount kDefaultSieveBufferBytes = 32 * kMiB;
 
+/// Per-I/O-daemon service configuration (docs/server-scheduling.md).
+///
+/// `schedule_fragments` is the executed-path twin of the simulator's
+/// `SimClusterConfig::server_coalesces_entries` knob: both default to the
+/// 2002 behaviour (one store access per owned trailing-data entry, walked
+/// in logical order) and both, when enabled, sort the owned fragments by
+/// local offset and merge adjacent/overlapping ones into single accesses —
+/// the paper's §5 "more intelligent scheduling of the data movement at the
+/// server".
+///
+/// `max_queue_depth` bounds the daemon's admission queue on the threaded
+/// and TCP transports: a request arriving while `max_queue_depth` requests
+/// are already queued or in service is refused with the retryable kBusy
+/// status instead of growing the queue without bound. 0 keeps the
+/// historical unbounded queue.
+struct ServerConfig {
+  std::uint32_t max_list_regions = kMaxListRegions;
+  bool schedule_fragments = false;
+  std::uint32_t max_queue_depth = 0;
+};
+
 }  // namespace pvfs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "pvfs/scheduler.hpp"
+
 namespace pvfs {
 
 FileOffset Distribution::LogicalOffsetOf(ServerId server,
@@ -56,19 +58,27 @@ std::vector<Fragment> Distribution::ServerFragments(
 
 std::vector<Fragment> Distribution::ServerLocalRuns(
     ServerId server, std::span<const Extent> logical) const {
+  // Same sorted-merge plan the iod scheduler executes
+  // (pvfs::BuildRunPlan), so simulated disk-run counts agree with the
+  // executed path even for cyclic patterns whose logical walk revisits
+  // lower local offsets.
+  std::vector<Fragment> frags = ServerFragments(server, logical);
+  RunPlan plan = BuildRunPlan(frags);
   std::vector<Fragment> runs;
-  ByteCount stream = 0;
-  for (const Extent& e : logical) {
-    ForEachFragment(e, stream, [&](const Fragment& f) {
-      if (f.server != server) return;
-      if (!runs.empty() &&
-          runs.back().local_offset + runs.back().length == f.local_offset) {
-        runs.back().length += f.length;
-      } else {
-        runs.push_back(f);
-      }
-    });
-    stream += e.length;
+  runs.reserve(plan.runs.size());
+  for (std::size_t i = 0; i < plan.runs.size(); ++i) {
+    runs.push_back(Fragment{server, plan.runs[i].offset,
+                            plan.runs[i].length, 0});
+  }
+  // A run's logical_pos is the stream position of its first byte: the
+  // (stable-sort earliest) fragment whose local offset starts the run.
+  std::vector<bool> seeded(plan.runs.size(), false);
+  for (std::size_t i = 0; i < frags.size(); ++i) {
+    std::uint32_t r = plan.run_of[i];
+    if (!seeded[r] && frags[i].local_offset == plan.runs[r].offset) {
+      seeded[r] = true;
+      runs[r].logical_pos = frags[i].logical_pos;
+    }
   }
   return runs;
 }

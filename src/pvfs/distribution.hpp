@@ -73,11 +73,12 @@ class Distribution {
   std::vector<Fragment> ServerFragments(ServerId server,
                                         std::span<const Extent> logical) const;
 
-  /// The subset of `Fragments(logical)` on one server, with per-server
-  /// adjacent local runs coalesced: the minimal disk access sequence.
-  /// `logical_pos` of a coalesced run is the stream position of its first
-  /// byte; callers that reassemble payloads should use per-fragment
-  /// granularity instead.
+  /// The subset of `Fragments(logical)` on one server, sorted by local
+  /// offset with adjacent/overlapping runs merged: the minimal disk access
+  /// sequence (the same plan the iod scheduler executes — see
+  /// pvfs/scheduler.hpp). `logical_pos` of a coalesced run is the stream
+  /// position of its first byte; callers that reassemble payloads should
+  /// use per-fragment granularity instead.
   std::vector<Fragment> ServerLocalRuns(ServerId server,
                                         std::span<const Extent> logical) const;
 

@@ -33,7 +33,7 @@ Result<IoResponse> IoDaemon::Serve(const IoRequest& req) {
   ++stats_.requests;
   stats_.regions += req.regions.size();
 
-  if (req.regions.size() > max_list_regions_) {
+  if (req.regions.size() > config_.max_list_regions) {
     return ResourceExhausted("trailing data exceeds region limit");
   }
   for (const Extent& e : req.regions) {
@@ -58,14 +58,16 @@ Result<IoResponse> IoDaemon::Serve(const IoRequest& req) {
   ByteCount my_bytes = 0;
   for (const Fragment& f : mine) my_bytes += f.length;
 
-  // Count coalesced local runs — the disk accesses a real iod would make.
-  ByteCount runs = 0;
-  FileOffset prev_end = static_cast<FileOffset>(-1);
-  for (const Fragment& f : mine) {
-    if (f.local_offset != prev_end) ++runs;
-    prev_end = f.local_offset + f.length;
-  }
-  stats_.local_accesses += runs;
+  // Plan the coalesced local runs — the disk accesses a scheduling iod
+  // makes. The plan is built on an offset-SORTED view of the fragments, so
+  // `local_accesses` matches the paper's coalesced-disk-access model even
+  // for cyclic patterns whose logical walk revisits lower local offsets
+  // (counting in logical order over-counted those). With
+  // `schedule_fragments` off the daemon still executes one store access
+  // per fragment, 2002-style; the plan is then accounting only.
+  const RunPlan plan = BuildRunPlan(mine);
+  stats_.local_accesses += plan.runs.size();
+  const bool scheduled = config_.schedule_fragments;
 
   // Transient disk error injection: fail before touching the store so the
   // stripe is never half-written by a request that reported failure.
@@ -86,16 +88,44 @@ Result<IoResponse> IoDaemon::Serve(const IoRequest& req) {
       if (rot.rot) (void)store_.CorruptStoredBit(rot.selector);
     }
     resp.payload.resize(my_bytes);
-    ByteCount cursor = 0;
-    for (const Fragment& f : mine) {
-      Status read = store_.Read(
-          req.handle, f.local_offset,
-          std::span{resp.payload}.subspan(cursor, f.length));
-      if (!read.ok()) {
-        ++stats_.corruptions_detected;
-        return read;
+    if (scheduled) {
+      // One store read per merged run, then scatter run bytes back into
+      // the payload through the original fragment order so the wire
+      // layout is identical to the unscheduled path.
+      std::vector<std::byte> scratch(plan.total_bytes);
+      for (const ScheduledRun& run : plan.runs) {
+        Status read = store_.Read(
+            req.handle, run.offset,
+            std::span{scratch}.subspan(run.buf_offset, run.length));
+        if (!read.ok()) {
+          ++stats_.corruptions_detected;
+          return read;
+        }
       }
-      cursor += f.length;
+      stats_.store_ops += plan.runs.size();
+      ByteCount cursor = 0;
+      for (std::size_t i = 0; i < mine.size(); ++i) {
+        const Fragment& f = mine[i];
+        const ScheduledRun& run = plan.runs[plan.run_of[i]];
+        std::memcpy(resp.payload.data() + cursor,
+                    scratch.data() + run.buf_offset +
+                        (f.local_offset - run.offset),
+                    f.length);
+        cursor += f.length;
+      }
+    } else {
+      ByteCount cursor = 0;
+      for (const Fragment& f : mine) {
+        Status read = store_.Read(
+            req.handle, f.local_offset,
+            std::span{resp.payload}.subspan(cursor, f.length));
+        if (!read.ok()) {
+          ++stats_.corruptions_detected;
+          return read;
+        }
+        cursor += f.length;
+      }
+      stats_.store_ops += mine.size();
     }
     resp.bytes = my_bytes;
     stats_.bytes_read += my_bytes;
@@ -109,12 +139,38 @@ Result<IoResponse> IoDaemon::Serve(const IoRequest& req) {
                            std::to_string(req.payload.size()));
   }
   std::vector<LocalStore::WritePiece> pieces;
-  pieces.reserve(mine.size());
-  ByteCount cursor = 0;
-  for (const Fragment& f : mine) {
-    pieces.push_back({f.local_offset,
-                      std::span{req.payload}.subspan(cursor, f.length)});
-    cursor += f.length;
+  std::vector<std::byte> scratch;
+  ByteCount intent_bytes = my_bytes;
+  if (scheduled) {
+    // Gather payload bytes into per-run scratch in the original fragment
+    // order (so overlapping fragments keep last-writer-wins semantics,
+    // exactly as sequential per-fragment pieces would), then write one
+    // journaled piece per merged run.
+    scratch.resize(plan.total_bytes);
+    ByteCount cursor = 0;
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      const Fragment& f = mine[i];
+      const ScheduledRun& run = plan.runs[plan.run_of[i]];
+      std::memcpy(scratch.data() + run.buf_offset +
+                      (f.local_offset - run.offset),
+                  req.payload.data() + cursor, f.length);
+      cursor += f.length;
+    }
+    pieces.reserve(plan.runs.size());
+    for (const ScheduledRun& run : plan.runs) {
+      pieces.push_back(
+          {run.offset, std::span{scratch}.subspan(run.buf_offset,
+                                                  run.length)});
+    }
+    intent_bytes = plan.total_bytes;
+  } else {
+    pieces.reserve(mine.size());
+    ByteCount cursor = 0;
+    for (const Fragment& f : mine) {
+      pieces.push_back({f.local_offset,
+                        std::span{req.payload}.subspan(cursor, f.length)});
+      cursor += f.length;
+    }
   }
   // Torn-write injection: the daemon "crashes" partway through applying
   // this intent and refuses calls until its scheduled restart, when
@@ -124,7 +180,7 @@ Result<IoResponse> IoDaemon::Serve(const IoRequest& req) {
     if (torn.torn) {
       ++stats_.torn_writes;
       store_.WriteVTorn(req.handle, pieces,
-                        my_bytes * torn.keep_permille / 1000,
+                        intent_bytes * torn.keep_permille / 1000,
                         torn.torn_journal);
       return Unavailable("iod " + std::to_string(id_) +
                          " crashed mid-write (injected torn write)");
@@ -132,6 +188,7 @@ Result<IoResponse> IoDaemon::Serve(const IoRequest& req) {
   }
   // One journaled intent covers every fragment of this request.
   store_.WriteV(req.handle, pieces);
+  stats_.store_ops += pieces.size();
   resp.bytes = my_bytes;
   stats_.bytes_written += my_bytes;
   return resp;
@@ -191,6 +248,7 @@ obs::JsonValue IoDaemon::StatsJson() const {
   out.Set("requests", obs::JsonValue(stats_.requests));
   out.Set("regions", obs::JsonValue(stats_.regions));
   out.Set("local_accesses", obs::JsonValue(stats_.local_accesses));
+  out.Set("store_ops", obs::JsonValue(stats_.store_ops));
   out.Set("bytes_read", obs::JsonValue(stats_.bytes_read));
   out.Set("bytes_written", obs::JsonValue(stats_.bytes_written));
   out.Set("injected_errors", obs::JsonValue(stats_.injected_errors));
@@ -213,6 +271,7 @@ void IoDaemon::ExportMetrics(obs::Registry& reg,
   reg.Counter("iod.requests", labels).Set(stats_.requests);
   reg.Counter("iod.regions", labels).Set(stats_.regions);
   reg.Counter("iod.local_accesses", labels).Set(stats_.local_accesses);
+  reg.Counter("iod.store_ops", labels).Set(stats_.store_ops);
   reg.Counter("iod.bytes_read", labels).Set(stats_.bytes_read);
   reg.Counter("iod.bytes_written", labels).Set(stats_.bytes_written);
   reg.Counter("iod.injected_errors", labels).Set(stats_.injected_errors);

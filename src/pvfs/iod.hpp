@@ -20,6 +20,7 @@
 #include "pvfs/config.hpp"
 #include "pvfs/distribution.hpp"
 #include "pvfs/protocol.hpp"
+#include "pvfs/scheduler.hpp"
 #include "pvfs/store.hpp"
 
 namespace pvfs {
@@ -31,7 +32,13 @@ class IoDaemon {
   /// (kMaxListRegions in the paper's configuration).
   explicit IoDaemon(ServerId id,
                     std::uint32_t max_list_regions = kMaxListRegions)
-      : id_(id), max_list_regions_(max_list_regions) {}
+      : IoDaemon(id, ServerConfig{.max_list_regions = max_list_regions}) {}
+
+  /// Full service configuration, including the fragment scheduler knob
+  /// (docs/server-scheduling.md). Admission control (`max_queue_depth`)
+  /// is enforced by the transport in front of the daemon, not here.
+  IoDaemon(ServerId id, const ServerConfig& config)
+      : id_(id), config_(config) {}
 
   std::vector<std::byte> HandleMessage(std::span<const std::byte> raw);
 
@@ -55,6 +62,7 @@ class IoDaemon {
   LocalStore::ScrubStats Scrub();
 
   ServerId id() const { return id_; }
+  const ServerConfig& config() const { return config_; }
   LocalStore& store() { return store_; }
   const LocalStore& store() const { return store_; }
 
@@ -70,7 +78,8 @@ class IoDaemon {
   struct Stats {
     std::uint64_t requests = 0;
     std::uint64_t regions = 0;        // trailing-data entries received
-    std::uint64_t local_accesses = 0; // coalesced local runs touched
+    std::uint64_t local_accesses = 0; // coalesced local runs (sorted view)
+    std::uint64_t store_ops = 0;      // contiguous store accesses issued
     std::uint64_t bytes_read = 0;
     std::uint64_t bytes_written = 0;
     std::uint64_t injected_errors = 0;  // requests failed by fault injection
@@ -91,7 +100,7 @@ class IoDaemon {
 
  private:
   ServerId id_;
-  std::uint32_t max_list_regions_;
+  ServerConfig config_;
   LocalStore store_;
   Stats stats_;
   fault::FaultInjector* fault_ = nullptr;

@@ -1,0 +1,43 @@
+#include "pvfs/scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pvfs {
+
+RunPlan BuildRunPlan(std::span<const Fragment> fragments) {
+  RunPlan plan;
+  plan.run_of.assign(fragments.size(), 0);
+  if (fragments.empty()) return plan;
+
+  std::vector<std::uint32_t> order(fragments.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return fragments[a].local_offset <
+                            fragments[b].local_offset;
+                   });
+
+  FileOffset run_end = 0;
+  for (std::uint32_t idx : order) {
+    const Fragment& f = fragments[idx];
+    if (plan.runs.empty() || f.local_offset > run_end) {
+      plan.runs.push_back({f.local_offset, f.length, 0});
+      run_end = f.local_offset + f.length;
+    } else {
+      // Touching or overlapping: extend the current run to cover it.
+      ScheduledRun& run = plan.runs.back();
+      run_end = std::max(run_end, f.local_offset + f.length);
+      run.length = run_end - run.offset;
+    }
+    plan.run_of[idx] = static_cast<std::uint32_t>(plan.runs.size() - 1);
+  }
+  plan.total_bytes = 0;
+  for (ScheduledRun& run : plan.runs) {
+    run.buf_offset = plan.total_bytes;
+    plan.total_bytes += run.length;
+  }
+  return plan;
+}
+
+}  // namespace pvfs

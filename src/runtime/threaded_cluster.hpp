@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "pvfs/admission.hpp"
 #include "pvfs/config.hpp"
 #include "pvfs/iod.hpp"
 #include "pvfs/manager.hpp"
@@ -28,6 +29,12 @@ class ThreadedCluster {
  public:
   explicit ThreadedCluster(std::uint32_t server_count,
                            std::uint32_t max_list_regions = kMaxListRegions);
+  /// Full per-iod service configuration: fragment scheduling and bounded
+  /// admission queues (config.max_queue_depth > 0 makes a daemon shed
+  /// excess load with retryable kBusy). Admission instruments register in
+  /// `registry` (default: obs::Registry::Global()).
+  ThreadedCluster(std::uint32_t server_count, const ServerConfig& config,
+                  obs::Registry* registry = nullptr);
   ~ThreadedCluster();
 
   ThreadedCluster(const ThreadedCluster&) = delete;
@@ -38,6 +45,7 @@ class ThreadedCluster {
 
   Manager& manager() { return manager_; }
   IoDaemon& iod(ServerId s) { return *iods_[s]; }
+  AdmissionController& admission(ServerId s) { return *admissions_[s]; }
   std::uint32_t server_count() const {
     return static_cast<std::uint32_t>(iods_.size());
   }
@@ -46,16 +54,21 @@ class ThreadedCluster {
   struct Job {
     std::vector<std::byte> request;
     std::promise<std::vector<std::byte>> response;
+    AdmissionController::Slot slot;
   };
 
   /// One daemon's event loop: a queue, a worker thread, and the service
-  /// function the worker applies to each request.
+  /// function the worker applies to each request. When an admission
+  /// controller is attached, enqueueing past its bound is refused with a
+  /// sealed kBusy response instead of growing the queue.
   class EventLoop {
    public:
     using ServiceFn =
         std::function<std::vector<std::byte>(std::span<const std::byte>)>;
 
-    explicit EventLoop(ServiceFn service);
+    EventLoop(ServiceFn service, AdmissionController* admission,
+              ServerId server);
+
     ~EventLoop();
 
     std::vector<std::byte> Call(std::span<const std::byte> request);
@@ -64,6 +77,8 @@ class ThreadedCluster {
     void Loop(std::stop_token stop);
 
     ServiceFn service_;
+    AdmissionController* admission_;
+    ServerId server_;
     std::mutex mutex_;
     std::condition_variable_any cv_;
     std::deque<Job> queue_;
@@ -95,6 +110,7 @@ class ThreadedCluster {
 
   Manager manager_;
   std::vector<std::unique_ptr<IoDaemon>> iods_;
+  std::vector<std::unique_ptr<AdmissionController>> admissions_;
   std::unique_ptr<EventLoop> manager_loop_;
   std::vector<std::unique_ptr<EventLoop>> iod_loops_;
   std::unique_ptr<QueueTransport> transport_;

@@ -187,6 +187,27 @@ TEST(Client, ValidationRejectsMemoryOutsideBuffer) {
             ErrorCode::kInvalidArgument);
 }
 
+TEST(Client, ValidationRejectsWrappingMemoryExtent) {
+  InProcCluster cluster;
+  Client client = cluster.MakeClient();
+  auto fd = client.Create("f", kDefault);
+  ByteBuffer buffer(100);
+  // offset + length wraps the 64-bit offset space, so m.end() is small
+  // and slips past the plain bounds check — it must be rejected before
+  // anything indexes the caller's buffer.
+  ExtentList mem{{~std::uint64_t{0} - 3, 20}};
+  ExtentList file{{0, 20}};
+  EXPECT_EQ(client.WriteList(*fd, mem, buffer, file).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(client.ReadList(*fd, mem, buffer, file).code(),
+            ErrorCode::kInvalidArgument);
+  // The same guard for file regions still holds.
+  ExtentList bad_file{{~std::uint64_t{0} - 3, 20}};
+  ExtentList ok_mem{{0, 20}};
+  EXPECT_EQ(client.WriteList(*fd, ok_mem, buffer, bad_file).code(),
+            ErrorCode::kInvalidArgument);
+}
+
 TEST(Client, OperationsOnBadFdFail) {
   InProcCluster cluster;
   Client client = cluster.MakeClient();

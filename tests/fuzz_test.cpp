@@ -188,6 +188,42 @@ TEST(Fuzz, HostileRegionCountsRejectedBeforeAllocation) {
   EXPECT_EQ(decoded.status().code(), ErrorCode::kProtocol);
 }
 
+TEST(Fuzz, ExtremeExtentListsNeverCrashAndWrapsAreTyped) {
+  // Region lists with offsets/lengths near 2^64: every call must either
+  // succeed or fail with a typed status — never crash, never let an
+  // offset+length wraparound slip past validation as a "small" extent.
+  testutil::InProcCluster cluster(4);
+  Client client = cluster.MakeClient();
+  auto fd = client.Create("f", Striping{0, 4, 16384});
+  ASSERT_TRUE(fd.ok());
+  ByteBuffer buffer(4096);
+  SplitMix64 rng(77);
+  const std::uint64_t kTop = ~std::uint64_t{0};
+
+  for (int i = 0; i < 2000; ++i) {
+    // Bias half the draws into the wraparound neighbourhood.
+    auto hostile = [&](bool huge) -> std::uint64_t {
+      return huge ? kTop - rng.Uniform(0, 64) : rng.Uniform(0, 1 << 20);
+    };
+    ExtentList mem{{hostile(rng.Bernoulli(0.5)), rng.Uniform(1, 4096)}};
+    ExtentList file{{hostile(rng.Bernoulli(0.5)), rng.Uniform(1, 4096)}};
+    (void)client.WriteList(*fd, mem, buffer, file);
+    (void)client.ReadList(*fd, mem, buffer, file);
+  }
+
+  // A memory extent that wraps the offset space must be rejected even
+  // though the wrapped end() lands inside the buffer (the overflow guard
+  // in ValidateListArgs, not luck).
+  ExtentList wrap_mem{{kTop - 3, 20}};
+  ExtentList small_file{{0, 20}};
+  EXPECT_EQ(client.WriteList(*fd, wrap_mem, buffer, small_file).code(),
+            ErrorCode::kInvalidArgument);
+  ExtentList wrap_file{{kTop - 3, 20}};
+  ExtentList small_mem{{0, 20}};
+  EXPECT_EQ(client.WriteList(*fd, small_mem, buffer, wrap_file).code(),
+            ErrorCode::kInvalidArgument);
+}
+
 // ---- Fault injection ----------------------------------------------------------
 
 /// Wraps a transport and fails every `period`-th call with a transport

@@ -25,7 +25,7 @@ TEST(Status, ErrorCarriesCodeAndMessage) {
 }
 
 TEST(Status, EveryCodeHasName) {
-  for (int c = 0; c <= static_cast<int>(ErrorCode::kDeadlineExceeded); ++c) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kBusy); ++c) {
     EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(c)), "UNKNOWN");
   }
 }
@@ -34,11 +34,22 @@ TEST(Status, RetryableCodesAreTransientOnly) {
   EXPECT_TRUE(IsRetryable(ErrorCode::kUnavailable));
   EXPECT_TRUE(IsRetryable(ErrorCode::kDeadlineExceeded));
   EXPECT_TRUE(IsRetryable(ErrorCode::kProtocol));
+  EXPECT_TRUE(IsRetryable(ErrorCode::kCorruption));
+  EXPECT_TRUE(IsRetryable(ErrorCode::kBusy));
   EXPECT_FALSE(IsRetryable(ErrorCode::kOk));
   EXPECT_FALSE(IsRetryable(ErrorCode::kNotFound));
   EXPECT_FALSE(IsRetryable(ErrorCode::kInvalidArgument));
   EXPECT_FALSE(IsRetryable(ErrorCode::kAlreadyExists));
   EXPECT_FALSE(IsRetryable(ErrorCode::kInternal));
+  // Lock conflicts come back as kResourceExhausted; they must NOT enter
+  // the generic exchange retry loop (the lock path has its own backoff).
+  EXPECT_FALSE(IsRetryable(ErrorCode::kResourceExhausted));
+}
+
+TEST(Status, BusyFactoryAndName) {
+  Status s = Busy("queue full");
+  EXPECT_EQ(s.code(), ErrorCode::kBusy);
+  EXPECT_EQ(s.ToString(), "BUSY: queue full");
 }
 
 TEST(Result, HoldsValue) {

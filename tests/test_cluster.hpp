@@ -15,11 +15,15 @@ namespace pvfs::testutil {
 struct InProcCluster {
   explicit InProcCluster(std::uint32_t servers = 8,
                          std::uint32_t max_list_regions = kMaxListRegions)
+      : InProcCluster(servers,
+                      ServerConfig{.max_list_regions = max_list_regions}) {}
+
+  InProcCluster(std::uint32_t servers, const ServerConfig& config)
       : manager(servers) {
     iods.reserve(servers);
     std::vector<IoDaemon*> ptrs;
     for (ServerId s = 0; s < servers; ++s) {
-      iods.push_back(std::make_unique<IoDaemon>(s, max_list_regions));
+      iods.push_back(std::make_unique<IoDaemon>(s, config));
       ptrs.push_back(iods.back().get());
     }
     transport = std::make_unique<InProcTransport>(&manager, std::move(ptrs));

@@ -56,7 +56,8 @@ void CheckSimCell(const char* path, const JsonValue& cell,
   for (const char* key : {"clients", "accesses", "io_seconds",
                           "total_seconds", "fs_requests", "messages",
                           "regions_sent", "bytes_to_servers",
-                          "bytes_from_servers", "events"}) {
+                          "bytes_from_servers", "local_accesses",
+                          "events"}) {
     RequireNumber(path, cell, key, where);
   }
   for (const char* key : {"method", "op"}) {
