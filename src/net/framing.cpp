@@ -1,0 +1,172 @@
+#include "net/framing.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/wire.hpp"
+
+namespace pvfs::net {
+
+void EncodeFrameHeader(std::uint32_t payload_len,
+                       unsigned char out[kFrameHeaderBytes]) {
+  out[0] = static_cast<unsigned char>(payload_len);
+  out[1] = static_cast<unsigned char>(payload_len >> 8);
+  out[2] = static_cast<unsigned char>(payload_len >> 16);
+  out[3] = static_cast<unsigned char>(payload_len >> 24);
+}
+
+std::vector<std::byte> EncodeFrame(std::span<const std::byte> payload) {
+  std::vector<std::byte> out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  unsigned char header[kFrameHeaderBytes];
+  EncodeFrameHeader(static_cast<std::uint32_t>(payload.size()), header);
+  for (unsigned char b : header) out.push_back(std::byte{b});
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::uint64_t PeekTrailerId(std::span<const std::byte> payload) {
+  if (payload.size() < kFrameTrailerBytes) return 0;
+  const std::size_t at = payload.size() - kFrameTrailerBytes;
+  std::uint64_t id = 0;
+  for (std::size_t i = 0; i < kFrameIdBytes; ++i) {
+    id |= static_cast<std::uint64_t>(
+              std::to_integer<std::uint8_t>(payload[at + i]))
+          << (8 * i);
+  }
+  return id;
+}
+
+std::vector<std::byte> ResealWithId(std::vector<std::byte> payload,
+                                    std::uint64_t request_id) {
+  if (payload.size() >= kFrameTrailerBytes) {
+    payload.resize(payload.size() - kFrameTrailerBytes);
+  }
+  return SealFrameWithId(std::move(payload), request_id);
+}
+
+Status FrameDecoder::Feed(std::span<const std::byte> data) {
+  if (failed_) return ProtocolError("frame decoder already failed");
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    if (!in_payload_) {
+      while (header_filled_ < kFrameHeaderBytes && pos < data.size()) {
+        header_[header_filled_++] =
+            std::to_integer<unsigned char>(data[pos++]);
+      }
+      if (header_filled_ < kFrameHeaderBytes) break;
+      payload_len_ = static_cast<std::uint32_t>(header_[0]) |
+                     (static_cast<std::uint32_t>(header_[1]) << 8) |
+                     (static_cast<std::uint32_t>(header_[2]) << 16) |
+                     (static_cast<std::uint32_t>(header_[3]) << 24);
+      header_filled_ = 0;
+      if (payload_len_ > max_frame_bytes_) {
+        failed_ = true;
+        return ProtocolError("frame exceeds size limit");
+      }
+      if (payload_len_ == 0) {
+        ready_.emplace_back();
+        ++frames_decoded_;
+        continue;
+      }
+      // The payload buffer grows as bytes arrive — never pre-reserved
+      // from the length prefix, so a hostile-but-in-range length with no
+      // data behind it cannot force a large allocation.
+      in_payload_ = true;
+      partial_.clear();
+    }
+    std::size_t want = payload_len_ - partial_.size();
+    std::size_t take = std::min(want, data.size() - pos);
+    partial_.insert(partial_.end(), data.begin() + pos,
+                    data.begin() + pos + take);
+    pos += take;
+    if (partial_.size() == payload_len_) {
+      ready_.push_back(std::move(partial_));
+      partial_ = {};
+      in_payload_ = false;
+      ++frames_decoded_;
+    }
+  }
+  return Status::Ok();
+}
+
+std::optional<std::vector<std::byte>> FrameDecoder::Next() {
+  if (ready_.empty()) return std::nullopt;
+  std::vector<std::byte> frame = std::move(ready_.front());
+  ready_.pop_front();
+  return frame;
+}
+
+std::size_t FrameDecoder::buffered_bytes() const {
+  std::size_t total = partial_.size() + header_filled_;
+  for (const auto& frame : ready_) total += frame.size();
+  return total;
+}
+
+Status SendAll(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return DeadlineExceeded("send: request timed out");
+      }
+      return Unavailable(std::string("send: ") + std::strerror(errno));
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status SendFrame(int fd, std::span<const std::byte> payload) {
+  unsigned char header[kFrameHeaderBytes];
+  EncodeFrameHeader(static_cast<std::uint32_t>(payload.size()), header);
+  PVFS_RETURN_IF_ERROR(SendAll(fd, header, sizeof header));
+  return SendAll(fd, payload.data(), payload.size());
+}
+
+namespace {
+
+Status RecvAll(int fd, void* data, std::size_t len) {
+  char* p = static_cast<char*>(data);
+  while (len > 0) {
+    ssize_t n = ::recv(fd, p, len, 0);
+    if (n == 0) return Unavailable("connection closed");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return DeadlineExceeded("recv: response timed out");
+      }
+      return Unavailable(std::string("recv: ") + std::strerror(errno));
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::vector<std::byte>> RecvFrame(int fd) {
+  unsigned char header[kFrameHeaderBytes];
+  PVFS_RETURN_IF_ERROR(RecvAll(fd, header, sizeof header));
+  std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                      (static_cast<std::uint32_t>(header[1]) << 8) |
+                      (static_cast<std::uint32_t>(header[2]) << 16) |
+                      (static_cast<std::uint32_t>(header[3]) << 24);
+  if (len > kMaxFrameBytes) {
+    return ProtocolError("frame exceeds size limit");
+  }
+  std::vector<std::byte> payload(len);
+  if (len > 0) {
+    PVFS_RETURN_IF_ERROR(RecvAll(fd, payload.data(), len));
+  }
+  return payload;
+}
+
+}  // namespace pvfs::net

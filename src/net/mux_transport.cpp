@@ -1,0 +1,192 @@
+#include "net/mux_transport.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace pvfs::net {
+
+MuxSocketTransport::MuxSocketTransport(SocketAddress manager,
+                                       std::vector<SocketAddress> iods,
+                                       ClientConfig config)
+    : config_(config) {
+  manager_.address = std::move(manager);
+  iods_.reserve(iods.size());
+  for (SocketAddress& addr : iods) {
+    auto conn = std::make_unique<Connection>();
+    conn->address = std::move(addr);
+    iods_.push_back(std::move(conn));
+  }
+}
+
+MuxSocketTransport::~MuxSocketTransport() {
+  // Contract (same as every Transport here): no Call may be in flight
+  // during destruction. Shut each fd down to unblock its reader, join it,
+  // then close.
+  ShutdownConnection(manager_);
+  for (auto& conn : iods_) ShutdownConnection(*conn);
+}
+
+void MuxSocketTransport::ShutdownConnection(Connection& conn) {
+  {
+    std::lock_guard lock(conn.mutex);
+    conn.dead = true;
+    if (conn.fd >= 0) ::shutdown(conn.fd, SHUT_RDWR);
+  }
+  if (conn.reader.joinable()) conn.reader.join();
+  if (conn.fd >= 0) {
+    ::close(conn.fd);
+    conn.fd = -1;
+  }
+}
+
+void MuxSocketTransport::FailPendingLocked(Connection& conn,
+                                           const Status& why) {
+  for (auto& [id, waiter] : conn.pending) {
+    waiter->status = why;
+    waiter->done = true;
+  }
+  conn.pending.clear();
+}
+
+Status MuxSocketTransport::EnsureConnectedLocked(
+    Connection& conn, std::unique_lock<std::mutex>& lock) {
+  for (;;) {
+    if (conn.fd >= 0 && !conn.dead) return Status::Ok();
+    if (!conn.reader_running) break;
+    // A reader from the previous connection generation may still be
+    // blocked in recv; shutting the fd down makes its recv fail, after
+    // which it marks itself finished under the lock. The wait releases
+    // the lock, so re-evaluate from the top afterwards — another thread
+    // may have reconnected (and started a fresh reader) meanwhile.
+    if (conn.fd >= 0) ::shutdown(conn.fd, SHUT_RDWR);
+    conn.cv.wait(lock, [&] {
+      return !conn.reader_running || (conn.fd >= 0 && !conn.dead);
+    });
+  }
+  if (conn.reader.joinable()) conn.reader.join();
+  if (conn.fd >= 0) {
+    // The fd stays open until here — after the reader is gone and while
+    // no sender can hold a snapshot of it (senders re-check under this
+    // lock) — so the descriptor number cannot be recycled under a
+    // concurrent send.
+    ::close(conn.fd);
+    conn.fd = -1;
+  }
+  PVFS_ASSIGN_OR_RETURN(
+      conn.fd, ConnectSocket(conn.address, config_.call_timeout,
+                             /*arm_receive_timeout=*/false));
+  conn.dead = false;
+  reconnects_.fetch_add(1, std::memory_order_relaxed);
+  conn.reader_running = true;
+  conn.reader = std::thread(
+      [this, &conn, fd = conn.fd] { ReaderLoop(conn, fd); });
+  return Status::Ok();
+}
+
+void MuxSocketTransport::ReaderLoop(Connection& conn, int fd) {
+  for (;;) {
+    auto frame = RecvFrame(fd);
+    std::lock_guard lock(conn.mutex);
+    if (!frame.ok()) {
+      // Connection-level failure: every in-flight exchange on this
+      // connection fails with the retryable code; the next exchange
+      // reconnects.
+      FailPendingLocked(
+          conn, Unavailable("mux connection lost: " +
+                            frame.status().message()));
+      conn.dead = true;
+      conn.reader_running = false;
+      conn.cv.notify_all();
+      return;
+    }
+    auto it = conn.pending.find(PeekTrailerId(*frame));
+    if (it == conn.pending.end()) {
+      // No waiter: it gave up at its deadline, or the peer replayed a
+      // duplicate. Dropping here is what lets a late reply not poison
+      // the next exchange.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    it->second->response = std::move(*frame);
+    it->second->done = true;
+    conn.pending.erase(it);
+    matched_.fetch_add(1, std::memory_order_relaxed);
+    conn.cv.notify_all();
+  }
+}
+
+Result<std::vector<std::byte>> MuxSocketTransport::Exchange(
+    Connection& conn, std::span<const std::byte> request) {
+  // id may be 0 for a frame too short to carry a trailer (e.g. a fault
+  // injector truncated it): the server peeks the same raw bytes, so its
+  // kCorruption reply also carries id 0 and still correlates. The
+  // uniqueness wait below serializes concurrent id-0 exchanges.
+  const std::uint64_t id = PeekTrailerId(request);
+  Waiter waiter;
+  {
+    std::unique_lock lock(conn.mutex);
+    // In-flight budget, and id uniqueness: a fault injector's duplicated
+    // call re-sends the same sealed bytes, so the same id may knock
+    // twice — the second waits for the first to settle.
+    conn.cv.wait(lock, [&] {
+      return (config_.max_inflight == 0 ||
+              conn.pending.size() < config_.max_inflight) &&
+             conn.pending.find(id) == conn.pending.end();
+    });
+    PVFS_RETURN_IF_ERROR(EnsureConnectedLocked(conn, lock));
+    conn.pending.emplace(id, &waiter);
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  Status sent = Status::Ok();
+  {
+    // Whole frames from concurrent callers interleave on the wire, never
+    // their bytes.
+    std::lock_guard wlock(conn.write_mutex);
+    int fd = -1;
+    {
+      std::lock_guard lock(conn.mutex);
+      fd = conn.dead ? -1 : conn.fd;
+    }
+    sent = fd >= 0 ? SendFrame(fd, request)
+                   : Unavailable("mux connection lost before send");
+  }
+
+  std::unique_lock lock(conn.mutex);
+  if (!sent.ok()) {
+    conn.pending.erase(id);
+    // Poison the connection: a half-written frame desynchronizes the
+    // stream, so concurrent exchanges must fail fast and reconnect.
+    if (!conn.dead && conn.fd >= 0) ::shutdown(conn.fd, SHUT_RDWR);
+    conn.dead = true;
+    conn.cv.notify_all();
+    return sent;
+  }
+  if (config_.call_timeout.count() > 0) {
+    if (!conn.cv.wait_for(lock, config_.call_timeout,
+                          [&] { return waiter.done; })) {
+      conn.pending.erase(id);  // a late reply will be counted + dropped
+      conn.cv.notify_all();
+      return DeadlineExceeded("mux call: response timed out");
+    }
+  } else {
+    conn.cv.wait(lock, [&] { return waiter.done; });
+  }
+  conn.cv.notify_all();  // an in-flight slot freed; wake blocked issuers
+  if (!waiter.status.ok()) return waiter.status;
+  return std::move(waiter.response);
+}
+
+Result<std::vector<std::byte>> MuxSocketTransport::Call(
+    const Endpoint& dest, std::span<const std::byte> request) {
+  if (dest.is_manager) return Exchange(manager_, request);
+  if (dest.server >= iods_.size()) return NotFound("no such I/O server");
+  return Exchange(*iods_[dest.server], request);
+}
+
+MuxSocketTransport::Stats MuxSocketTransport::stats() const {
+  return Stats{requests_.load(), matched_.load(), dropped_.load(),
+               reconnects_.load()};
+}
+
+}  // namespace pvfs::net

@@ -1,0 +1,103 @@
+// Multiplexed client transport: one TCP connection per daemon carrying
+// many in-flight logical requests at once.
+//
+// Every sealed request frame already carries a unique nonzero request id
+// in its CRC trailer (src/common/wire, PR 3); the event-driven server
+// guarantees each reply frame is sealed under the id of the request that
+// caused it. That makes the trailer a correlation key: N client threads
+// write frames down one connection (sends serialized, interleaving whole
+// frames), a single reader thread per connection peels reply frames off
+// the wire and hands each to the waiter registered under its trailer id.
+//
+// Correlation uses PeekTrailerId — the raw trailer bytes, no CRC check —
+// so even a reply whose payload was corrupted in flight still reaches
+// the exchange that caused it and fails there with kCorruption (typed,
+// retryable) instead of stranding the waiter until its deadline.
+//
+// Failure model: any connection-level failure (EOF, reset, send error)
+// fails every in-flight exchange on that connection with kUnavailable —
+// the same retryable code the classic path returns — and the next
+// exchange reconnects. Unmatched replies (e.g. a waiter gave up at its
+// deadline before the reply landed) are counted and dropped.
+//
+// Thread safety: fully thread-safe; any number of threads may Call
+// concurrently. See docs/event-transport.md.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/socket_transport.hpp"
+#include "pvfs/transport.hpp"
+
+namespace pvfs::net {
+
+class MuxSocketTransport final : public Transport {
+ public:
+  /// manager + iods[i] addresses; connections open on first use. Honors
+  /// config.call_timeout (per-exchange deadline) and config.max_inflight
+  /// (per-connection in-flight cap; issuing threads beyond it wait).
+  MuxSocketTransport(SocketAddress manager, std::vector<SocketAddress> iods,
+                     ClientConfig config = {});
+  ~MuxSocketTransport() override;
+
+  Result<std::vector<std::byte>> Call(
+      const Endpoint& dest, std::span<const std::byte> request) override;
+
+  std::uint32_t server_count() const override {
+    return static_cast<std::uint32_t>(iods_.size());
+  }
+
+  struct Stats {
+    std::uint64_t requests = 0;           // exchanges issued
+    std::uint64_t responses_matched = 0;  // replies routed to a waiter
+    std::uint64_t responses_dropped = 0;  // replies with no waiter left
+    std::uint64_t reconnects = 0;         // connections (re)established
+  };
+  Stats stats() const;
+
+ private:
+  /// One in-flight exchange, owned by the calling thread's stack; the
+  /// pending map holds a pointer only while the id is registered.
+  struct Waiter {
+    std::vector<std::byte> response;
+    Status status = Status::Ok();
+    bool done = false;
+  };
+
+  struct Connection {
+    SocketAddress address;
+    std::mutex mutex;  // guards everything below + pending lifecycle
+    std::condition_variable cv;
+    std::mutex write_mutex;  // serializes whole-frame sends
+    int fd = -1;
+    bool dead = false;  // fd unusable; close deferred to reconnect/dtor
+    bool reader_running = false;
+    std::thread reader;
+    std::unordered_map<std::uint64_t, Waiter*> pending;
+  };
+
+  Result<std::vector<std::byte>> Exchange(Connection& conn,
+                                          std::span<const std::byte> request);
+  Status EnsureConnectedLocked(Connection& conn,
+                               std::unique_lock<std::mutex>& lock);
+  void ReaderLoop(Connection& conn, int fd);
+  static void FailPendingLocked(Connection& conn, const Status& why);
+  void ShutdownConnection(Connection& conn);
+
+  Connection manager_;
+  std::vector<std::unique_ptr<Connection>> iods_;
+  ClientConfig config_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> matched_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
+};
+
+}  // namespace pvfs::net

@@ -3,6 +3,8 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -10,74 +12,19 @@
 #include <cerrno>
 #include <cstring>
 
+#include "net/mux_transport.hpp"
+
 namespace pvfs::net {
 
 namespace {
 
-// Transmission failures are transient from the caller's perspective — the
-// peer daemon may be restarting — so they surface as kUnavailable (and
-// armed socket timeouts as kDeadlineExceeded), the codes the client retry
-// layer treats as retryable.
-Status SendAll(int fd, const void* data, size_t len) {
-  const char* p = static_cast<const char*>(data);
-  while (len > 0) {
-    ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        return DeadlineExceeded("send: request timed out");
-      }
-      return Unavailable(std::string("send: ") + std::strerror(errno));
-    }
-    p += n;
-    len -= static_cast<size_t>(n);
-  }
-  return Status::Ok();
-}
+// epoll user-data tags for the two non-connection fds in the set.
+constexpr std::uint64_t kListenTag = 0;
+constexpr std::uint64_t kWakeTag = 1;
 
-Status RecvAll(int fd, void* data, size_t len) {
-  char* p = static_cast<char*>(data);
-  while (len > 0) {
-    ssize_t n = ::recv(fd, p, len, 0);
-    if (n == 0) return Unavailable("connection closed");
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        return DeadlineExceeded("recv: response timed out");
-      }
-      return Unavailable(std::string("recv: ") + std::strerror(errno));
-    }
-    p += n;
-    len -= static_cast<size_t>(n);
-  }
-  return Status::Ok();
-}
-
-Status SendFrame(int fd, std::span<const std::byte> payload) {
-  std::uint32_t len = static_cast<std::uint32_t>(payload.size());
-  unsigned char header[4] = {
-      static_cast<unsigned char>(len), static_cast<unsigned char>(len >> 8),
-      static_cast<unsigned char>(len >> 16),
-      static_cast<unsigned char>(len >> 24)};
-  PVFS_RETURN_IF_ERROR(SendAll(fd, header, sizeof header));
-  return SendAll(fd, payload.data(), payload.size());
-}
-
-Result<std::vector<std::byte>> RecvFrame(int fd) {
-  unsigned char header[4];
-  PVFS_RETURN_IF_ERROR(RecvAll(fd, header, sizeof header));
-  std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
-                      (static_cast<std::uint32_t>(header[1]) << 8) |
-                      (static_cast<std::uint32_t>(header[2]) << 16) |
-                      (static_cast<std::uint32_t>(header[3]) << 24);
-  if (len > kMaxFrameBytes) {
-    return ProtocolError("frame exceeds size limit");
-  }
-  std::vector<std::byte> payload(len);
-  if (len > 0) {
-    PVFS_RETURN_IF_ERROR(RecvAll(fd, payload.data(), len));
-  }
-  return payload;
+obs::Registry& Reg(const SocketServer::Options& options) {
+  return options.registry != nullptr ? *options.registry
+                                     : obs::Registry::Global();
 }
 
 }  // namespace
@@ -87,7 +34,13 @@ Result<std::vector<std::byte>> RecvFrame(int fd) {
 Result<std::unique_ptr<SocketServer>> SocketServer::Start(
     std::uint16_t port, ServiceFn service, AdmissionController* admission,
     ServerId server) {
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  return Start(port, std::move(service), admission, server, Options{});
+}
+
+Result<std::unique_ptr<SocketServer>> SocketServer::Start(
+    std::uint16_t port, ServiceFn service, AdmissionController* admission,
+    ServerId server, Options options) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) return Internal("socket() failed");
   int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
@@ -100,7 +53,7 @@ Result<std::unique_ptr<SocketServer>> SocketServer::Start(
     ::close(fd);
     return Internal(std::string("bind: ") + std::strerror(errno));
   }
-  if (::listen(fd, 64) != 0) {
+  if (::listen(fd, 1024) != 0) {
     ::close(fd);
     return Internal(std::string("listen: ") + std::strerror(errno));
   }
@@ -109,86 +62,363 @@ Result<std::unique_ptr<SocketServer>> SocketServer::Start(
     ::close(fd);
     return Internal("getsockname failed");
   }
+
+  int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) {
+    ::close(fd);
+    return Internal(std::string("epoll_create1: ") + std::strerror(errno));
+  }
+  int wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd < 0) {
+    ::close(epoll_fd);
+    ::close(fd);
+    return Internal(std::string("eventfd: ") + std::strerror(errno));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    ::close(wake_fd);
+    ::close(epoll_fd);
+    ::close(fd);
+    return Internal("epoll_ctl(listen) failed");
+  }
+  ev.data.u64 = kWakeTag;
+  if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, wake_fd, &ev) != 0) {
+    ::close(wake_fd);
+    ::close(epoll_fd);
+    ::close(fd);
+    return Internal("epoll_ctl(wake) failed");
+  }
   return std::unique_ptr<SocketServer>(
-      new SocketServer(fd, ntohs(addr.sin_port), std::move(service),
-                       admission, server));
+      new SocketServer(fd, epoll_fd, wake_fd, ntohs(addr.sin_port),
+                       std::move(service), admission, server,
+                       std::move(options)));
 }
 
-SocketServer::SocketServer(int listen_fd, std::uint16_t port,
-                           ServiceFn service, AdmissionController* admission,
-                           ServerId server)
+SocketServer::SocketServer(int listen_fd, int epoll_fd, int wake_fd,
+                           std::uint16_t port, ServiceFn service,
+                           AdmissionController* admission, ServerId server,
+                           Options options)
     : listen_fd_(listen_fd),
+      epoll_fd_(epoll_fd),
+      wake_fd_(wake_fd),
       port_(port),
       service_(std::move(service)),
       admission_(admission),
-      server_(server) {
-  acceptor_ = std::jthread([this] { AcceptLoop(); });
+      server_(server),
+      options_(std::move(options)),
+      open_connections_g_(Reg(options_).Gauge("iod.transport.open_connections",
+                                              options_.metric_labels)),
+      readable_events_c_(Reg(options_).Counter("iod.transport.readable_events",
+                                               options_.metric_labels)),
+      partial_frames_c_(Reg(options_).Counter("iod.transport.partial_frames",
+                                              options_.metric_labels)),
+      inflight_g_(Reg(options_).Gauge("iod.transport.inflight_requests",
+                                      options_.metric_labels)) {
+  std::uint32_t workers = std::max<std::uint32_t>(1, options_.worker_threads);
+  workers_.reserve(workers);
+  for (std::uint32_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  poller_ = std::jthread([this] { PollLoop(); });
 }
 
 SocketServer::~SocketServer() {
   stopping_.store(true);
-  ::shutdown(listen_fd_, SHUT_RDWR);
+  WakePoller();
+  poller_.join();
+  // Workers drain every dispatched request before exiting so admission
+  // accounting completes (depth gauge back to zero); their responses are
+  // simply never delivered.
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  for (auto& [id, conn] : conns_) {
+    ::shutdown(conn.fd, SHUT_RDWR);
+    ::close(conn.fd);
+    open_connections_g_.Add(-1);
+  }
+  conns_.clear();
   ::close(listen_fd_);
-  acceptor_.join();
-  {
-    // Unblock workers waiting in recv on live connections.
-    std::lock_guard lock(workers_mutex_);
-    for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
-  // Join workers before any member destructs: exiting workers touch
-  // live_fds_ and workers_mutex_, which are destroyed before `workers_`
-  // would join on its own (members destruct in reverse order).
-  std::vector<std::jthread> workers;
-  {
-    std::lock_guard lock(workers_mutex_);
-    workers.swap(workers_);
-  }
-  workers.clear();  // joins
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
 }
 
-void SocketServer::AcceptLoop() {
+void SocketServer::WakePoller() {
+  std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void SocketServer::PollLoop() {
+  epoll_event events[128];
   while (!stopping_.load()) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (stopping_.load()) return;
+    int n = ::epoll_wait(epoll_fd_, events, 128, -1);
+    if (n < 0) {
       if (errno == EINTR) continue;
-      return;  // listener broken
+      return;  // epoll set broken; nothing recoverable
+    }
+    for (int i = 0; i < n && !stopping_.load(); ++i) {
+      std::uint64_t tag = events[i].data.u64;
+      if (tag == kListenTag) {
+        AcceptReady();
+        continue;
+      }
+      if (tag == kWakeTag) {
+        std::uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof drained) > 0) {
+        }
+        DeliverCompletions();
+        continue;
+      }
+      // A previous event in this batch may have closed the connection;
+      // look it up fresh for each event (and between the two halves).
+      if (events[i].events & EPOLLOUT) {
+        auto it = conns_.find(tag);
+        if (it != conns_.end()) FlushWrites(it->second);
+      }
+      if (events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) {
+        auto it = conns_.find(tag);
+        if (it != conns_.end()) ReadReady(it->second);
+      }
+    }
+  }
+}
+
+void SocketServer::AcceptReady() {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (drained) or transient accept failure
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    std::uint64_t id = next_conn_id_++;
+    Connection& conn = conns_[id];
+    conn.id = id;
+    conn.fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      conns_.erase(id);
+      continue;
+    }
     ++connections_;
-    std::lock_guard lock(workers_mutex_);
-    live_fds_.push_back(fd);
-    workers_.emplace_back([this, fd] { ServeConnection(fd); });
+    open_connections_g_.Add(1);
   }
 }
 
-void SocketServer::ServeConnection(int fd) {
-  while (!stopping_.load()) {
-    auto request = RecvFrame(fd);
-    if (!request.ok()) break;  // peer closed or error: drop connection
-    // Admission happens before queueing on the service mutex: a daemon at
-    // its bound answers busy immediately, keeping the connection alive so
-    // the client's backed-off resend reuses it.
-    AdmissionController::Slot slot;
-    if (admission_ != nullptr && !admission_->TryAdmit(slot)) {
-      if (!SendFrame(fd, SealedBusyResponse(server_)).ok()) break;
-      continue;
+void SocketServer::UpdateInterest(Connection& conn) {
+  epoll_event ev{};
+  ev.events = 0;
+  if (!conn.paused && !conn.read_closed) ev.events |= EPOLLIN;
+  if (conn.want_write) ev.events |= EPOLLOUT;
+  ev.data.u64 = conn.id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void SocketServer::PumpConnection(Connection& conn) {
+  const std::uint32_t max_inflight = options_.max_inflight_per_connection;
+  const std::size_t cap = options_.max_write_buffer_bytes;
+  auto over_budget = [&] {
+    return (max_inflight > 0 && conn.inflight >= max_inflight) ||
+           conn.out_bytes > cap;
+  };
+  // Dispatch decoded frames only while the budgets hold: a single recv
+  // can complete dozens of pipelined requests, and dispatching them all
+  // would let one connection buffer unbounded response bytes. Frames over
+  // budget stay parked in the decoder and re-enter here as replies drain.
+  while (!over_budget()) {
+    auto frame = conn.decoder.Next();
+    if (!frame) break;
+    HandleFrame(conn, std::move(*frame));
+    // HandleFrame can shed/enqueue but never closes; conn stays valid.
+  }
+  if (!conn.paused && over_budget()) {
+    conn.paused = true;
+    UpdateInterest(conn);
+  } else if (conn.paused &&
+             (max_inflight == 0 || conn.inflight < max_inflight) &&
+             conn.out_bytes <= cap / 2) {
+    // Resume below half the buffer cap (hysteresis) once the in-flight
+    // budget has headroom again. Any parked frames were dispatched by the
+    // loop above before this branch can be taken.
+    conn.paused = false;
+    UpdateInterest(conn);
+  }
+}
+
+bool SocketServer::MaybeCloseDrained(Connection& conn) {
+  if (conn.read_closed && conn.inflight == 0 && conn.out.empty() &&
+      !conn.decoder.has_ready()) {
+    CloseConnection(conn.id);
+    return true;
+  }
+  return false;
+}
+
+void SocketServer::ReadReady(Connection& conn) {
+  readable_events_c_.Increment();
+  std::byte buf[65536];
+  // One recv per readiness event: level-triggered epoll re-reports the fd
+  // until drained, which keeps one floody connection from starving the
+  // rest of the set.
+  ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+  if (n == 0) {
+    // Peer half-closed; frames already decoded still get served and
+    // their replies flushed before the connection goes away.
+    conn.read_closed = true;
+    PumpConnection(conn);
+    if (MaybeCloseDrained(conn)) return;
+    UpdateInterest(conn);
+    return;
+  }
+  if (n < 0) {
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) return;
+    CloseConnection(conn.id);
+    return;
+  }
+  const std::uint64_t id = conn.id;
+  if (!conn.decoder.Feed({buf, static_cast<std::size_t>(n)}).ok()) {
+    CloseConnection(id);  // hostile length prefix: poisoned stream
+    return;
+  }
+  if (conn.decoder.has_partial()) partial_frames_c_.Increment();
+  PumpConnection(conn);
+}
+
+void SocketServer::HandleFrame(Connection& conn,
+                               std::vector<std::byte> frame) {
+  const std::uint64_t corr_id = PeekTrailerId(frame);
+  AdmissionController::Slot slot{};
+  if (admission_ != nullptr && !admission_->TryAdmit(slot)) {
+    // Shed from the poller: the busy reply is stamped with the refused
+    // request's id so a multiplexed client's waiter sees it.
+    EnqueueResponse(conn, options_.correlate_responses
+                              ? SealedBusyResponse(server_, corr_id)
+                              : SealedBusyResponse(server_));
+    return;
+  }
+  ++conn.inflight;
+  inflight_g_.Add(1);
+  {
+    std::lock_guard lock(work_mutex_);
+    work_.push_back(Work{conn.id, std::move(frame), corr_id, slot});
+  }
+  work_cv_.notify_one();
+}
+
+void SocketServer::WorkerLoop() {
+  for (;;) {
+    Work w;
+    {
+      std::unique_lock lock(work_mutex_);
+      work_cv_.wait(lock,
+                    [&] { return stopping_.load() || !work_.empty(); });
+      if (work_.empty()) return;  // stopping and fully drained
+      w = std::move(work_.front());
+      work_.pop_front();
     }
     std::vector<std::byte> response;
     {
+      // The daemons are externally synchronized: one service call at a
+      // time per server, exactly as the thread-per-connection transport
+      // guaranteed.
       std::lock_guard lock(service_mutex_);
-      if (admission_ != nullptr) admission_->BeginService(slot);
-      response = service_(*request);
+      if (admission_ != nullptr) admission_->BeginService(w.slot);
+      response = service_(w.frame);
     }
-    if (admission_ != nullptr) admission_->Finish(slot);
-    if (!SendFrame(fd, response).ok()) break;
+    if (admission_ != nullptr) admission_->Finish(w.slot);
+    if (options_.correlate_responses && PeekTrailerId(response) != w.corr_id) {
+      // The service had no ambient id for this request (corrupt frame that
+      // failed its CRC before the id could be adopted): re-seal so the
+      // reply still correlates.
+      response = ResealWithId(std::move(response), w.corr_id);
+    }
+    {
+      std::lock_guard lock(done_mutex_);
+      done_.push_back(Completion{w.conn, std::move(response)});
+    }
+    inflight_g_.Add(-1);
+    WakePoller();
   }
+}
+
+void SocketServer::DeliverCompletions() {
+  std::deque<Completion> ready;
   {
-    std::lock_guard lock(workers_mutex_);
-    std::erase(live_fds_, fd);
+    std::lock_guard lock(done_mutex_);
+    ready.swap(done_);
   }
-  ::close(fd);
+  for (Completion& done : ready) {
+    auto it = conns_.find(done.conn);
+    if (it == conns_.end()) continue;  // connection died mid-service
+    Connection& conn = it->second;
+    if (conn.inflight > 0) --conn.inflight;
+    EnqueueResponse(conn, std::move(done.payload));
+    PumpConnection(conn);  // in-flight budget freed: dispatch parked frames
+  }
+}
+
+void SocketServer::EnqueueResponse(Connection& conn,
+                                   std::vector<std::byte> payload) {
+  std::vector<std::byte> header(kFrameHeaderBytes);
+  EncodeFrameHeader(static_cast<std::uint32_t>(payload.size()),
+                    reinterpret_cast<unsigned char*>(header.data()));
+  conn.out_bytes += header.size() + payload.size();
+  conn.out.push_back(std::move(header));
+  conn.out.push_back(std::move(payload));
+  std::uint64_t hw = max_write_buffered_.load();
+  while (conn.out_bytes > hw &&
+         !max_write_buffered_.compare_exchange_weak(hw, conn.out_bytes)) {
+  }
+  if (!conn.want_write) {
+    conn.want_write = true;
+    UpdateInterest(conn);  // level-triggered: fires as soon as writable
+  }
+}
+
+void SocketServer::FlushWrites(Connection& conn) {
+  const std::uint64_t id = conn.id;
+  while (!conn.out.empty()) {
+    std::vector<std::byte>& front = conn.out.front();
+    if (front.empty()) {
+      conn.out.pop_front();
+      conn.out_front_off = 0;
+      continue;
+    }
+    ssize_t n = ::send(conn.fd, front.data() + conn.out_front_off,
+                       front.size() - conn.out_front_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      CloseConnection(id);
+      return;
+    }
+    conn.out_front_off += static_cast<std::size_t>(n);
+    conn.out_bytes -= static_cast<std::size_t>(n);
+    if (conn.out_front_off == front.size()) {
+      conn.out.pop_front();
+      conn.out_front_off = 0;
+    }
+  }
+  conn.want_write = false;
+  PumpConnection(conn);  // write buffer drained: dispatch parked frames
+  if (MaybeCloseDrained(conn)) return;
+  UpdateInterest(conn);
+}
+
+void SocketServer::CloseConnection(std::uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second.fd, nullptr);
+  ::close(it->second.fd);
+  conns_.erase(it);
+  open_connections_g_.Add(-1);
 }
 
 // ---- SocketTransport --------------------------------------------------------
@@ -217,31 +447,9 @@ Result<std::vector<std::byte>> SocketTransport::CallOn(
     Connection& conn, std::span<const std::byte> request) {
   std::lock_guard lock(conn.mutex);
   if (conn.fd < 0) {
-    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) return Internal("socket() failed");
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(conn.address.port);
-    if (::inet_pton(AF_INET, conn.address.host.c_str(), &addr.sin_addr) !=
-        1) {
-      ::close(fd);
-      return InvalidArgument("bad address " + conn.address.host);
-    }
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-      ::close(fd);
-      return Unavailable(std::string("connect: ") + std::strerror(errno));
-    }
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    if (call_timeout_.count() > 0) {
-      timeval tv{};
-      tv.tv_sec = static_cast<time_t>(call_timeout_.count() / 1000);
-      tv.tv_usec =
-          static_cast<suseconds_t>((call_timeout_.count() % 1000) * 1000);
-      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
-    }
-    conn.fd = fd;
+    PVFS_ASSIGN_OR_RETURN(
+        conn.fd, ConnectSocket(conn.address, call_timeout_,
+                               /*arm_receive_timeout=*/true));
   }
   Status sent = SendFrame(conn.fd, request);
   if (!sent.ok()) {
@@ -264,12 +472,47 @@ Result<std::vector<std::byte>> SocketTransport::Call(
   return CallOn(*iods_[dest.server], request);
 }
 
+Result<int> ConnectSocket(const SocketAddress& address,
+                          std::chrono::milliseconds timeout,
+                          bool arm_receive_timeout) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Internal("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(address.port);
+  if (::inet_pton(AF_INET, address.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgument("bad address " + address.host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return Unavailable(std::string("connect: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  if (timeout.count() > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    // A multiplexed connection's reader must idle indefinitely between
+    // replies, so it never arms SO_RCVTIMEO; the classic exchange path
+    // does (one request, one bounded wait).
+    if (arm_receive_timeout) {
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    }
+  }
+  return fd;
+}
+
 // ---- SocketCluster ----------------------------------------------------------
 
 SocketCluster::SocketCluster(std::uint32_t server_count,
                              const ServerConfig& config,
                              obs::Registry* registry)
-    : manager_(server_count) {
+    : config_(config),
+      registry_(registry != nullptr ? registry : &obs::Registry::Global()),
+      manager_(server_count) {
   iods_.reserve(server_count);
   admissions_.reserve(server_count);
   for (ServerId s = 0; s < server_count; ++s) {
@@ -277,6 +520,15 @@ SocketCluster::SocketCluster(std::uint32_t server_count,
     admissions_.push_back(std::make_unique<AdmissionController>(
         s, config.max_queue_depth, registry));
   }
+}
+
+SocketServer::Options SocketCluster::IodServerOptions(ServerId s) const {
+  SocketServer::Options options;
+  options.worker_threads = config_.transport_workers;
+  options.correlate_responses = true;
+  options.registry = registry_;
+  options.metric_labels = {{"server", std::to_string(s)}};
+  return options;
 }
 
 Result<std::unique_ptr<SocketCluster>> SocketCluster::Start(
@@ -292,12 +544,19 @@ Result<std::unique_ptr<SocketCluster>> SocketCluster::Start(
   std::unique_ptr<SocketCluster> cluster(
       new SocketCluster(server_count, config, registry));
 
+  SocketServer::Options manager_options;
+  manager_options.worker_threads = config.transport_workers;
+  manager_options.correlate_responses = true;
+  manager_options.registry = cluster->registry_;
+  manager_options.metric_labels = {{"server", "mgr"}};
   PVFS_ASSIGN_OR_RETURN(
       cluster->manager_server_,
-      SocketServer::Start(base_port, [m = &cluster->manager_](
-                                         std::span<const std::byte> req) {
-        return m->HandleSealedMessage(req);
-      }));
+      SocketServer::Start(
+          base_port,
+          [m = &cluster->manager_](std::span<const std::byte> req) {
+            return m->HandleSealedMessage(req);
+          },
+          nullptr, 0, std::move(manager_options)));
   for (ServerId s = 0; s < server_count; ++s) {
     std::uint16_t port =
         base_port == 0 ? 0 : static_cast<std::uint16_t>(base_port + 1 + s);
@@ -308,7 +567,7 @@ Result<std::unique_ptr<SocketCluster>> SocketCluster::Start(
             [iod = cluster->iods_[s].get()](std::span<const std::byte> req) {
               return iod->HandleSealedMessage(req);
             },
-            cluster->admissions_[s].get(), s));
+            cluster->admissions_[s].get(), s, cluster->IodServerOptions(s)));
     cluster->iod_ports_.push_back(server->port());
     cluster->iod_servers_.push_back(std::move(server));
   }
@@ -340,7 +599,7 @@ Status SocketCluster::RestartIod(ServerId s) {
           [iod = iods_[s].get()](std::span<const std::byte> req) {
             return iod->HandleSealedMessage(req);
           },
-          admissions_[s].get(), s));
+          admissions_[s].get(), s, IodServerOptions(s)));
   return Status::Ok();
 }
 
@@ -357,6 +616,17 @@ std::unique_ptr<SocketTransport> SocketCluster::Connect(
     std::chrono::milliseconds call_timeout) const {
   return std::make_unique<SocketTransport>(manager_address(),
                                            iod_addresses(), call_timeout);
+}
+
+std::unique_ptr<Transport> SocketCluster::Connect(
+    const ClientConfig& config) const {
+  if (config.multiplex) {
+    return std::make_unique<MuxSocketTransport>(manager_address(),
+                                                iod_addresses(), config);
+  }
+  return std::make_unique<SocketTransport>(manager_address(),
+                                           iod_addresses(),
+                                           config.call_timeout);
 }
 
 }  // namespace pvfs::net

@@ -73,4 +73,13 @@ std::vector<std::byte> SealedBusyResponse(ServerId server) {
       {}));
 }
 
+std::vector<std::byte> SealedBusyResponse(ServerId server,
+                                          std::uint64_t request_id) {
+  return SealFrameWithId(
+      EncodeResponse(Busy("iod " + std::to_string(server) +
+                          " admission queue full; retry after backoff"),
+                     {}),
+      request_id);
+}
+
 }  // namespace pvfs

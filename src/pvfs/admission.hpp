@@ -68,7 +68,15 @@ class AdmissionController {
 
 /// The sealed wire frame a transport sends when admission fails: a kBusy
 /// response envelope with an empty body, CRC-sealed like every other
-/// protocol message.
+/// protocol message. Sealed under the ambient request id (0 outside a
+/// client call).
 std::vector<std::byte> SealedBusyResponse(ServerId server);
+
+/// Same, sealed under an explicit `request_id` — the event-driven server
+/// sheds load from the poller thread, outside any ambient id scope, and
+/// must still stamp the busy reply with the id of the request it refuses
+/// so multiplexed clients can correlate it.
+std::vector<std::byte> SealedBusyResponse(ServerId server,
+                                          std::uint64_t request_id);
 
 }  // namespace pvfs

@@ -46,6 +46,10 @@ struct ServerConfig {
   std::uint32_t max_list_regions = kMaxListRegions;
   bool schedule_fragments = false;
   std::uint32_t max_queue_depth = 0;
+  /// Worker threads draining the TCP event loop's request queue
+  /// (net::SocketServer::Options::worker_threads). Service stays
+  /// serialized per daemon; workers overlap framing with service.
+  std::uint32_t transport_workers = 2;
 };
 
 }  // namespace pvfs

@@ -9,6 +9,7 @@
 #include "fault/fault.hpp"
 #include "fault/fault_transport.hpp"
 #include "io/method.hpp"
+#include "net/framing.hpp"
 #include "pvfs/client.hpp"
 #include "pvfs/iod.hpp"
 #include "pvfs/manager.hpp"
@@ -222,6 +223,108 @@ TEST(Fuzz, ExtremeExtentListsNeverCrashAndWrapsAreTyped) {
   ExtentList small_mem{{0, 20}};
   EXPECT_EQ(client.WriteList(*fd, small_mem, buffer, wrap_file).code(),
             ErrorCode::kInvalidArgument);
+}
+
+// ---- Frame-reassembly fuzzing ------------------------------------------------
+
+/// A sealed request frame from the wire corpus: the same shape PR 2's
+/// sealed-frame fuzzers use, with randomized regions for variety.
+ByteBuffer CorpusSealedFrame(SplitMix64& rng) {
+  IoRequest io;
+  io.handle = rng.Uniform(1, 1000);
+  io.striping = Striping{0, 8, 16384};
+  std::uint64_t regions = rng.Uniform(1, 4);
+  for (std::uint64_t r = 0; r < regions; ++r) {
+    io.regions.push_back(
+        {rng.Uniform(0, 1 << 16), rng.Uniform(1, 1 << 10)});
+  }
+  return SealFrameWithId(io.Encode(), rng.Next());
+}
+
+TEST(FrameReassemblyFuzz, RandomSplitPointsRoundTripExactly) {
+  // A stream of sealed frames delivered in adversarial chunk sizes
+  // (including empty and one-byte reads) must reassemble to exactly the
+  // original frames, in order, regardless of where the splits land.
+  SplitMix64 rng(321);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::vector<ByteBuffer> frames;
+    ByteBuffer stream;
+    std::uint64_t count = rng.Uniform(1, 6);
+    for (std::uint64_t f = 0; f < count; ++f) {
+      frames.push_back(CorpusSealedFrame(rng));
+      ByteBuffer framed = net::EncodeFrame(frames.back());
+      stream.insert(stream.end(), framed.begin(), framed.end());
+    }
+
+    net::FrameDecoder decoder;
+    std::vector<ByteBuffer> got;
+    size_t at = 0;
+    while (at < stream.size()) {
+      size_t chunk = rng.Uniform(0, 17);  // 0..17 bytes per "read"
+      chunk = std::min(chunk, stream.size() - at);
+      ASSERT_TRUE(decoder.Feed({stream.data() + at, chunk}).ok());
+      at += chunk;
+      while (auto frame = decoder.Next()) got.push_back(std::move(*frame));
+    }
+    ASSERT_EQ(got.size(), frames.size()) << "iteration " << iter;
+    for (size_t f = 0; f < frames.size(); ++f) {
+      EXPECT_EQ(got[f], frames[f]) << "iteration " << iter << " frame " << f;
+    }
+    EXPECT_FALSE(decoder.has_partial()) << "iteration " << iter;
+    EXPECT_EQ(decoder.buffered_bytes(), 0u) << "iteration " << iter;
+  }
+}
+
+TEST(FrameReassemblyFuzz, HostileLengthPrefixesRejectedBeforeAllocation) {
+  // Length prefixes above the decoder's limit — by one byte or by 4 GiB —
+  // must fail typed at header-completion time, with nothing buffered
+  // beyond the four header bytes (no allocation sized by the attacker).
+  constexpr std::uint32_t kLimit = 1u << 20;
+  SplitMix64 rng(654);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::uint32_t claimed = kLimit + 1 +
+                            static_cast<std::uint32_t>(
+                                rng.Uniform(0, 0xFFFFFFFFu - kLimit - 1));
+    unsigned char header[net::kFrameHeaderBytes];
+    net::EncodeFrameHeader(claimed, header);
+    net::FrameDecoder decoder(kLimit);
+    // Deliver the header in random splits; the rejection must fire the
+    // moment the fourth byte lands.
+    size_t at = 0;
+    Status last = Status::Ok();
+    while (at < sizeof header) {
+      size_t chunk = std::min<size_t>(rng.Uniform(1, 4), sizeof header - at);
+      last = decoder.Feed(
+          {reinterpret_cast<const std::byte*>(header) + at, chunk});
+      at += chunk;
+      if (!last.ok()) break;
+    }
+    ASSERT_FALSE(last.ok()) << "claimed " << claimed;
+    EXPECT_EQ(last.code(), ErrorCode::kProtocol);
+    EXPECT_TRUE(decoder.failed());
+    EXPECT_LE(decoder.buffered_bytes(), net::kFrameHeaderBytes);
+    EXPECT_FALSE(decoder.Next().has_value());
+  }
+}
+
+TEST(FrameReassemblyFuzz, RandomGarbageNeverCrashesAndStaysBounded) {
+  // Arbitrary bytes in arbitrary chunks: the decoder either fails typed
+  // (oversize prefix) or keeps waiting for an in-range frame — and its
+  // buffering never exceeds limit + header no matter what arrives.
+  constexpr std::uint32_t kLimit = 1u << 16;
+  SplitMix64 rng(987);
+  for (int iter = 0; iter < 500; ++iter) {
+    net::FrameDecoder decoder(kLimit);
+    bool dead = false;
+    for (int feed = 0; feed < 20 && !dead; ++feed) {
+      ByteBuffer junk = RandomBytes(rng, 400);
+      dead = !decoder.Feed(junk).ok();
+      while (decoder.Next().has_value()) {
+      }
+      EXPECT_LE(decoder.buffered_bytes(),
+                static_cast<size_t>(kLimit) + net::kFrameHeaderBytes);
+    }
+  }
 }
 
 // ---- Fault injection ----------------------------------------------------------
