@@ -92,8 +92,8 @@ void MuxSocketTransport::ReaderLoop(Connection& conn, int fd) {
       // connection fails with the retryable code; the next exchange
       // reconnects.
       FailPendingLocked(
-          conn, Unavailable("mux connection lost: " +
-                            frame.status().message()));
+          conn, Unavailable("mux connection to " + EndpointLabel(conn.address) +
+                            " lost: " + frame.status().message()));
       conn.dead = true;
       conn.reader_running = false;
       conn.cv.notify_all();
@@ -149,7 +149,9 @@ Result<std::vector<std::byte>> MuxSocketTransport::Exchange(
       fd = conn.dead ? -1 : conn.fd;
     }
     sent = fd >= 0 ? SendFrame(fd, request)
-                   : Unavailable("mux connection lost before send");
+                   : Unavailable("mux connection to " +
+                                 EndpointLabel(conn.address) +
+                                 " lost before send");
   }
 
   std::unique_lock lock(conn.mutex);

@@ -455,12 +455,16 @@ Result<std::vector<std::byte>> SocketTransport::CallOn(
   if (!sent.ok()) {
     ::close(conn.fd);
     conn.fd = -1;
-    return sent;
+    return Status(sent.code(), sent.message() + " (sending to " +
+                                   EndpointLabel(conn.address) + ")");
   }
   auto response = RecvFrame(conn.fd);
   if (!response.ok()) {
     ::close(conn.fd);
     conn.fd = -1;
+    return Status(response.status().code(),
+                  response.status().message() + " (receiving from " +
+                      EndpointLabel(conn.address) + ")");
   }
   return response;
 }
@@ -486,7 +490,8 @@ Result<int> ConnectSocket(const SocketAddress& address,
   }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
     ::close(fd);
-    return Unavailable(std::string("connect: ") + std::strerror(errno));
+    return Unavailable("connect to " + EndpointLabel(address) + ": " +
+                       std::strerror(errno));
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -600,7 +605,28 @@ Status SocketCluster::RestartIod(ServerId s) {
             return iod->HandleSealedMessage(req);
           },
           admissions_[s].get(), s, IodServerOptions(s)));
+  // Restarting restores availability; the scrub restores redundancy.
+  // Writes acked by the surviving replica while this daemon was down are
+  // copied back before RestartIod returns, so a subsequent failure of that
+  // replica cannot lose them. Best effort: the daemon stays up even when a
+  // repair source is itself unreachable (chunks are counted unrepaired and
+  // a later RepairIod can finish the job).
+  (void)RepairIod(s);
   return Status::Ok();
+}
+
+Result<RepairReport> SocketCluster::RepairIod(ServerId s) const {
+  if (s >= iod_servers_.size()) return NotFound("no such I/O server");
+  if (iod_servers_[s] == nullptr) {
+    return FailedPrecondition("iod not running");
+  }
+  // A private transport so repair traffic rides the ordinary sealed wire
+  // protocol (and shows up in the same transport metrics as client I/O).
+  // The timeout only bounds fetches from replicas that die mid-repair, so
+  // it is generous: a sanitized build under full test load must not trip
+  // it and abandon the scrub halfway.
+  auto transport = Connect(std::chrono::milliseconds{10'000});
+  return RepairRestartedIod(*transport, s);
 }
 
 std::vector<SocketAddress> SocketCluster::iod_addresses() const {

@@ -44,6 +44,7 @@
 #include "pvfs/admission.hpp"
 #include "pvfs/iod.hpp"
 #include "pvfs/manager.hpp"
+#include "pvfs/repair.hpp"
 #include "pvfs/transport.hpp"
 
 namespace pvfs::net {
@@ -200,6 +201,12 @@ struct SocketAddress {
   std::uint16_t port = 0;
 };
 
+/// "host:port", the form every connection-level Status message embeds so a
+/// failure names which daemon it was talking to.
+inline std::string EndpointLabel(const SocketAddress& address) {
+  return address.host + ":" + std::to_string(address.port);
+}
+
 /// Open a blocking TCP connection to `address` (TCP_NODELAY set). A
 /// non-zero `timeout` arms SO_SNDTIMEO, and SO_RCVTIMEO too when
 /// `arm_receive_timeout` — multiplexed connections keep receives
@@ -294,8 +301,16 @@ class SocketCluster {
   /// live connections die. The daemon object (and its store — the "disk")
   /// survives, as a real iod's on-disk data survives a daemon crash.
   Status StopIod(ServerId s);
-  /// Restart a stopped daemon on its original port.
+  /// Restart a stopped daemon on its original port, then re-replicate its
+  /// data from the surviving replicas (best effort — the daemon is
+  /// available either way; see RepairIod).
   Status RestartIod(ServerId s);
+  /// Re-replication scrub for daemon `s` over a fresh client transport:
+  /// every replicated file whose replica set includes `s` has its chunks
+  /// checksum-compared against the surviving replicas and stale or missing
+  /// ones copied back (pvfs/repair.hpp). Files with replicas=1 are
+  /// skipped, so this is a cheap no-op on unreplicated clusters.
+  Result<RepairReport> RepairIod(ServerId s) const;
   bool IodRunning(ServerId s) const { return iod_servers_[s] != nullptr; }
 
   SocketAddress manager_address() const {

@@ -119,9 +119,11 @@ Status Client::CallManagerVoid(std::vector<std::byte> request) {
   return resp->status;
 }
 
-Result<Client::Fd> Client::Create(const std::string& name, Striping striping) {
-  PVFS_ASSIGN_OR_RETURN(Metadata meta,
-                        CallManagerMeta(CreateRequest{name, striping}.Encode()));
+Result<Client::Fd> Client::Create(const std::string& name, Striping striping,
+                                  ReplicationConfig replication) {
+  PVFS_ASSIGN_OR_RETURN(
+      Metadata meta,
+      CallManagerMeta(CreateRequest{name, striping, replication}.Encode()));
   Fd fd = next_fd_++;
   open_files_.emplace(fd, OpenFile{meta, 0});
   return fd;
@@ -153,15 +155,21 @@ Status Client::Remove(const std::string& name) {
   auto meta = CallManagerMeta(LookupRequest{name}.Encode());
   if (!meta.ok()) return meta.status();
   PVFS_RETURN_IF_ERROR(CallManagerVoid(RemoveRequest{name}.Encode()));
-  RemoveDataRequest drop{meta->handle};
-  std::vector<std::byte> encoded = drop.Encode();
-  for (std::uint32_t s = 0; s < meta->striping.pcount; ++s) {
-    ServerId server = (meta->striping.base + s) %
-                      transport_->server_count();
-    ++stats_.messages;
-    auto resp = SealedCall(Endpoint::Iod(server), encoded);
-    if (!resp.ok()) return resp.status();
-    PVFS_RETURN_IF_ERROR(resp->status);
+  const Distribution dist(meta->striping, meta->replication);
+  const std::uint32_t replicas = dist.EffectiveReplicas();
+  for (std::uint32_t k = 0; k < replicas; ++k) {
+    // Every daemon holds replica ordinal k for exactly one primary, so one
+    // RemoveData per (daemon, derived handle) drops the whole copy.
+    RemoveDataRequest drop{ReplicaHandle(meta->handle, k)};
+    std::vector<std::byte> encoded = drop.Encode();
+    for (std::uint32_t s = 0; s < meta->striping.pcount; ++s) {
+      ServerId server = (meta->striping.base + s) %
+                        transport_->server_count();
+      ++stats_.messages;
+      auto resp = SealedCall(Endpoint::Iod(server), encoded);
+      if (!resp.ok()) return resp.status();
+      PVFS_RETURN_IF_ERROR(resp->status);
+    }
   }
   return Status::Ok();
 }
@@ -288,8 +296,50 @@ std::chrono::microseconds Client::NextBackoff(
       std::chrono::microseconds(static_cast<std::int64_t>(next)), cap);
 }
 
+void Client::CountRetryCode(ErrorCode code) const {
+  switch (code) {
+    case ErrorCode::kUnavailable: ++retries_unavailable_; break;
+    case ErrorCode::kBusy: ++retries_busy_; break;
+    case ErrorCode::kCorruption: ++retries_corruption_; break;
+    case ErrorCode::kDeadlineExceeded: ++retries_deadline_; break;
+    case ErrorCode::kProtocol: ++retries_protocol_; break;
+    default: break;
+  }
+}
+
+bool Client::SkipReplica(ServerId global) const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  auto it = health_.find(global);
+  if (it == health_.end() || !it->second.ejected) return false;
+  const auto now = std::chrono::steady_clock::now();
+  if (now < it->second.probe_at) return true;
+  // Claim the probe: push the deadline out so only this op pays the
+  // potential timeout; a success resets the entry entirely.
+  it->second.probe_at = now + options_.failover.probe_backoff;
+  return false;
+}
+
+void Client::RecordReplicaSuccess(ServerId global) const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  auto it = health_.find(global);
+  if (it != health_.end()) health_.erase(it);
+}
+
+void Client::RecordReplicaFailure(ServerId global) const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  ReplicaHealth& h = health_[global];
+  ++h.consecutive_failures;
+  if (!h.ejected && h.consecutive_failures >= options_.failover.eject_after) {
+    h.ejected = true;
+    h.probe_at =
+        std::chrono::steady_clock::now() + options_.failover.probe_backoff;
+    ++ejected_replicas_;
+  }
+}
+
 Result<std::vector<std::byte>> Client::ExchangeWithServer(
-    const OpenFile& file, ServerId relative, const IoRequest& request) const {
+    const OpenFile& file, ServerId relative, const IoRequest& request,
+    bool failover_fast) const {
   PVFS_SPAN("client.exchange");
   const RetryPolicy& policy = options_.retry;
   // Distinct jitter stream per (client, server): mix the client's unique
@@ -301,6 +351,12 @@ Result<std::vector<std::byte>> Client::ExchangeWithServer(
   while (true) {
     auto result = ExchangeOnce(file, relative, request);
     if (result.ok() || !IsRetryable(result.status().code())) {
+      return result;
+    }
+    if (failover_fast && IsFailoverEligible(result.status().code())) {
+      // The replicated caller owns recovery for dead-endpoint errors:
+      // surface immediately (no backoff, no exhausted accounting) so it
+      // can retarget a surviving replica.
       return result;
     }
     if (policy.max_attempts <= 1) {
@@ -320,10 +376,113 @@ Result<std::vector<std::byte>> Client::ExchangeWithServer(
     }
     ++attempt;
     ++retries_;
+    CountRetryCode(result.status().code());
     std::this_thread::sleep_for(backoff);
     backoff_us_ += static_cast<std::uint64_t>(backoff.count());
     backoff = NextBackoff(backoff, policy.initial_backoff, policy.max_backoff,
                           fault::kSiteRetryBackoff, stream, attempt);
+  }
+}
+
+Result<std::vector<std::byte>> Client::ReadReplicated(
+    const OpenFile& file, ServerId primary, const IoRequest& request) const {
+  PVFS_SPAN("client.read_replicated");
+  const Distribution dist(file.meta.striping, file.meta.replication);
+  const std::uint32_t replicas = dist.EffectiveReplicas();
+  const RetryPolicy& policy = options_.retry;
+  const std::uint32_t max_rounds = std::max<std::uint32_t>(policy.max_attempts, 1);
+  const std::uint64_t stream = lock_owner_ * 0x9E3779B97F4A7C15ull ^
+                               static_cast<std::uint64_t>(primary) ^
+                               0xA5A5A5A5ull;
+  std::chrono::microseconds backoff = policy.initial_backoff;
+  Status last = Unavailable("no replica reachable");
+  for (std::uint32_t round = 1;; ++round) {
+    // Pass 0 honours ejections; pass 1 runs only if every candidate was
+    // benched, so a fully-ejected replica set still gets probed instead of
+    // sleeping the round away.
+    bool attempted = false;
+    for (int pass = 0; pass < 2 && !attempted; ++pass) {
+      for (std::uint32_t k = 0; k < replicas; ++k) {
+        const ServerId route = dist.ReplicaOf(primary, k);
+        const ServerId global = GlobalOf(file, route);
+        if (pass == 0 && SkipReplica(global)) continue;
+        attempted = true;
+        IoRequest leg = request;
+        leg.handle = ReplicaHandle(request.handle, k);
+        auto body = ExchangeWithServer(file, route, leg, /*failover_fast=*/true);
+        if (body.ok()) {
+          RecordReplicaSuccess(global);
+          if (k > 0) ++retargets_;  // served degraded, off the primary
+          return body;
+        }
+        if (!IsFailoverEligible(body.status().code())) return body;
+        RecordReplicaFailure(global);
+        last = body.status();
+      }
+    }
+    if (round >= max_rounds) {
+      ++retry_exhausted_;
+      return last;
+    }
+    ++retries_;
+    CountRetryCode(last.code());
+    std::this_thread::sleep_for(backoff);
+    backoff_us_ += static_cast<std::uint64_t>(backoff.count());
+    backoff = NextBackoff(backoff, policy.initial_backoff, policy.max_backoff,
+                          fault::kSiteRetryBackoff, stream, round);
+  }
+}
+
+Status Client::WriteReplicated(const OpenFile& file, ServerId primary,
+                               const IoRequest& request) const {
+  PVFS_SPAN("client.write_replicated");
+  const Distribution dist(file.meta.striping, file.meta.replication);
+  const std::uint32_t replicas = dist.EffectiveReplicas();
+  const RetryPolicy& policy = options_.retry;
+  const std::uint32_t max_rounds = std::max<std::uint32_t>(policy.max_attempts, 1);
+  const std::uint64_t stream = lock_owner_ * 0x9E3779B97F4A7C15ull ^
+                               static_cast<std::uint64_t>(primary) ^
+                               0x5A5A5A5Aull;
+  std::chrono::microseconds backoff = policy.initial_backoff;
+  Status last = Unavailable("no replica reachable");
+  for (std::uint32_t round = 1;; ++round) {
+    std::uint32_t acks = 0;
+    bool attempted = false;
+    for (int pass = 0; pass < 2 && !attempted; ++pass) {
+      for (std::uint32_t k = 0; k < replicas; ++k) {
+        const ServerId route = dist.ReplicaOf(primary, k);
+        const ServerId global = GlobalOf(file, route);
+        if (pass == 0 && SkipReplica(global)) continue;
+        attempted = true;
+        IoRequest leg = request;
+        leg.handle = ReplicaHandle(request.handle, k);
+        auto body = ExchangeWithServer(file, route, leg, /*failover_fast=*/true);
+        if (body.ok()) {
+          RecordReplicaSuccess(global);
+          ++acks;
+          continue;
+        }
+        if (!IsFailoverEligible(body.status().code())) return body.status();
+        RecordReplicaFailure(global);
+        last = body.status();
+      }
+    }
+    if (acks > 0) {
+      // Degraded ack: the op succeeds; every copy it proceeded without is
+      // a retarget, restored later by re-replication (docs/replication.md).
+      retargets_ += replicas - acks;
+      return Status::Ok();
+    }
+    if (round >= max_rounds) {
+      ++retry_exhausted_;
+      return last;
+    }
+    ++retries_;
+    CountRetryCode(last.code());
+    std::this_thread::sleep_for(backoff);
+    backoff_us_ += static_cast<std::uint64_t>(backoff.count());
+    backoff = NextBackoff(backoff, policy.initial_backoff, policy.max_backoff,
+                          fault::kSiteRetryBackoff, stream, round);
   }
 }
 
@@ -360,7 +519,8 @@ Status ForEachServer(bool parallel, std::vector<Item>& items, const Fn& fn) {
 Status Client::WriteChunk(OpenFile& file, std::span<const Extent> chunk,
                           std::span<const std::byte> stream) {
   ++stats_.fs_requests;
-  Distribution dist(file.meta.striping);
+  Distribution dist(file.meta.striping, file.meta.replication);
+  const std::uint32_t replicas = dist.EffectiveReplicas();
   std::vector<Fragment> frags = dist.Fragments(chunk);
 
   // Build each involved server's payload in logical-walk order.
@@ -381,8 +541,8 @@ Status Client::WriteChunk(OpenFile& file, std::span<const Extent> chunk,
   std::sort(payloads.begin(), payloads.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
 
-  stats_.messages += payloads.size();
-  stats_.regions_sent += payloads.size() * chunk.size();
+  stats_.messages += payloads.size() * replicas;
+  stats_.regions_sent += payloads.size() * replicas * chunk.size();
   PVFS_RETURN_IF_ERROR(ForEachServer(
       options_.parallel_fanout, payloads, [&](size_t i) -> Status {
         IoRequest req;
@@ -392,6 +552,13 @@ Status Client::WriteChunk(OpenFile& file, std::span<const Extent> chunk,
         req.op = IoOp::kWrite;
         req.regions.assign(chunk.begin(), chunk.end());
         req.payload = std::move(payloads[i].second);
+        if (replicas > 1) {
+          // Fan the identical request out to every replica of this
+          // primary: a secondary serves the same fragment set (selected by
+          // server_index, not its own id) under a derived handle, giving
+          // each copy the primary's exact local layout.
+          return WriteReplicated(file, payloads[i].first, req);
+        }
         auto body = ExchangeWithServer(file, payloads[i].first, req);
         return body.status();
       }));
@@ -405,7 +572,8 @@ Status Client::WriteChunk(OpenFile& file, std::span<const Extent> chunk,
 Status Client::ReadChunk(OpenFile& file, std::span<const Extent> chunk,
                          std::span<std::byte> stream) {
   ++stats_.fs_requests;
-  Distribution dist(file.meta.striping);
+  Distribution dist(file.meta.striping, file.meta.replication);
+  const std::uint32_t replicas = dist.EffectiveReplicas();
   std::vector<ServerId> involved = dist.InvolvedServers(chunk);
 
   stats_.messages += involved.size();
@@ -419,7 +587,9 @@ Status Client::ReadChunk(OpenFile& file, std::span<const Extent> chunk,
         req.server_index = involved[i];
         req.op = IoOp::kRead;
         req.regions.assign(chunk.begin(), chunk.end());
-        auto body = ExchangeWithServer(file, involved[i], req);
+        auto body = replicas > 1
+                        ? ReadReplicated(file, involved[i], req)
+                        : ExchangeWithServer(file, involved[i], req);
         if (!body.ok()) return body.status();
         auto io = IoResponse::Decode(*body);
         if (!io.ok()) return io.status();
@@ -541,6 +711,26 @@ void Client::ExportMetrics(obs::Registry& reg, const obs::Labels& base) const {
   reg.Counter("client.backoff_us", base).Set(retry.backoff_us);
   reg.Counter("client.corruptions", base).Set(retry.corruptions);
   reg.Counter("client.busy_rejections", base).Set(retry.busy_rejections);
+  // client.retries split by triggering error code, so failover vs.
+  // backpressure vs. integrity retries are distinguishable in BENCH JSON.
+  const auto coded = [&](const char* code) {
+    obs::Labels labels = base;
+    labels.push_back({"code", code});
+    return labels;
+  };
+  reg.Counter("client.retries", coded("unavailable"))
+      .Set(retry.retries_unavailable);
+  reg.Counter("client.retries", coded("busy")).Set(retry.retries_busy);
+  reg.Counter("client.retries", coded("corruption"))
+      .Set(retry.retries_corruption);
+  reg.Counter("client.retries", coded("deadline_exceeded"))
+      .Set(retry.retries_deadline);
+  reg.Counter("client.retries", coded("protocol"))
+      .Set(retry.retries_protocol);
+  const FailoverCounters failover = failover_counters();
+  reg.Counter("client.failover.retargets", base).Set(failover.retargets);
+  reg.Counter("client.failover.ejected_replicas", base)
+      .Set(failover.ejected_replicas);
 }
 
 obs::JsonValue Client::StatsJson() const {
@@ -558,6 +748,17 @@ obs::JsonValue Client::StatsJson() const {
   out.Set("backoff_us", obs::JsonValue(retry.backoff_us));
   out.Set("corruptions", obs::JsonValue(retry.corruptions));
   out.Set("busy_rejections", obs::JsonValue(retry.busy_rejections));
+  obs::JsonValue by_code = obs::JsonValue::Object();
+  by_code.Set("unavailable", obs::JsonValue(retry.retries_unavailable));
+  by_code.Set("busy", obs::JsonValue(retry.retries_busy));
+  by_code.Set("corruption", obs::JsonValue(retry.retries_corruption));
+  by_code.Set("deadline_exceeded", obs::JsonValue(retry.retries_deadline));
+  by_code.Set("protocol", obs::JsonValue(retry.retries_protocol));
+  out.Set("retries_by_code", std::move(by_code));
+  const FailoverCounters failover = failover_counters();
+  out.Set("failover_retargets", obs::JsonValue(failover.retargets));
+  out.Set("failover_ejected_replicas",
+          obs::JsonValue(failover.ejected_replicas));
   return out;
 }
 

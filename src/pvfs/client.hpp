@@ -16,6 +16,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -89,13 +90,45 @@ class Client {
   };
 
   /// Client-side recovery counters (atomic: exchanges retry concurrently
-  /// under parallel_fanout).
+  /// under parallel_fanout). `retries` is also split by the error code
+  /// that triggered each resend, so failover (unavailable/deadline) is
+  /// distinguishable from backpressure (busy) and integrity (corruption)
+  /// retries in exported metrics.
   struct RetryCounters {
     std::uint64_t retries = 0;        // exchanges resent
     std::uint64_t exhausted = 0;      // exchanges that ran out of attempts
     std::uint64_t backoff_us = 0;     // total time spent backing off
     std::uint64_t corruptions = 0;    // kCorruption responses observed
     std::uint64_t busy_rejections = 0; // kBusy admission sheds observed
+    std::uint64_t retries_unavailable = 0;
+    std::uint64_t retries_busy = 0;
+    std::uint64_t retries_corruption = 0;
+    std::uint64_t retries_deadline = 0;
+    std::uint64_t retries_protocol = 0;
+  };
+
+  /// Replica failover counters (replicated files only; see
+  /// docs/replication.md).
+  struct FailoverCounters {
+    /// Exchange legs redirected away from an unhealthy replica: reads
+    /// served by a non-primary ordinal, plus write legs the op completed
+    /// without (failed or ejection-skipped replicas on a degraded ack).
+    std::uint64_t retargets = 0;
+    /// Ejection events: a replica endpoint crossing the consecutive
+    /// failure threshold and being benched until its probe deadline.
+    std::uint64_t ejected_replicas = 0;
+  };
+
+  /// Per-replica endpoint health policy. A kUnavailable/kDeadlineExceeded
+  /// on a replicated exchange immediately retargets the next replica
+  /// instead of burning the retry budget against a dead endpoint; an
+  /// endpoint that fails `eject_after` consecutive times is skipped
+  /// entirely until `probe_backoff` elapses, after which one op probes it
+  /// (flapping iods thus cost one timeout per probe window, not one per
+  /// op).
+  struct FailoverPolicy {
+    std::uint32_t eject_after = 3;
+    std::chrono::microseconds probe_backoff{5'000};
   };
 
   struct Options {
@@ -107,6 +140,7 @@ class Client {
     /// transports in this repository are).
     bool parallel_fanout = false;
     RetryPolicy retry{};
+    FailoverPolicy failover{};
     /// Blocking LockRange bounds: backoff doubles from
     /// `lock_initial_backoff` to the `lock_max_backoff` cap; after
     /// `lock_max_attempts` conflicted tries the call gives up with
@@ -127,7 +161,8 @@ class Client {
 
   // ---- Namespace & lifecycle ------------------------------------------
 
-  Result<Fd> Create(const std::string& name, Striping striping);
+  Result<Fd> Create(const std::string& name, Striping striping,
+                    ReplicationConfig replication = {});
   Result<Fd> Open(const std::string& name);
   Status Close(Fd fd);
   Status Remove(const std::string& name);
@@ -174,7 +209,14 @@ class Client {
   /// Snapshot of the retry/backoff counters.
   RetryCounters retry_counters() const {
     return {retries_.load(), retry_exhausted_.load(), backoff_us_.load(),
-            corruptions_.load(), busy_rejections_.load()};
+            corruptions_.load(), busy_rejections_.load(),
+            retries_unavailable_.load(), retries_busy_.load(),
+            retries_corruption_.load(), retries_deadline_.load(),
+            retries_protocol_.load()};
+  }
+  /// Snapshot of the replica failover counters.
+  FailoverCounters failover_counters() const {
+    return {retargets_.load(), ejected_replicas_.load()};
   }
   /// Mirror this client's counters (ClientStats + RetryCounters) into a
   /// metrics registry as "client.*" counters with the given base labels.
@@ -226,10 +268,46 @@ class Client {
 
   /// One per-server exchange of a chunk: encode, call, decode envelope,
   /// retrying per Options::retry. Thread-safe (only atomic retry counters
-  /// are touched).
+  /// are touched). With `failover_fast`, a kUnavailable/kDeadlineExceeded
+  /// surfaces immediately — the replicated caller retargets another
+  /// replica instead of retrying a dead endpoint in place; every other
+  /// retryable code still retries here.
   Result<std::vector<std::byte>> ExchangeWithServer(
-      const OpenFile& file, ServerId relative,
-      const IoRequest& request) const;
+      const OpenFile& file, ServerId relative, const IoRequest& request,
+      bool failover_fast = false) const;
+
+  /// Replicated read: try replica ordinals in placement order, skipping
+  /// ejected endpoints, failing over on kUnavailable/kDeadlineExceeded;
+  /// whole-round failures retry with backoff per Options::retry.
+  Result<std::vector<std::byte>> ReadReplicated(const OpenFile& file,
+                                                ServerId primary,
+                                                const IoRequest& request) const;
+
+  /// Replicated write fan-out: one leg per replica ordinal (the payload
+  /// addresses the primary's fragment set on every leg — replicas are
+  /// whole copies under derived handles). Succeeds once any replica acks;
+  /// unacked replicas count as retargets and rely on re-replication.
+  Status WriteReplicated(const OpenFile& file, ServerId primary,
+                         const IoRequest& request) const;
+
+  /// Global server id of a file-relative index, per the striping base.
+  ServerId GlobalOf(const OpenFile& file, ServerId relative) const {
+    return (file.meta.striping.base + relative) % transport_->server_count();
+  }
+
+  static bool IsFailoverEligible(ErrorCode code) {
+    return code == ErrorCode::kUnavailable ||
+           code == ErrorCode::kDeadlineExceeded;
+  }
+
+  /// True if the endpoint is ejected and its probe window hasn't opened;
+  /// an op that finds the window open claims the probe (resetting the
+  /// deadline) so concurrent ops don't all pay the probe timeout at once.
+  bool SkipReplica(ServerId global) const;
+  void RecordReplicaSuccess(ServerId global) const;
+  void RecordReplicaFailure(ServerId global) const;
+  /// Bump the per-error-code retry counter for a resend caused by `code`.
+  void CountRetryCode(ErrorCode code) const;
 
   /// The exchange body without the retry loop.
   Result<std::vector<std::byte>> ExchangeOnce(const OpenFile& file,
@@ -258,6 +336,23 @@ class Client {
   mutable std::atomic<std::uint64_t> backoff_us_{0};
   mutable std::atomic<std::uint64_t> corruptions_{0};
   mutable std::atomic<std::uint64_t> busy_rejections_{0};
+  mutable std::atomic<std::uint64_t> retries_unavailable_{0};
+  mutable std::atomic<std::uint64_t> retries_busy_{0};
+  mutable std::atomic<std::uint64_t> retries_corruption_{0};
+  mutable std::atomic<std::uint64_t> retries_deadline_{0};
+  mutable std::atomic<std::uint64_t> retries_protocol_{0};
+  mutable std::atomic<std::uint64_t> retargets_{0};
+  mutable std::atomic<std::uint64_t> ejected_replicas_{0};
+
+  /// Per-endpoint replica health, keyed by global server id and shared by
+  /// every replicated file this client touches.
+  struct ReplicaHealth {
+    std::uint32_t consecutive_failures = 0;
+    bool ejected = false;
+    std::chrono::steady_clock::time_point probe_at{};
+  };
+  mutable std::mutex health_mu_;
+  mutable std::unordered_map<ServerId, ReplicaHealth> health_;
   std::uint64_t lock_owner_ = NextLockOwner();
 };
 

@@ -7,6 +7,16 @@
 
 namespace pvfs {
 
+std::vector<ServerId> Distribution::ReplicaSet(ServerId primary) const {
+  std::vector<ServerId> out;
+  const std::uint32_t replicas = EffectiveReplicas();
+  out.reserve(replicas);
+  for (std::uint32_t k = 0; k < replicas; ++k) {
+    out.push_back(ReplicaOf(primary, k));
+  }
+  return out;
+}
+
 FileOffset Distribution::LogicalOffsetOf(ServerId server,
                                          FileOffset local) const {
   std::uint64_t local_stripe = local / striping_.ssize;

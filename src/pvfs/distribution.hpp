@@ -15,6 +15,7 @@
 // transport layer, keeping daemons topology-agnostic.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -25,6 +26,36 @@
 #include "pvfs/config.hpp"
 
 namespace pvfs {
+
+/// How replicas of a stripe are placed across the file's iods.
+enum class ReplicaPlacement : std::uint8_t {
+  /// Replica ordinal k of file-relative primary p lives on file-relative
+  /// server (p + k) % pcount. Every server is primary for 1/pcount of the
+  /// stripes and secondary for (replicas-1)/pcount of them, so replica
+  /// load stays balanced without any placement table.
+  kRotation = 0,
+};
+
+/// Per-file replication parameters, chosen at create time and recorded in
+/// the manager's metadata. replicas=1 (the default) is plain striping —
+/// every code path and wire message is unchanged from the unreplicated
+/// system.
+struct ReplicationConfig {
+  std::uint32_t replicas = 1;
+  ReplicaPlacement placement = ReplicaPlacement::kRotation;
+
+  friend bool operator==(const ReplicationConfig&,
+                         const ReplicationConfig&) = default;
+};
+
+/// The local handle under which replica ordinal `ordinal` of file `handle`
+/// is stored on its iod. Ordinal 0 (the primary copy) keeps the file's own
+/// handle, so replicas=1 files are laid out exactly as before. Manager
+/// handles are small sequential integers, so tagging the top byte cannot
+/// collide with another file's primary handle.
+inline FileHandle ReplicaHandle(FileHandle handle, std::uint32_t ordinal) {
+  return handle ^ (static_cast<FileHandle>(ordinal) << 56);
+}
 
 /// One stripe-granular piece of a logical extent on a specific server.
 struct Fragment {
@@ -40,7 +71,35 @@ class Distribution {
  public:
   explicit Distribution(Striping striping) : striping_(striping) {}
 
+  Distribution(Striping striping, ReplicationConfig replication)
+      : striping_(striping), replication_(replication) {}
+
   const Striping& striping() const { return striping_; }
+  const ReplicationConfig& replication() const { return replication_; }
+
+  /// Replica count actually achievable: a file striped over pcount iods
+  /// cannot hold more than pcount distinct copies of a stripe.
+  std::uint32_t EffectiveReplicas() const {
+    return std::min(replication_.replicas, striping_.pcount);
+  }
+
+  /// File-relative server holding replica `ordinal` of stripes whose
+  /// primary is file-relative server `primary`.
+  ServerId ReplicaOf(ServerId primary, std::uint32_t ordinal) const {
+    return (primary + ordinal) % striping_.pcount;
+  }
+
+  /// Inverse of ReplicaOf: the primary whose ordinal-`ordinal` replica
+  /// lives on file-relative server `server`. Unique per (server, ordinal).
+  ServerId PrimaryFor(ServerId server, std::uint32_t ordinal) const {
+    std::uint32_t k = ordinal % striping_.pcount;
+    return (server + striping_.pcount - k) % striping_.pcount;
+  }
+
+  /// The distinct file-relative servers holding copies of stripes whose
+  /// primary is `primary`: [primary, primary+1, ...] mod pcount, ordinal
+  /// order, EffectiveReplicas() entries.
+  std::vector<ServerId> ReplicaSet(ServerId primary) const;
 
   /// File-relative server index holding the logical byte at `offset`.
   ServerId ServerOf(FileOffset offset) const {
@@ -91,6 +150,7 @@ class Distribution {
 
  private:
   Striping striping_;
+  ReplicationConfig replication_;
 };
 
 }  // namespace pvfs

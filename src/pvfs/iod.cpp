@@ -217,6 +217,44 @@ std::vector<std::byte> IoDaemon::HandleMessage(
       store_.Remove(req->handle);
       return EncodeResponse(Status::Ok(), {});
     }
+    case MsgType::kReplicaSums: {
+      auto req = ReplicaSumsRequest::Decode(r);
+      if (!req.ok()) return EncodeResponse(req.status(), {});
+      RecoverStore();  // manifest must reflect replayed-or-rolled-back state
+      ReplicaSumsResponse resp;
+      resp.size = store_.SizeOf(req->handle);
+      for (const LocalStore::ChunkSum& c : store_.ChunkSums(req->handle)) {
+        resp.chunks.push_back({c.chunk_index, c.crc, c.valid});
+      }
+      stats_.repair_chunks_scanned += resp.chunks.size();
+      return EncodeResponse(Status::Ok(), resp.Encode());
+    }
+    case MsgType::kRepair: {
+      auto req = RepairRequest::Decode(r);
+      if (!req.ok()) return EncodeResponse(req.status(), {});
+      RecoverStore();
+      if (req->op == RepairOp::kFetch) {
+        if (req->length > LocalStore::kChunkBytes) {
+          return EncodeResponse(
+              InvalidArgument("repair fetch exceeds chunk size"), {});
+        }
+        RepairResponse resp;
+        resp.payload.resize(req->length);
+        Status read = store_.Read(req->handle, req->offset, resp.payload);
+        if (!read.ok()) {
+          ++stats_.corruptions_detected;
+          return EncodeResponse(read, {});
+        }
+        return EncodeResponse(Status::Ok(), resp.Encode());
+      }
+      if (req->payload.size() > LocalStore::kChunkBytes) {
+        return EncodeResponse(
+            InvalidArgument("repair apply exceeds chunk size"), {});
+      }
+      store_.Write(req->handle, req->offset, req->payload);
+      ++stats_.repair_chunks_copied;
+      return EncodeResponse(Status::Ok(), {});
+    }
     case MsgType::kStats: {
       StatsResponse resp{StatsJson().Dump()};
       return EncodeResponse(Status::Ok(), resp.Encode());
@@ -261,6 +299,10 @@ obs::JsonValue IoDaemon::StatsJson() const {
           obs::JsonValue(stats_.scrub_chunks_scanned));
   out.Set("scrub_corruptions", obs::JsonValue(stats_.scrub_corruptions));
   out.Set("scrub_repairs", obs::JsonValue(stats_.scrub_repairs));
+  out.Set("repair_chunks_scanned",
+          obs::JsonValue(stats_.repair_chunks_scanned));
+  out.Set("repair_chunks_copied",
+          obs::JsonValue(stats_.repair_chunks_copied));
   return out;
 }
 
@@ -286,6 +328,10 @@ void IoDaemon::ExportMetrics(obs::Registry& reg,
   reg.Counter("iod.scrub_corruptions", labels)
       .Set(stats_.scrub_corruptions);
   reg.Counter("iod.scrub_repairs", labels).Set(stats_.scrub_repairs);
+  reg.Counter("iod.repair.chunks_scanned", labels)
+      .Set(stats_.repair_chunks_scanned);
+  reg.Counter("iod.repair.chunks_copied", labels)
+      .Set(stats_.repair_chunks_copied);
 }
 
 }  // namespace pvfs

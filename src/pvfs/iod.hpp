@@ -90,6 +90,8 @@ class IoDaemon {
     std::uint64_t scrub_chunks_scanned = 0;
     std::uint64_t scrub_corruptions = 0;
     std::uint64_t scrub_repairs = 0;
+    std::uint64_t repair_chunks_scanned = 0;  // manifest entries served
+    std::uint64_t repair_chunks_copied = 0;   // re-replication applies taken
   };
   const Stats& stats() const { return stats_; }
   /// The counters as one JSON object (the kStats response body).

@@ -7,7 +7,8 @@
 
 namespace pvfs {
 
-Result<Metadata> Manager::Create(const std::string& name, Striping striping) {
+Result<Metadata> Manager::Create(const std::string& name, Striping striping,
+                                 ReplicationConfig replication) {
   ++stats_.creates;
   if (name.empty()) return InvalidArgument("empty file name");
   if (striping.pcount == 0 || striping.pcount > server_count_) {
@@ -17,12 +18,16 @@ Result<Metadata> Manager::Create(const std::string& name, Striping striping) {
     return InvalidArgument("striping base beyond server table");
   }
   if (striping.ssize == 0) return InvalidArgument("zero stripe size");
+  if (replication.replicas == 0 || replication.replicas > striping.pcount) {
+    return InvalidArgument("replicas outside [1, pcount]");
+  }
   if (by_name_.contains(name)) return AlreadyExists("file exists: " + name);
 
   Metadata meta;
   meta.handle = next_handle_++;
   meta.striping = striping;
   meta.size = 0;
+  meta.replication = replication;
   by_name_.emplace(name, meta);
   by_handle_.emplace(meta.handle, name);
   return meta;
@@ -147,7 +152,7 @@ std::vector<std::byte> Manager::HandleMessage(std::span<const std::byte> raw) {
     case MsgType::kCreate: {
       auto req = CreateRequest::Decode(r);
       if (!req.ok()) return EncodeResponse(req.status(), {});
-      return respond_meta(Create(req->name, req->striping));
+      return respond_meta(Create(req->name, req->striping, req->replication));
     }
     case MsgType::kLookup: {
       ++stats_.lookups;

@@ -37,7 +37,8 @@ class Manager {
   std::vector<std::byte> HandleSealedMessage(std::span<const std::byte> raw);
 
   // Direct-call API (used by tests and by HandleMessage).
-  Result<Metadata> Create(const std::string& name, Striping striping);
+  Result<Metadata> Create(const std::string& name, Striping striping,
+                          ReplicationConfig replication = {});
   Result<Metadata> Lookup(const std::string& name) const;
   Status Remove(const std::string& name);
   Result<Metadata> Stat(FileHandle handle) const;

@@ -19,11 +19,27 @@ Result<Striping> DecodeStriping(WireReader& r) {
   return s;
 }
 
+void EncodeReplication(WireWriter& w, const ReplicationConfig& c) {
+  w.U32(c.replicas);
+  w.U8(static_cast<std::uint8_t>(c.placement));
+}
+
+Result<ReplicationConfig> DecodeReplication(WireReader& r) {
+  ReplicationConfig c;
+  PVFS_ASSIGN_OR_RETURN(c.replicas, r.U32());
+  PVFS_ASSIGN_OR_RETURN(std::uint8_t placement, r.U8());
+  if (c.replicas == 0) return ProtocolError("replication with zero replicas");
+  if (placement != 0) return ProtocolError("unknown replica placement");
+  c.placement = static_cast<ReplicaPlacement>(placement);
+  return c;
+}
+
 namespace {
 void EncodeMetadata(WireWriter& w, const Metadata& m) {
   w.U64(m.handle);
   EncodeStriping(w, m.striping);
   w.U64(m.size);
+  EncodeReplication(w, m.replication);
 }
 
 Result<Metadata> DecodeMetadata(WireReader& r) {
@@ -31,6 +47,7 @@ Result<Metadata> DecodeMetadata(WireReader& r) {
   PVFS_ASSIGN_OR_RETURN(m.handle, r.U64());
   PVFS_ASSIGN_OR_RETURN(m.striping, DecodeStriping(r));
   PVFS_ASSIGN_OR_RETURN(m.size, r.U64());
+  PVFS_ASSIGN_OR_RETURN(m.replication, DecodeReplication(r));
   return m;
 }
 }  // namespace
@@ -42,6 +59,7 @@ std::vector<std::byte> CreateRequest::Encode() const {
   w.U32(static_cast<std::uint32_t>(MsgType::kCreate));
   w.String(name);
   EncodeStriping(w, striping);
+  EncodeReplication(w, replication);
   return w.Take();
 }
 
@@ -49,6 +67,7 @@ Result<CreateRequest> CreateRequest::Decode(WireReader& r) {
   CreateRequest req;
   PVFS_ASSIGN_OR_RETURN(req.name, r.String());
   PVFS_ASSIGN_OR_RETURN(req.striping, DecodeStriping(r));
+  PVFS_ASSIGN_OR_RETURN(req.replication, DecodeReplication(r));
   return req;
 }
 
@@ -282,6 +301,89 @@ Result<RemoveDataRequest> RemoveDataRequest::Decode(WireReader& r) {
   return req;
 }
 
+std::vector<std::byte> ReplicaSumsRequest::Encode() const {
+  WireWriter w;
+  w.U32(static_cast<std::uint32_t>(MsgType::kReplicaSums));
+  w.U64(handle);
+  return w.Take();
+}
+
+Result<ReplicaSumsRequest> ReplicaSumsRequest::Decode(WireReader& r) {
+  ReplicaSumsRequest req;
+  PVFS_ASSIGN_OR_RETURN(req.handle, r.U64());
+  return req;
+}
+
+std::vector<std::byte> ReplicaSumsResponse::Encode() const {
+  WireWriter w;
+  w.U64(size);
+  w.U32(static_cast<std::uint32_t>(chunks.size()));
+  for (const ChunkSumEntry& c : chunks) {
+    w.U64(c.chunk_index);
+    w.U32(c.crc);
+    w.U8(c.valid ? 1 : 0);
+  }
+  return w.Take();
+}
+
+Result<ReplicaSumsResponse> ReplicaSumsResponse::Decode(
+    std::span<const std::byte> raw) {
+  WireReader r(raw);
+  ReplicaSumsResponse resp;
+  PVFS_ASSIGN_OR_RETURN(resp.size, r.U64());
+  PVFS_ASSIGN_OR_RETURN(std::uint32_t count, r.U32());
+  // 13 wire bytes per entry; bound before reserving (hostile-frame guard).
+  if (static_cast<std::uint64_t>(count) * 13 > r.remaining()) {
+    return ProtocolError("chunk sum count exceeds remaining bytes");
+  }
+  resp.chunks.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ChunkSumEntry c;
+    PVFS_ASSIGN_OR_RETURN(c.chunk_index, r.U64());
+    PVFS_ASSIGN_OR_RETURN(c.crc, r.U32());
+    PVFS_ASSIGN_OR_RETURN(std::uint8_t valid, r.U8());
+    c.valid = valid != 0;
+    resp.chunks.push_back(c);
+  }
+  return resp;
+}
+
+std::vector<std::byte> RepairRequest::Encode() const {
+  WireWriter w;
+  w.U32(static_cast<std::uint32_t>(MsgType::kRepair));
+  w.U64(handle);
+  w.U8(static_cast<std::uint8_t>(op));
+  w.U64(offset);
+  w.U64(length);
+  w.Bytes(payload);
+  return w.Take();
+}
+
+Result<RepairRequest> RepairRequest::Decode(WireReader& r) {
+  RepairRequest req;
+  PVFS_ASSIGN_OR_RETURN(req.handle, r.U64());
+  PVFS_ASSIGN_OR_RETURN(std::uint8_t op_raw, r.U8());
+  if (op_raw > 1) return ProtocolError("bad RepairOp");
+  req.op = static_cast<RepairOp>(op_raw);
+  PVFS_ASSIGN_OR_RETURN(req.offset, r.U64());
+  PVFS_ASSIGN_OR_RETURN(req.length, r.U64());
+  PVFS_ASSIGN_OR_RETURN(req.payload, r.Bytes());
+  return req;
+}
+
+std::vector<std::byte> RepairResponse::Encode() const {
+  WireWriter w;
+  w.Bytes(payload);
+  return w.Take();
+}
+
+Result<RepairResponse> RepairResponse::Decode(std::span<const std::byte> raw) {
+  WireReader r(raw);
+  RepairResponse resp;
+  PVFS_ASSIGN_OR_RETURN(resp.payload, r.Bytes());
+  return resp;
+}
+
 std::vector<std::byte> StatsRequest::Encode() const {
   WireWriter w;
   w.U32(static_cast<std::uint32_t>(MsgType::kStats));
@@ -310,7 +412,7 @@ Result<StatsResponse> StatsResponse::Decode(std::span<const std::byte> raw) {
 Result<MsgType> PeekType(std::span<const std::byte> raw) {
   WireReader r(raw);
   PVFS_ASSIGN_OR_RETURN(std::uint32_t t, r.U32());
-  if (t < 1 || t > 11) return ProtocolError("unknown message type");
+  if (t < 1 || t > 13) return ProtocolError("unknown message type");
   return static_cast<MsgType>(t);
 }
 

@@ -18,6 +18,7 @@
 #include "common/status.hpp"
 #include "common/wire.hpp"
 #include "pvfs/config.hpp"
+#include "pvfs/distribution.hpp"
 
 namespace pvfs {
 
@@ -33,6 +34,8 @@ enum class MsgType : std::uint32_t {
   kLock = 9,        // manager: try-acquire an advisory byte-range lock
   kUnlock = 10,     // manager: release a byte-range lock
   kStats = 11,      // manager/iod: stats snapshot as JSON text
+  kReplicaSums = 12,  // iod: per-chunk checksum manifest for a local handle
+  kRepair = 13,       // iod: re-replication chunk fetch/apply
 };
 
 enum class IoOp : std::uint8_t { kRead = 0, kWrite = 1 };
@@ -42,6 +45,7 @@ struct Metadata {
   FileHandle handle = 0;
   Striping striping;
   ByteCount size = 0;
+  ReplicationConfig replication;
 
   friend bool operator==(const Metadata&, const Metadata&) = default;
 };
@@ -51,6 +55,7 @@ struct Metadata {
 struct CreateRequest {
   std::string name;
   Striping striping;
+  ReplicationConfig replication;
 
   std::vector<std::byte> Encode() const;
   static Result<CreateRequest> Decode(WireReader& r);
@@ -166,6 +171,62 @@ struct RemoveDataRequest {
   static Result<RemoveDataRequest> Decode(WireReader& r);
 };
 
+// ---- Re-replication (repair) messages -----------------------------------
+
+/// Checksum state of one allocated store chunk (store.hpp granularity).
+struct ChunkSumEntry {
+  std::uint64_t chunk_index = 0;
+  std::uint32_t crc = 0;  // CRC32C recorded for the chunk
+  bool valid = false;     // stored bytes still match the recorded CRC
+
+  friend bool operator==(const ChunkSumEntry&, const ChunkSumEntry&) = default;
+};
+
+/// Ask an iod for the per-chunk checksum manifest of one local handle.
+/// Replicas share identical local layouts (a replica is a whole copy of
+/// the primary's local file under a derived handle), so manifests from two
+/// replicas are directly comparable chunk index by chunk index.
+struct ReplicaSumsRequest {
+  FileHandle handle = 0;
+
+  std::vector<std::byte> Encode() const;
+  static Result<ReplicaSumsRequest> Decode(WireReader& r);
+};
+
+struct ReplicaSumsResponse {
+  ByteCount size = 0;  // local high-water mark for the handle
+  std::vector<ChunkSumEntry> chunks;
+
+  std::vector<std::byte> Encode() const;
+  static Result<ReplicaSumsResponse> Decode(std::span<const std::byte> raw);
+};
+
+enum class RepairOp : std::uint8_t {
+  kFetch = 0,  // read `length` authoritative bytes at `offset`
+  kApply = 1,  // write `payload` at `offset` (journaled like any write)
+};
+
+/// One leg of a chunk copy during re-replication: fetch from a healthy
+/// replica, apply to the restarted one. Bounded to one store chunk per
+/// message so repair traffic interleaves with regular I/O.
+struct RepairRequest {
+  FileHandle handle = 0;
+  RepairOp op = RepairOp::kFetch;
+  FileOffset offset = 0;
+  ByteCount length = 0;            // fetch only
+  std::vector<std::byte> payload;  // apply only
+
+  std::vector<std::byte> Encode() const;
+  static Result<RepairRequest> Decode(WireReader& r);
+};
+
+struct RepairResponse {
+  std::vector<std::byte> payload;  // fetch only
+
+  std::vector<std::byte> Encode() const;
+  static Result<RepairResponse> Decode(std::span<const std::byte> raw);
+};
+
 // ---- Stats (manager and iod) --------------------------------------------
 
 /// Ask a daemon for its counters. Served by both the manager and the I/O
@@ -201,5 +262,8 @@ Result<DecodedResponse> DecodeResponse(std::span<const std::byte> raw);
 
 void EncodeStriping(WireWriter& w, const Striping& s);
 Result<Striping> DecodeStriping(WireReader& r);
+
+void EncodeReplication(WireWriter& w, const ReplicationConfig& c);
+Result<ReplicationConfig> DecodeReplication(WireReader& r);
 
 }  // namespace pvfs

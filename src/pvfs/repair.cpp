@@ -1,0 +1,185 @@
+#include "pvfs/repair.hpp"
+
+#include <map>
+#include <unordered_map>
+
+#include "pvfs/distribution.hpp"
+#include "pvfs/store.hpp"
+
+namespace pvfs {
+
+namespace {
+
+/// One sealed round trip, mirroring the client's SealedCall: seal the
+/// request frame, verify the response trailer, decode the envelope and
+/// surface its status.
+Result<std::vector<std::byte>> SealedExchange(Transport& transport,
+                                              const Endpoint& dest,
+                                              std::vector<std::byte> request) {
+  PVFS_ASSIGN_OR_RETURN(std::vector<std::byte> raw,
+                        transport.Call(dest, SealFrame(std::move(request))));
+  PVFS_ASSIGN_OR_RETURN(std::span<const std::byte> payload, OpenFrame(raw));
+  PVFS_ASSIGN_OR_RETURN(DecodedResponse resp, DecodeResponse(payload));
+  if (!resp.status.ok()) return resp.status;
+  return std::move(resp.body);
+}
+
+Result<ReplicaSumsResponse> FetchSums(Transport& transport, ServerId global,
+                                      FileHandle handle) {
+  PVFS_ASSIGN_OR_RETURN(
+      std::vector<std::byte> body,
+      SealedExchange(transport, Endpoint::Iod(global),
+                     ReplicaSumsRequest{handle}.Encode()));
+  return ReplicaSumsResponse::Decode(body);
+}
+
+/// Copy one chunk: fetch from the healthy source, apply to the suspect.
+Status CopyChunk(Transport& transport, ServerId src_global,
+                 FileHandle src_handle, ServerId dst_global,
+                 FileHandle dst_handle, std::uint64_t chunk_index) {
+  const FileOffset offset = chunk_index * LocalStore::kChunkBytes;
+  RepairRequest fetch;
+  fetch.handle = src_handle;
+  fetch.op = RepairOp::kFetch;
+  fetch.offset = offset;
+  fetch.length = LocalStore::kChunkBytes;
+  PVFS_ASSIGN_OR_RETURN(
+      std::vector<std::byte> body,
+      SealedExchange(transport, Endpoint::Iod(src_global), fetch.Encode()));
+  PVFS_ASSIGN_OR_RETURN(RepairResponse fetched, RepairResponse::Decode(body));
+
+  RepairRequest apply;
+  apply.handle = dst_handle;
+  apply.op = RepairOp::kApply;
+  apply.offset = offset;
+  apply.payload = std::move(fetched.payload);
+  return SealedExchange(transport, Endpoint::Iod(dst_global), apply.Encode())
+      .status();
+}
+
+/// Restore replica ordinal `ordinal` of `meta` on the restarted daemon by
+/// comparing its manifest against the other replicas of the same primary.
+Status RepairOneReplica(Transport& transport, const Metadata& meta,
+                        ServerId suspect_rel, std::uint32_t ordinal,
+                        ServerId suspect_global, RepairReport& report) {
+  const Distribution dist(meta.striping, meta.replication);
+  const std::uint32_t replicas = dist.EffectiveReplicas();
+  const ServerId primary = dist.PrimaryFor(suspect_rel, ordinal);
+  const FileHandle suspect_handle = ReplicaHandle(meta.handle, ordinal);
+
+  PVFS_ASSIGN_OR_RETURN(ReplicaSumsResponse suspect,
+                        FetchSums(transport, suspect_global, suspect_handle));
+  std::unordered_map<std::uint64_t, ChunkSumEntry> have;
+  have.reserve(suspect.chunks.size());
+  for (const ChunkSumEntry& c : suspect.chunks) have.emplace(c.chunk_index, c);
+
+  // Chunks still needing an authoritative copy, discovered while walking
+  // the sources: chunk -> crc the first healthy source vouches for.
+  // Sources are consulted in ordinal order; later sources only resolve
+  // chunks earlier ones could not (their own copy was corrupt or they were
+  // down entirely).
+  std::map<std::uint64_t, bool> pending;  // chunk -> repaired
+  bool any_source = false;
+  for (std::uint32_t j = 0; j < replicas; ++j) {
+    if (j == ordinal) continue;
+    const ServerId src_rel = dist.ReplicaOf(primary, j);
+    const ServerId src_global =
+        (meta.striping.base + src_rel) % transport.server_count();
+    const FileHandle src_handle = ReplicaHandle(meta.handle, j);
+    auto sums = FetchSums(transport, src_global, src_handle);
+    if (!sums.ok()) continue;  // source down: try the next replica
+    any_source = true;
+    for (const ChunkSumEntry& src : sums->chunks) {
+      if (!src.valid) continue;  // this source cannot vouch for the chunk
+      auto done = pending.find(src.chunk_index);
+      if (done != pending.end() && done->second) continue;
+      if (done == pending.end()) {
+        ++report.chunks_examined;
+        auto mine = have.find(src.chunk_index);
+        if (mine != have.end() && mine->second.valid &&
+            mine->second.crc == src.crc) {
+          pending[src.chunk_index] = true;  // intact copy, nothing to do
+          continue;
+        }
+        pending[src.chunk_index] = false;
+      }
+      Status copied = CopyChunk(transport, src_global, src_handle,
+                                suspect_global, suspect_handle,
+                                src.chunk_index);
+      if (copied.ok()) {
+        pending[src.chunk_index] = true;
+        ++report.chunks_copied;
+      }
+    }
+  }
+  for (const auto& [chunk, repaired] : pending) {
+    if (!repaired) ++report.chunks_unrepaired;
+  }
+  if (!any_source) {
+    return Unavailable("no healthy replica reachable for handle " +
+                       std::to_string(meta.handle) + " ordinal " +
+                       std::to_string(ordinal));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::vector<Metadata>> FetchAllFileMetadata(Transport& transport) {
+  PVFS_ASSIGN_OR_RETURN(
+      std::vector<std::byte> body,
+      SealedExchange(transport, Endpoint::ManagerNode(),
+                     ListNamesRequest{""}.Encode()));
+  PVFS_ASSIGN_OR_RETURN(NamesResponse names, NamesResponse::Decode(body));
+  std::vector<Metadata> out;
+  out.reserve(names.names.size());
+  for (const std::string& name : names.names) {
+    PVFS_ASSIGN_OR_RETURN(
+        std::vector<std::byte> meta_body,
+        SealedExchange(transport, Endpoint::ManagerNode(),
+                       LookupRequest{name}.Encode()));
+    PVFS_ASSIGN_OR_RETURN(MetadataResponse meta,
+                          MetadataResponse::Decode(meta_body));
+    out.push_back(meta.meta);
+  }
+  return out;
+}
+
+Result<RepairReport> RepairRestartedIod(Transport& transport,
+                                        std::span<const Metadata> files,
+                                        ServerId restarted_global) {
+  RepairReport report;
+  Status first_error = Status::Ok();
+  for (const Metadata& meta : files) {
+    const Distribution dist(meta.striping, meta.replication);
+    const std::uint32_t replicas = dist.EffectiveReplicas();
+    if (replicas <= 1) continue;  // nothing to copy from
+    bool touched = false;
+    for (ServerId rel = 0; rel < meta.striping.pcount; ++rel) {
+      if ((meta.striping.base + rel) % transport.server_count() !=
+          restarted_global) {
+        continue;
+      }
+      touched = true;
+      // The restarted daemon holds one replica per ordinal (of pcount
+      // distinct primaries); restore each from its surviving peers.
+      for (std::uint32_t k = 0; k < replicas; ++k) {
+        Status repaired = RepairOneReplica(transport, meta, rel, k,
+                                           restarted_global, report);
+        if (!repaired.ok() && first_error.ok()) first_error = repaired;
+      }
+    }
+    if (touched) ++report.files_checked;
+  }
+  if (!first_error.ok()) return first_error;
+  return report;
+}
+
+Result<RepairReport> RepairRestartedIod(Transport& transport,
+                                        ServerId restarted_global) {
+  PVFS_ASSIGN_OR_RETURN(std::vector<Metadata> files,
+                        FetchAllFileMetadata(transport));
+  return RepairRestartedIod(transport, files, restarted_global);
+}
+
+}  // namespace pvfs

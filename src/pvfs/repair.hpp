@@ -1,0 +1,50 @@
+// Re-replication coordinator: after an iod crash-restart, walk every
+// replicated file whose replica set includes the restarted daemon, compare
+// per-chunk checksums against the surviving replicas, and copy the
+// authoritative (checksum-valid, journal-committed) chunks back — so
+// redundancy is restored, not just tolerated.
+//
+// Replicas are whole copies of a primary's local file under derived
+// handles (pvfs/distribution.hpp ReplicaHandle), so two replicas' chunk
+// manifests are directly comparable index by index. The restarted daemon
+// is always treated as the suspect: any chunk whose checksum differs from
+// a healthy replica's — or that is missing outright — is overwritten from
+// that replica (see docs/replication.md for the consistency caveats).
+//
+// The coordinator speaks the ordinary sealed wire protocol through any
+// Transport, so it runs identically over in-process, threaded and TCP
+// clusters.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "pvfs/protocol.hpp"
+#include "pvfs/transport.hpp"
+
+namespace pvfs {
+
+struct RepairReport {
+  std::uint64_t files_checked = 0;      // replicated files examined
+  std::uint64_t chunks_examined = 0;    // source-manifest chunks compared
+  std::uint64_t chunks_copied = 0;      // chunks rewritten on the suspect
+  std::uint64_t chunks_unrepaired = 0;  // no healthy source held a valid copy
+};
+
+/// Every file the manager knows about (ListNames + Lookup over the wire).
+Result<std::vector<Metadata>> FetchAllFileMetadata(Transport& transport);
+
+/// Re-replicate data for the restarted daemon (a GLOBAL server id) across
+/// `files`. Files with replicas=1 are skipped — there is nothing to copy
+/// from. A source replica that is itself unreachable is skipped; chunks no
+/// healthy source can vouch for are counted unrepaired, not failed.
+Result<RepairReport> RepairRestartedIod(Transport& transport,
+                                        std::span<const Metadata> files,
+                                        ServerId restarted_global);
+
+/// Convenience: fetch the file list from the manager, then repair.
+Result<RepairReport> RepairRestartedIod(Transport& transport,
+                                        ServerId restarted_global);
+
+}  // namespace pvfs

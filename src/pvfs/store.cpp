@@ -309,4 +309,17 @@ ByteCount LocalStore::SizeOf(FileHandle handle) const {
   return it == files_.end() ? 0 : it->second.size;
 }
 
+std::vector<LocalStore::ChunkSum> LocalStore::ChunkSums(
+    FileHandle handle) const {
+  std::vector<ChunkSum> out;
+  auto it = files_.find(handle);
+  if (it == files_.end()) return out;
+  out.reserve(it->second.chunks.size());
+  for (const auto& [index, chunk] : it->second.chunks) {
+    out.push_back(
+        {index, chunk.crc, Crc32c(chunk.data) == chunk.crc});
+  }
+  return out;
+}
+
 }  // namespace pvfs

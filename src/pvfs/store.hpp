@@ -107,6 +107,18 @@ class LocalStore {
   /// records — pending intents for removed files are not recovered.
   void Remove(FileHandle handle);
 
+  /// Checksum state of one allocated chunk, for cross-replica comparison.
+  struct ChunkSum {
+    std::uint64_t chunk_index = 0;
+    std::uint32_t crc = 0;   // recorded CRC32C
+    bool valid = false;      // stored bytes still match the recorded CRC
+  };
+  /// Per-chunk checksum manifest for a handle, in ascending chunk order.
+  /// Non-mutating: chunks that fail verification are reported invalid, not
+  /// repaired (re-replication copies over them from a healthy replica).
+  /// An unknown handle yields an empty manifest.
+  std::vector<ChunkSum> ChunkSums(FileHandle handle) const;
+
   /// High-water mark of written bytes for the handle (0 if unknown).
   ByteCount SizeOf(FileHandle handle) const;
 

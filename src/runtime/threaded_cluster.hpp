@@ -21,6 +21,7 @@
 #include "pvfs/config.hpp"
 #include "pvfs/iod.hpp"
 #include "pvfs/manager.hpp"
+#include "pvfs/repair.hpp"
 #include "pvfs/transport.hpp"
 
 namespace pvfs::runtime {
@@ -45,6 +46,14 @@ class ThreadedCluster {
 
   Manager& manager() { return manager_; }
   IoDaemon& iod(ServerId s) { return *iods_[s]; }
+
+  /// Re-replicate data for daemon `s` from the surviving replicas (run
+  /// after a crash-restart; see pvfs/repair.hpp). Goes through the queue
+  /// transport, so repair traffic serializes with in-flight client I/O on
+  /// each daemon's event loop exactly as client requests do.
+  Result<RepairReport> RepairIod(ServerId s) {
+    return RepairRestartedIod(*transport_, s);
+  }
   AdmissionController& admission(ServerId s) { return *admissions_[s]; }
   std::uint32_t server_count() const {
     return static_cast<std::uint32_t>(iods_.size());

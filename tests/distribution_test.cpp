@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <set>
+
 #include "common/rng.hpp"
 #include "pvfs/distribution.hpp"
+#include "pvfs/protocol.hpp"
 
 namespace pvfs {
 namespace {
@@ -163,6 +168,142 @@ TEST(Distribution, AdjacentLocalRunsCoalesce) {
   auto runs = dist.ServerLocalRuns(0, regions);
   ASSERT_EQ(runs.size(), 1u);
   EXPECT_EQ(runs[0].length, 200u);
+}
+
+// ---- Replica placement ------------------------------------------------------
+
+TEST(Placement, DefaultIsSingleReplica) {
+  Distribution dist = Dist8();
+  EXPECT_EQ(dist.replication().replicas, 1u);
+  EXPECT_EQ(dist.EffectiveReplicas(), 1u);
+  EXPECT_EQ(dist.ReplicaSet(3), (std::vector<ServerId>{3}));
+}
+
+TEST(Placement, RotationSetsAreDistinctServers) {
+  Distribution dist(Striping{0, 8, 16384}, ReplicationConfig{3});
+  for (ServerId p = 0; p < 8; ++p) {
+    std::vector<ServerId> set = dist.ReplicaSet(p);
+    ASSERT_EQ(set.size(), 3u);
+    EXPECT_EQ(set[0], p);  // primary leads its own set
+    std::set<ServerId> unique(set.begin(), set.end());
+    EXPECT_EQ(unique.size(), set.size()) << "primary " << p;
+  }
+}
+
+TEST(Placement, ReplicasClampToServerCount) {
+  // Asking for more copies than daemons degrades to one copy per daemon
+  // instead of placing two replicas on the same disk.
+  Distribution dist(Striping{0, 3, 16384}, ReplicationConfig{5});
+  EXPECT_EQ(dist.EffectiveReplicas(), 3u);
+  EXPECT_EQ(dist.ReplicaSet(1), (std::vector<ServerId>{1, 2, 0}));
+}
+
+TEST(Placement, NonDivisibleServerCount) {
+  // pcount=5, replicas=2: rotation wraps cleanly with no server doubled
+  // inside a set even though 5 % 2 != 0.
+  Distribution dist(Striping{0, 5, 4096}, ReplicationConfig{2});
+  EXPECT_EQ(dist.ReplicaSet(4), (std::vector<ServerId>{4, 0}));
+  for (ServerId p = 0; p < 5; ++p) {
+    auto set = dist.ReplicaSet(p);
+    EXPECT_NE(set[0], set[1]);
+  }
+}
+
+TEST(Placement, LoadIsBalancedAcrossServers) {
+  // Every server appears exactly R times across the pcount replica sets:
+  // once as primary, R-1 times as a secondary. No daemon becomes a
+  // replication hotspot.
+  for (std::uint32_t pcount : {2u, 3u, 5u, 8u, 13u}) {
+    for (std::uint32_t replicas = 1; replicas <= pcount; ++replicas) {
+      Distribution dist(Striping{0, pcount, 16384},
+                        ReplicationConfig{replicas});
+      std::map<ServerId, int> appearances;
+      for (ServerId p = 0; p < pcount; ++p) {
+        for (ServerId s : dist.ReplicaSet(p)) ++appearances[s];
+      }
+      for (ServerId s = 0; s < pcount; ++s) {
+        EXPECT_EQ(appearances[s], static_cast<int>(replicas))
+            << "pcount " << pcount << " replicas " << replicas << " server "
+            << s;
+      }
+    }
+  }
+}
+
+TEST(Placement, PrimaryForInvertsReplicaOf) {
+  Distribution dist(Striping{0, 7, 4096}, ReplicationConfig{3});
+  for (ServerId p = 0; p < 7; ++p) {
+    for (std::uint32_t k = 0; k < 3; ++k) {
+      EXPECT_EQ(dist.PrimaryFor(dist.ReplicaOf(p, k), k), p);
+    }
+  }
+}
+
+TEST(Placement, StableAcrossIdenticalConfigs) {
+  // Placement is a pure function of (striping, replication): two
+  // Distribution objects built from equal configs agree everywhere, so a
+  // restarted client reaches the same replicas as the one that wrote.
+  Striping striping{2, 6, 65536};
+  ReplicationConfig replication{3};
+  Distribution a(striping, replication);
+  Distribution b(striping, replication);
+  for (ServerId p = 0; p < 6; ++p) {
+    EXPECT_EQ(a.ReplicaSet(p), b.ReplicaSet(p));
+  }
+}
+
+TEST(Placement, ReplicaHandlesAreDistinctAndRecoverable) {
+  SplitMix64 rng(33);
+  for (int i = 0; i < 2000; ++i) {
+    FileHandle h = rng.Next() & ((1ull << 56) - 1);  // manager handle space
+    std::set<FileHandle> seen;
+    for (std::uint32_t k = 0; k < 8; ++k) {
+      FileHandle derived = ReplicaHandle(h, k);
+      EXPECT_TRUE(seen.insert(derived).second);
+      // XOR is its own inverse: the ordinal recovers the base handle.
+      EXPECT_EQ(ReplicaHandle(derived, k), h);
+    }
+  }
+}
+
+TEST(Placement, FuzzManyConfigs) {
+  // Thousands of random (pcount, replicas, base) configs: every set has
+  // the right size, distinct members, all in range, primary first, and
+  // PrimaryFor inverts membership.
+  SplitMix64 rng(44);
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint32_t pcount =
+        static_cast<std::uint32_t>(rng.Uniform(1, 64));
+    const std::uint32_t replicas =
+        static_cast<std::uint32_t>(rng.Uniform(1, 9));
+    const ServerId base = static_cast<ServerId>(rng.Uniform(0, 256));
+    Distribution dist(Striping{base, pcount, 4096},
+                      ReplicationConfig{replicas});
+    const std::uint32_t effective = dist.EffectiveReplicas();
+    ASSERT_EQ(effective, std::min(replicas, pcount));
+    const ServerId p = static_cast<ServerId>(rng.Uniform(0, pcount - 1));
+    std::vector<ServerId> set = dist.ReplicaSet(p);
+    ASSERT_EQ(set.size(), effective);
+    ASSERT_EQ(set[0], p);
+    std::set<ServerId> unique;
+    for (std::uint32_t k = 0; k < effective; ++k) {
+      ASSERT_LT(set[k], pcount);
+      ASSERT_TRUE(unique.insert(set[k]).second);
+      ASSERT_EQ(dist.PrimaryFor(set[k], k), p);
+    }
+  }
+}
+
+TEST(Placement, ZeroReplicasRejectedOnTheWire) {
+  // The config struct cannot stop replicas=0 at compile time; the wire
+  // decoder does (see protocol_test for the round trips).
+  ReplicationConfig zero{0};
+  WireWriter writer;
+  EncodeReplication(writer, zero);
+  std::vector<std::byte> buf = writer.Take();
+  WireReader reader(buf);
+  auto decoded = DecodeReplication(reader);
+  EXPECT_FALSE(decoded.ok());
 }
 
 }  // namespace

@@ -152,5 +152,104 @@ TEST(Protocol, AllManagerMessagesRoundTrip) {
   }
 }
 
+TEST(Protocol, CreateRequestCarriesReplication) {
+  CreateRequest req{"rep", Striping{0, 4, 16384}, ReplicationConfig{3}};
+  auto raw = req.Encode();
+  WireReader r(raw);
+  (void)r.U32();
+  auto decoded = CreateRequest::Decode(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->replication, (ReplicationConfig{3}));
+}
+
+TEST(Protocol, MetadataRoundTripsReplication) {
+  MetadataResponse resp;
+  resp.meta.handle = 42;
+  resp.meta.striping = Striping{1, 5, 65536};
+  resp.meta.size = 123456;
+  resp.meta.replication = ReplicationConfig{2};
+  auto raw = resp.Encode();
+  auto decoded = MetadataResponse::Decode(raw);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->meta, resp.meta);
+}
+
+TEST(Protocol, ReplicaSumsRoundTrip) {
+  {
+    auto raw = ReplicaSumsRequest{99}.Encode();
+    EXPECT_EQ(PeekType(raw).value(), MsgType::kReplicaSums);
+    WireReader r(raw);
+    (void)r.U32();
+    EXPECT_EQ(ReplicaSumsRequest::Decode(r)->handle, 99u);
+  }
+  {
+    ReplicaSumsResponse resp;
+    resp.size = 1 << 20;
+    resp.chunks = {{0, 0xDEADBEEF, true}, {3, 0x12345678, false}};
+    auto raw = resp.Encode();
+    auto decoded = ReplicaSumsResponse::Decode(raw);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->size, 1u << 20);
+    EXPECT_EQ(decoded->chunks, resp.chunks);
+  }
+}
+
+TEST(Protocol, ReplicaSumsResponseRejectsOverclaimedCount) {
+  // A hostile frame claiming more entries than its bytes can hold must be
+  // rejected before any allocation sized from the claim.
+  ReplicaSumsResponse resp;
+  resp.chunks = {{0, 1, true}};
+  auto raw = resp.Encode();
+  // Patch the count field (after u64 size) to a huge value.
+  raw[8] = std::byte{0xFF};
+  raw[9] = std::byte{0xFF};
+  raw[10] = std::byte{0xFF};
+  raw[11] = std::byte{0xFF};
+  EXPECT_FALSE(ReplicaSumsResponse::Decode(raw).ok());
+}
+
+TEST(Protocol, RepairRoundTrip) {
+  {
+    RepairRequest req;
+    req.handle = 7;
+    req.op = RepairOp::kFetch;
+    req.offset = 262144;
+    req.length = 262144;
+    auto raw = req.Encode();
+    EXPECT_EQ(PeekType(raw).value(), MsgType::kRepair);
+    WireReader r(raw);
+    (void)r.U32();
+    auto decoded = RepairRequest::Decode(r);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->op, RepairOp::kFetch);
+    EXPECT_EQ(decoded->offset, 262144u);
+    EXPECT_EQ(decoded->length, 262144u);
+  }
+  {
+    RepairRequest req;
+    req.handle = 7;
+    req.op = RepairOp::kApply;
+    req.offset = 0;
+    req.payload.resize(128);
+    FillPattern(req.payload, 9, 0);
+    auto raw = req.Encode();
+    WireReader r(raw);
+    (void)r.U32();
+    auto decoded = RepairRequest::Decode(r);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->op, RepairOp::kApply);
+    EXPECT_EQ(decoded->payload, req.payload);
+  }
+  {
+    RepairResponse resp;
+    resp.payload.resize(64);
+    FillPattern(resp.payload, 4, 0);
+    auto raw = resp.Encode();
+    auto decoded = RepairResponse::Decode(raw);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->payload, resp.payload);
+  }
+}
+
 }  // namespace
 }  // namespace pvfs
