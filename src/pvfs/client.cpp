@@ -102,7 +102,10 @@ Result<DecodedResponse> Client::SealedCall(
 }
 
 Result<Metadata> Client::CallManagerMeta(std::vector<std::byte> request) {
-  ++stats_.manager_messages;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.manager_messages;
+  }
   PVFS_ASSIGN_OR_RETURN(
       DecodedResponse resp,
       SealedCall(Endpoint::ManagerNode(), std::move(request)));
@@ -113,7 +116,10 @@ Result<Metadata> Client::CallManagerMeta(std::vector<std::byte> request) {
 }
 
 Status Client::CallManagerVoid(std::vector<std::byte> request) {
-  ++stats_.manager_messages;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.manager_messages;
+  }
   auto resp = SealedCall(Endpoint::ManagerNode(), std::move(request));
   if (!resp.ok()) return resp.status();
   return resp->status;
@@ -124,6 +130,7 @@ Result<Client::Fd> Client::Create(const std::string& name, Striping striping,
   PVFS_ASSIGN_OR_RETURN(
       Metadata meta,
       CallManagerMeta(CreateRequest{name, striping, replication}.Encode()));
+  std::lock_guard<std::mutex> lock(files_mu_);
   Fd fd = next_fd_++;
   open_files_.emplace(fd, OpenFile{meta, 0});
   return fd;
@@ -132,21 +139,26 @@ Result<Client::Fd> Client::Create(const std::string& name, Striping striping,
 Result<Client::Fd> Client::Open(const std::string& name) {
   PVFS_ASSIGN_OR_RETURN(Metadata meta,
                         CallManagerMeta(LookupRequest{name}.Encode()));
+  std::lock_guard<std::mutex> lock(files_mu_);
   Fd fd = next_fd_++;
   open_files_.emplace(fd, OpenFile{meta, 0});
   return fd;
 }
 
 Status Client::Close(Fd fd) {
-  auto it = open_files_.find(fd);
-  if (it == open_files_.end()) return FailedPrecondition("bad descriptor");
-  Status status = Status::Ok();
-  if (it->second.high_water > it->second.meta.size) {
-    status = CallManagerVoid(
-        SetSizeRequest{it->second.meta.handle, it->second.high_water}
-            .Encode());
+  OpenFile file;
+  {
+    std::lock_guard<std::mutex> lock(files_mu_);
+    auto it = open_files_.find(fd);
+    if (it == open_files_.end()) return FailedPrecondition("bad descriptor");
+    file = it->second;
+    open_files_.erase(it);
   }
-  open_files_.erase(it);
+  Status status = Status::Ok();
+  if (file.high_water > file.meta.size) {
+    status = CallManagerVoid(
+        SetSizeRequest{file.meta.handle, file.high_water}.Encode());
+  }
   return status;
 }
 
@@ -165,7 +177,10 @@ Status Client::Remove(const std::string& name) {
     for (std::uint32_t s = 0; s < meta->striping.pcount; ++s) {
       ServerId server = (meta->striping.base + s) %
                         transport_->server_count();
-      ++stats_.messages;
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.messages;
+      }
       auto resp = SealedCall(Endpoint::Iod(server), encoded);
       if (!resp.ok()) return resp.status();
       PVFS_RETURN_IF_ERROR(resp->status);
@@ -175,7 +190,10 @@ Status Client::Remove(const std::string& name) {
 }
 
 Result<std::vector<std::string>> Client::ListFiles(const std::string& prefix) {
-  ++stats_.manager_messages;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.manager_messages;
+  }
   PVFS_ASSIGN_OR_RETURN(
       DecodedResponse resp,
       SealedCall(Endpoint::ManagerNode(), ListNamesRequest{prefix}.Encode()));
@@ -190,11 +208,9 @@ std::uint64_t Client::NextLockOwner() {
 }
 
 Status Client::TryLockRange(Fd fd, Extent range, bool exclusive) {
-  auto it = open_files_.find(fd);
-  if (it == open_files_.end()) return FailedPrecondition("bad descriptor");
-  return CallManagerVoid(LockRequest{it->second.meta.handle, range,
-                                     lock_owner_, exclusive}
-                             .Encode());
+  PVFS_ASSIGN_OR_RETURN(OpenFile file, SnapshotFd(fd));
+  return CallManagerVoid(
+      LockRequest{file.meta.handle, range, lock_owner_, exclusive}.Encode());
 }
 
 Status Client::LockRange(Fd fd, Extent range, bool exclusive) {
@@ -216,26 +232,38 @@ Status Client::LockRange(Fd fd, Extent range, bool exclusive) {
 }
 
 Status Client::UnlockRange(Fd fd, Extent range) {
-  auto it = open_files_.find(fd);
-  if (it == open_files_.end()) return FailedPrecondition("bad descriptor");
+  PVFS_ASSIGN_OR_RETURN(OpenFile file, SnapshotFd(fd));
   return CallManagerVoid(
-      UnlockRequest{it->second.meta.handle, range, lock_owner_}.Encode());
+      UnlockRequest{file.meta.handle, range, lock_owner_}.Encode());
 }
 
 Result<Metadata> Client::Stat(Fd fd) {
-  auto it = open_files_.find(fd);
-  if (it == open_files_.end()) return FailedPrecondition("bad descriptor");
+  PVFS_ASSIGN_OR_RETURN(OpenFile file, SnapshotFd(fd));
   PVFS_ASSIGN_OR_RETURN(
-      Metadata meta,
-      CallManagerMeta(StatRequest{it->second.meta.handle}.Encode()));
-  it->second.meta = meta;
+      Metadata meta, CallManagerMeta(StatRequest{file.meta.handle}.Encode()));
+  std::lock_guard<std::mutex> lock(files_mu_);
+  auto it = open_files_.find(fd);
+  if (it != open_files_.end()) it->second.meta = meta;
   return meta;
 }
 
 Result<Metadata> Client::DescribeFd(Fd fd) const {
+  PVFS_ASSIGN_OR_RETURN(OpenFile file, SnapshotFd(fd));
+  return file.meta;
+}
+
+Result<Client::OpenFile> Client::SnapshotFd(Fd fd) const {
+  std::lock_guard<std::mutex> lock(files_mu_);
   auto it = open_files_.find(fd);
   if (it == open_files_.end()) return FailedPrecondition("bad descriptor");
-  return it->second.meta;
+  return it->second;
+}
+
+void Client::MergeHighWater(Fd fd, ByteCount high_water) {
+  std::lock_guard<std::mutex> lock(files_mu_);
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return;  // closed while the op was in flight
+  it->second.high_water = std::max(it->second.high_water, high_water);
 }
 
 // ---- I/O -------------------------------------------------------------------
@@ -347,6 +375,11 @@ Result<std::vector<std::byte>> Client::ExchangeWithServer(
   const std::uint64_t stream =
       lock_owner_ * 0x9E3779B97F4A7C15ull ^ static_cast<std::uint64_t>(relative);
   std::chrono::microseconds backoff = policy.initial_backoff;
+  // The op-deadline budget runs from the FIRST attempt: a retry loop that
+  // restarted its budget per attempt could sleep unboundedly under a
+  // flapping server, which is the bug RetryPolicy::op_deadline fixes.
+  const bool budgeted = policy.op_deadline.count() > 0;
+  const auto deadline = std::chrono::steady_clock::now() + policy.op_deadline;
   std::uint32_t attempt = 1;
   while (true) {
     auto result = ExchangeOnce(file, relative, request);
@@ -374,11 +407,28 @@ Result<std::vector<std::byte>> Client::ExchangeWithServer(
           std::to_string(attempt) + " attempts; last error: " +
           result.status().ToString());
     }
+    std::chrono::microseconds sleep = backoff;
+    if (budgeted) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              deadline - std::chrono::steady_clock::now());
+      if (remaining <= std::chrono::microseconds::zero()) {
+        ++retry_exhausted_;
+        return DeadlineExceeded(
+            "exchange with server " + std::to_string(relative) +
+            ": op_deadline spent after " + std::to_string(attempt) +
+            " attempts; last error: " + result.status().ToString());
+      }
+      // Clamp the final sleep to the remaining budget so the loop wakes
+      // with time for exactly one more attempt instead of oversleeping
+      // past the deadline.
+      sleep = std::min(sleep, remaining);
+    }
     ++attempt;
     ++retries_;
     CountRetryCode(result.status().code());
-    std::this_thread::sleep_for(backoff);
-    backoff_us_ += static_cast<std::uint64_t>(backoff.count());
+    std::this_thread::sleep_for(sleep);
+    backoff_us_ += static_cast<std::uint64_t>(sleep.count());
     backoff = NextBackoff(backoff, policy.initial_backoff, policy.max_backoff,
                           fault::kSiteRetryBackoff, stream, attempt);
   }
@@ -395,6 +445,8 @@ Result<std::vector<std::byte>> Client::ReadReplicated(
                                static_cast<std::uint64_t>(primary) ^
                                0xA5A5A5A5ull;
   std::chrono::microseconds backoff = policy.initial_backoff;
+  const bool budgeted = policy.op_deadline.count() > 0;
+  const auto deadline = std::chrono::steady_clock::now() + policy.op_deadline;
   Status last = Unavailable("no replica reachable");
   for (std::uint32_t round = 1;; ++round) {
     // Pass 0 honours ejections; pass 1 runs only if every candidate was
@@ -424,10 +476,24 @@ Result<std::vector<std::byte>> Client::ReadReplicated(
       ++retry_exhausted_;
       return last;
     }
+    std::chrono::microseconds sleep = backoff;
+    if (budgeted) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              deadline - std::chrono::steady_clock::now());
+      if (remaining <= std::chrono::microseconds::zero()) {
+        ++retry_exhausted_;
+        return DeadlineExceeded(
+            "replicated read: op_deadline spent after " +
+            std::to_string(round) + " rounds; last error: " +
+            last.ToString());
+      }
+      sleep = std::min(sleep, remaining);
+    }
     ++retries_;
     CountRetryCode(last.code());
-    std::this_thread::sleep_for(backoff);
-    backoff_us_ += static_cast<std::uint64_t>(backoff.count());
+    std::this_thread::sleep_for(sleep);
+    backoff_us_ += static_cast<std::uint64_t>(sleep.count());
     backoff = NextBackoff(backoff, policy.initial_backoff, policy.max_backoff,
                           fault::kSiteRetryBackoff, stream, round);
   }
@@ -444,6 +510,8 @@ Status Client::WriteReplicated(const OpenFile& file, ServerId primary,
                                static_cast<std::uint64_t>(primary) ^
                                0x5A5A5A5Aull;
   std::chrono::microseconds backoff = policy.initial_backoff;
+  const bool budgeted = policy.op_deadline.count() > 0;
+  const auto deadline = std::chrono::steady_clock::now() + policy.op_deadline;
   Status last = Unavailable("no replica reachable");
   for (std::uint32_t round = 1;; ++round) {
     std::uint32_t acks = 0;
@@ -477,10 +545,24 @@ Status Client::WriteReplicated(const OpenFile& file, ServerId primary,
       ++retry_exhausted_;
       return last;
     }
+    std::chrono::microseconds sleep = backoff;
+    if (budgeted) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              deadline - std::chrono::steady_clock::now());
+      if (remaining <= std::chrono::microseconds::zero()) {
+        ++retry_exhausted_;
+        return DeadlineExceeded(
+            "replicated write: op_deadline spent after " +
+            std::to_string(round) + " rounds; last error: " +
+            last.ToString());
+      }
+      sleep = std::min(sleep, remaining);
+    }
     ++retries_;
     CountRetryCode(last.code());
-    std::this_thread::sleep_for(backoff);
-    backoff_us_ += static_cast<std::uint64_t>(backoff.count());
+    std::this_thread::sleep_for(sleep);
+    backoff_us_ += static_cast<std::uint64_t>(sleep.count());
     backoff = NextBackoff(backoff, policy.initial_backoff, policy.max_backoff,
                           fault::kSiteRetryBackoff, stream, round);
   }
@@ -518,7 +600,10 @@ Status ForEachServer(bool parallel, std::vector<Item>& items, const Fn& fn) {
 
 Status Client::WriteChunk(OpenFile& file, std::span<const Extent> chunk,
                           std::span<const std::byte> stream) {
-  ++stats_.fs_requests;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.fs_requests;
+  }
   Distribution dist(file.meta.striping, file.meta.replication);
   const std::uint32_t replicas = dist.EffectiveReplicas();
   std::vector<Fragment> frags = dist.Fragments(chunk);
@@ -541,8 +626,11 @@ Status Client::WriteChunk(OpenFile& file, std::span<const Extent> chunk,
   std::sort(payloads.begin(), payloads.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
 
-  stats_.messages += payloads.size() * replicas;
-  stats_.regions_sent += payloads.size() * replicas * chunk.size();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.messages += payloads.size() * replicas;
+    stats_.regions_sent += payloads.size() * replicas * chunk.size();
+  }
   PVFS_RETURN_IF_ERROR(ForEachServer(
       options_.parallel_fanout, payloads, [&](size_t i) -> Status {
         IoRequest req;
@@ -562,7 +650,10 @@ Status Client::WriteChunk(OpenFile& file, std::span<const Extent> chunk,
         auto body = ExchangeWithServer(file, payloads[i].first, req);
         return body.status();
       }));
-  stats_.bytes_written += stream.size();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.bytes_written += stream.size();
+  }
   for (const Extent& e : chunk) {
     file.high_water = std::max<ByteCount>(file.high_water, e.end());
   }
@@ -571,13 +662,16 @@ Status Client::WriteChunk(OpenFile& file, std::span<const Extent> chunk,
 
 Status Client::ReadChunk(OpenFile& file, std::span<const Extent> chunk,
                          std::span<std::byte> stream) {
-  ++stats_.fs_requests;
   Distribution dist(file.meta.striping, file.meta.replication);
   const std::uint32_t replicas = dist.EffectiveReplicas();
   std::vector<ServerId> involved = dist.InvolvedServers(chunk);
 
-  stats_.messages += involved.size();
-  stats_.regions_sent += involved.size() * chunk.size();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.fs_requests;
+    stats_.messages += involved.size();
+    stats_.regions_sent += involved.size() * chunk.size();
+  }
   std::vector<IoResponse> collected(involved.size());
   PVFS_RETURN_IF_ERROR(ForEachServer(
       options_.parallel_fanout, involved, [&](size_t i) -> Status {
@@ -615,7 +709,10 @@ Status Client::ReadChunk(OpenFile& file, std::span<const Extent> chunk,
                 f.length);
     cur += f.length;
   }
-  stats_.bytes_read += stream.size();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.bytes_read += stream.size();
+  }
   return Status::Ok();
 }
 
@@ -638,14 +735,15 @@ Result<ExtentList> Client::ChunkableRegions(
   return out;
 }
 
-Status Client::ReadList(Fd fd, std::span<const Extent> mem_regions,
-                        std::span<std::byte> buffer,
-                        std::span<const Extent> file_regions) {
-  auto it = open_files_.find(fd);
-  if (it == open_files_.end()) return FailedPrecondition("bad descriptor");
+Status Client::DoReadList(OpenFile& file, std::span<const Extent> mem_regions,
+                          std::span<std::byte> buffer,
+                          std::span<const Extent> file_regions) {
   PVFS_RETURN_IF_ERROR(
       ValidateListArgs(mem_regions, buffer.size(), file_regions));
-  ++stats_.operations;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.operations;
+  }
 
   PVFS_ASSIGN_OR_RETURN(ExtentList chunkable,
                         ChunkableRegions(mem_regions, file_regions));
@@ -654,20 +752,21 @@ Status Client::ReadList(Fd fd, std::span<const Extent> mem_regions,
   for (const ExtentList& chunk : ChunkRegions(chunkable,
                                               options_.max_list_regions)) {
     stream.resize(TotalBytes(chunk));
-    PVFS_RETURN_IF_ERROR(ReadChunk(it->second, chunk, stream));
+    PVFS_RETURN_IF_ERROR(ReadChunk(file, chunk, stream));
     cursor.Scatter(stream, buffer);
   }
   return Status::Ok();
 }
 
-Status Client::WriteList(Fd fd, std::span<const Extent> mem_regions,
-                         std::span<const std::byte> buffer,
-                         std::span<const Extent> file_regions) {
-  auto it = open_files_.find(fd);
-  if (it == open_files_.end()) return FailedPrecondition("bad descriptor");
+Status Client::DoWriteList(OpenFile& file, std::span<const Extent> mem_regions,
+                           std::span<const std::byte> buffer,
+                           std::span<const Extent> file_regions) {
   PVFS_RETURN_IF_ERROR(
       ValidateListArgs(mem_regions, buffer.size(), file_regions));
-  ++stats_.operations;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.operations;
+  }
 
   PVFS_ASSIGN_OR_RETURN(ExtentList chunkable,
                         ChunkableRegions(mem_regions, file_regions));
@@ -677,9 +776,27 @@ Status Client::WriteList(Fd fd, std::span<const Extent> mem_regions,
                                               options_.max_list_regions)) {
     stream.resize(TotalBytes(chunk));
     cursor.Gather(buffer, stream);
-    PVFS_RETURN_IF_ERROR(WriteChunk(it->second, chunk, stream));
+    PVFS_RETURN_IF_ERROR(WriteChunk(file, chunk, stream));
   }
   return Status::Ok();
+}
+
+Status Client::ReadList(Fd fd, std::span<const Extent> mem_regions,
+                        std::span<std::byte> buffer,
+                        std::span<const Extent> file_regions) {
+  PVFS_ASSIGN_OR_RETURN(OpenFile file, SnapshotFd(fd));
+  return DoReadList(file, mem_regions, buffer, file_regions);
+}
+
+Status Client::WriteList(Fd fd, std::span<const Extent> mem_regions,
+                         std::span<const std::byte> buffer,
+                         std::span<const Extent> file_regions) {
+  PVFS_ASSIGN_OR_RETURN(OpenFile file, SnapshotFd(fd));
+  // Merge the high-water mark even on a partial failure: completed chunks
+  // extended the file exactly as before this path snapshotted descriptors.
+  const Status status = DoWriteList(file, mem_regions, buffer, file_regions);
+  MergeHighWater(fd, file.high_water);
+  return status;
 }
 
 Status Client::Read(Fd fd, FileOffset offset, std::span<std::byte> out) {
@@ -695,16 +812,165 @@ Status Client::Write(Fd fd, FileOffset offset,
   return WriteList(fd, mem, data, file);
 }
 
+// ---- Nonblocking list I/O ---------------------------------------------------
+
+/// Shared completion state behind an Operation handle. Phase only moves
+/// forward (queued -> running -> done, or queued -> canceled); `cv` fires
+/// on every terminal transition.
+struct Client::Operation::State {
+  enum class Phase { kQueued, kRunning, kDone, kCanceled };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  Phase phase = Phase::kQueued;
+  Status result = Status::Ok();
+
+  // The deferred call, captured at submission. Extent lists are copied
+  // (cheap, bounded); data buffers stay caller-owned per the API contract.
+  bool is_write = false;
+  Fd fd = -1;
+  OpenFile file;  // descriptor snapshot taken at submit time
+  std::vector<Extent> mem_regions;
+  std::vector<Extent> file_regions;
+  std::span<std::byte> out;       // read destination
+  std::span<const std::byte> in;  // write source
+};
+
+bool Client::Operation::Test() const {
+  if (!state_) return true;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->phase == State::Phase::kDone ||
+         state_->phase == State::Phase::kCanceled;
+}
+
+Status Client::Operation::Wait() {
+  if (!state_) return FailedPrecondition("empty operation handle");
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] {
+    return state_->phase == State::Phase::kDone ||
+           state_->phase == State::Phase::kCanceled;
+  });
+  return state_->result;
+}
+
+bool Client::Operation::Cancel() {
+  if (!state_) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->phase != State::Phase::kQueued) return false;
+  state_->phase = State::Phase::kCanceled;
+  state_->result = FailedPrecondition("operation canceled before dispatch");
+  state_->cv.notify_all();
+  return true;
+}
+
+Client::~Client() {
+  {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    async_stopping_ = true;
+  }
+  async_cv_.notify_all();
+  for (std::thread& worker : async_workers_) worker.join();
+}
+
+void Client::EnsureAsyncWorkers() {
+  std::lock_guard<std::mutex> lock(async_mu_);
+  if (!async_workers_.empty()) return;
+  const std::uint32_t n = std::max<std::uint32_t>(1, options_.async_workers);
+  async_workers_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    async_workers_.emplace_back([this] { AsyncWorkerLoop(); });
+  }
+}
+
+void Client::AsyncWorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Operation::State> op;
+    {
+      std::unique_lock<std::mutex> lock(async_mu_);
+      async_cv_.wait(lock,
+                     [&] { return async_stopping_ || !async_queue_.empty(); });
+      // Stopping drains: submitted operations reference caller buffers,
+      // so ~Client completes them rather than abandoning them.
+      if (async_queue_.empty()) return;
+      op = std::move(async_queue_.front());
+      async_queue_.pop_front();
+    }
+    {
+      std::lock_guard<std::mutex> lock(op->mu);
+      if (op->phase == Operation::State::Phase::kCanceled) continue;
+      op->phase = Operation::State::Phase::kRunning;
+    }
+    Status result =
+        op->is_write
+            ? DoWriteList(op->file, op->mem_regions, op->in, op->file_regions)
+            : DoReadList(op->file, op->mem_regions, op->out, op->file_regions);
+    if (op->is_write) MergeHighWater(op->fd, op->file.high_water);
+    {
+      std::lock_guard<std::mutex> lock(op->mu);
+      op->phase = Operation::State::Phase::kDone;
+      op->result = std::move(result);
+    }
+    op->cv.notify_all();
+  }
+}
+
+Client::Operation Client::SubmitAsync(bool is_write, Fd fd,
+                                      std::span<const Extent> mem_regions,
+                                      std::span<std::byte> out,
+                                      std::span<const std::byte> in,
+                                      std::span<const Extent> file_regions) {
+  auto state = std::make_shared<Operation::State>();
+  state->is_write = is_write;
+  state->fd = fd;
+  state->mem_regions.assign(mem_regions.begin(), mem_regions.end());
+  state->file_regions.assign(file_regions.begin(), file_regions.end());
+  state->out = out;
+  state->in = in;
+  auto snapshot = SnapshotFd(fd);
+  if (!snapshot.ok()) {
+    // Submission errors resolve the handle immediately; Wait() reports
+    // them typed, so the async path has exactly one error channel.
+    state->phase = Operation::State::Phase::kDone;
+    state->result = snapshot.status();
+    return Operation(std::move(state));
+  }
+  state->file = std::move(*snapshot);
+  EnsureAsyncWorkers();
+  {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    async_queue_.push_back(state);
+  }
+  async_cv_.notify_one();
+  return Operation(std::move(state));
+}
+
+Client::Operation Client::ReadListAsync(Fd fd,
+                                        std::span<const Extent> mem_regions,
+                                        std::span<std::byte> buffer,
+                                        std::span<const Extent> file_regions) {
+  return SubmitAsync(/*is_write=*/false, fd, mem_regions, buffer, {},
+                     file_regions);
+}
+
+Client::Operation Client::WriteListAsync(
+    Fd fd, std::span<const Extent> mem_regions,
+    std::span<const std::byte> buffer,
+    std::span<const Extent> file_regions) {
+  return SubmitAsync(/*is_write=*/true, fd, mem_regions, {}, buffer,
+                     file_regions);
+}
+
 // ---- Observability ----------------------------------------------------------
 
 void Client::ExportMetrics(obs::Registry& reg, const obs::Labels& base) const {
-  reg.Counter("client.operations", base).Set(stats_.operations);
-  reg.Counter("client.fs_requests", base).Set(stats_.fs_requests);
-  reg.Counter("client.messages", base).Set(stats_.messages);
-  reg.Counter("client.regions_sent", base).Set(stats_.regions_sent);
-  reg.Counter("client.bytes_read", base).Set(stats_.bytes_read);
-  reg.Counter("client.bytes_written", base).Set(stats_.bytes_written);
-  reg.Counter("client.manager_messages", base).Set(stats_.manager_messages);
+  const ClientStats snapshot = stats();
+  reg.Counter("client.operations", base).Set(snapshot.operations);
+  reg.Counter("client.fs_requests", base).Set(snapshot.fs_requests);
+  reg.Counter("client.messages", base).Set(snapshot.messages);
+  reg.Counter("client.regions_sent", base).Set(snapshot.regions_sent);
+  reg.Counter("client.bytes_read", base).Set(snapshot.bytes_read);
+  reg.Counter("client.bytes_written", base).Set(snapshot.bytes_written);
+  reg.Counter("client.manager_messages", base).Set(snapshot.manager_messages);
   const RetryCounters retry = retry_counters();
   reg.Counter("client.retries", base).Set(retry.retries);
   reg.Counter("client.retry_exhausted", base).Set(retry.exhausted);
@@ -734,14 +1000,15 @@ void Client::ExportMetrics(obs::Registry& reg, const obs::Labels& base) const {
 }
 
 obs::JsonValue Client::StatsJson() const {
+  const ClientStats snapshot = stats();
   obs::JsonValue out = obs::JsonValue::Object();
-  out.Set("operations", obs::JsonValue(stats_.operations));
-  out.Set("fs_requests", obs::JsonValue(stats_.fs_requests));
-  out.Set("messages", obs::JsonValue(stats_.messages));
-  out.Set("regions_sent", obs::JsonValue(stats_.regions_sent));
-  out.Set("bytes_read", obs::JsonValue(stats_.bytes_read));
-  out.Set("bytes_written", obs::JsonValue(stats_.bytes_written));
-  out.Set("manager_messages", obs::JsonValue(stats_.manager_messages));
+  out.Set("operations", obs::JsonValue(snapshot.operations));
+  out.Set("fs_requests", obs::JsonValue(snapshot.fs_requests));
+  out.Set("messages", obs::JsonValue(snapshot.messages));
+  out.Set("regions_sent", obs::JsonValue(snapshot.regions_sent));
+  out.Set("bytes_read", obs::JsonValue(snapshot.bytes_read));
+  out.Set("bytes_written", obs::JsonValue(snapshot.bytes_written));
+  out.Set("manager_messages", obs::JsonValue(snapshot.manager_messages));
   const RetryCounters retry = retry_counters();
   out.Set("retries", obs::JsonValue(retry.retries));
   out.Set("retry_exhausted", obs::JsonValue(retry.exhausted));
@@ -766,10 +1033,13 @@ Result<std::string> Client::FetchServerStats(int server) {
   Endpoint dest = server < 0
                       ? Endpoint::ManagerNode()
                       : Endpoint::Iod(static_cast<ServerId>(server));
-  if (server < 0) {
-    ++stats_.manager_messages;
-  } else {
-    ++stats_.messages;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (server < 0) {
+      ++stats_.manager_messages;
+    } else {
+      ++stats_.messages;
+    }
   }
   PVFS_ASSIGN_OR_RETURN(DecodedResponse resp,
                         SealedCall(dest, StatsRequest{}.Encode()));

@@ -15,10 +15,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -87,6 +91,14 @@ class Client {
     std::chrono::microseconds max_backoff{10'000};
     bool jitter = true;
     std::uint64_t jitter_seed = 1;
+    /// Overall wall-clock budget for one exchange (or one replicated op),
+    /// measured from its first attempt: backoff sleeps are clamped to the
+    /// remaining budget, and once it is spent the op fails with
+    /// kDeadlineExceeded carrying the last underlying error instead of
+    /// sleeping through attempts the caller can no longer use. 0 (the
+    /// default) disables the budget, preserving the attempt-cap-only
+    /// behaviour.
+    std::chrono::microseconds op_deadline{0};
   };
 
   /// Client-side recovery counters (atomic: exchanges retry concurrently
@@ -148,6 +160,10 @@ class Client {
     std::uint32_t lock_max_attempts = 200;
     std::chrono::microseconds lock_initial_backoff{50};
     std::chrono::microseconds lock_max_backoff{5000};
+    /// Worker threads executing ReadListAsync/WriteListAsync operations.
+    /// Spawned lazily on the first async submission; a blocking-only
+    /// client never starts them.
+    std::uint32_t async_workers = 2;
   };
 
   explicit Client(Transport* transport,
@@ -158,6 +174,14 @@ class Client {
 
   Client(Transport* transport, Options options)
       : transport_(transport), options_(options) {}
+
+  /// Drains the async queue: every submitted operation completes (or is
+  /// observed canceled) before the workers exit, because submitted
+  /// operations reference caller buffers.
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
 
   // ---- Namespace & lifecycle ------------------------------------------
 
@@ -204,8 +228,67 @@ class Client {
                    std::span<const std::byte> buffer,
                    std::span<const Extent> file_regions);
 
-  const ClientStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = {}; }
+  // ---- Nonblocking list I/O ---------------------------------------------
+
+  /// Handle to one in-flight async list operation. Handles are cheap
+  /// shared references: copies observe the same operation. MPI-style
+  /// error reporting — submission never fails loudly; every error
+  /// (including bad-descriptor/validation failures detected at submit)
+  /// surfaces as the typed Status returned by Wait().
+  class Operation {
+   public:
+    /// Default-constructed handles are empty: Test() is true and Wait()
+    /// reports kFailedPrecondition.
+    Operation() = default;
+
+    bool valid() const { return state_ != nullptr; }
+    /// True once the operation has finished (or was canceled) —
+    /// nonblocking.
+    bool Test() const;
+    /// Block until completion; returns the operation's final status.
+    /// kDeadlineExceeded/kUnavailable/... pass through typed from the
+    /// underlying exchanges; a canceled operation reports
+    /// kFailedPrecondition. Idempotent.
+    Status Wait();
+    /// Best-effort cancel: succeeds (returns true) only while the
+    /// operation is still queued, i.e. before a worker dispatched it. A
+    /// running operation is never interrupted mid-write.
+    bool Cancel();
+
+   private:
+    friend class Client;
+    struct State;
+    explicit Operation(std::shared_ptr<State> state)
+        : state_(std::move(state)) {}
+    std::shared_ptr<State> state_;
+  };
+
+  /// Nonblocking ReadList: snapshots the descriptor at submission, queues
+  /// the transfer on the client's async workers (Options::async_workers)
+  /// and returns immediately. The caller buffer and extent storage must
+  /// outlive Wait(). Concurrent operations on distinct buffers are safe;
+  /// ordering between in-flight operations is unspecified.
+  Operation ReadListAsync(Fd fd, std::span<const Extent> mem_regions,
+                          std::span<std::byte> buffer,
+                          std::span<const Extent> file_regions);
+
+  /// Nonblocking WriteList; the descriptor's high-water mark is merged
+  /// back when the operation completes (Close after Wait still flushes
+  /// the observed size).
+  Operation WriteListAsync(Fd fd, std::span<const Extent> mem_regions,
+                           std::span<const std::byte> buffer,
+                           std::span<const Extent> file_regions);
+
+  /// Snapshot of the I/O counters (by value: async operations mutate them
+  /// concurrently under an internal mutex).
+  ClientStats stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_ = {};
+  }
   /// Snapshot of the retry/backoff counters.
   RetryCounters retry_counters() const {
     return {retries_.load(), retry_exhausted_.load(), backoff_us_.load(),
@@ -239,6 +322,30 @@ class Client {
     Metadata meta;
     ByteCount high_water = 0;  // max end offset written through this fd
   };
+
+  /// Copy of the descriptor's state under files_mu_ (async operations run
+  /// against the snapshot; high-water merges back on completion).
+  Result<OpenFile> SnapshotFd(Fd fd) const;
+  /// Raise the descriptor's high-water mark to at least `high_water`
+  /// (no-op if the fd was closed while the operation ran).
+  void MergeHighWater(Fd fd, ByteCount high_water);
+
+  /// List-I/O bodies shared by the blocking and async paths; `file` is
+  /// the caller's snapshot.
+  Status DoReadList(OpenFile& file, std::span<const Extent> mem_regions,
+                    std::span<std::byte> buffer,
+                    std::span<const Extent> file_regions);
+  Status DoWriteList(OpenFile& file, std::span<const Extent> mem_regions,
+                     std::span<const std::byte> buffer,
+                     std::span<const Extent> file_regions);
+
+  Operation SubmitAsync(bool is_write, Fd fd,
+                        std::span<const Extent> mem_regions,
+                        std::span<std::byte> out,
+                        std::span<const std::byte> in,
+                        std::span<const Extent> file_regions);
+  void EnsureAsyncWorkers();
+  void AsyncWorkerLoop();
 
   /// One sealed round trip: CRC32C-seal the encoded request, call, verify
   /// the response frame's trailer, decode the envelope. A failed response
@@ -328,9 +435,20 @@ class Client {
 
   Transport* transport_;
   Options options_;
+  /// Guards next_fd_ and open_files_ (async completions merge high-water
+  /// marks concurrently with Open/Close). Never acquired after stats_mu_.
+  mutable std::mutex files_mu_;
   Fd next_fd_ = 3;  // leave stdin/stdout/stderr-looking values free
   std::unordered_map<Fd, OpenFile> open_files_;
+  /// Guards stats_ (plain counters mutated by concurrent async workers).
+  mutable std::mutex stats_mu_;
   ClientStats stats_;
+  /// Async submission queue + lazily-started worker pool.
+  mutable std::mutex async_mu_;
+  std::condition_variable async_cv_;
+  std::deque<std::shared_ptr<Operation::State>> async_queue_;
+  std::vector<std::thread> async_workers_;
+  bool async_stopping_ = false;
   mutable std::atomic<std::uint64_t> retries_{0};
   mutable std::atomic<std::uint64_t> retry_exhausted_{0};
   mutable std::atomic<std::uint64_t> backoff_us_{0};

@@ -47,9 +47,32 @@ struct ServerConfig {
   bool schedule_fragments = false;
   std::uint32_t max_queue_depth = 0;
   /// Worker threads draining the TCP event loop's request queue
-  /// (net::SocketServer::Options::worker_threads). Service stays
-  /// serialized per daemon; workers overlap framing with service.
+  /// (net::SocketServer::Options::worker_threads). With `flows` off,
+  /// service stays serialized per daemon and workers only overlap framing
+  /// with service; with `flows` on, the workers run Serve concurrently.
   std::uint32_t transport_workers = 2;
+
+  // ---- Async I/O pipeline (docs/async-flows.md) ----
+  //
+  // `flows` turns on bounded-segment pipelining: each request's coalesced
+  // runs stream through the daemon's AsyncStore in segments of at most
+  // `flow_segment_bytes`, at most `flow_inflight` in flight per request,
+  // and the TCP transport stops serializing service so in-flight requests
+  // overlap each other's network and device time. Default off — fig09-17
+  // and every 2002-faithful path are bit-identical with flows off.
+  bool flows = false;
+  ByteCount flow_segment_bytes = 256 * 1024;
+  std::uint32_t flow_inflight = 4;
+  /// Store-worker threads executing submitted segments (the device queue
+  /// depth the pipeline can exploit).
+  std::uint32_t store_workers = 2;
+
+  // Modeled device time, charged per contiguous store access on BOTH the
+  // synchronous and the flow path (pvfs/store_async.hpp): `store_seek_us`
+  // positioning cost plus `store_us_per_mib` transfer cost. Defaults 0 =
+  // no modeling, preserving historical timing exactly.
+  std::uint64_t store_seek_us = 0;
+  std::uint64_t store_us_per_mib = 0;
 };
 
 }  // namespace pvfs

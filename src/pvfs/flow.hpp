@@ -1,0 +1,67 @@
+// Flow: bounded-segment pipelining of one request's store traffic — the
+// PVFS2 flows concept (SNIPPETS.md Snippet 1, `concepts.tex`): "a
+// datapath is divided into segments that are individually moved in a
+// pipelined fashion so that network and storage stay concurrently busy".
+//
+// A flow takes the coalesced run plan of one list-I/O request (see
+// src/pvfs/scheduler) and cuts the runs into segments of at most
+// `segment_bytes`, keeping at most `max_inflight` segments submitted to
+// the daemon's AsyncStore at any moment. For writes, the request payload
+// has already been staged run-ordered in scratch; segments stream from
+// scratch into journaled store intents. For reads, segments stream store
+// bytes into scratch, which the daemon then scatters into the wire
+// payload. Because every in-flight request runs its own flow against a
+// shared store-worker pool (and the epoll transport overlaps request
+// receive/response transmit with service when ServerConfig::flows is
+// on), network and device intervals of different segments — and of
+// different requests — proceed concurrently instead of strictly in
+// series.
+//
+// Error handling: a flow always drains every submitted segment before
+// returning (buffers are borrowed from the caller's stack), then reports
+// the first segment error in run order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "pvfs/scheduler.hpp"
+#include "pvfs/store_async.hpp"
+
+namespace pvfs {
+
+/// Per-flow tuning (ServerConfig carries the daemon-wide defaults).
+struct FlowConfig {
+  /// Largest contiguous byte range moved per segment.
+  ByteCount segment_bytes = 256 * 1024;
+  /// Most segments submitted-but-incomplete at once (the pipeline window).
+  std::uint32_t max_inflight = 4;
+};
+
+/// What one flow did, accumulated into iod stats / iod.flow.* metrics.
+struct FlowStats {
+  std::uint64_t segments = 0;       // segments the runs were cut into
+  std::uint64_t peak_inflight = 0;  // widest the window actually got
+  std::uint64_t stall_us = 0;       // time blocked on a full window
+};
+
+/// Pipeline store reads of `runs` into `scratch` (run-ordered, at least
+/// plan.total_bytes long). Returns the first segment read error, if any.
+Status FlowRead(AsyncStore& store, FileHandle handle,
+                std::span<const ScheduledRun> runs,
+                std::span<std::byte> scratch, const FlowConfig& config,
+                FlowStats& stats);
+
+/// Pipeline journaled store writes of `runs` out of run-ordered `scratch`.
+/// Each segment is one write intent; a crash mid-flow leaves a prefix of
+/// segments durable, each internally replay-or-rollback consistent
+/// (coarser single-intent atomicity is the synchronous path's; see
+/// docs/async-flows.md).
+Status FlowWrite(AsyncStore& store, FileHandle handle,
+                 std::span<const ScheduledRun> runs,
+                 std::span<const std::byte> scratch, const FlowConfig& config,
+                 FlowStats& stats);
+
+}  // namespace pvfs

@@ -1,14 +1,37 @@
 #include "pvfs/iod.hpp"
 
+#include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "common/request_id.hpp"
 #include "obs/span.hpp"
+#include "pvfs/flow.hpp"
 
 namespace pvfs {
 
+namespace {
+
+/// Raise an atomic high-water mark to `seen` if it is the new maximum.
+void RaiseMax(std::atomic<std::uint64_t>& mark, std::uint64_t seen) {
+  std::uint64_t prev = mark.load();
+  while (seen > prev && !mark.compare_exchange_weak(prev, seen)) {
+  }
+}
+
+}  // namespace
+
+void IoDaemon::ChargeDeviceTime(std::uint64_t accesses,
+                                ByteCount bytes) const {
+  const std::uint64_t us = config_.store_seek_us * accesses +
+                           config_.store_us_per_mib * bytes / kMiB;
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
 void IoDaemon::RecoverStore() {
+  // Concurrent callers are safe: NeedsRecovery/Recover lock the store, and
+  // a second Recover after the first finds nothing uncommitted (benign).
   if (!store_.NeedsRecovery()) return;
   LocalStore::RecoveryStats rec = store_.Recover();
   stats_.journal_replays += rec.replayed;
@@ -79,6 +102,14 @@ Result<IoResponse> IoDaemon::Serve(const IoRequest& req) {
                        " error on iod " + std::to_string(id_));
   }
 
+  // Flow pipelining (docs/async-flows.md): execute through the run plan in
+  // bounded segments on the shared store-worker pool. The scatter/gather
+  // between scratch and the wire payload is the scheduled path's, so the
+  // wire layout is identical either way.
+  const bool flow_path = config_.flows && async_store_ != nullptr;
+  const FlowConfig flow_config{config_.flow_segment_bytes,
+                               config_.flow_inflight};
+
   IoResponse resp;
   if (req.op == IoOp::kRead) {
     // Stored-data rot injection: flip one bit at rest before serving, so
@@ -88,21 +119,37 @@ Result<IoResponse> IoDaemon::Serve(const IoRequest& req) {
       if (rot.rot) (void)store_.CorruptStoredBit(rot.selector);
     }
     resp.payload.resize(my_bytes);
-    if (scheduled) {
-      // One store read per merged run, then scatter run bytes back into
-      // the payload through the original fragment order so the wire
-      // layout is identical to the unscheduled path.
+    if (scheduled || flow_path) {
+      // One store read per merged run (flow: per bounded segment of a
+      // run), then scatter run bytes back into the payload through the
+      // original fragment order so the wire layout is identical to the
+      // unscheduled path.
       std::vector<std::byte> scratch(plan.total_bytes);
-      for (const ScheduledRun& run : plan.runs) {
-        Status read = store_.Read(
-            req.handle, run.offset,
-            std::span{scratch}.subspan(run.buf_offset, run.length));
+      if (flow_path) {
+        FlowStats fstats;
+        Status read = FlowRead(*async_store_, req.handle, plan.runs,
+                               scratch, flow_config, fstats);
+        stats_.flow_segments += fstats.segments;
+        RaiseMax(stats_.flow_inflight_peak, fstats.peak_inflight);
+        stats_.flow_stall_us += fstats.stall_us;
+        stats_.store_ops += fstats.segments;
         if (!read.ok()) {
           ++stats_.corruptions_detected;
           return read;
         }
+      } else {
+        ChargeDeviceTime(plan.runs.size(), plan.total_bytes);
+        for (const ScheduledRun& run : plan.runs) {
+          Status read = store_.Read(
+              req.handle, run.offset,
+              std::span{scratch}.subspan(run.buf_offset, run.length));
+          if (!read.ok()) {
+            ++stats_.corruptions_detected;
+            return read;
+          }
+        }
+        stats_.store_ops += plan.runs.size();
       }
-      stats_.store_ops += plan.runs.size();
       ByteCount cursor = 0;
       for (std::size_t i = 0; i < mine.size(); ++i) {
         const Fragment& f = mine[i];
@@ -114,6 +161,7 @@ Result<IoResponse> IoDaemon::Serve(const IoRequest& req) {
         cursor += f.length;
       }
     } else {
+      ChargeDeviceTime(mine.size(), my_bytes);
       ByteCount cursor = 0;
       for (const Fragment& f : mine) {
         Status read = store_.Read(
@@ -141,7 +189,7 @@ Result<IoResponse> IoDaemon::Serve(const IoRequest& req) {
   std::vector<LocalStore::WritePiece> pieces;
   std::vector<std::byte> scratch;
   ByteCount intent_bytes = my_bytes;
-  if (scheduled) {
+  if (scheduled || flow_path) {
     // Gather payload bytes into per-run scratch in the original fragment
     // order (so overlapping fragments keep last-writer-wins semantics,
     // exactly as sequential per-fragment pieces would), then write one
@@ -186,9 +234,24 @@ Result<IoResponse> IoDaemon::Serve(const IoRequest& req) {
                          " crashed mid-write (injected torn write)");
     }
   }
-  // One journaled intent covers every fragment of this request.
-  store_.WriteV(req.handle, pieces);
-  stats_.store_ops += pieces.size();
+  if (flow_path) {
+    // Pipeline the runs out of scratch in bounded segments, one journaled
+    // intent per segment (docs/async-flows.md discusses the atomicity
+    // granularity trade).
+    FlowStats fstats;
+    Status wrote = FlowWrite(*async_store_, req.handle, plan.runs, scratch,
+                             flow_config, fstats);
+    stats_.flow_segments += fstats.segments;
+    RaiseMax(stats_.flow_inflight_peak, fstats.peak_inflight);
+    stats_.flow_stall_us += fstats.stall_us;
+    stats_.store_ops += fstats.segments;
+    if (!wrote.ok()) return wrote;
+  } else {
+    // One journaled intent covers every fragment of this request.
+    ChargeDeviceTime(pieces.size(), intent_bytes);
+    store_.WriteV(req.handle, pieces);
+    stats_.store_ops += pieces.size();
+  }
   resp.bytes = my_bytes;
   stats_.bytes_written += my_bytes;
   return resp;
@@ -283,26 +346,30 @@ obs::JsonValue IoDaemon::StatsJson() const {
   obs::JsonValue out = obs::JsonValue::Object();
   out.Set("role", obs::JsonValue("iod"));
   out.Set("server", obs::JsonValue(static_cast<std::uint64_t>(id_)));
-  out.Set("requests", obs::JsonValue(stats_.requests));
-  out.Set("regions", obs::JsonValue(stats_.regions));
-  out.Set("local_accesses", obs::JsonValue(stats_.local_accesses));
-  out.Set("store_ops", obs::JsonValue(stats_.store_ops));
-  out.Set("bytes_read", obs::JsonValue(stats_.bytes_read));
-  out.Set("bytes_written", obs::JsonValue(stats_.bytes_written));
-  out.Set("injected_errors", obs::JsonValue(stats_.injected_errors));
+  out.Set("requests", obs::JsonValue(stats_.requests.load()));
+  out.Set("regions", obs::JsonValue(stats_.regions.load()));
+  out.Set("local_accesses", obs::JsonValue(stats_.local_accesses.load()));
+  out.Set("store_ops", obs::JsonValue(stats_.store_ops.load()));
+  out.Set("bytes_read", obs::JsonValue(stats_.bytes_read.load()));
+  out.Set("bytes_written", obs::JsonValue(stats_.bytes_written.load()));
+  out.Set("injected_errors", obs::JsonValue(stats_.injected_errors.load()));
   out.Set("corruptions_detected",
-          obs::JsonValue(stats_.corruptions_detected));
-  out.Set("journal_replays", obs::JsonValue(stats_.journal_replays));
-  out.Set("journal_rollbacks", obs::JsonValue(stats_.journal_rollbacks));
-  out.Set("torn_writes", obs::JsonValue(stats_.torn_writes));
+          obs::JsonValue(stats_.corruptions_detected.load()));
+  out.Set("journal_replays", obs::JsonValue(stats_.journal_replays.load()));
+  out.Set("journal_rollbacks", obs::JsonValue(stats_.journal_rollbacks.load()));
+  out.Set("torn_writes", obs::JsonValue(stats_.torn_writes.load()));
   out.Set("scrub_chunks_scanned",
-          obs::JsonValue(stats_.scrub_chunks_scanned));
-  out.Set("scrub_corruptions", obs::JsonValue(stats_.scrub_corruptions));
-  out.Set("scrub_repairs", obs::JsonValue(stats_.scrub_repairs));
+          obs::JsonValue(stats_.scrub_chunks_scanned.load()));
+  out.Set("scrub_corruptions", obs::JsonValue(stats_.scrub_corruptions.load()));
+  out.Set("scrub_repairs", obs::JsonValue(stats_.scrub_repairs.load()));
   out.Set("repair_chunks_scanned",
-          obs::JsonValue(stats_.repair_chunks_scanned));
+          obs::JsonValue(stats_.repair_chunks_scanned.load()));
   out.Set("repair_chunks_copied",
-          obs::JsonValue(stats_.repair_chunks_copied));
+          obs::JsonValue(stats_.repair_chunks_copied.load()));
+  out.Set("flow_segments", obs::JsonValue(stats_.flow_segments.load()));
+  out.Set("flow_inflight_peak",
+          obs::JsonValue(stats_.flow_inflight_peak.load()));
+  out.Set("flow_stall_us", obs::JsonValue(stats_.flow_stall_us.load()));
   return out;
 }
 
@@ -310,28 +377,32 @@ void IoDaemon::ExportMetrics(obs::Registry& reg,
                              const obs::Labels& base) const {
   obs::Labels labels = base;
   labels.push_back({"server", std::to_string(id_)});
-  reg.Counter("iod.requests", labels).Set(stats_.requests);
-  reg.Counter("iod.regions", labels).Set(stats_.regions);
-  reg.Counter("iod.local_accesses", labels).Set(stats_.local_accesses);
-  reg.Counter("iod.store_ops", labels).Set(stats_.store_ops);
-  reg.Counter("iod.bytes_read", labels).Set(stats_.bytes_read);
-  reg.Counter("iod.bytes_written", labels).Set(stats_.bytes_written);
-  reg.Counter("iod.injected_errors", labels).Set(stats_.injected_errors);
+  reg.Counter("iod.requests", labels).Set(stats_.requests.load());
+  reg.Counter("iod.regions", labels).Set(stats_.regions.load());
+  reg.Counter("iod.local_accesses", labels).Set(stats_.local_accesses.load());
+  reg.Counter("iod.store_ops", labels).Set(stats_.store_ops.load());
+  reg.Counter("iod.bytes_read", labels).Set(stats_.bytes_read.load());
+  reg.Counter("iod.bytes_written", labels).Set(stats_.bytes_written.load());
+  reg.Counter("iod.injected_errors", labels).Set(stats_.injected_errors.load());
   reg.Counter("iod.corruptions_detected", labels)
-      .Set(stats_.corruptions_detected);
-  reg.Counter("iod.journal_replays", labels).Set(stats_.journal_replays);
+      .Set(stats_.corruptions_detected.load());
+  reg.Counter("iod.journal_replays", labels).Set(stats_.journal_replays.load());
   reg.Counter("iod.journal_rollbacks", labels)
-      .Set(stats_.journal_rollbacks);
-  reg.Counter("iod.torn_writes", labels).Set(stats_.torn_writes);
+      .Set(stats_.journal_rollbacks.load());
+  reg.Counter("iod.torn_writes", labels).Set(stats_.torn_writes.load());
   reg.Counter("iod.scrub_chunks_scanned", labels)
-      .Set(stats_.scrub_chunks_scanned);
+      .Set(stats_.scrub_chunks_scanned.load());
   reg.Counter("iod.scrub_corruptions", labels)
-      .Set(stats_.scrub_corruptions);
-  reg.Counter("iod.scrub_repairs", labels).Set(stats_.scrub_repairs);
+      .Set(stats_.scrub_corruptions.load());
+  reg.Counter("iod.scrub_repairs", labels).Set(stats_.scrub_repairs.load());
   reg.Counter("iod.repair.chunks_scanned", labels)
-      .Set(stats_.repair_chunks_scanned);
+      .Set(stats_.repair_chunks_scanned.load());
   reg.Counter("iod.repair.chunks_copied", labels)
-      .Set(stats_.repair_chunks_copied);
+      .Set(stats_.repair_chunks_copied.load());
+  reg.Counter("iod.flow.segments", labels).Set(stats_.flow_segments.load());
+  reg.Gauge("iod.flow.inflight", labels)
+      .Set(static_cast<std::int64_t>(stats_.flow_inflight_peak.load()));
+  reg.Counter("iod.flow.stall_us", labels).Set(stats_.flow_stall_us.load());
 }
 
 }  // namespace pvfs

@@ -5,11 +5,16 @@
 // server's bytes in logical-walk order, so the client can reassemble
 // without extra metadata.
 //
-// Thread safety: externally synchronized (one message at a time), like the
-// manager.
+// Thread safety: Serve (and the message handlers above it) may be called
+// concurrently — the store is internally locked, recovery is idempotent
+// under that lock, and every stat is an atomic — which is what lets the
+// TCP transport stop serializing service when ServerConfig::flows is on.
+// The manager remains externally synchronized (one message at a time).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -22,6 +27,7 @@
 #include "pvfs/protocol.hpp"
 #include "pvfs/scheduler.hpp"
 #include "pvfs/store.hpp"
+#include "pvfs/store_async.hpp"
 
 namespace pvfs {
 
@@ -38,7 +44,14 @@ class IoDaemon {
   /// (docs/server-scheduling.md). Admission control (`max_queue_depth`)
   /// is enforced by the transport in front of the daemon, not here.
   IoDaemon(ServerId id, const ServerConfig& config)
-      : id_(id), config_(config) {}
+      : id_(id), config_(config) {
+    if (config_.flows) {
+      async_store_ = std::make_unique<AsyncStore>(
+          store_, AsyncStore::Options{config_.store_workers,
+                                      config_.store_seek_us,
+                                      config_.store_us_per_mib});
+    }
+  }
 
   std::vector<std::byte> HandleMessage(std::span<const std::byte> raw);
 
@@ -75,23 +88,29 @@ class IoDaemon {
     fault_ = injector;
   }
 
+  /// All counters are atomics: with flows on, the transport runs Serve
+  /// calls concurrently. Readers load individual fields as before.
   struct Stats {
-    std::uint64_t requests = 0;
-    std::uint64_t regions = 0;        // trailing-data entries received
-    std::uint64_t local_accesses = 0; // coalesced local runs (sorted view)
-    std::uint64_t store_ops = 0;      // contiguous store accesses issued
-    std::uint64_t bytes_read = 0;
-    std::uint64_t bytes_written = 0;
-    std::uint64_t injected_errors = 0;  // requests failed by fault injection
-    std::uint64_t corruptions_detected = 0;  // corrupt frames + store CRCs
-    std::uint64_t journal_replays = 0;       // intents redone on recovery
-    std::uint64_t journal_rollbacks = 0;     // torn intents discarded
-    std::uint64_t torn_writes = 0;           // injected mid-write crashes
-    std::uint64_t scrub_chunks_scanned = 0;
-    std::uint64_t scrub_corruptions = 0;
-    std::uint64_t scrub_repairs = 0;
-    std::uint64_t repair_chunks_scanned = 0;  // manifest entries served
-    std::uint64_t repair_chunks_copied = 0;   // re-replication applies taken
+    std::atomic<std::uint64_t> requests = 0;
+    std::atomic<std::uint64_t> regions = 0;  // trailing-data entries received
+    std::atomic<std::uint64_t> local_accesses = 0; // coalesced runs (sorted)
+    std::atomic<std::uint64_t> store_ops = 0; // contiguous accesses issued
+    std::atomic<std::uint64_t> bytes_read = 0;
+    std::atomic<std::uint64_t> bytes_written = 0;
+    std::atomic<std::uint64_t> injected_errors = 0;  // failed by injection
+    std::atomic<std::uint64_t> corruptions_detected = 0;  // frames + CRCs
+    std::atomic<std::uint64_t> journal_replays = 0;   // redone on recovery
+    std::atomic<std::uint64_t> journal_rollbacks = 0; // torn, discarded
+    std::atomic<std::uint64_t> torn_writes = 0;  // injected crashes
+    std::atomic<std::uint64_t> scrub_chunks_scanned = 0;
+    std::atomic<std::uint64_t> scrub_corruptions = 0;
+    std::atomic<std::uint64_t> scrub_repairs = 0;
+    std::atomic<std::uint64_t> repair_chunks_scanned = 0;  // manifests served
+    std::atomic<std::uint64_t> repair_chunks_copied = 0;   // applies taken
+    // Flow pipeline accounting (zero unless ServerConfig::flows).
+    std::atomic<std::uint64_t> flow_segments = 0;       // segments executed
+    std::atomic<std::uint64_t> flow_inflight_peak = 0;  // widest window seen
+    std::atomic<std::uint64_t> flow_stall_us = 0;       // full-window waits
   };
   const Stats& stats() const { return stats_; }
   /// The counters as one JSON object (the kStats response body).
@@ -101,9 +120,16 @@ class IoDaemon {
   void ExportMetrics(obs::Registry& reg, const obs::Labels& base = {}) const;
 
  private:
+  /// Charge the modeled device interval for `accesses` contiguous store
+  /// accesses moving `bytes` in total (no-op at the default zero knobs).
+  void ChargeDeviceTime(std::uint64_t accesses, ByteCount bytes) const;
+
   ServerId id_;
   ServerConfig config_;
   LocalStore store_;
+  /// Present iff config_.flows: the store-worker pool every in-flight
+  /// request's flow shares.
+  std::unique_ptr<AsyncStore> async_store_;
   Stats stats_;
   fault::FaultInjector* fault_ = nullptr;
 };

@@ -102,6 +102,7 @@ void LocalStore::Write(FileHandle handle, FileOffset offset,
 
 void LocalStore::WriteV(FileHandle handle,
                         std::span<const WritePiece> pieces) {
+  std::lock_guard<std::mutex> lock(mu_);
   JournalRecord& rec = journal_.emplace_back(MakeRecord(handle, pieces));
   journal_data_bytes_ += rec.data.size();
   ApplyRecord(rec);
@@ -112,6 +113,7 @@ void LocalStore::WriteV(FileHandle handle,
 void LocalStore::WriteVTorn(FileHandle handle,
                             std::span<const WritePiece> pieces,
                             ByteCount keep_bytes, bool torn_journal) {
+  std::lock_guard<std::mutex> lock(mu_);
   JournalRecord rec = MakeRecord(handle, pieces);
   if (rec.data.empty()) return;  // nothing to tear
   if (torn_journal) {
@@ -142,6 +144,7 @@ void LocalStore::WriteVTorn(FileHandle handle,
 // ---- Recovery and scrub ----------------------------------------------------
 
 bool LocalStore::NeedsRecovery() const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const JournalRecord& rec : journal_) {
     if (!rec.committed) return true;
   }
@@ -149,6 +152,7 @@ bool LocalStore::NeedsRecovery() const {
 }
 
 LocalStore::RecoveryStats LocalStore::Recover() {
+  std::lock_guard<std::mutex> lock(mu_);
   RecoveryStats stats;
   for (JournalRecord& rec : journal_) {
     if (rec.committed) continue;
@@ -206,6 +210,7 @@ bool LocalStore::RepairChunk(FileHandle handle, std::uint64_t chunk_index) {
 }
 
 LocalStore::ScrubStats LocalStore::Scrub() {
+  std::lock_guard<std::mutex> lock(mu_);
   ScrubStats stats;
   for (auto& [handle, file] : files_) {
     for (auto& [index, chunk] : file.chunks) {
@@ -222,6 +227,7 @@ LocalStore::ScrubStats LocalStore::Scrub() {
 }
 
 bool LocalStore::CorruptStoredBit(std::uint64_t selector) {
+  std::lock_guard<std::mutex> lock(mu_);
   // Deterministic victim selection: walk files in sorted handle order so
   // equal selectors over equal store states rot the same bit regardless of
   // unordered_map iteration order.
@@ -256,6 +262,7 @@ bool LocalStore::CorruptStoredBit(std::uint64_t selector) {
 
 Status LocalStore::Read(FileHandle handle, FileOffset offset,
                         std::span<std::byte> out) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto fit = files_.find(handle);
   if (fit == files_.end()) {
     std::memset(out.data(), 0, out.size());
@@ -292,6 +299,7 @@ Status LocalStore::Read(FileHandle handle, FileOffset offset,
 }
 
 void LocalStore::Remove(FileHandle handle) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(handle);
   if (it != files_.end()) {
     allocated_ -= it->second.chunks.size() * kChunkBytes;
@@ -305,12 +313,14 @@ void LocalStore::Remove(FileHandle handle) {
 }
 
 ByteCount LocalStore::SizeOf(FileHandle handle) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(handle);
   return it == files_.end() ? 0 : it->second.size;
 }
 
 std::vector<LocalStore::ChunkSum> LocalStore::ChunkSums(
     FileHandle handle) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<ChunkSum> out;
   auto it = files_.find(handle);
   if (it == files_.end()) return out;

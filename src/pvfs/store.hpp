@@ -15,12 +15,20 @@
 //     or a torn record (rolled back — its chunks were never touched).
 //   * Scrub() walks every chunk, verifies checksums and repairs from the
 //     retained journal history where possible.
+//
+// Thread safety: fully thread-safe. Every public entry point takes an
+// internal mutex, so concurrent flow segments (src/pvfs/flow) and
+// overlapping Serve calls can share one store; an individual Read/WriteV
+// remains atomic with respect to every other call. Callers that need
+// multi-call atomicity (none today — one WriteV covers a whole list-I/O
+// intent) must layer their own ordering on top.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -123,9 +131,15 @@ class LocalStore {
   ByteCount SizeOf(FileHandle handle) const;
 
   /// Bytes of chunk storage currently allocated (for tests / accounting).
-  ByteCount AllocatedBytes() const { return allocated_; }
+  ByteCount AllocatedBytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return allocated_;
+  }
 
-  bool Contains(FileHandle handle) const { return files_.contains(handle); }
+  bool Contains(FileHandle handle) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return files_.contains(handle);
+  }
 
   /// Cumulative integrity counters (reads that hit corruption, journal
   /// recoveries, scrub results). Exposed through iod stats.
@@ -138,7 +152,11 @@ class LocalStore {
     std::uint64_t scrub_corruptions = 0;
     std::uint64_t scrub_repairs = 0;
   };
-  const IntegrityCounters& integrity() const { return integrity_; }
+  /// Snapshot (by value: reads mutate the counters concurrently).
+  IntegrityCounters integrity() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return integrity_;
+  }
 
  private:
   struct Chunk {
@@ -181,6 +199,9 @@ class LocalStore {
   /// Rebuild a corrupt chunk by replaying its retained write history.
   bool RepairChunk(FileHandle handle, std::uint64_t chunk_index);
 
+  /// Guards every member below. Public methods lock it; private helpers
+  /// assume it is held.
+  mutable std::mutex mu_;
   std::unordered_map<FileHandle, SparseFile> files_;
   std::deque<JournalRecord> journal_;
   std::uint64_t next_seq_ = 1;

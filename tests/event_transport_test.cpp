@@ -505,6 +505,66 @@ TEST(EventMux, ReconnectsAfterServerRestart) {
   EXPECT_GE(mux.stats().reconnects, 2u);
 }
 
+TEST(EventMux, TimedOutWaiterThenReconnectKeepsStreamClean) {
+  // Satellite audit regression (async pipeline PR): a waiter that timed
+  // out and DEREGISTERED itself, followed by a connection death and
+  // reconnect, must not leave a stale request-id behind that could match
+  // a post-reconnect reply. Sequence: stall the first reply past the
+  // client deadline, kill the server while the stale reply may still be
+  // in flight, restart on the same port, then drive fresh exchanges —
+  // every one must echo its OWN sealed frame.
+  std::atomic<int> calls{0};
+  auto stall_first = [&calls](std::span<const std::byte> req) {
+    if (calls.fetch_add(1) == 0) {
+      std::this_thread::sleep_for(milliseconds(150));
+    }
+    return std::vector<std::byte>(req.begin(), req.end());
+  };
+  auto server = SocketServer::Start(0, stall_first);
+  ASSERT_TRUE(server.ok());
+  const std::uint16_t port = (*server)->port();
+
+  ClientConfig config;
+  config.multiplex = true;
+  config.call_timeout = milliseconds(25);
+  MuxSocketTransport mux({"127.0.0.1", port}, {}, config);
+
+  auto stalled = SealFrameWithId(Pattern(24, 9), 901);
+  auto timed_out = mux.Call(Endpoint::ManagerNode(), stalled);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), ErrorCode::kDeadlineExceeded);
+
+  // Kill the server while the stalled service call is still sleeping;
+  // ~SocketServer drains it, so the stale reply dies with the socket.
+  server->reset();
+  server = SocketServer::Start(port, stall_first);
+  ASSERT_TRUE(server.ok());
+
+  // Post-reconnect exchanges: each must match itself.
+  bool recovered = false;
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    auto sealed = SealFrameWithId(Pattern(24, 10 + attempt),
+                                  1000 + static_cast<std::uint64_t>(attempt));
+    auto reply = mux.Call(Endpoint::ManagerNode(), sealed);
+    if (reply.ok()) {
+      // The correlation invariant under audit: never someone else's frame.
+      ASSERT_EQ(*reply, sealed) << "attempt " << attempt;
+      recovered = true;
+      break;
+    }
+    EXPECT_TRUE(IsRetryable(reply.status().code())) << reply.status().message();
+    std::this_thread::sleep_for(milliseconds(10));
+  }
+  EXPECT_TRUE(recovered);
+
+  auto stats = mux.stats();
+  EXPECT_GE(stats.reconnects, 2u);  // initial connect + post-crash reconnect
+  EXPECT_GE(stats.responses_matched, 1u);
+  // The timed-out waiter deregistered itself, so its reply (if it ever
+  // arrived) was counted dropped, not matched to a later request.
+  EXPECT_LE(stats.responses_dropped, 1u);
+}
+
 // ---- Chaos through the event loop ------------------------------------------
 
 Client::Options ChaosClientOptions(std::uint64_t jitter_seed) {
