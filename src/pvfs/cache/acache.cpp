@@ -1,0 +1,97 @@
+#include "pvfs/cache/acache.hpp"
+
+namespace pvfs::cache {
+
+void AttributeCache::Touch(EntryList::iterator it) {
+  entries_.splice(entries_.begin(), entries_, it);
+}
+
+void AttributeCache::Erase(EntryList::iterator it, bool count_eviction) {
+  by_name_.erase(it->name);
+  by_handle_.erase(it->meta.handle);
+  entries_.erase(it);
+  if (count_eviction) ++counters_.evictions;
+}
+
+std::optional<Metadata> AttributeCache::LookupName(const std::string& name,
+                                                   Clock::time_point now) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end() || !Fresh(*it->second, now)) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  Touch(it->second);
+  ++counters_.hits;
+  return it->second->meta;
+}
+
+std::optional<Metadata> AttributeCache::LookupHandle(FileHandle handle,
+                                                     Clock::time_point now) {
+  auto it = by_handle_.find(handle);
+  if (it == by_handle_.end() || !Fresh(*it->second, now)) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  Touch(it->second);
+  ++counters_.hits;
+  return it->second->meta;
+}
+
+void AttributeCache::Insert(const std::string& name, const Metadata& meta,
+                            Clock::time_point now) {
+  // Refresh in place when the (name, handle) pair is unchanged; count a
+  // revalidation when the manager confirmed the generation we already had.
+  auto it = by_name_.find(name);
+  if (it != by_name_.end() && it->second->meta.handle == meta.handle) {
+    if (it->second->meta.epoch == meta.epoch) ++counters_.revalidations;
+    it->second->meta = meta;
+    it->second->stamp = now;
+    Touch(it->second);
+    return;
+  }
+  // A name that now maps to a different handle (remove + recreate seen
+  // only from the manager's side) replaces the old entry outright, as does
+  // a stale entry for the same handle under another name.
+  if (it != by_name_.end()) Erase(it->second, /*count_eviction=*/true);
+  auto hit = by_handle_.find(meta.handle);
+  if (hit != by_handle_.end()) Erase(hit->second, /*count_eviction=*/true);
+
+  entries_.push_front(Entry{name, meta, now});
+  by_name_[name] = entries_.begin();
+  by_handle_[meta.handle] = entries_.begin();
+  while (entries_.size() > config_.max_entries) {
+    Erase(std::prev(entries_.end()), /*count_eviction=*/true);
+  }
+}
+
+std::optional<std::uint64_t> AttributeCache::CachedEpoch(
+    FileHandle handle) const {
+  auto it = by_handle_.find(handle);
+  if (it == by_handle_.end()) return std::nullopt;
+  return it->second->meta.epoch;
+}
+
+std::optional<FileHandle> AttributeCache::CachedHandle(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second->meta.handle;
+}
+
+void AttributeCache::InvalidateName(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) Erase(it->second, /*count_eviction=*/true);
+}
+
+void AttributeCache::InvalidateHandle(FileHandle handle) {
+  auto it = by_handle_.find(handle);
+  if (it != by_handle_.end()) Erase(it->second, /*count_eviction=*/true);
+}
+
+void AttributeCache::Clear() {
+  entries_.clear();
+  by_name_.clear();
+  by_handle_.clear();
+}
+
+}  // namespace pvfs::cache

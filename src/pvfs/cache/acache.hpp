@@ -1,0 +1,110 @@
+// Attribute/config cache (acache): client-side cache of manager metadata —
+// handle, striping, replication parameters and last known size — keyed by
+// BOTH name and handle, so Open-by-name and Stat-by-descriptor hit the
+// same entry. The lineage is PVFS2's acache.c / pint-cached-config.h: the
+// manager round trip is the scaling wall for metadata-heavy workloads, and
+// striping/replication parameters are immutable after create, so a cached
+// entry answers Open and Stat without touching the network.
+//
+// Freshness model (docs/client-caching.md):
+//   - TTL: an entry older than `ttl` stops answering and must be
+//     revalidated against the manager (the refreshed reply re-arms it).
+//   - Epoch: every manager reply carries the entry's generation
+//     (Metadata::epoch, bumped on SetSize). The cache exposes the cached
+//     epoch so the buffer cache can decide whether its pages for the
+//     handle survived the revalidation (close-to-open consistency).
+//   - Explicit invalidation: Create over an existing name, Remove, and a
+//     local SetSize/Close all invalidate eagerly — the TTL only bounds
+//     staleness caused by OTHER clients.
+//   - LRU: at most `max_entries` live entries; inserting past the bound
+//     evicts the least recently used.
+//
+// Thread safety: externally synchronized (the Client wraps calls in its
+// own cache mutex). Time is passed in explicitly so tests control it.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "pvfs/protocol.hpp"
+
+namespace pvfs::cache {
+
+struct AcacheConfig {
+  bool enabled = false;
+  /// Entry lifetime; 0 means every lookup misses (revalidate always),
+  /// which is the strictest setting short of disabling the cache.
+  std::chrono::microseconds ttl{500'000};
+  /// LRU bound on live entries.
+  std::size_t max_entries = 1024;
+};
+
+class AttributeCache {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;       // lookups that found nothing fresh
+    std::uint64_t evictions = 0;    // LRU + explicit invalidations
+    std::uint64_t revalidations = 0;  // refreshed entries (same epoch kept)
+  };
+
+  explicit AttributeCache(AcacheConfig config) : config_(config) {}
+
+  /// Fresh (within TTL) metadata for `name`, bumping recency; counts a
+  /// hit or a miss.
+  std::optional<Metadata> LookupName(const std::string& name,
+                                     Clock::time_point now);
+  /// Fresh metadata for `handle`, bumping recency.
+  std::optional<Metadata> LookupHandle(FileHandle handle,
+                                       Clock::time_point now);
+
+  /// Insert or refresh the entry for (name, meta.handle). A refresh whose
+  /// epoch matches the cached one counts as a revalidation (the caller may
+  /// keep derived state, e.g. buffer-cache pages).
+  void Insert(const std::string& name, const Metadata& meta,
+              Clock::time_point now);
+
+  /// Epoch currently cached for `handle`, fresh or stale (nullopt if the
+  /// entry is gone entirely). Used for page invalidation decisions.
+  std::optional<std::uint64_t> CachedEpoch(FileHandle handle) const;
+
+  /// Handle currently cached for `name`, fresh or stale — a peek, not a
+  /// reference: no recency bump, no hit/miss accounting. Used to aim
+  /// explicit invalidation at the handle's derived state (data pages).
+  std::optional<FileHandle> CachedHandle(const std::string& name) const;
+
+  void InvalidateName(const std::string& name);
+  void InvalidateHandle(FileHandle handle);
+  void Clear();
+
+  std::size_t size() const { return entries_.size(); }
+  const Counters& counters() const { return counters_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    Metadata meta;
+    Clock::time_point stamp;  // insertion/refresh time (TTL anchor)
+  };
+  using EntryList = std::list<Entry>;  // front = most recently used
+
+  bool Fresh(const Entry& e, Clock::time_point now) const {
+    return now - e.stamp < config_.ttl;
+  }
+  void Touch(EntryList::iterator it);
+  void Erase(EntryList::iterator it, bool count_eviction);
+
+  AcacheConfig config_;
+  EntryList entries_;
+  std::unordered_map<std::string, EntryList::iterator> by_name_;
+  std::unordered_map<FileHandle, EntryList::iterator> by_handle_;
+  Counters counters_;
+};
+
+}  // namespace pvfs::cache

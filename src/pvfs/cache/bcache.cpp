@@ -1,0 +1,224 @@
+#include "pvfs/cache/bcache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pvfs::cache {
+
+BufferCache::PageList::iterator BufferCache::Find(const PageKey& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return pages_.end();
+  pages_.splice(pages_.begin(), pages_, it->second);
+  return it->second;
+}
+
+Result<BufferCache::PageList::iterator> BufferCache::FetchPage(
+    const PageKey& key, const FetchFn& fetch) {
+  std::vector<std::byte> data(config_.page_bytes);
+  PVFS_RETURN_IF_ERROR(
+      fetch(key.index * config_.page_bytes, std::span<std::byte>(data)));
+  pages_.push_front(Page{key, std::move(data)});
+  index_[key] = pages_.begin();
+  cached_bytes_ += config_.page_bytes;
+  return pages_.begin();
+}
+
+BufferCache::PageList::iterator BufferCache::InsertBlank(const PageKey& key) {
+  pages_.push_front(Page{key, std::vector<std::byte>(config_.page_bytes)});
+  index_[key] = pages_.begin();
+  cached_bytes_ += config_.page_bytes;
+  return pages_.begin();
+}
+
+Status BufferCache::Read(FileHandle handle, FileOffset offset,
+                         std::span<std::byte> out, const FetchFn& fetch) {
+  const ByteCount psz = config_.page_bytes;
+  ByteCount done = 0;
+  while (done < out.size()) {
+    const FileOffset pos = offset + done;
+    const PageKey key{handle, pos / psz};
+    const ByteCount lo = pos % psz;
+    const ByteCount n = std::min<ByteCount>(out.size() - done, psz - lo);
+    auto it = Find(key);
+    if (it != pages_.end()) {
+      ++counters_.hits;
+      if (it->prefetched) {
+        it->prefetched = false;
+        ++counters_.readahead_hits;
+      }
+    } else {
+      ++counters_.misses;
+      PVFS_ASSIGN_OR_RETURN(it, FetchPage(key, fetch));
+    }
+    std::memcpy(out.data() + done, it->data.data() + lo, n);
+    done += n;
+  }
+  EnforceResidencyBound();
+  return Status::Ok();
+}
+
+Status BufferCache::Write(FileHandle handle, FileOffset offset,
+                          std::span<const std::byte> in, const FetchFn& fetch,
+                          const FlushFn& flush) {
+  const ByteCount psz = config_.page_bytes;
+  ByteCount done = 0;
+  while (done < in.size()) {
+    const FileOffset pos = offset + done;
+    const PageKey key{handle, pos / psz};
+    const ByteCount lo = pos % psz;
+    const ByteCount n = std::min<ByteCount>(in.size() - done, psz - lo);
+    auto it = Find(key);
+    if (it == pages_.end()) {
+      ++counters_.misses;
+      if (n == psz) {
+        // The write covers the whole page: nothing fetched would survive.
+        it = InsertBlank(key);
+      } else {
+        PVFS_ASSIGN_OR_RETURN(it, FetchPage(key, fetch));
+      }
+    } else {
+      ++counters_.hits;
+      it->prefetched = false;  // overwritten, no longer a read-ahead win
+    }
+    std::memcpy(it->data.data() + lo, in.data() + done, n);
+    // Grow the page's dirty interval. Two disjoint writes merge across the
+    // clean gap between them — the gap holds bytes fetched from the file,
+    // so writing them back is a no-op under the single-writer-per-region
+    // assumption of close-to-open consistency — and crucially dirty_hi
+    // never exceeds the application's own high-water within the page, so
+    // write-back cannot extend the file.
+    if (!it->dirty()) {
+      it->dirty_lo = lo;
+      it->dirty_hi = lo + n;
+      dirty_bytes_ += n;
+    } else {
+      const ByteCount new_lo = std::min(it->dirty_lo, lo);
+      const ByteCount new_hi = std::max(it->dirty_hi, lo + n);
+      dirty_bytes_ += (new_hi - new_lo) - (it->dirty_hi - it->dirty_lo);
+      it->dirty_lo = new_lo;
+      it->dirty_hi = new_hi;
+    }
+    done += n;
+  }
+  PVFS_RETURN_IF_ERROR(EnforceWritebackBound(flush));
+  EnforceResidencyBound();
+  return Status::Ok();
+}
+
+Status BufferCache::Prefetch(FileHandle handle, Extent region,
+                             const FetchFn& fetch) {
+  if (region.empty()) return Status::Ok();
+  const ByteCount psz = config_.page_bytes;
+  const std::uint64_t first = region.offset / psz;
+  const std::uint64_t last = (region.offset + region.length - 1) / psz;
+  for (std::uint64_t i = first; i <= last; ++i) {
+    const PageKey key{handle, i};
+    // Resident pages keep their recency; prefetch is not a reference.
+    if (index_.find(key) != index_.end()) continue;
+    PVFS_ASSIGN_OR_RETURN(auto it, FetchPage(key, fetch));
+    it->prefetched = true;
+    ++counters_.prefetched_pages;
+  }
+  EnforceResidencyBound();
+  return Status::Ok();
+}
+
+Status BufferCache::FlushHandle(FileHandle handle, const FlushFn& flush) {
+  std::vector<PageList::iterator> dirty;
+  for (auto it = pages_.begin(); it != pages_.end(); ++it) {
+    if (it->key.handle == handle && it->dirty()) dirty.push_back(it);
+  }
+  std::sort(dirty.begin(), dirty.end(),
+            [](const auto& a, const auto& b) {
+              return a->key.index < b->key.index;
+            });
+  for (auto it : dirty) {
+    PVFS_RETURN_IF_ERROR(FlushPage(*it, flush));
+  }
+  return Status::Ok();
+}
+
+void BufferCache::DropHandle(FileHandle handle) {
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    auto next = std::next(it);
+    if (it->key.handle == handle) Evict(it);
+    it = next;
+  }
+  epochs_.erase(handle);
+}
+
+void BufferCache::DropCleanPages(FileHandle handle) {
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    auto next = std::next(it);
+    if (it->key.handle == handle && !it->dirty()) Evict(it);
+    it = next;
+  }
+}
+
+void BufferCache::NoteEpoch(FileHandle handle, std::uint64_t epoch) {
+  auto [it, inserted] = epochs_.try_emplace(handle, epoch);
+  if (!inserted && it->second != epoch) {
+    DropCleanPages(handle);
+    it->second = epoch;
+  }
+}
+
+bool BufferCache::HasDirty(FileHandle handle) const {
+  return std::any_of(pages_.begin(), pages_.end(), [&](const Page& p) {
+    return p.key.handle == handle && p.dirty();
+  });
+}
+
+Status BufferCache::FlushPage(Page& page, const FlushFn& flush) {
+  if (!page.dirty()) return Status::Ok();
+  const ByteCount n = page.dirty_hi - page.dirty_lo;
+  PVFS_RETURN_IF_ERROR(
+      flush(page.key.index * config_.page_bytes + page.dirty_lo,
+            std::span<const std::byte>(page.data).subspan(page.dirty_lo, n)));
+  counters_.writeback_bytes += n;
+  dirty_bytes_ -= n;
+  page.dirty_lo = 0;
+  page.dirty_hi = 0;
+  return Status::Ok();
+}
+
+void BufferCache::Evict(PageList::iterator it) {
+  dirty_bytes_ -= it->dirty_hi - it->dirty_lo;
+  cached_bytes_ -= config_.page_bytes;
+  index_.erase(it->key);
+  pages_.erase(it);
+  ++counters_.evictions;
+}
+
+void BufferCache::EnforceResidencyBound() {
+  while (cached_bytes_ > config_.max_bytes) {
+    auto victim = pages_.end();
+    for (auto r = pages_.rbegin(); r != pages_.rend(); ++r) {
+      if (!r->dirty()) {
+        victim = std::prev(r.base());
+        break;
+      }
+    }
+    // Everything resident is dirty: the write-back bound, not this one,
+    // is the effective limit until those pages flush.
+    if (victim == pages_.end()) break;
+    Evict(victim);
+  }
+}
+
+Status BufferCache::EnforceWritebackBound(const FlushFn& flush) {
+  while (dirty_bytes_ > config_.writeback_max_bytes) {
+    auto victim = pages_.end();
+    for (auto r = pages_.rbegin(); r != pages_.rend(); ++r) {
+      if (r->dirty()) {
+        victim = std::prev(r.base());
+        break;
+      }
+    }
+    if (victim == pages_.end()) break;  // unreachable while dirty_bytes_ > 0
+    PVFS_RETURN_IF_ERROR(FlushPage(*victim, flush));
+  }
+  return Status::Ok();
+}
+
+}  // namespace pvfs::cache

@@ -1,0 +1,154 @@
+// Client buffer cache (bcache): block-aligned pages with bounded
+// write-back, the PVFS2 "user level buffer cache" direction (README_UCACHE
+// lineage in ROADMAP). Small noncontiguous accesses are the target: a
+// strided read that would cost one list-I/O request per few hundred bytes
+// instead fetches whole pages once and serves the rest from memory, and
+// small writes coalesce into dirty pages flushed in page-sized runs.
+//
+// Consistency model (docs/client-caching.md): close-to-open.
+//   - Writes land in dirty pages; total dirty bytes are bounded by
+//     `writeback_max_bytes` (the oldest dirty pages flush when a write
+//     crosses the bound), and Close flushes everything (flush-on-close).
+//   - Lock acquisition flushes and drops this client's clean pages
+//     (flush-on-lock), so data read under a lock is fetched fresh.
+//   - NoteEpoch() implements the open-time check: the manager bumps the
+//     metadata epoch on every size flush, so an Open that observes a new
+//     epoch drops the clean pages cached under the old one.
+//
+// Pages are whole or absent: a partial write to an absent page fetches the
+// page first (read-modify-write), so `data` is always fully valid and the
+// dirty state is one byte interval per page. Write-back writes only the
+// dirty interval — never the whole page — so flushing cannot extend the
+// file past what the application actually wrote.
+//
+// Thread safety: externally synchronized (the Client serializes cache
+// access under one mutex, held across fetch/flush callbacks; see
+// client.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/extent.hpp"
+#include "common/status.hpp"
+#include "pvfs/config.hpp"
+
+namespace pvfs::cache {
+
+struct BcacheConfig {
+  bool enabled = false;
+  /// Cache block size; accesses are rounded out to page boundaries.
+  ByteCount page_bytes = kDefaultCachePageBytes;
+  /// Bound on resident page bytes (clean pages evict LRU past it).
+  ByteCount max_bytes = 8ull << 20;
+  /// Bound on unflushed dirty bytes; a write that crosses it flushes the
+  /// least recently used dirty pages back under the bound.
+  ByteCount writeback_max_bytes = 1ull << 20;
+};
+
+class BufferCache {
+ public:
+  /// Fill `out` (one whole page) from the file at `offset`.
+  using FetchFn = std::function<Status(FileOffset, std::span<std::byte>)>;
+  /// Write `data` back to the file at `offset` (a dirty sub-interval).
+  using FlushFn =
+      std::function<Status(FileOffset, std::span<const std::byte>)>;
+
+  struct Counters {
+    std::uint64_t hits = 0;            // page lookups served from memory
+    std::uint64_t misses = 0;          // page lookups that had to fetch
+    std::uint64_t evictions = 0;       // pages discarded (LRU + epoch/drops)
+    std::uint64_t writeback_bytes = 0; // dirty bytes flushed to servers
+    std::uint64_t readahead_hits = 0;  // first hits on prefetched pages
+    std::uint64_t prefetched_pages = 0;
+  };
+
+  explicit BufferCache(BcacheConfig config) : config_(config) {}
+
+  /// Serve a contiguous read through the cache, fetching absent pages.
+  Status Read(FileHandle handle, FileOffset offset, std::span<std::byte> out,
+              const FetchFn& fetch);
+
+  /// Apply a contiguous write into dirty pages (read-modify-write for
+  /// partial pages); flushes LRU dirty pages if the write-back bound is
+  /// crossed.
+  Status Write(FileHandle handle, FileOffset offset,
+               std::span<const std::byte> in, const FetchFn& fetch,
+               const FlushFn& flush);
+
+  /// Bring the pages covering `region` in without serving bytes, tagging
+  /// them as prefetched (a later Read hit counts as a readahead hit).
+  /// Best-effort: the first fetch error aborts the remainder.
+  Status Prefetch(FileHandle handle, Extent region, const FetchFn& fetch);
+
+  /// Flush every dirty page of `handle` in ascending page order.
+  Status FlushHandle(FileHandle handle, const FlushFn& flush);
+
+  /// Discard all pages of `handle`, INCLUDING dirty ones (Remove path).
+  void DropHandle(FileHandle handle);
+
+  /// Discard the clean pages of `handle`; dirty pages survive (they hold
+  /// writes not yet published).
+  void DropCleanPages(FileHandle handle);
+
+  /// Open-time epoch check: if `epoch` differs from the one recorded for
+  /// the handle, clean pages are dropped (another client closed a write
+  /// since we cached them). Records `epoch` either way.
+  void NoteEpoch(FileHandle handle, std::uint64_t epoch);
+
+  bool HasDirty(FileHandle handle) const;
+  ByteCount cached_bytes() const { return cached_bytes_; }
+  ByteCount dirty_bytes() const { return dirty_bytes_; }
+  const Counters& counters() const { return counters_; }
+  const BcacheConfig& config() const { return config_; }
+
+ private:
+  struct PageKey {
+    FileHandle handle = 0;
+    std::uint64_t index = 0;
+    friend bool operator==(const PageKey&, const PageKey&) = default;
+  };
+  struct PageKeyHash {
+    std::size_t operator()(const PageKey& k) const {
+      return std::hash<std::uint64_t>()(k.handle * 0x9E3779B97F4A7C15ull ^
+                                        k.index);
+    }
+  };
+  struct Page {
+    PageKey key;
+    std::vector<std::byte> data;  // always fully valid, page_bytes long
+    bool prefetched = false;
+    ByteCount dirty_lo = 0;
+    ByteCount dirty_hi = 0;  // dirty iff dirty_hi > dirty_lo
+    bool dirty() const { return dirty_hi > dirty_lo; }
+  };
+  using PageList = std::list<Page>;  // front = most recently used
+
+  /// The resident page for `key`, or entries_.end().
+  PageList::iterator Find(const PageKey& key);
+  /// Fetch `key`'s page into residence (caller checked it is absent).
+  Result<PageList::iterator> FetchPage(const PageKey& key,
+                                       const FetchFn& fetch);
+  /// Insert an all-zero resident page without fetching (full-page write).
+  PageList::iterator InsertBlank(const PageKey& key);
+  Status FlushPage(Page& page, const FlushFn& flush);
+  void Evict(PageList::iterator it);
+  /// Drop LRU clean pages until resident bytes fit max_bytes.
+  void EnforceResidencyBound();
+  /// Flush LRU dirty pages until dirty bytes fit writeback_max_bytes.
+  Status EnforceWritebackBound(const FlushFn& flush);
+
+  BcacheConfig config_;
+  PageList pages_;
+  std::unordered_map<PageKey, PageList::iterator, PageKeyHash> index_;
+  std::unordered_map<FileHandle, std::uint64_t> epochs_;
+  ByteCount cached_bytes_ = 0;
+  ByteCount dirty_bytes_ = 0;
+  Counters counters_;
+};
+
+}  // namespace pvfs::cache

@@ -1,0 +1,38 @@
+#include "pvfs/cache/readahead.hpp"
+
+namespace pvfs::cache {
+
+std::vector<Extent> PlanReadahead(std::span<const Extent> regions,
+                                  const ReadaheadConfig& config) {
+  if (!config.enabled) return {};
+  // Work over the non-empty regions only; empty ones carry no pattern.
+  std::vector<Extent> walk;
+  walk.reserve(regions.size());
+  for (const Extent& e : regions) {
+    if (!e.empty()) walk.push_back(e);
+  }
+  if (walk.size() < config.min_regions || walk.size() < 2) return {};
+
+  const ByteCount length = walk.front().length;
+  const FileOffset stride = walk[1].offset - walk[0].offset;
+  if (walk[1].offset <= walk[0].offset) return {};  // descending/overlapping
+  if (stride < length) return {};  // self-overlapping pattern: no prediction
+  for (size_t i = 1; i < walk.size(); ++i) {
+    if (walk[i].length != length) return {};
+    if (walk[i].offset - walk[i - 1].offset != stride) return {};
+  }
+
+  std::vector<Extent> plan;
+  ByteCount planned = 0;
+  FileOffset next = walk.back().offset + stride;
+  for (std::uint32_t i = 0; i < config.window; ++i) {
+    if (planned + length > config.max_bytes) break;
+    if (next + length < next) break;  // offset-space overflow
+    plan.push_back(Extent{next, length});
+    planned += length;
+    next += stride;
+  }
+  return plan;
+}
+
+}  // namespace pvfs::cache

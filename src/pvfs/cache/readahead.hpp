@@ -1,0 +1,42 @@
+// List-structure-informed read-ahead planning.
+//
+// A PVFS list access hands the client the COMPLETE access pattern up
+// front — the file-region list of a strided read is itself the stride
+// descriptor — so unlike a POSIX client, which must infer sequentiality
+// from one offset at a time, we can extrapolate the pattern exactly: if
+// the regions step by a constant stride with a constant length, the next
+// accesses almost certainly continue the walk (the GPU readahead
+// prefetcher lineage in PAPERS.md: pattern-aware windows beat fixed ones).
+//
+// PlanReadahead() returns the predicted continuation as an extent list;
+// the buffer cache prefetches those pages and tags them, so a later hit is
+// attributable to read-ahead (client.cache.readahead_hits).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/extent.hpp"
+
+namespace pvfs::cache {
+
+struct ReadaheadConfig {
+  bool enabled = false;
+  /// Predicted regions appended past the observed list.
+  std::uint32_t window = 8;
+  /// Minimum observed regions before a stride is trusted. 1 would turn
+  /// every contiguous read into sequential prefetch; 2 requires one
+  /// confirmed repetition.
+  std::uint32_t min_regions = 2;
+  /// Budget on predicted bytes per access (caps window * length).
+  ByteCount max_bytes = 1 << 20;
+};
+
+/// Predict the continuation of `regions`. Returns an empty list unless the
+/// non-empty regions share one length and one positive stride (offset
+/// ascending). For a contiguous read (a single region, or stride ==
+/// length) sequential prefetch applies once the list reaches min_regions.
+std::vector<Extent> PlanReadahead(std::span<const Extent> regions,
+                                  const ReadaheadConfig& config);
+
+}  // namespace pvfs::cache

@@ -130,18 +130,50 @@ Result<Client::Fd> Client::Create(const std::string& name, Striping striping,
   PVFS_ASSIGN_OR_RETURN(
       Metadata meta,
       CallManagerMeta(CreateRequest{name, striping, replication}.Encode()));
+  if (options_.acache.enabled || options_.bcache.enabled) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    // Insert displaces any entry the name previously mapped to (the
+    // explicit Create invalidation); the fresh handle has no pages yet,
+    // so recording its epoch is all the bcache needs.
+    if (options_.acache.enabled) {
+      acache_.Insert(name, meta, cache::AttributeCache::Clock::now());
+    }
+    if (options_.bcache.enabled) bcache_.NoteEpoch(meta.handle, meta.epoch);
+  }
   std::lock_guard<std::mutex> lock(files_mu_);
   Fd fd = next_fd_++;
-  open_files_.emplace(fd, OpenFile{meta, 0});
+  open_files_.emplace(fd, OpenFile{meta, 0, name});
   return fd;
 }
 
 Result<Client::Fd> Client::Open(const std::string& name) {
-  PVFS_ASSIGN_OR_RETURN(Metadata meta,
-                        CallManagerMeta(LookupRequest{name}.Encode()));
+  Metadata meta;
+  bool cached = false;
+  if (options_.acache.enabled) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (auto hit =
+            acache_.LookupName(name, cache::AttributeCache::Clock::now())) {
+      meta = *hit;
+      cached = true;
+    }
+  }
+  if (!cached) {
+    PVFS_ASSIGN_OR_RETURN(meta,
+                          CallManagerMeta(LookupRequest{name}.Encode()));
+  }
+  if (options_.acache.enabled || options_.bcache.enabled) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (!cached && options_.acache.enabled) {
+      acache_.Insert(name, meta, cache::AttributeCache::Clock::now());
+    }
+    // Open-time epoch check (close-to-open): a lookup that observed a new
+    // generation drops the clean pages cached under the old one. A cache
+    // hit re-presents the recorded epoch, which is a no-op.
+    if (options_.bcache.enabled) bcache_.NoteEpoch(meta.handle, meta.epoch);
+  }
   std::lock_guard<std::mutex> lock(files_mu_);
   Fd fd = next_fd_++;
-  open_files_.emplace(fd, OpenFile{meta, 0});
+  open_files_.emplace(fd, OpenFile{meta, 0, name});
   return fd;
 }
 
@@ -154,21 +186,62 @@ Status Client::Close(Fd fd) {
     file = it->second;
     open_files_.erase(it);
   }
+  bool flushed_dirty = false;
+  if (options_.bcache.enabled) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (bcache_.HasDirty(file.meta.handle)) {
+      Status flushed = bcache_.FlushHandle(file.meta.handle, PageFlusher(file));
+      if (!flushed.ok()) {
+        // The descriptor is gone and nothing will retry these pages: drop
+        // them (bounded memory) and surface the error — publishing a size
+        // that covers unflushed bytes would manufacture holes.
+        bcache_.DropHandle(file.meta.handle);
+        return flushed;
+      }
+      flushed_dirty = true;
+    }
+  }
   Status status = Status::Ok();
-  if (file.high_water > file.meta.size) {
+  // Publish through the manager when the size grew — or when write-back
+  // flushed dirty pages at all: a same-size rewrite still needs the epoch
+  // bump, or other clients' epoch checks would keep serving stale pages.
+  if (file.high_water > file.meta.size || flushed_dirty) {
     status = CallManagerVoid(
         SetSizeRequest{file.meta.handle, file.high_water}.Encode());
+    if (status.code() == ErrorCode::kNotFound) {
+      // The file was Removed while we held it open. Its metadata — and the
+      // data our writes would have sized — is gone by request, so there is
+      // nothing left to publish: close-after-remove succeeds.
+      status = Status::Ok();
+    } else if (status.ok() &&
+               (options_.acache.enabled || options_.bcache.enabled)) {
+      // The manager's size and epoch both moved: the cached entry is
+      // stale (explicit SetSize invalidation), and the next Open's epoch
+      // check will drop the pages this fd populated.
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      acache_.InvalidateHandle(file.meta.handle);
+    }
   }
   return status;
 }
 
 Status Client::Remove(const std::string& name) {
-  // Fetch metadata first so data on the I/O servers can be dropped too.
+  // Resolve through the manager, never the acache: a stale cached entry
+  // must not aim the data drops at the wrong handle.
   auto meta = CallManagerMeta(LookupRequest{name}.Encode());
   if (!meta.ok()) return meta.status();
-  PVFS_RETURN_IF_ERROR(CallManagerVoid(RemoveRequest{name}.Encode()));
+  // Drop chunk data BEFORE the manager name, visiting EVERY (daemon,
+  // replica) leg even after a failure. The old order — name first, abort
+  // on the first failed leg — orphaned chunks permanently: with the name
+  // gone, a rerun died at Lookup and nothing could ever address the
+  // surviving data. Now a partial failure keeps the name, the error
+  // reports how many legs failed, and a rerun re-resolves the handle and
+  // re-drops; the daemons' store treats removal of an unknown handle as an
+  // idempotent no-op, so re-dropped legs are free.
   const Distribution dist(meta->striping, meta->replication);
   const std::uint32_t replicas = dist.EffectiveReplicas();
+  Status first_error = Status::Ok();
+  std::uint32_t failed_legs = 0;
   for (std::uint32_t k = 0; k < replicas; ++k) {
     // Every daemon holds replica ordinal k for exactly one primary, so one
     // RemoveData per (daemon, derived handle) drops the whole copy.
@@ -182,9 +255,29 @@ Status Client::Remove(const std::string& name) {
         ++stats_.messages;
       }
       auto resp = SealedCall(Endpoint::Iod(server), encoded);
-      if (!resp.ok()) return resp.status();
-      PVFS_RETURN_IF_ERROR(resp->status);
+      Status leg = resp.ok() ? resp->status : resp.status();
+      if (!leg.ok() && leg.code() != ErrorCode::kNotFound) {
+        ++failed_legs;
+        if (first_error.ok()) first_error = std::move(leg);
+      }
     }
+  }
+  if (!first_error.ok()) {
+    return Status(first_error.code(),
+                  "Remove(" + name + "): " + std::to_string(failed_legs) +
+                      " data-drop leg(s) failed, name kept for rerun; "
+                      "first error: " + first_error.ToString());
+  }
+  Status removed = CallManagerVoid(RemoveRequest{name}.Encode());
+  // kNotFound here means a concurrent Remove won the race after our
+  // lookup; the end state (no name, no data) is what we wanted.
+  if (!removed.ok() && removed.code() != ErrorCode::kNotFound) return removed;
+  if (options_.acache.enabled || options_.bcache.enabled) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    acache_.InvalidateName(name);
+    acache_.InvalidateHandle(meta->handle);
+    // Dirty pages included: their backing file is gone by request.
+    bcache_.DropHandle(meta->handle);
   }
   return Status::Ok();
 }
@@ -209,8 +302,16 @@ std::uint64_t Client::NextLockOwner() {
 
 Status Client::TryLockRange(Fd fd, Extent range, bool exclusive) {
   PVFS_ASSIGN_OR_RETURN(OpenFile file, SnapshotFd(fd));
-  return CallManagerVoid(
-      LockRequest{file.meta.handle, range, lock_owner_, exclusive}.Encode());
+  PVFS_RETURN_IF_ERROR(CallManagerVoid(
+      LockRequest{file.meta.handle, range, lock_owner_, exclusive}.Encode()));
+  // Flush-on-lock: entering a locked section publishes this client's
+  // buffered writes and discards its clean pages, so every read under the
+  // lock observes server state at least as fresh as the grant. A flush
+  // failure surfaces with the lock still held — the caller owns the
+  // unlock either way.
+  Status flushed = FlushAndDropClean(file);
+  MergeHighWater(fd, file.high_water);
+  return flushed;
 }
 
 Status Client::LockRange(Fd fd, Extent range, bool exclusive) {
@@ -233,23 +334,79 @@ Status Client::LockRange(Fd fd, Extent range, bool exclusive) {
 
 Status Client::UnlockRange(Fd fd, Extent range) {
   PVFS_ASSIGN_OR_RETURN(OpenFile file, SnapshotFd(fd));
+  // Writes made under the lock must be visible before the lock is
+  // released; a failed flush keeps the lock held (the caller may retry
+  // the unlock) rather than publishing the range with buffered bytes
+  // missing.
+  PVFS_RETURN_IF_ERROR(FlushAndDropClean(file));
+  MergeHighWater(fd, file.high_water);
   return CallManagerVoid(
       UnlockRequest{file.meta.handle, range, lock_owner_}.Encode());
 }
 
+Status Client::FlushAndDropClean(OpenFile& file) {
+  if (!options_.bcache.enabled) return Status::Ok();
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  PVFS_RETURN_IF_ERROR(bcache_.FlushHandle(file.meta.handle,
+                                           PageFlusher(file)));
+  bcache_.DropCleanPages(file.meta.handle);
+  return Status::Ok();
+}
+
 Result<Metadata> Client::Stat(Fd fd) {
   PVFS_ASSIGN_OR_RETURN(OpenFile file, SnapshotFd(fd));
-  PVFS_ASSIGN_OR_RETURN(
-      Metadata meta, CallManagerMeta(StatRequest{file.meta.handle}.Encode()));
+  Metadata meta;
+  bool cached = false;
+  if (options_.acache.enabled) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (auto hit = acache_.LookupHandle(file.meta.handle,
+                                        cache::AttributeCache::Clock::now())) {
+      meta = *hit;
+      cached = true;
+    }
+  }
+  if (!cached) {
+    PVFS_ASSIGN_OR_RETURN(
+        meta, CallManagerMeta(StatRequest{file.meta.handle}.Encode()));
+    if (options_.acache.enabled || options_.bcache.enabled) {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      if (options_.acache.enabled) {
+        acache_.Insert(file.name, meta, cache::AttributeCache::Clock::now());
+      }
+      // A refreshed Stat revalidates (or invalidates) cached pages exactly
+      // like an Open would.
+      if (options_.bcache.enabled) bcache_.NoteEpoch(meta.handle, meta.epoch);
+    }
+  }
   std::lock_guard<std::mutex> lock(files_mu_);
   auto it = open_files_.find(fd);
-  if (it != open_files_.end()) it->second.meta = meta;
+  if (it != open_files_.end()) {
+    // Refreshing the stored metadata must not clobber the descriptor's
+    // high-water mark: the manager only learns the size at Close, so until
+    // then the local mark can exceed meta.size.
+    it->second.meta = meta;
+    meta.size = std::max(meta.size, it->second.high_water);
+  } else {
+    meta.size = std::max(meta.size, file.high_water);
+  }
   return meta;
 }
 
 Result<Metadata> Client::DescribeFd(Fd fd) const {
   PVFS_ASSIGN_OR_RETURN(OpenFile file, SnapshotFd(fd));
   return file.meta;
+}
+
+void Client::InvalidateCache(const std::string& name) {
+  if (!options_.acache.enabled && !options_.bcache.enabled) return;
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (auto handle = acache_.CachedHandle(name)) {
+    // Dirty pages survive: they are this client's own unpublished writes,
+    // and the next flush still owns them. Only cached server state drops.
+    bcache_.DropCleanPages(*handle);
+    acache_.InvalidateHandle(*handle);
+  }
+  acache_.InvalidateName(name);
 }
 
 Result<Client::OpenFile> Client::SnapshotFd(Fd fd) const {
@@ -744,6 +901,9 @@ Status Client::DoReadList(OpenFile& file, std::span<const Extent> mem_regions,
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.operations;
   }
+  if (options_.bcache.enabled) {
+    return CachedReadList(file, mem_regions, buffer, file_regions);
+  }
 
   PVFS_ASSIGN_OR_RETURN(ExtentList chunkable,
                         ChunkableRegions(mem_regions, file_regions));
@@ -767,6 +927,9 @@ Status Client::DoWriteList(OpenFile& file, std::span<const Extent> mem_regions,
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.operations;
   }
+  if (options_.bcache.enabled) {
+    return CachedWriteList(file, mem_regions, buffer, file_regions);
+  }
 
   PVFS_ASSIGN_OR_RETURN(ExtentList chunkable,
                         ChunkableRegions(mem_regions, file_regions));
@@ -777,6 +940,73 @@ Status Client::DoWriteList(OpenFile& file, std::span<const Extent> mem_regions,
     stream.resize(TotalBytes(chunk));
     cursor.Gather(buffer, stream);
     PVFS_RETURN_IF_ERROR(WriteChunk(file, chunk, stream));
+  }
+  return Status::Ok();
+}
+
+// ---- Buffer-cache path ------------------------------------------------------
+
+cache::BufferCache::FetchFn Client::PageFetcher(OpenFile& file) {
+  return [this, &file](FileOffset offset, std::span<std::byte> out) -> Status {
+    const Extent chunk[] = {Extent{offset, out.size()}};
+    return ReadChunk(file, chunk, out);
+  };
+}
+
+cache::BufferCache::FlushFn Client::PageFlusher(OpenFile& file) {
+  return [this, &file](FileOffset offset,
+                       std::span<const std::byte> data) -> Status {
+    const Extent chunk[] = {Extent{offset, data.size()}};
+    return WriteChunk(file, chunk, data);
+  };
+}
+
+Status Client::CachedReadList(OpenFile& file,
+                              std::span<const Extent> mem_regions,
+                              std::span<std::byte> buffer,
+                              std::span<const Extent> file_regions) {
+  PVFS_ASSIGN_OR_RETURN(std::vector<Segment> segments,
+                        MatchSegments(mem_regions, file_regions));
+  const auto fetch = PageFetcher(file);
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  for (const Segment& seg : segments) {
+    PVFS_RETURN_IF_ERROR(
+        bcache_.Read(file.meta.handle, seg.file_offset,
+                     buffer.subspan(seg.mem_offset, seg.length), fetch));
+  }
+  if (options_.readahead.enabled) {
+    // The file-region list IS the access pattern: extrapolate it and pull
+    // the predicted continuation in. Best-effort — a prefetch failure
+    // never fails the read that triggered it. Predictions past the known
+    // size bound are dropped: those pages could only hold zeros.
+    const ByteCount known_end = std::max(file.meta.size, file.high_water);
+    for (const Extent& predicted :
+         cache::PlanReadahead(file_regions, options_.readahead)) {
+      if (predicted.offset >= known_end) break;
+      if (!bcache_.Prefetch(file.meta.handle, predicted, fetch).ok()) break;
+    }
+  }
+  return Status::Ok();
+}
+
+Status Client::CachedWriteList(OpenFile& file,
+                               std::span<const Extent> mem_regions,
+                               std::span<const std::byte> buffer,
+                               std::span<const Extent> file_regions) {
+  PVFS_ASSIGN_OR_RETURN(std::vector<Segment> segments,
+                        MatchSegments(mem_regions, file_regions));
+  const auto fetch = PageFetcher(file);
+  const auto flush = PageFlusher(file);
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  for (const Segment& seg : segments) {
+    PVFS_RETURN_IF_ERROR(
+        bcache_.Write(file.meta.handle, seg.file_offset,
+                      buffer.subspan(seg.mem_offset, seg.length), fetch,
+                      flush));
+    // The descriptor's high-water mark tracks what the application wrote,
+    // not what has flushed: Stat and Close must see the buffered size.
+    file.high_water =
+        std::max<ByteCount>(file.high_water, seg.file_offset + seg.length);
   }
   return Status::Ok();
 }
@@ -997,6 +1227,30 @@ void Client::ExportMetrics(obs::Registry& reg, const obs::Labels& base) const {
   reg.Counter("client.failover.retargets", base).Set(failover.retargets);
   reg.Counter("client.failover.ejected_replicas", base)
       .Set(failover.ejected_replicas);
+  // Cache tiers, split by a "tier" label so acache (metadata) and bcache
+  // (data pages) hit rates stay separable in BENCH JSON.
+  const CacheCounters cache = cache_counters();
+  const auto tier = [&](const char* name) {
+    obs::Labels labels = base;
+    labels.push_back({"tier", name});
+    return labels;
+  };
+  reg.Counter("client.cache.hits", tier("acache")).Set(cache.acache.hits);
+  reg.Counter("client.cache.misses", tier("acache")).Set(cache.acache.misses);
+  reg.Counter("client.cache.evictions", tier("acache"))
+      .Set(cache.acache.evictions);
+  reg.Counter("client.cache.revalidations", tier("acache"))
+      .Set(cache.acache.revalidations);
+  reg.Counter("client.cache.hits", tier("bcache")).Set(cache.bcache.hits);
+  reg.Counter("client.cache.misses", tier("bcache")).Set(cache.bcache.misses);
+  reg.Counter("client.cache.evictions", tier("bcache"))
+      .Set(cache.bcache.evictions);
+  reg.Counter("client.cache.writeback_bytes", tier("bcache"))
+      .Set(cache.bcache.writeback_bytes);
+  reg.Counter("client.cache.readahead_hits", tier("bcache"))
+      .Set(cache.bcache.readahead_hits);
+  reg.Counter("client.cache.prefetched_pages", tier("bcache"))
+      .Set(cache.bcache.prefetched_pages);
 }
 
 obs::JsonValue Client::StatsJson() const {
@@ -1026,6 +1280,24 @@ obs::JsonValue Client::StatsJson() const {
   out.Set("failover_retargets", obs::JsonValue(failover.retargets));
   out.Set("failover_ejected_replicas",
           obs::JsonValue(failover.ejected_replicas));
+  const CacheCounters cache = cache_counters();
+  obs::JsonValue acache = obs::JsonValue::Object();
+  acache.Set("hits", obs::JsonValue(cache.acache.hits));
+  acache.Set("misses", obs::JsonValue(cache.acache.misses));
+  acache.Set("evictions", obs::JsonValue(cache.acache.evictions));
+  acache.Set("revalidations", obs::JsonValue(cache.acache.revalidations));
+  obs::JsonValue bcache = obs::JsonValue::Object();
+  bcache.Set("hits", obs::JsonValue(cache.bcache.hits));
+  bcache.Set("misses", obs::JsonValue(cache.bcache.misses));
+  bcache.Set("evictions", obs::JsonValue(cache.bcache.evictions));
+  bcache.Set("writeback_bytes", obs::JsonValue(cache.bcache.writeback_bytes));
+  bcache.Set("readahead_hits", obs::JsonValue(cache.bcache.readahead_hits));
+  bcache.Set("prefetched_pages",
+             obs::JsonValue(cache.bcache.prefetched_pages));
+  obs::JsonValue cache_json = obs::JsonValue::Object();
+  cache_json.Set("acache", std::move(acache));
+  cache_json.Set("bcache", std::move(bcache));
+  out.Set("cache", std::move(cache_json));
   return out;
 }
 

@@ -30,6 +30,9 @@
 #include "common/status.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "pvfs/cache/acache.hpp"
+#include "pvfs/cache/bcache.hpp"
+#include "pvfs/cache/readahead.hpp"
 #include "pvfs/config.hpp"
 #include "pvfs/distribution.hpp"
 #include "pvfs/protocol.hpp"
@@ -164,6 +167,30 @@ class Client {
     /// Spawned lazily on the first async submission; a blocking-only
     /// client never starts them.
     std::uint32_t async_workers = 2;
+
+    // ---- Client caching tier (docs/client-caching.md) -------------------
+    //
+    // All three knobs default OFF: with the defaults every operation is
+    // bit-identical to the uncached client (fig09-17 BENCH JSON included).
+    //
+    /// Attribute cache: Open/Stat served from cached manager metadata
+    /// within `acache.ttl`; explicit invalidation on Create/Remove/
+    /// SetSize keeps this client's own operations coherent.
+    cache::AcacheConfig acache{};
+    /// Buffer cache: list I/O routed through block-aligned pages with
+    /// bounded write-back; flush-on-close and flush-on-lock give
+    /// close-to-open consistency.
+    cache::BcacheConfig bcache{};
+    /// List-structure-informed read-ahead (requires bcache.enabled):
+    /// constant-stride region lists prefetch their predicted
+    /// continuation.
+    cache::ReadaheadConfig readahead{};
+  };
+
+  /// Snapshot of both cache tiers' counters (exported as client.cache.*).
+  struct CacheCounters {
+    cache::AttributeCache::Counters acache;
+    cache::BufferCache::Counters bcache;
   };
 
   explicit Client(Transport* transport,
@@ -209,6 +236,12 @@ class Client {
 
   /// Metadata snapshot held for an open descriptor.
   Result<Metadata> DescribeFd(Fd fd) const;
+
+  /// Drop this client's cached attributes for `name` (and, if the handle
+  /// was cached, that handle's clean data pages). The next Open
+  /// revalidates against the manager — the application-driven equivalent
+  /// of a TTL expiry, for callers that know the file changed externally.
+  void InvalidateCache(const std::string& name);
 
   // ---- Contiguous I/O ---------------------------------------------------
 
@@ -301,6 +334,11 @@ class Client {
   FailoverCounters failover_counters() const {
     return {retargets_.load(), ejected_replicas_.load()};
   }
+  /// Snapshot of the cache-tier counters (zeros when caching is off).
+  CacheCounters cache_counters() const {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    return {acache_.counters(), bcache_.counters()};
+  }
   /// Mirror this client's counters (ClientStats + RetryCounters) into a
   /// metrics registry as "client.*" counters with the given base labels.
   void ExportMetrics(obs::Registry& reg, const obs::Labels& base = {}) const;
@@ -321,6 +359,7 @@ class Client {
   struct OpenFile {
     Metadata meta;
     ByteCount high_water = 0;  // max end offset written through this fd
+    std::string name;          // acache key for Stat refreshes
   };
 
   /// Copy of the descriptor's state under files_mu_ (async operations run
@@ -338,6 +377,27 @@ class Client {
   Status DoWriteList(OpenFile& file, std::span<const Extent> mem_regions,
                      std::span<const std::byte> buffer,
                      std::span<const Extent> file_regions);
+
+  // ---- Buffer-cache path ------------------------------------------------
+  //
+  // With bcache enabled, list I/O walks matched (memory, file) segments
+  // through page-aligned cache entries under cache_mu_; the page fetch /
+  // write-back callbacks reuse ReadChunk/WriteChunk, so replication,
+  // retries and the fs_requests/messages/bytes counters keep describing
+  // the traffic that actually reaches the servers.
+  Status CachedReadList(OpenFile& file, std::span<const Extent> mem_regions,
+                        std::span<std::byte> buffer,
+                        std::span<const Extent> file_regions);
+  Status CachedWriteList(OpenFile& file, std::span<const Extent> mem_regions,
+                         std::span<const std::byte> buffer,
+                         std::span<const Extent> file_regions);
+  /// Page-granular fetch/flush callbacks bound to `file` (which must
+  /// outlive the returned callable).
+  cache::BufferCache::FetchFn PageFetcher(OpenFile& file);
+  cache::BufferCache::FlushFn PageFlusher(OpenFile& file);
+  /// Flush `file`'s dirty pages and drop its clean ones (flush-on-lock;
+  /// no-op with bcache off). Holds cache_mu_.
+  Status FlushAndDropClean(OpenFile& file);
 
   Operation SubmitAsync(bool is_write, Fd fd,
                         std::span<const Extent> mem_regions,
@@ -471,6 +531,15 @@ class Client {
   };
   mutable std::mutex health_mu_;
   mutable std::unordered_map<ServerId, ReplicaHealth> health_;
+
+  /// Guards both cache tiers. Held across page fetch/flush round trips,
+  /// which serializes cached I/O per client — the deliberate trade-off
+  /// documented in docs/client-caching.md (concurrent async workers on
+  /// uncached clients are unaffected; caching defaults off). Never
+  /// acquired while holding files_mu_ or stats_mu_.
+  mutable std::mutex cache_mu_;
+  mutable cache::AttributeCache acache_{options_.acache};
+  mutable cache::BufferCache bcache_{options_.bcache};
   std::uint64_t lock_owner_ = NextLockOwner();
 };
 

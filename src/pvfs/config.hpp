@@ -27,6 +27,12 @@ inline constexpr std::uint32_t kMaxListRegions = 64;
 /// sieving buffer at 32 MB for our testing purposes").
 inline constexpr ByteCount kDefaultSieveBufferBytes = 32 * kMiB;
 
+/// Client buffer-cache page (cache/bcache.hpp). 64 KiB amortizes the
+/// per-request cost that dominates small noncontiguous accesses (paper
+/// Fig. 9-11) while staying well under a stripe unit times pcount, so one
+/// page fetch does not fan out across the whole cluster.
+inline constexpr ByteCount kDefaultCachePageBytes = 64 * 1024;
+
 /// Per-I/O-daemon service configuration (docs/server-scheduling.md).
 ///
 /// `schedule_fragments` is the executed-path twin of the simulator's

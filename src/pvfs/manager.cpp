@@ -28,6 +28,7 @@ Result<Metadata> Manager::Create(const std::string& name, Striping striping,
   meta.striping = striping;
   meta.size = 0;
   meta.replication = replication;
+  meta.epoch = 1;
   by_name_.emplace(name, meta);
   by_handle_.emplace(meta.handle, name);
   return meta;
@@ -59,6 +60,11 @@ Status Manager::SetSize(FileHandle handle, ByteCount size) {
   if (it == by_handle_.end()) return NotFound("no such handle");
   Metadata& meta = by_name_.at(it->second);
   meta.size = std::max(meta.size, size);
+  // Every accepted SetSize bumps the generation, even a no-op max-merge: a
+  // writer that overwrote data in place without growing the file still
+  // flushed a size at close, and cached readers must notice that close
+  // (epoch mismatch drops their stale pages; docs/client-caching.md).
+  ++meta.epoch;
   return Status::Ok();
 }
 

@@ -40,6 +40,7 @@ void EncodeMetadata(WireWriter& w, const Metadata& m) {
   EncodeStriping(w, m.striping);
   w.U64(m.size);
   EncodeReplication(w, m.replication);
+  w.U64(m.epoch);
 }
 
 Result<Metadata> DecodeMetadata(WireReader& r) {
@@ -48,6 +49,7 @@ Result<Metadata> DecodeMetadata(WireReader& r) {
   PVFS_ASSIGN_OR_RETURN(m.striping, DecodeStriping(r));
   PVFS_ASSIGN_OR_RETURN(m.size, r.U64());
   PVFS_ASSIGN_OR_RETURN(m.replication, DecodeReplication(r));
+  PVFS_ASSIGN_OR_RETURN(m.epoch, r.U64());
   return m;
 }
 }  // namespace

@@ -41,11 +41,18 @@ enum class MsgType : std::uint32_t {
 enum class IoOp : std::uint8_t { kRead = 0, kWrite = 1 };
 
 /// File metadata kept by the manager and returned to clients at open.
+///
+/// `epoch` is the manager's generation counter for the entry: 1 at create,
+/// bumped on every accepted SetSize. Clients with an attribute cache
+/// compare epochs to decide whether locally cached pages for the handle
+/// are still current (close-to-open consistency, docs/client-caching.md);
+/// everything else ignores it.
 struct Metadata {
   FileHandle handle = 0;
   Striping striping;
   ByteCount size = 0;
   ReplicationConfig replication;
+  std::uint64_t epoch = 0;
 
   friend bool operator==(const Metadata&, const Metadata&) = default;
 };
