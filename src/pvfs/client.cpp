@@ -125,11 +125,11 @@ Status Client::CallManagerVoid(std::vector<std::byte> request) {
   return resp->status;
 }
 
-Result<Client::Fd> Client::Create(const std::string& name, Striping striping,
-                                  ReplicationConfig replication) {
+Result<Client::Fd> Client::Create(const std::string& name,
+                                  const CreateOptions& options) {
   PVFS_ASSIGN_OR_RETURN(
       Metadata meta,
-      CallManagerMeta(CreateRequest{name, striping, replication}.Encode()));
+      CallManagerMeta(CreateRequest{name, options}.Encode()));
   if (options_.acache.enabled || options_.bcache.enabled) {
     std::lock_guard<std::mutex> lock(cache_mu_);
     // Insert displaces any entry the name previously mapped to (the
@@ -238,7 +238,7 @@ Status Client::Remove(const std::string& name) {
   // reports how many legs failed, and a rerun re-resolves the handle and
   // re-drops; the daemons' store treats removal of an unknown handle as an
   // idempotent no-op, so re-dropped legs are free.
-  const Distribution dist(meta->striping, meta->replication);
+  const Distribution dist(meta->layout());
   const std::uint32_t replicas = dist.EffectiveReplicas();
   Status first_error = Status::Ok();
   std::uint32_t failed_legs = 0;
@@ -594,7 +594,7 @@ Result<std::vector<std::byte>> Client::ExchangeWithServer(
 Result<std::vector<std::byte>> Client::ReadReplicated(
     const OpenFile& file, ServerId primary, const IoRequest& request) const {
   PVFS_SPAN("client.read_replicated");
-  const Distribution dist(file.meta.striping, file.meta.replication);
+  const Distribution dist(file.meta.layout());
   const std::uint32_t replicas = dist.EffectiveReplicas();
   const RetryPolicy& policy = options_.retry;
   const std::uint32_t max_rounds = std::max<std::uint32_t>(policy.max_attempts, 1);
@@ -659,7 +659,7 @@ Result<std::vector<std::byte>> Client::ReadReplicated(
 Status Client::WriteReplicated(const OpenFile& file, ServerId primary,
                                const IoRequest& request) const {
   PVFS_SPAN("client.write_replicated");
-  const Distribution dist(file.meta.striping, file.meta.replication);
+  const Distribution dist(file.meta.layout());
   const std::uint32_t replicas = dist.EffectiveReplicas();
   const RetryPolicy& policy = options_.retry;
   const std::uint32_t max_rounds = std::max<std::uint32_t>(policy.max_attempts, 1);
@@ -761,7 +761,7 @@ Status Client::WriteChunk(OpenFile& file, std::span<const Extent> chunk,
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.fs_requests;
   }
-  Distribution dist(file.meta.striping, file.meta.replication);
+  Distribution dist(file.meta.layout());
   const std::uint32_t replicas = dist.EffectiveReplicas();
   std::vector<Fragment> frags = dist.Fragments(chunk);
 
@@ -793,6 +793,7 @@ Status Client::WriteChunk(OpenFile& file, std::span<const Extent> chunk,
         IoRequest req;
         req.handle = file.meta.handle;
         req.striping = file.meta.striping;
+        req.dist = file.meta.dist;
         req.server_index = payloads[i].first;
         req.op = IoOp::kWrite;
         req.regions.assign(chunk.begin(), chunk.end());
@@ -819,7 +820,7 @@ Status Client::WriteChunk(OpenFile& file, std::span<const Extent> chunk,
 
 Status Client::ReadChunk(OpenFile& file, std::span<const Extent> chunk,
                          std::span<std::byte> stream) {
-  Distribution dist(file.meta.striping, file.meta.replication);
+  Distribution dist(file.meta.layout());
   const std::uint32_t replicas = dist.EffectiveReplicas();
   std::vector<ServerId> involved = dist.InvolvedServers(chunk);
 
@@ -835,6 +836,7 @@ Status Client::ReadChunk(OpenFile& file, std::span<const Extent> chunk,
         IoRequest req;
         req.handle = file.meta.handle;
         req.striping = file.meta.striping;
+        req.dist = file.meta.dist;
         req.server_index = involved[i];
         req.op = IoOp::kRead;
         req.regions.assign(chunk.begin(), chunk.end());

@@ -212,8 +212,15 @@ class Client {
 
   // ---- Namespace & lifecycle ------------------------------------------
 
+  /// Create a file with the full layout aggregate: striping geometry,
+  /// distribution policy, replication (docs/distributions.md).
+  Result<Fd> Create(const std::string& name, const CreateOptions& options);
+  /// Thin forwarding shim for the historical positional signature; a bare
+  /// `Create(name, striping)` also lands here.
   Result<Fd> Create(const std::string& name, Striping striping,
-                    ReplicationConfig replication = {});
+                    ReplicationConfig replication) {
+    return Create(name, CreateOptions{striping, replication});
+  }
   Result<Fd> Open(const std::string& name);
   Status Close(Fd fd);
   Status Remove(const std::string& name);

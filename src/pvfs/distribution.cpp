@@ -7,6 +7,60 @@
 
 namespace pvfs {
 
+const char* DistKindName(DistKind kind) {
+  switch (kind) {
+    case DistKind::kSimpleStripe: return "simple";
+    case DistKind::kTwoDStripe: return "twod";
+    case DistKind::kBlock: return "block";
+    case DistKind::kGroupCyclic: return "gcyclic";
+  }
+  return "unknown";
+}
+
+Status ValidateDistributionSpec(const Striping& striping,
+                                const DistributionSpec& spec) {
+  switch (spec.kind) {
+    case DistKind::kSimpleStripe:
+      if (spec.groups != 1 || spec.group_depth != 1 || spec.block_extent != 0) {
+        return InvalidArgument(
+            "simple stripe takes no distribution parameters");
+      }
+      return Status();
+    case DistKind::kTwoDStripe:
+      if (spec.block_extent != 0) {
+        return InvalidArgument("2-D stripe does not take a block extent");
+      }
+      if (spec.groups == 0 || spec.groups > striping.pcount) {
+        return InvalidArgument("2-D stripe groups must be in [1, pcount]");
+      }
+      if (striping.pcount % spec.groups != 0) {
+        return InvalidArgument("2-D stripe groups must divide pcount");
+      }
+      if (spec.group_depth == 0) {
+        return InvalidArgument("2-D stripe group_depth must be >= 1");
+      }
+      return Status();
+    case DistKind::kBlock:
+      if (spec.groups != 1 || spec.group_depth != 1) {
+        return InvalidArgument("block layout takes only a block extent");
+      }
+      if (spec.block_extent == 0) {
+        return InvalidArgument(
+            "block layout requires a declared per-server extent");
+      }
+      return Status();
+    case DistKind::kGroupCyclic:
+      if (spec.groups != 1 || spec.block_extent != 0) {
+        return InvalidArgument("group-cyclic takes only a group_depth");
+      }
+      if (spec.group_depth == 0) {
+        return InvalidArgument("group-cyclic group_depth must be >= 1");
+      }
+      return Status();
+  }
+  return InvalidArgument("unknown distribution kind");
+}
+
 std::vector<ServerId> Distribution::ReplicaSet(ServerId primary) const {
   std::vector<ServerId> out;
   const std::uint32_t replicas = EffectiveReplicas();
@@ -17,14 +71,6 @@ std::vector<ServerId> Distribution::ReplicaSet(ServerId primary) const {
   return out;
 }
 
-FileOffset Distribution::LogicalOffsetOf(ServerId server,
-                                         FileOffset local) const {
-  std::uint64_t local_stripe = local / striping_.ssize;
-  // Stripes assigned to file-relative server r are g = k * pcount + r.
-  std::uint64_t global_stripe = local_stripe * striping_.pcount + server;
-  return global_stripe * striping_.ssize + local % striping_.ssize;
-}
-
 void Distribution::ForEachFragment(
     const Extent& logical, ByteCount stream_base,
     const std::function<void(const Fragment&)>& fn) const {
@@ -32,9 +78,8 @@ void Distribution::ForEachFragment(
   ByteCount remaining = logical.length;
   ByteCount stream_pos = stream_base;
   while (remaining > 0) {
-    ByteCount within_stripe = pos % striping_.ssize;
-    ByteCount take = std::min<ByteCount>(striping_.ssize - within_stripe,
-                                         remaining);
+    ByteCount within_unit = pos % unit_;
+    ByteCount take = std::min<ByteCount>(unit_ - within_unit, remaining);
     fn(Fragment{ServerOf(pos), LocalOffsetOf(pos), take, stream_pos});
     pos += take;
     stream_pos += take;
@@ -97,14 +142,16 @@ std::vector<ServerId> Distribution::InvolvedServers(
     std::span<const Extent> logical) const {
   std::vector<bool> seen(striping_.pcount, false);
   std::uint32_t found = 0;
+  // A range covering one full placement cycle touches every server; avoid
+  // walking huge extents fragment by fragment. The cycle is pcount units
+  // for simple/block layouts and pcount * group_depth for the grouped
+  // layouts (a pcount-unit window there can sit inside one or two groups).
+  const std::uint64_t cycle_units = CycleUnits();
   for (const Extent& e : logical) {
     if (e.empty()) continue;
-    // A range covering pcount or more stripe units touches every server;
-    // avoid walking huge extents fragment by fragment.
-    std::uint64_t stripes =
-        (e.offset + e.length - 1) / striping_.ssize - e.offset / striping_.ssize +
-        1;
-    if (stripes >= striping_.pcount) {
+    std::uint64_t units =
+        (e.offset + e.length - 1) / unit_ - e.offset / unit_ + 1;
+    if (units >= cycle_units) {
       for (std::uint32_t s = 0; s < striping_.pcount; ++s) seen[s] = true;
       found = striping_.pcount;
       break;
@@ -117,8 +164,8 @@ std::vector<ServerId> Distribution::InvolvedServers(
         seen[s] = true;
         ++found;
       }
-      ByteCount within = pos % striping_.ssize;
-      ByteCount take = std::min<ByteCount>(striping_.ssize - within, remaining);
+      ByteCount within = pos % unit_;
+      ByteCount take = std::min<ByteCount>(unit_ - within, remaining);
       pos += take;
       remaining -= take;
     }

@@ -1,13 +1,33 @@
-// Striping distribution math: mapping logical file bytes to (server,
-// local offset) pairs and back.
+// File-layout math: mapping logical file bytes to (server, local offset)
+// pairs and back, for a family of pluggable distributions.
 //
-// Layout invariant (matching PVFS): stripe unit g (bytes
-// [g*ssize, (g+1)*ssize) of the logical file) is stored on file-relative
-// server r = g % pcount at local offset (g / pcount) * ssize. Stripe
-// units of one server are therefore packed densely in its local file, so a
-// logically contiguous range maps to exactly one contiguous local range
-// per server — the property that makes large contiguous PVFS accesses need
-// only one request per server.
+// The paper's layout (simple stripe) maps stripe unit g (bytes
+// [g*ssize, (g+1)*ssize) of the logical file) to file-relative server
+// r = g % pcount at local offset (g / pcount) * ssize. This file
+// generalizes that to a `DistributionSpec` chosen at create time and
+// carried in the file's metadata (docs/distributions.md):
+//
+//   kSimpleStripe  r = g % p                        (the paper's layout)
+//   kTwoDStripe    groups-of-servers outer dimension: `group_depth`
+//                  stripe units go to each server of a group before the
+//                  walk advances to the next group (cf. OrangeFS
+//                  twod_stripe)
+//   kBlock         the file is split into pcount large extents of
+//                  `block_extent` bytes; extent i lives wholly on server
+//                  i (wrapping for files larger than p * block_extent)
+//   kGroupCyclic   block-cyclic: `group_depth` consecutive stripe units
+//                  per server before moving to the next server
+//
+// Every layout is a *dense-rank bijection at unit granularity*: logical
+// unit g lands on server r as that server's l-th unit, where l counts the
+// server's units in logical order with no holes. Dense packing means a
+// logically contiguous range still maps to at most one contiguous local
+// range per server within a placement cycle — the coalescing property
+// that makes large contiguous PVFS accesses need only one request per
+// server (see docs/distributions.md for the per-layout statement).
+//
+// Dispatch is a switch on the kind, resolved per unit step of an extent
+// walk — no virtual call per byte.
 //
 // Server ids here are FILE-RELATIVE indices in [0, pcount). The striping
 // `base` chooses which global I/O nodes those indices map to
@@ -22,10 +42,82 @@
 #include <vector>
 
 #include "common/extent.hpp"
+#include "common/status.hpp"
 #include "common/types.hpp"
 #include "pvfs/config.hpp"
 
 namespace pvfs {
+
+/// Which unit→server mapping a file uses. Values are wire-stable
+/// (EncodeDistributionSpec); add new kinds at the end.
+enum class DistKind : std::uint8_t {
+  kSimpleStripe = 0,
+  kTwoDStripe = 1,
+  kBlock = 2,
+  kGroupCyclic = 3,
+};
+
+/// Per-file layout policy, chosen at create time, validated by the
+/// manager on kCreate, and recorded in metadata. The default (simple
+/// stripe) encodes and behaves exactly as the pre-DistributionSpec
+/// system: parameters beyond `kind` are meaningful only for some kinds
+/// and must stay at their defaults elsewhere (the manager rejects
+/// non-canonical specs).
+struct DistributionSpec {
+  DistKind kind = DistKind::kSimpleStripe;
+  /// kTwoDStripe: number of server groups; must divide striping.pcount.
+  std::uint32_t groups = 1;
+  /// kTwoDStripe / kGroupCyclic: consecutive stripe units placed on one
+  /// server (kTwoDStripe: per server within the active group) before the
+  /// walk advances.
+  std::uint32_t group_depth = 1;
+  /// kBlock: declared per-server extent in bytes (the layout's unit).
+  /// Files may grow past pcount * block_extent; the placement then wraps
+  /// to a second extent per server (the documented trade: one extra
+  /// local range per server per wrap).
+  ByteCount block_extent = 0;
+
+  bool IsSimple() const { return kind == DistKind::kSimpleStripe; }
+
+  static DistributionSpec Simple() { return {}; }
+  static DistributionSpec TwoD(std::uint32_t groups, std::uint32_t depth) {
+    DistributionSpec d;
+    d.kind = DistKind::kTwoDStripe;
+    d.groups = groups;
+    d.group_depth = depth;
+    return d;
+  }
+  static DistributionSpec Block(ByteCount extent) {
+    DistributionSpec d;
+    d.kind = DistKind::kBlock;
+    d.block_extent = extent;
+    return d;
+  }
+  static DistributionSpec GroupCyclic(std::uint32_t depth) {
+    DistributionSpec d;
+    d.kind = DistKind::kGroupCyclic;
+    d.group_depth = depth;
+    return d;
+  }
+
+  friend bool operator==(const DistributionSpec&,
+                         const DistributionSpec&) = default;
+};
+
+/// Human-readable kind name ("simple", "twod", "block", "gcyclic") for
+/// logs, benches, and CLI parsing.
+const char* DistKindName(DistKind kind);
+
+/// Canonical shape check for a spec against its striping: the manager
+/// applies this on kCreate (typed InvalidArgument), the wire decoder on
+/// tagged frames (ProtocolError). Rules per kind:
+///   simple   groups == 1, group_depth == 1, block_extent == 0
+///   twod     1 <= groups <= pcount, pcount % groups == 0,
+///            group_depth >= 1, block_extent == 0
+///   block    block_extent > 0, groups == 1, group_depth == 1
+///   gcyclic  group_depth >= 1, groups == 1, block_extent == 0
+Status ValidateDistributionSpec(const Striping& striping,
+                                const DistributionSpec& spec);
 
 /// How replicas of a stripe are placed across the file's iods.
 enum class ReplicaPlacement : std::uint8_t {
@@ -39,13 +131,35 @@ enum class ReplicaPlacement : std::uint8_t {
 /// Per-file replication parameters, chosen at create time and recorded in
 /// the manager's metadata. replicas=1 (the default) is plain striping —
 /// every code path and wire message is unchanged from the unreplicated
-/// system.
+/// system. Placement is layout-independent: it rotates file-relative
+/// server indices, whatever distribution assigned them.
 struct ReplicationConfig {
   std::uint32_t replicas = 1;
   ReplicaPlacement placement = ReplicaPlacement::kRotation;
 
   friend bool operator==(const ReplicationConfig&,
                          const ReplicationConfig&) = default;
+};
+
+/// Everything that shapes a file at create time, as one aggregate: the
+/// striping geometry, the distribution policy mapping bytes onto it, and
+/// the replication policy. `Client::Create`, `Manager::Create`, and
+/// `Distribution` all take this one value. Implicitly constructible from
+/// a bare `Striping` so the paper-faithful call sites
+/// (`Create(name, striping)`, `Distribution(striping)`) read unchanged.
+struct CreateOptions {
+  Striping striping;
+  DistributionSpec dist;
+  ReplicationConfig replication;
+
+  CreateOptions() = default;
+  CreateOptions(Striping s, DistributionSpec d = {},
+                ReplicationConfig r = {})
+      : striping(s), dist(d), replication(r) {}
+  CreateOptions(Striping s, ReplicationConfig r)
+      : striping(s), replication(r) {}
+
+  friend bool operator==(const CreateOptions&, const CreateOptions&) = default;
 };
 
 /// The local handle under which replica ordinal `ordinal` of file `handle`
@@ -57,7 +171,8 @@ inline FileHandle ReplicaHandle(FileHandle handle, std::uint32_t ordinal) {
   return handle ^ (static_cast<FileHandle>(ordinal) << 56);
 }
 
-/// One stripe-granular piece of a logical extent on a specific server.
+/// One unit-granular piece of a logical extent on a specific server
+/// (unit = stripe unit, or the declared extent for block layouts).
 struct Fragment {
   ServerId server = 0;
   FileOffset local_offset = 0;  // offset in the server's local file
@@ -69,13 +184,29 @@ struct Fragment {
 
 class Distribution {
  public:
-  explicit Distribution(Striping striping) : striping_(striping) {}
-
-  Distribution(Striping striping, ReplicationConfig replication)
-      : striping_(striping), replication_(replication) {}
+  /// The one constructor: a layout aggregate. Implicit so existing
+  /// `Distribution(striping)` call sites convert through CreateOptions.
+  /// The spec must be valid for the striping (callers get validated
+  /// specs from the manager/wire; asserts in debug builds otherwise).
+  Distribution(const CreateOptions& layout)
+      : striping_(layout.striping),
+        spec_(layout.dist),
+        replication_(layout.replication),
+        unit_(layout.dist.kind == DistKind::kBlock ? layout.dist.block_extent
+                                                   : layout.striping.ssize),
+        group_size_(layout.dist.kind == DistKind::kTwoDStripe
+                        ? layout.striping.pcount /
+                              std::max<std::uint32_t>(1, layout.dist.groups)
+                        : layout.striping.pcount),
+        depth_(std::max<std::uint32_t>(1, layout.dist.group_depth)) {}
 
   const Striping& striping() const { return striping_; }
+  const DistributionSpec& spec() const { return spec_; }
   const ReplicationConfig& replication() const { return replication_; }
+
+  /// The placement granule in bytes: striping.ssize for stripe-family
+  /// layouts, block_extent for kBlock.
+  ByteCount unit() const { return unit_; }
 
   /// Replica count actually achievable: a file striped over pcount iods
   /// cannot hold more than pcount distinct copies of a stripe.
@@ -101,23 +232,114 @@ class Distribution {
   /// order, EffectiveReplicas() entries.
   std::vector<ServerId> ReplicaSet(ServerId primary) const;
 
+  // ---- Unit-rank maps (the layout kernel) -------------------------------
+  // Logical unit g = offset / unit(). Every kind maps g to a server and a
+  // dense local rank l (that server's l-th unit in logical order), and
+  // back. All O(1), switch-dispatched.
+
+  /// File-relative server holding logical unit `g`.
+  ServerId ServerOfUnit(std::uint64_t g) const {
+    const std::uint32_t p = striping_.pcount;
+    switch (spec_.kind) {
+      case DistKind::kSimpleStripe:
+      case DistKind::kBlock:
+        return static_cast<ServerId>(g % p);
+      case DistKind::kTwoDStripe: {
+        // Cycle of p * depth units: group gi receives group_size * depth
+        // consecutive units, dealt round-robin across the group's servers
+        // in rounds of `group_size`.
+        const std::uint64_t span = static_cast<std::uint64_t>(group_size_) *
+                                   depth_;
+        const std::uint64_t c = g % (static_cast<std::uint64_t>(p) * depth_);
+        const std::uint64_t gi = c / span;
+        const std::uint64_t w = c % span;
+        return static_cast<ServerId>(gi * group_size_ + w % group_size_);
+      }
+      case DistKind::kGroupCyclic:
+        return static_cast<ServerId>((g / depth_) % p);
+    }
+    return static_cast<ServerId>(g % p);  // unreachable
+  }
+
+  /// Dense local rank of logical unit `g` on its server.
+  std::uint64_t LocalUnitOf(std::uint64_t g) const {
+    const std::uint32_t p = striping_.pcount;
+    switch (spec_.kind) {
+      case DistKind::kSimpleStripe:
+      case DistKind::kBlock:
+        return g / p;
+      case DistKind::kTwoDStripe: {
+        const std::uint64_t span = static_cast<std::uint64_t>(group_size_) *
+                                   depth_;
+        const std::uint64_t cycle = static_cast<std::uint64_t>(p) * depth_;
+        const std::uint64_t w = (g % cycle) % span;
+        return (g / cycle) * depth_ + w / group_size_;
+      }
+      case DistKind::kGroupCyclic: {
+        const std::uint64_t cycle = static_cast<std::uint64_t>(p) * depth_;
+        return (g / cycle) * depth_ + g % depth_;
+      }
+    }
+    return g / p;  // unreachable
+  }
+
+  /// Inverse map: the logical unit that is `server`'s rank-`local_unit`
+  /// unit. UnitOf(ServerOfUnit(g), LocalUnitOf(g)) == g for all g.
+  std::uint64_t UnitOf(ServerId server, std::uint64_t local_unit) const {
+    const std::uint32_t p = striping_.pcount;
+    switch (spec_.kind) {
+      case DistKind::kSimpleStripe:
+      case DistKind::kBlock:
+        return local_unit * p + server;
+      case DistKind::kTwoDStripe: {
+        const std::uint64_t span = static_cast<std::uint64_t>(group_size_) *
+                                   depth_;
+        const std::uint64_t cycle = static_cast<std::uint64_t>(p) * depth_;
+        const std::uint64_t gi = server / group_size_;
+        const std::uint64_t sv = server % group_size_;
+        return (local_unit / depth_) * cycle + gi * span +
+               (local_unit % depth_) * group_size_ + sv;
+      }
+      case DistKind::kGroupCyclic: {
+        const std::uint64_t cycle = static_cast<std::uint64_t>(p) * depth_;
+        return (local_unit / depth_) * cycle +
+               static_cast<std::uint64_t>(server) * depth_ +
+               local_unit % depth_;
+      }
+    }
+    return local_unit * p + server;  // unreachable
+  }
+
+  /// Units after which the server sequence repeats: a window of this many
+  /// consecutive units touches every server (InvolvedServers fast path).
+  std::uint64_t CycleUnits() const {
+    switch (spec_.kind) {
+      case DistKind::kTwoDStripe:
+      case DistKind::kGroupCyclic:
+        return static_cast<std::uint64_t>(striping_.pcount) * depth_;
+      default:
+        return striping_.pcount;
+    }
+  }
+
+  // ---- Byte-level entry points ------------------------------------------
+
   /// File-relative server index holding the logical byte at `offset`.
   ServerId ServerOf(FileOffset offset) const {
-    std::uint64_t stripe = offset / striping_.ssize;
-    return static_cast<ServerId>(stripe % striping_.pcount);
+    return ServerOfUnit(offset / unit_);
   }
 
   /// Local offset of the logical byte at `offset` within its server.
   FileOffset LocalOffsetOf(FileOffset offset) const {
-    std::uint64_t stripe = offset / striping_.ssize;
-    return (stripe / striping_.pcount) * striping_.ssize +
-           offset % striping_.ssize;
+    return LocalUnitOf(offset / unit_) * unit_ + offset % unit_;
   }
 
   /// Inverse map: the logical offset of local byte `local` on `server`.
-  FileOffset LogicalOffsetOf(ServerId server, FileOffset local) const;
+  FileOffset LogicalOffsetOf(ServerId server, FileOffset local) const {
+    return UnitOf(server, local / unit_) * unit_ + local % unit_;
+  }
 
-  /// Visit the stripe-granular fragments of a logical extent in logical
+  /// Visit the unit-granular fragments of a logical extent in logical
   /// order. `logical_pos` runs from `stream_base` (useful when walking a
   /// list of extents as one stream).
   void ForEachFragment(const Extent& logical, ByteCount stream_base,
@@ -150,7 +372,12 @@ class Distribution {
 
  private:
   Striping striping_;
+  DistributionSpec spec_;
   ReplicationConfig replication_;
+  // Derived, fixed at construction (hot-path: no per-call recomputation).
+  ByteCount unit_ = 0;
+  std::uint32_t group_size_ = 1;  // servers per group (twod), else pcount
+  std::uint32_t depth_ = 1;       // consecutive units per server placement
 };
 
 }  // namespace pvfs

@@ -64,7 +64,7 @@ Result<IoResponse> IoDaemon::Serve(const IoRequest& req) {
       return InvalidArgument("region overflows 64-bit offset space");
     }
   }
-  Distribution dist(req.striping);
+  Distribution dist(req.layout());
 
   // Collect the fragments assigned to the file-relative server index this
   // request addresses, in logical order; their total is the payload size

@@ -7,9 +7,10 @@
 
 namespace pvfs {
 
-Result<Metadata> Manager::Create(const std::string& name, Striping striping,
-                                 ReplicationConfig replication) {
+Result<Metadata> Manager::Create(const std::string& name,
+                                 const CreateOptions& options) {
   ++stats_.creates;
+  const Striping& striping = options.striping;
   if (name.empty()) return InvalidArgument("empty file name");
   if (striping.pcount == 0 || striping.pcount > server_count_) {
     return InvalidArgument("striping pcount outside [1, server_count]");
@@ -18,7 +19,13 @@ Result<Metadata> Manager::Create(const std::string& name, Striping striping,
     return InvalidArgument("striping base beyond server table");
   }
   if (striping.ssize == 0) return InvalidArgument("zero stripe size");
-  if (replication.replicas == 0 || replication.replicas > striping.pcount) {
+  // Reject malformed layout shapes here, at file birth — a bad spec that
+  // reached the data path would silently misplace bytes.
+  if (Status s = ValidateDistributionSpec(striping, options.dist); !s.ok()) {
+    return s;
+  }
+  if (options.replication.replicas == 0 ||
+      options.replication.replicas > striping.pcount) {
     return InvalidArgument("replicas outside [1, pcount]");
   }
   if (by_name_.contains(name)) return AlreadyExists("file exists: " + name);
@@ -26,8 +33,9 @@ Result<Metadata> Manager::Create(const std::string& name, Striping striping,
   Metadata meta;
   meta.handle = next_handle_++;
   meta.striping = striping;
+  meta.dist = options.dist;
   meta.size = 0;
-  meta.replication = replication;
+  meta.replication = options.replication;
   meta.epoch = 1;
   by_name_.emplace(name, meta);
   by_handle_.emplace(meta.handle, name);
@@ -158,7 +166,7 @@ std::vector<std::byte> Manager::HandleMessage(std::span<const std::byte> raw) {
     case MsgType::kCreate: {
       auto req = CreateRequest::Decode(r);
       if (!req.ok()) return EncodeResponse(req.status(), {});
-      return respond_meta(Create(req->name, req->striping, req->replication));
+      return respond_meta(Create(req->name, req->options));
     }
     case MsgType::kLookup: {
       ++stats_.lookups;

@@ -36,9 +36,11 @@ class Manager {
   /// with a (sealed) kCorruption envelope.
   std::vector<std::byte> HandleSealedMessage(std::span<const std::byte> raw);
 
-  // Direct-call API (used by tests and by HandleMessage).
-  Result<Metadata> Create(const std::string& name, Striping striping,
-                          ReplicationConfig replication = {});
+  // Direct-call API (used by tests and by HandleMessage). Takes the
+  // create-time layout aggregate; a bare Striping converts implicitly
+  // (simple stripe, no replication).
+  Result<Metadata> Create(const std::string& name,
+                          const CreateOptions& options);
   Result<Metadata> Lookup(const std::string& name) const;
   Status Remove(const std::string& name);
   Result<Metadata> Stat(FileHandle handle) const;

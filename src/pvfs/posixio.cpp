@@ -13,8 +13,8 @@ Result<PvfsStream> PvfsStream::Open(Client* client, const std::string& name) {
 }
 
 Result<PvfsStream> PvfsStream::Create(Client* client, const std::string& name,
-                                      Striping striping) {
-  PVFS_ASSIGN_OR_RETURN(Client::Fd fd, client->Create(name, striping));
+                                      const CreateOptions& options) {
+  PVFS_ASSIGN_OR_RETURN(Client::Fd fd, client->Create(name, options));
   return PvfsStream(client, fd, 0);
 }
 

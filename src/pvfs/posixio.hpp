@@ -33,9 +33,10 @@ class PvfsStream {
 
   /// Open an existing file for streaming access.
   static Result<PvfsStream> Open(Client* client, const std::string& name);
-  /// Create (and open) a new file.
+  /// Create (and open) a new file. A bare `Striping` converts implicitly
+  /// (simple stripe, no replication).
   static Result<PvfsStream> Create(Client* client, const std::string& name,
-                                   Striping striping);
+                                   const CreateOptions& options);
 
   PvfsStream(PvfsStream&& other) noexcept;
   PvfsStream& operator=(PvfsStream&& other) noexcept;

@@ -19,6 +19,61 @@ Result<Striping> DecodeStriping(WireReader& r) {
   return s;
 }
 
+void EncodeDistributionSpec(WireWriter& w, const Striping& s,
+                            const DistributionSpec& d) {
+  if (d.IsSimple()) {
+    // Canonical simple layout: exactly the legacy striping bytes.
+    EncodeStriping(w, s);
+    return;
+  }
+  w.U32(s.base);
+  w.U32(0);  // sentinel pcount: legacy decoders reject, new ones read on
+  w.U8(kDistWireVersion);
+  w.U8(static_cast<std::uint8_t>(d.kind));
+  w.U32(d.groups);
+  w.U32(d.group_depth);
+  w.U64(d.block_extent);
+  w.U32(s.pcount);
+  w.U64(s.ssize);
+}
+
+Result<DecodedLayout> DecodeDistributionSpec(WireReader& r) {
+  DecodedLayout out;
+  PVFS_ASSIGN_OR_RETURN(out.striping.base, r.U32());
+  PVFS_ASSIGN_OR_RETURN(std::uint32_t pcount, r.U32());
+  if (pcount != 0) {
+    // Legacy frame: plain striping, simple-stripe layout.
+    out.striping.pcount = pcount;
+    PVFS_ASSIGN_OR_RETURN(out.striping.ssize, r.U64());
+    if (out.striping.ssize == 0) {
+      return ProtocolError("striping with zero pcount or ssize");
+    }
+    return out;
+  }
+  PVFS_ASSIGN_OR_RETURN(std::uint8_t version, r.U8());
+  if (version != kDistWireVersion) {
+    return ProtocolError("unknown distribution encoding version");
+  }
+  PVFS_ASSIGN_OR_RETURN(std::uint8_t kind, r.U8());
+  if (kind == 0 || kind > static_cast<std::uint8_t>(DistKind::kGroupCyclic)) {
+    // kind 0 (simple) must use the legacy form — one wire form per layout.
+    return ProtocolError("unknown or non-canonical distribution kind");
+  }
+  out.dist.kind = static_cast<DistKind>(kind);
+  PVFS_ASSIGN_OR_RETURN(out.dist.groups, r.U32());
+  PVFS_ASSIGN_OR_RETURN(out.dist.group_depth, r.U32());
+  PVFS_ASSIGN_OR_RETURN(out.dist.block_extent, r.U64());
+  PVFS_ASSIGN_OR_RETURN(out.striping.pcount, r.U32());
+  PVFS_ASSIGN_OR_RETURN(out.striping.ssize, r.U64());
+  if (out.striping.pcount == 0 || out.striping.ssize == 0) {
+    return ProtocolError("striping with zero pcount or ssize");
+  }
+  if (Status s = ValidateDistributionSpec(out.striping, out.dist); !s.ok()) {
+    return ProtocolError(std::string(s.message()));
+  }
+  return out;
+}
+
 void EncodeReplication(WireWriter& w, const ReplicationConfig& c) {
   w.U32(c.replicas);
   w.U8(static_cast<std::uint8_t>(c.placement));
@@ -37,7 +92,7 @@ Result<ReplicationConfig> DecodeReplication(WireReader& r) {
 namespace {
 void EncodeMetadata(WireWriter& w, const Metadata& m) {
   w.U64(m.handle);
-  EncodeStriping(w, m.striping);
+  EncodeDistributionSpec(w, m.striping, m.dist);
   w.U64(m.size);
   EncodeReplication(w, m.replication);
   w.U64(m.epoch);
@@ -46,7 +101,9 @@ void EncodeMetadata(WireWriter& w, const Metadata& m) {
 Result<Metadata> DecodeMetadata(WireReader& r) {
   Metadata m;
   PVFS_ASSIGN_OR_RETURN(m.handle, r.U64());
-  PVFS_ASSIGN_OR_RETURN(m.striping, DecodeStriping(r));
+  PVFS_ASSIGN_OR_RETURN(DecodedLayout layout, DecodeDistributionSpec(r));
+  m.striping = layout.striping;
+  m.dist = layout.dist;
   PVFS_ASSIGN_OR_RETURN(m.size, r.U64());
   PVFS_ASSIGN_OR_RETURN(m.replication, DecodeReplication(r));
   PVFS_ASSIGN_OR_RETURN(m.epoch, r.U64());
@@ -60,16 +117,18 @@ std::vector<std::byte> CreateRequest::Encode() const {
   WireWriter w;
   w.U32(static_cast<std::uint32_t>(MsgType::kCreate));
   w.String(name);
-  EncodeStriping(w, striping);
-  EncodeReplication(w, replication);
+  EncodeDistributionSpec(w, options.striping, options.dist);
+  EncodeReplication(w, options.replication);
   return w.Take();
 }
 
 Result<CreateRequest> CreateRequest::Decode(WireReader& r) {
   CreateRequest req;
   PVFS_ASSIGN_OR_RETURN(req.name, r.String());
-  PVFS_ASSIGN_OR_RETURN(req.striping, DecodeStriping(r));
-  PVFS_ASSIGN_OR_RETURN(req.replication, DecodeReplication(r));
+  PVFS_ASSIGN_OR_RETURN(DecodedLayout layout, DecodeDistributionSpec(r));
+  req.options.striping = layout.striping;
+  req.options.dist = layout.dist;
+  PVFS_ASSIGN_OR_RETURN(req.options.replication, DecodeReplication(r));
   return req;
 }
 
@@ -225,7 +284,7 @@ std::vector<std::byte> IoRequest::Encode() const {
   WireWriter w;
   w.U32(static_cast<std::uint32_t>(MsgType::kIo));
   w.U64(handle);
-  EncodeStriping(w, striping);
+  EncodeDistributionSpec(w, striping, dist);
   w.U32(server_index);
   w.U8(static_cast<std::uint8_t>(op));
   w.U32(static_cast<std::uint32_t>(regions.size()));
@@ -240,7 +299,9 @@ std::vector<std::byte> IoRequest::Encode() const {
 Result<IoRequest> IoRequest::Decode(WireReader& r) {
   IoRequest req;
   PVFS_ASSIGN_OR_RETURN(req.handle, r.U64());
-  PVFS_ASSIGN_OR_RETURN(req.striping, DecodeStriping(r));
+  PVFS_ASSIGN_OR_RETURN(DecodedLayout layout, DecodeDistributionSpec(r));
+  req.striping = layout.striping;
+  req.dist = layout.dist;
   PVFS_ASSIGN_OR_RETURN(req.server_index, r.U32());
   if (req.server_index >= req.striping.pcount) {
     return ProtocolError("server_index beyond striping pcount");

@@ -50,9 +50,13 @@ enum class IoOp : std::uint8_t { kRead = 0, kWrite = 1 };
 struct Metadata {
   FileHandle handle = 0;
   Striping striping;
+  DistributionSpec dist;
   ByteCount size = 0;
   ReplicationConfig replication;
   std::uint64_t epoch = 0;
+
+  /// The file's layout aggregate, ready to hand to `Distribution`.
+  CreateOptions layout() const { return {striping, dist, replication}; }
 
   friend bool operator==(const Metadata&, const Metadata&) = default;
 };
@@ -61,8 +65,7 @@ struct Metadata {
 
 struct CreateRequest {
   std::string name;
-  Striping striping;
-  ReplicationConfig replication;
+  CreateOptions options;  // striping + distribution + replication
 
   std::vector<std::byte> Encode() const;
   static Result<CreateRequest> Decode(WireReader& r);
@@ -146,17 +149,26 @@ struct UnlockRequest {
 struct IoRequest {
   FileHandle handle = 0;
   Striping striping;
+  DistributionSpec dist;          // byte→server layout (default: simple)
   ServerId server_index = 0;      // file-relative index of the target iod
   IoOp op = IoOp::kRead;
   ExtentList regions;             // logical coordinates; trailing data
   std::vector<std::byte> payload; // write only: this server's bytes, in
                                   // logical walk order
 
+  /// The layout aggregate the iod should intersect regions with
+  /// (replication is irrelevant on the data path — replicas are whole
+  /// local-file copies under derived handles).
+  CreateOptions layout() const { return {striping, dist}; }
+
   std::vector<std::byte> Encode() const;
   static Result<IoRequest> Decode(WireReader& r);
 
   /// Wire bytes of the request structure itself (type + handle + striping
-  /// + op + region count), excluding trailing data and payload.
+  /// + op + region count), excluding trailing data and payload. Assumes
+  /// the default simple-stripe layout (the tagged non-simple encoding adds
+  /// 24 bytes; the Ethernet-frame accounting below is the paper's, which
+  /// only ever shipped the simple stripe).
   static ByteCount HeaderWireBytes();
   /// Wire bytes of a request carrying `regions` trailing entries and no
   /// payload — what must fit in one Ethernet frame for the 64 limit.
@@ -269,6 +281,38 @@ Result<DecodedResponse> DecodeResponse(std::span<const std::byte> raw);
 
 void EncodeStriping(WireWriter& w, const Striping& s);
 Result<Striping> DecodeStriping(WireReader& r);
+
+// ---- Layout wire format -------------------------------------------------
+//
+// Striping and DistributionSpec travel together wherever striping used to
+// travel alone. The encoding is versioned *through* the legacy striping
+// field so all three compatibility goals hold at once:
+//
+//   simple stripe   emits exactly the legacy `EncodeStriping` bytes
+//                   (u32 base, u32 pcount, u64 ssize) — frames at default
+//                   options are bit-identical to the pre-spec protocol
+//   non-simple      emits u32 base, u32 0 (a pcount no legacy frame can
+//                   carry), then u8 version, u8 kind, u32 groups,
+//                   u32 group_depth, u64 block_extent, u32 pcount,
+//                   u64 ssize. Old decoders read the sentinel pcount and
+//                   reject cleanly ("striping with zero pcount or ssize")
+//                   instead of silently misplacing bytes
+//   legacy frames   decode as simple stripe (pcount != 0 path)
+//
+// A tagged frame claiming kSimpleStripe is rejected: the simple encoding
+// is canonical, so every layout has exactly one wire form.
+
+/// Version byte of the tagged (non-simple) layout encoding.
+inline constexpr std::uint8_t kDistWireVersion = 1;
+
+struct DecodedLayout {
+  Striping striping;
+  DistributionSpec dist;
+};
+
+void EncodeDistributionSpec(WireWriter& w, const Striping& s,
+                            const DistributionSpec& d);
+Result<DecodedLayout> DecodeDistributionSpec(WireReader& r);
 
 void EncodeReplication(WireWriter& w, const ReplicationConfig& c);
 Result<ReplicationConfig> DecodeReplication(WireReader& r);

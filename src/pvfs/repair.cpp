@@ -62,7 +62,7 @@ Status CopyChunk(Transport& transport, ServerId src_global,
 Status RepairOneReplica(Transport& transport, const Metadata& meta,
                         ServerId suspect_rel, std::uint32_t ordinal,
                         ServerId suspect_global, RepairReport& report) {
-  const Distribution dist(meta.striping, meta.replication);
+  const Distribution dist(meta.layout());
   const std::uint32_t replicas = dist.EffectiveReplicas();
   const ServerId primary = dist.PrimaryFor(suspect_rel, ordinal);
   const FileHandle suspect_handle = ReplicaHandle(meta.handle, ordinal);
@@ -151,7 +151,7 @@ Result<RepairReport> RepairRestartedIod(Transport& transport,
   RepairReport report;
   Status first_error = Status::Ok();
   for (const Metadata& meta : files) {
-    const Distribution dist(meta.striping, meta.replication);
+    const Distribution dist(meta.layout());
     const std::uint32_t replicas = dist.EffectiveReplicas();
     if (replicas <= 1) continue;  // nothing to copy from
     bool touched = false;

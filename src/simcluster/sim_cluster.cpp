@@ -18,7 +18,7 @@ SimCluster::SimCluster(const SimClusterConfig& config)
     : config_(config),
       net_(config.net),
       cpu_model_(config.cpu),
-      dist_(config.striping),
+      dist_({config.striping, config.dist}),
       rmw_token_(sim_, 1) {
   if (config_.fault.enabled()) {
     fault_ = std::make_unique<fault::FaultInjector>(config_.fault);

@@ -32,6 +32,9 @@ struct SimClusterConfig {
   std::uint32_t clients = 8;
   std::uint32_t servers = 8;  // paper §4.1: 8 I/O nodes
   Striping striping{0, 8, 16384};
+  /// Byte→server layout over the striping (default: the paper's simple
+  /// stripe; see docs/distributions.md for the alternatives).
+  DistributionSpec dist{};
   std::uint32_t max_list_regions = kMaxListRegions;
 
   models::EthernetParams net{};

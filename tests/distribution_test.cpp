@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "pvfs/distribution.hpp"
+#include "pvfs/manager.hpp"
 #include "pvfs/protocol.hpp"
 
 namespace pvfs {
@@ -180,7 +181,7 @@ TEST(Placement, DefaultIsSingleReplica) {
 }
 
 TEST(Placement, RotationSetsAreDistinctServers) {
-  Distribution dist(Striping{0, 8, 16384}, ReplicationConfig{3});
+  Distribution dist({Striping{0, 8, 16384}, ReplicationConfig{3}});
   for (ServerId p = 0; p < 8; ++p) {
     std::vector<ServerId> set = dist.ReplicaSet(p);
     ASSERT_EQ(set.size(), 3u);
@@ -193,7 +194,7 @@ TEST(Placement, RotationSetsAreDistinctServers) {
 TEST(Placement, ReplicasClampToServerCount) {
   // Asking for more copies than daemons degrades to one copy per daemon
   // instead of placing two replicas on the same disk.
-  Distribution dist(Striping{0, 3, 16384}, ReplicationConfig{5});
+  Distribution dist({Striping{0, 3, 16384}, ReplicationConfig{5}});
   EXPECT_EQ(dist.EffectiveReplicas(), 3u);
   EXPECT_EQ(dist.ReplicaSet(1), (std::vector<ServerId>{1, 2, 0}));
 }
@@ -201,7 +202,7 @@ TEST(Placement, ReplicasClampToServerCount) {
 TEST(Placement, NonDivisibleServerCount) {
   // pcount=5, replicas=2: rotation wraps cleanly with no server doubled
   // inside a set even though 5 % 2 != 0.
-  Distribution dist(Striping{0, 5, 4096}, ReplicationConfig{2});
+  Distribution dist({Striping{0, 5, 4096}, ReplicationConfig{2}});
   EXPECT_EQ(dist.ReplicaSet(4), (std::vector<ServerId>{4, 0}));
   for (ServerId p = 0; p < 5; ++p) {
     auto set = dist.ReplicaSet(p);
@@ -215,8 +216,8 @@ TEST(Placement, LoadIsBalancedAcrossServers) {
   // replication hotspot.
   for (std::uint32_t pcount : {2u, 3u, 5u, 8u, 13u}) {
     for (std::uint32_t replicas = 1; replicas <= pcount; ++replicas) {
-      Distribution dist(Striping{0, pcount, 16384},
-                        ReplicationConfig{replicas});
+      Distribution dist({Striping{0, pcount, 16384},
+                         ReplicationConfig{replicas}});
       std::map<ServerId, int> appearances;
       for (ServerId p = 0; p < pcount; ++p) {
         for (ServerId s : dist.ReplicaSet(p)) ++appearances[s];
@@ -231,7 +232,7 @@ TEST(Placement, LoadIsBalancedAcrossServers) {
 }
 
 TEST(Placement, PrimaryForInvertsReplicaOf) {
-  Distribution dist(Striping{0, 7, 4096}, ReplicationConfig{3});
+  Distribution dist({Striping{0, 7, 4096}, ReplicationConfig{3}});
   for (ServerId p = 0; p < 7; ++p) {
     for (std::uint32_t k = 0; k < 3; ++k) {
       EXPECT_EQ(dist.PrimaryFor(dist.ReplicaOf(p, k), k), p);
@@ -245,8 +246,8 @@ TEST(Placement, StableAcrossIdenticalConfigs) {
   // restarted client reaches the same replicas as the one that wrote.
   Striping striping{2, 6, 65536};
   ReplicationConfig replication{3};
-  Distribution a(striping, replication);
-  Distribution b(striping, replication);
+  Distribution a({striping, replication});
+  Distribution b({striping, replication});
   for (ServerId p = 0; p < 6; ++p) {
     EXPECT_EQ(a.ReplicaSet(p), b.ReplicaSet(p));
   }
@@ -277,8 +278,8 @@ TEST(Placement, FuzzManyConfigs) {
     const std::uint32_t replicas =
         static_cast<std::uint32_t>(rng.Uniform(1, 9));
     const ServerId base = static_cast<ServerId>(rng.Uniform(0, 256));
-    Distribution dist(Striping{base, pcount, 4096},
-                      ReplicationConfig{replicas});
+    Distribution dist({Striping{base, pcount, 4096},
+                       ReplicationConfig{replicas}});
     const std::uint32_t effective = dist.EffectiveReplicas();
     ASSERT_EQ(effective, std::min(replicas, pcount));
     const ServerId p = static_cast<ServerId>(rng.Uniform(0, pcount - 1));
@@ -304,6 +305,312 @@ TEST(Placement, ZeroReplicasRejectedOnTheWire) {
   WireReader reader(buf);
   auto decoded = DecodeReplication(reader);
   EXPECT_FALSE(decoded.ok());
+}
+
+// ---- Pluggable layouts: per-byte oracle property suite --------------------
+//
+// Every layout must satisfy the same oracles the simple stripe always has:
+//   1. LogicalOffsetOf(ServerOf(x), LocalOffsetOf(x)) == x for every byte
+//   2. unit ranks are a dense bijection (rank sequences per server are
+//      0,1,2,... with no holes; UnitOf inverts the forward map)
+//   3. Fragments partitions the walked byte stream exactly
+//   4. ServerLocalRuns equals an independent sort+merge of ServerFragments
+//   5. InvolvedServers equals the brute-force server set
+//   6. a contiguous logical range coalesces to one local run per server
+
+struct LayoutCase {
+  const char* name;
+  CreateOptions options;
+};
+
+std::vector<LayoutCase> OracleLayouts() {
+  return {
+      {"simple-8", {Striping{0, 8, 16384}}},
+      {"simple-odd", {Striping{0, 5, 1000}}},
+      {"twod-2x4", {Striping{0, 8, 16384}, DistributionSpec::TwoD(2, 4)}},
+      {"twod-4x2", {Striping{0, 8, 16384}, DistributionSpec::TwoD(4, 2)}},
+      {"twod-odd", {Striping{0, 6, 1000}, DistributionSpec::TwoD(3, 5)}},
+      {"block-64k", {Striping{0, 8, 16384}, DistributionSpec::Block(65536)}},
+      {"block-odd", {Striping{0, 5, 4096}, DistributionSpec::Block(12345)}},
+      {"gcyclic-8", {Striping{0, 8, 16384}, DistributionSpec::GroupCyclic(8)}},
+      {"gcyclic-odd", {Striping{0, 5, 1000}, DistributionSpec::GroupCyclic(7)}},
+  };
+}
+
+TEST(DistLayouts, SpecsAreValid) {
+  for (const LayoutCase& c : OracleLayouts()) {
+    EXPECT_TRUE(
+        ValidateDistributionSpec(c.options.striping, c.options.dist).ok())
+        << c.name;
+  }
+}
+
+TEST(DistLayouts, PerByteRoundTrip) {
+  for (const LayoutCase& c : OracleLayouts()) {
+    Distribution dist(c.options);
+    SplitMix64 rng(55);
+    for (int i = 0; i < 3000; ++i) {
+      FileOffset logical = rng.Uniform(0, 1ull << 40);
+      ServerId s = dist.ServerOf(logical);
+      ASSERT_LT(s, c.options.striping.pcount) << c.name;
+      EXPECT_EQ(dist.LogicalOffsetOf(s, dist.LocalOffsetOf(logical)), logical)
+          << c.name << " offset " << logical;
+    }
+  }
+}
+
+TEST(DistLayouts, UnitRanksAreDenseBijection) {
+  for (const LayoutCase& c : OracleLayouts()) {
+    Distribution dist(c.options);
+    const std::uint64_t units = 4 * dist.CycleUnits() + 3;
+    std::vector<std::uint64_t> next_rank(c.options.striping.pcount, 0);
+    for (std::uint64_t g = 0; g < units; ++g) {
+      ServerId s = dist.ServerOfUnit(g);
+      std::uint64_t l = dist.LocalUnitOf(g);
+      // Dense: server s's units appear in logical order with ranks
+      // 0,1,2,... — no holes, no repeats.
+      EXPECT_EQ(l, next_rank[s]) << c.name << " unit " << g;
+      next_rank[s] = l + 1;
+      // Bijective: the inverse map recovers the logical unit.
+      EXPECT_EQ(dist.UnitOf(s, l), g) << c.name << " unit " << g;
+    }
+  }
+}
+
+TEST(DistLayouts, FragmentsPartitionTheByteStream) {
+  for (const LayoutCase& c : OracleLayouts()) {
+    Distribution dist(c.options);
+    SplitMix64 rng(66);
+    for (int round = 0; round < 20; ++round) {
+      ExtentList regions;
+      FileOffset cursor = rng.Uniform(0, 1 << 20);
+      const int n = 1 + static_cast<int>(rng.Uniform(0, 8));
+      for (int i = 0; i < n; ++i) {
+        ByteCount len = 1 + rng.Uniform(0, 3 * dist.unit());
+        regions.push_back(Extent{cursor, len});
+        cursor += len + rng.Uniform(0, 2 * dist.unit());
+      }
+      auto frags = dist.Fragments(regions);
+      // Stream positions tile [0, total) exactly, in order.
+      ByteCount stream = 0;
+      size_t fi = 0;
+      for (const Extent& e : regions) {
+        FileOffset pos = e.offset;
+        ByteCount remaining = e.length;
+        while (remaining > 0) {
+          ASSERT_LT(fi, frags.size()) << c.name;
+          const Fragment& f = frags[fi++];
+          EXPECT_EQ(f.logical_pos, stream) << c.name;
+          // Each fragment agrees with the per-byte maps at its first byte
+          // and stays inside one unit.
+          EXPECT_EQ(f.server, dist.ServerOf(pos)) << c.name;
+          EXPECT_EQ(f.local_offset, dist.LocalOffsetOf(pos)) << c.name;
+          EXPECT_LE(f.length, dist.unit() - pos % dist.unit()) << c.name;
+          EXPECT_GT(f.length, 0u) << c.name;
+          stream += f.length;
+          pos += f.length;
+          remaining -= f.length;
+        }
+      }
+      EXPECT_EQ(fi, frags.size()) << c.name;
+      EXPECT_EQ(stream, TotalBytes(regions)) << c.name;
+    }
+  }
+}
+
+// Independent oracle for ServerLocalRuns: sort fragments by local offset,
+// merge touching/overlapping ones.
+std::vector<Extent> SortMergeLocal(std::vector<Fragment> frags) {
+  std::stable_sort(frags.begin(), frags.end(),
+                   [](const Fragment& a, const Fragment& b) {
+                     return a.local_offset < b.local_offset;
+                   });
+  std::vector<Extent> merged;
+  for (const Fragment& f : frags) {
+    if (!merged.empty() &&
+        f.local_offset <= merged.back().offset + merged.back().length) {
+      ByteCount end = std::max(merged.back().offset + merged.back().length,
+                               f.local_offset + f.length);
+      merged.back().length = end - merged.back().offset;
+    } else {
+      merged.push_back(Extent{f.local_offset, f.length});
+    }
+  }
+  return merged;
+}
+
+TEST(DistLayouts, ServerLocalRunsEqualSortMergeOfServerFragments) {
+  for (const LayoutCase& c : OracleLayouts()) {
+    Distribution dist(c.options);
+    SplitMix64 rng(77);
+    for (int round = 0; round < 10; ++round) {
+      ExtentList regions;
+      FileOffset cursor = rng.Uniform(0, 1 << 18);
+      for (int i = 0; i < 6; ++i) {
+        ByteCount len = 1 + rng.Uniform(0, 4 * dist.unit());
+        regions.push_back(Extent{cursor, len});
+        cursor += len + rng.Uniform(0, dist.unit());
+      }
+      for (ServerId s = 0; s < c.options.striping.pcount; ++s) {
+        auto runs = dist.ServerLocalRuns(s, regions);
+        auto oracle = SortMergeLocal(dist.ServerFragments(s, regions));
+        ASSERT_EQ(runs.size(), oracle.size()) << c.name << " server " << s;
+        for (size_t i = 0; i < runs.size(); ++i) {
+          EXPECT_EQ(runs[i].local_offset, oracle[i].offset)
+              << c.name << " server " << s;
+          EXPECT_EQ(runs[i].length, oracle[i].length)
+              << c.name << " server " << s;
+        }
+      }
+    }
+  }
+}
+
+TEST(DistLayouts, InvolvedServersMatchesBruteForce) {
+  for (const LayoutCase& c : OracleLayouts()) {
+    Distribution dist(c.options);
+    SplitMix64 rng(88);
+    for (int round = 0; round < 40; ++round) {
+      ExtentList regions;
+      FileOffset cursor = rng.Uniform(0, 1 << 20);
+      const int n = 1 + static_cast<int>(rng.Uniform(0, 3));
+      for (int i = 0; i < n; ++i) {
+        // Lengths around the pcount..cycle unit range deliberately probe
+        // the all-servers fast path (a pcount-unit window does NOT touch
+        // every server under the grouped layouts).
+        ByteCount len =
+            1 + rng.Uniform(0, 2 * dist.CycleUnits() * dist.unit());
+        regions.push_back(Extent{cursor, len});
+        cursor += len + rng.Uniform(0, dist.unit());
+      }
+      std::set<ServerId> brute;
+      for (const Fragment& f : dist.Fragments(regions)) brute.insert(f.server);
+      std::vector<ServerId> expect(brute.begin(), brute.end());
+      EXPECT_EQ(dist.InvolvedServers(regions), expect) << c.name;
+    }
+  }
+}
+
+TEST(DistLayouts, ContiguousRangeIsOneLocalRunPerServerEveryLayout) {
+  // The coalescing property, layout by layout: dense unit ranks mean any
+  // contiguous logical range maps to at most one contiguous local run per
+  // server — even across placement-cycle and block-wrap boundaries.
+  for (const LayoutCase& c : OracleLayouts()) {
+    Distribution dist(c.options);
+    const ByteCount cycle_bytes = dist.CycleUnits() * dist.unit();
+    SplitMix64 rng(99);
+    for (int round = 0; round < 10; ++round) {
+      FileOffset start = rng.Uniform(0, 2 * cycle_bytes);
+      ByteCount length = 1 + rng.Uniform(0, 3 * cycle_bytes);
+      ExtentList range{{start, length}};
+      ByteCount total = 0;
+      for (ServerId s = 0; s < c.options.striping.pcount; ++s) {
+        auto runs = dist.ServerLocalRuns(s, range);
+        EXPECT_LE(runs.size(), 1u) << c.name << " server " << s;
+        for (const Fragment& r : runs) total += r.length;
+      }
+      EXPECT_EQ(total, length) << c.name;
+    }
+  }
+}
+
+TEST(DistLayouts, BytesOnServerSumsToTotalEveryLayout) {
+  for (const LayoutCase& c : OracleLayouts()) {
+    Distribution dist(c.options);
+    ExtentList regions{{100, 100000}, {500000, 77777}, {1 << 21, 12345}};
+    ByteCount sum = 0;
+    for (ServerId s = 0; s < c.options.striping.pcount; ++s) {
+      sum += dist.BytesOnServer(s, regions);
+    }
+    EXPECT_EQ(sum, TotalBytes(regions)) << c.name;
+  }
+}
+
+TEST(DistLayouts, TwoDKeepsUnitsInsideTheirGroup) {
+  // The defining 2-D property: each span of group_size*depth consecutive
+  // units stays on one group of servers.
+  Distribution dist({Striping{0, 8, 16384}, DistributionSpec::TwoD(2, 4)});
+  const std::uint32_t group_size = 4;  // 8 servers / 2 groups
+  const std::uint64_t span = group_size * 4;  // * depth
+  for (std::uint64_t g = 0; g < 4 * dist.CycleUnits(); ++g) {
+    std::uint64_t gi = (g % dist.CycleUnits()) / span;
+    ServerId s = dist.ServerOfUnit(g);
+    EXPECT_EQ(s / group_size, gi) << "unit " << g;
+  }
+}
+
+TEST(DistLayouts, GroupCyclicPlacesDepthRunsPerServer) {
+  Distribution dist({Striping{0, 4, 4096}, DistributionSpec::GroupCyclic(3)});
+  // Units 0,1,2 -> server 0; 3,4,5 -> server 1; ...; 12 wraps to server 0.
+  for (std::uint64_t g = 0; g < 24; ++g) {
+    EXPECT_EQ(dist.ServerOfUnit(g), (g / 3) % 4) << "unit " << g;
+  }
+}
+
+TEST(DistLayouts, BlockPlacesWholeExtentsPerServer) {
+  const ByteCount kExtent = 1 << 20;
+  Distribution dist({Striping{0, 4, 16384}, DistributionSpec::Block(kExtent)});
+  EXPECT_EQ(dist.unit(), kExtent);
+  // Byte ranges [i*extent, (i+1)*extent) live wholly on server i.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(dist.ServerOf(i * kExtent), i);
+    EXPECT_EQ(dist.ServerOf((i + 1) * kExtent - 1), i);
+  }
+  // Past the declared span the placement wraps (growable trade): the 5th
+  // extent returns to server 0, packed after its first.
+  EXPECT_EQ(dist.ServerOf(4 * kExtent), 0u);
+  EXPECT_EQ(dist.LocalOffsetOf(4 * kExtent), kExtent);
+}
+
+// ---- Manager-side spec validation (kCreate guard) -------------------------
+
+TEST(DistValidation, ManagerRejectsEachMalformedShape) {
+  Manager mgr(8);
+  const Striping s{0, 8, 16384};
+  struct Bad {
+    const char* what;
+    DistributionSpec spec;
+  };
+  std::vector<Bad> shapes;
+  shapes.push_back({"twod groups not dividing pcount",
+                    DistributionSpec::TwoD(3, 4)});
+  shapes.push_back({"twod zero groups", DistributionSpec::TwoD(0, 4)});
+  shapes.push_back({"twod groups beyond pcount",
+                    DistributionSpec::TwoD(16, 1)});
+  shapes.push_back({"twod zero depth", DistributionSpec::TwoD(2, 0)});
+  shapes.push_back({"block without declared extent",
+                    DistributionSpec::Block(0)});
+  shapes.push_back({"gcyclic zero depth", DistributionSpec::GroupCyclic(0)});
+  DistributionSpec junk_simple;  // simple kind with stray parameters
+  junk_simple.groups = 2;
+  shapes.push_back({"simple with stray parameters", junk_simple});
+  DistributionSpec twod_with_extent = DistributionSpec::TwoD(2, 4);
+  twod_with_extent.block_extent = 4096;
+  shapes.push_back({"twod with stray block extent", twod_with_extent});
+  for (const Bad& bad : shapes) {
+    auto meta = mgr.Create(bad.what, CreateOptions{s, bad.spec});
+    ASSERT_FALSE(meta.ok()) << bad.what;
+    EXPECT_EQ(meta.status().code(), ErrorCode::kInvalidArgument) << bad.what;
+  }
+}
+
+TEST(DistValidation, ManagerAcceptsAndRecordsValidSpecs) {
+  Manager mgr(8);
+  const Striping s{0, 8, 16384};
+  const DistributionSpec specs[] = {
+      DistributionSpec::Simple(),
+      DistributionSpec::TwoD(2, 4),
+      DistributionSpec::Block(1 << 20),
+      DistributionSpec::GroupCyclic(8),
+  };
+  for (const DistributionSpec& spec : specs) {
+    auto meta = mgr.Create(DistKindName(spec.kind), CreateOptions{s, spec});
+    ASSERT_TRUE(meta.ok()) << DistKindName(spec.kind);
+    EXPECT_EQ(meta->dist, spec) << DistKindName(spec.kind);
+    auto stat = mgr.Stat(meta->handle);
+    ASSERT_TRUE(stat.ok());
+    EXPECT_EQ(stat->dist, spec) << DistKindName(spec.kind);
+  }
 }
 
 }  // namespace

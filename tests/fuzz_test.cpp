@@ -89,6 +89,48 @@ TEST(Fuzz, ResponseDecoderHandlesGarbage) {
   SUCCEED();
 }
 
+TEST(Fuzz, MutatedDistributionSpecsEitherFailOrDecodeValid) {
+  // Layout decoder fuzz: start from a valid tagged frame for each
+  // non-simple kind, flip one byte at a time, and require that every
+  // mutation either fails cleanly or yields a spec that passes the same
+  // validation the manager applies at create time.
+  const CreateOptions bases[] = {
+      {Striping{0, 8, 16384}, DistributionSpec::TwoD(2, 4)},
+      {Striping{0, 8, 16384}, DistributionSpec::Block(1 << 20)},
+      {Striping{0, 8, 16384}, DistributionSpec::GroupCyclic(8)},
+  };
+  SplitMix64 rng(31);
+  for (const CreateOptions& base : bases) {
+    WireWriter w;
+    EncodeDistributionSpec(w, base.striping, base.dist);
+    ByteBuffer frame = std::move(w).Take();
+    for (int i = 0; i < 2000; ++i) {
+      ByteBuffer mutated = frame;
+      size_t at = rng.Uniform(0, mutated.size() - 1);
+      mutated[at] = std::byte{static_cast<unsigned char>(rng.Next())};
+      WireReader r(mutated);
+      auto decoded = DecodeDistributionSpec(r);
+      if (decoded.ok()) {
+        EXPECT_TRUE(
+            ValidateDistributionSpec(decoded->striping, decoded->dist).ok());
+      }
+    }
+  }
+}
+
+TEST(Fuzz, RandomBytesIntoDistributionSpecDecoderNeverCrash) {
+  SplitMix64 rng(33);
+  for (int i = 0; i < 3000; ++i) {
+    ByteBuffer junk = RandomBytes(rng, 64);
+    WireReader r(junk);
+    auto decoded = DecodeDistributionSpec(r);  // may fail, must not crash
+    if (decoded.ok()) {
+      EXPECT_TRUE(
+          ValidateDistributionSpec(decoded->striping, decoded->dist).ok());
+    }
+  }
+}
+
 // ---- Sealed-frame fuzzing ----------------------------------------------------
 
 /// Opens a sealed response and decodes its envelope; the daemons must

@@ -15,7 +15,8 @@ TEST(Protocol, CreateRequestRoundTrip) {
   auto decoded = CreateRequest::Decode(r);
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->name, "dir/file.dat");
-  EXPECT_EQ(decoded->striping, (Striping{2, 6, 32768}));
+  EXPECT_EQ(decoded->options.striping, (Striping{2, 6, 32768}));
+  EXPECT_EQ(decoded->options.dist, DistributionSpec::Simple());
 }
 
 TEST(Protocol, StripingWithZeroPcountRejected) {
@@ -100,7 +101,7 @@ TEST(Protocol, ResponseEnvelopeCarriesStatus) {
 }
 
 TEST(Protocol, ResponseEnvelopeCarriesBody) {
-  MetadataResponse meta{{42, Striping{0, 8, 16384}, 1000}};
+  MetadataResponse meta{{42, Striping{0, 8, 16384}, {}, 1000}};
   auto env = EncodeResponse(Status::Ok(), meta.Encode());
   auto decoded = DecodeResponse(env);
   ASSERT_TRUE(decoded.ok());
@@ -153,13 +154,13 @@ TEST(Protocol, AllManagerMessagesRoundTrip) {
 }
 
 TEST(Protocol, CreateRequestCarriesReplication) {
-  CreateRequest req{"rep", Striping{0, 4, 16384}, ReplicationConfig{3}};
+  CreateRequest req{"rep", {Striping{0, 4, 16384}, ReplicationConfig{3}}};
   auto raw = req.Encode();
   WireReader r(raw);
   (void)r.U32();
   auto decoded = CreateRequest::Decode(r);
   ASSERT_TRUE(decoded.ok());
-  EXPECT_EQ(decoded->replication, (ReplicationConfig{3}));
+  EXPECT_EQ(decoded->options.replication, (ReplicationConfig{3}));
 }
 
 TEST(Protocol, MetadataRoundTripsReplication) {
@@ -249,6 +250,172 @@ TEST(Protocol, RepairRoundTrip) {
     ASSERT_TRUE(decoded.ok());
     EXPECT_EQ(decoded->payload, resp.payload);
   }
+}
+
+// ---- Layout wire format (DistributionSpec tagging) ----------------------
+
+TEST(ProtocolDist, SimpleSpecEncodesExactlyLegacyStripingBytes) {
+  // The default layout must be indistinguishable on the wire from the
+  // pre-DistributionSpec protocol (fig09-17 frames bit-identical).
+  const Striping s{2, 6, 32768};
+  WireWriter legacy;
+  EncodeStriping(legacy, s);
+  WireWriter tagged;
+  EncodeDistributionSpec(tagged, s, DistributionSpec::Simple());
+  EXPECT_EQ(legacy.data().size(), tagged.data().size());
+  EXPECT_TRUE(std::equal(legacy.data().begin(), legacy.data().end(),
+                         tagged.data().begin()));
+}
+
+TEST(ProtocolDist, LegacyFrameDecodesAsSimpleStripe) {
+  WireWriter w;
+  EncodeStriping(w, Striping{1, 4, 8192});
+  WireReader r(w.data());
+  auto layout = DecodeDistributionSpec(r);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->striping, (Striping{1, 4, 8192}));
+  EXPECT_EQ(layout->dist, DistributionSpec::Simple());
+}
+
+TEST(ProtocolDist, TaggedRoundTripEveryKind) {
+  const Striping s{0, 8, 16384};
+  const DistributionSpec specs[] = {
+      DistributionSpec::TwoD(2, 4),
+      DistributionSpec::Block(1 << 20),
+      DistributionSpec::GroupCyclic(8),
+  };
+  for (const DistributionSpec& spec : specs) {
+    WireWriter w;
+    EncodeDistributionSpec(w, s, spec);
+    WireReader r(w.data());
+    auto layout = DecodeDistributionSpec(r);
+    ASSERT_TRUE(layout.ok()) << DistKindName(spec.kind);
+    EXPECT_EQ(layout->striping, s) << DistKindName(spec.kind);
+    EXPECT_EQ(layout->dist, spec) << DistKindName(spec.kind);
+    EXPECT_EQ(r.remaining(), 0u) << DistKindName(spec.kind);
+  }
+}
+
+TEST(ProtocolDist, OldDecoderRejectsTaggedFrameCleanly) {
+  // An old peer (DecodeStriping) reading a new-layout frame must fail with
+  // a protocol error — never decode a wrong striping and misplace bytes.
+  WireWriter w;
+  EncodeDistributionSpec(w, Striping{0, 8, 16384},
+                         DistributionSpec::TwoD(2, 4));
+  WireReader r(w.data());
+  auto striping = DecodeStriping(r);
+  EXPECT_FALSE(striping.ok());
+  EXPECT_EQ(striping.status().code(), ErrorCode::kProtocol);
+}
+
+TEST(ProtocolDist, TaggedSimpleKindRejectedAsNonCanonical) {
+  // kind 0 inside a tagged frame would give the simple layout two wire
+  // forms; the decoder insists on the legacy form.
+  WireWriter w;
+  w.U32(0);   // base
+  w.U32(0);   // sentinel pcount
+  w.U8(kDistWireVersion);
+  w.U8(0);    // kSimpleStripe — must be rejected
+  w.U32(1);
+  w.U32(1);
+  w.U64(0);
+  w.U32(8);
+  w.U64(16384);
+  WireReader r(w.data());
+  EXPECT_FALSE(DecodeDistributionSpec(r).ok());
+}
+
+TEST(ProtocolDist, HostileTaggedFramesRejected) {
+  struct Shape {
+    const char* what;
+    std::uint8_t version;
+    std::uint8_t kind;
+    std::uint32_t groups;
+    std::uint32_t depth;
+    std::uint64_t extent;
+    std::uint32_t pcount;
+    std::uint64_t ssize;
+  };
+  const Shape bad[] = {
+      {"unknown version", 9, 1, 2, 4, 0, 8, 16384},
+      {"unknown kind", kDistWireVersion, 7, 1, 1, 0, 8, 16384},
+      {"groups not dividing pcount", kDistWireVersion, 1, 3, 4, 0, 8, 16384},
+      {"zero groups", kDistWireVersion, 1, 0, 4, 0, 8, 16384},
+      {"groups beyond pcount", kDistWireVersion, 1, 16, 4, 0, 8, 16384},
+      {"zero depth twod", kDistWireVersion, 1, 2, 0, 0, 8, 16384},
+      {"block with zero extent", kDistWireVersion, 2, 1, 1, 0, 8, 16384},
+      {"gcyclic zero depth", kDistWireVersion, 3, 1, 0, 0, 8, 16384},
+      {"zero pcount", kDistWireVersion, 1, 2, 4, 0, 0, 16384},
+      {"zero ssize", kDistWireVersion, 1, 2, 4, 0, 8, 0},
+  };
+  for (const Shape& shape : bad) {
+    WireWriter w;
+    w.U32(0);
+    w.U32(0);  // sentinel
+    w.U8(shape.version);
+    w.U8(shape.kind);
+    w.U32(shape.groups);
+    w.U32(shape.depth);
+    w.U64(shape.extent);
+    w.U32(shape.pcount);
+    w.U64(shape.ssize);
+    WireReader r(w.data());
+    EXPECT_FALSE(DecodeDistributionSpec(r).ok()) << shape.what;
+  }
+}
+
+TEST(ProtocolDist, TruncatedTaggedFrameRejected) {
+  WireWriter w;
+  EncodeDistributionSpec(w, Striping{0, 8, 16384},
+                         DistributionSpec::Block(1 << 20));
+  auto full = w.Take();
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    std::span<const std::byte> head(full.data(), cut);
+    WireReader r(head);
+    EXPECT_FALSE(DecodeDistributionSpec(r).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(ProtocolDist, CreateRequestRoundTripsDistributionSpec) {
+  CreateRequest req{
+      "twod", {Striping{0, 8, 16384}, DistributionSpec::TwoD(4, 2)}};
+  auto raw = req.Encode();
+  WireReader r(raw);
+  (void)r.U32();
+  auto decoded = CreateRequest::Decode(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->options.dist, DistributionSpec::TwoD(4, 2));
+  EXPECT_EQ(decoded->options.striping, (Striping{0, 8, 16384}));
+}
+
+TEST(ProtocolDist, MetadataRoundTripsDistributionSpec) {
+  MetadataResponse resp;
+  resp.meta.handle = 7;
+  resp.meta.striping = Striping{0, 4, 16384};
+  resp.meta.dist = DistributionSpec::GroupCyclic(16);
+  resp.meta.size = 4096;
+  resp.meta.epoch = 3;
+  auto decoded = MetadataResponse::Decode(resp.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->meta, resp.meta);
+}
+
+TEST(ProtocolDist, IoRequestRoundTripsDistributionSpec) {
+  IoRequest req;
+  req.handle = 5;
+  req.striping = Striping{0, 8, 16384};
+  req.dist = DistributionSpec::Block(1 << 16);
+  req.server_index = 2;
+  req.op = IoOp::kRead;
+  req.regions = {{0, 4096}};
+  auto raw = req.Encode();
+  WireReader r(raw);
+  (void)r.U32();
+  auto decoded = IoRequest::Decode(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->dist, (DistributionSpec::Block(1 << 16)));
+  EXPECT_EQ(decoded->striping, req.striping);
+  EXPECT_EQ(decoded->regions, req.regions);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 //
 //   pvfs_cli <mgr_port> <iod_port>[,<iod_port>...] ls [prefix]
 //   pvfs_cli <mgr_port> <iod_ports>                put <name> <local-file>
+//                                                      [--dist=<layout>]
 //   pvfs_cli <mgr_port> <iod_ports>                get <name> <local-file>
 //   pvfs_cli <mgr_port> <iod_ports>                rm <name>
 //   pvfs_cli <mgr_port> <iod_ports>                stat <name>
@@ -27,8 +28,43 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: pvfs_cli <mgr_port> <iod_port,iod_port,...> "
-               "<ls|put|get|rm|stat|stats> [args]\n");
+               "<ls|put|get|rm|stat|stats> [args]\n"
+               "  put <name> <local-file> [--dist=<layout>] where <layout>\n"
+               "  is twod:<groups>,<depth> | block:<bytes> | "
+               "gcyclic:<depth>\n"
+               "  (default: simple round-robin striping; see "
+               "docs/distributions.md)\n");
   return 2;
+}
+
+/// Parses a put --dist=<layout> value. Validation proper happens at the
+/// manager; this only maps the spelling onto a DistributionSpec.
+bool ParseDistSpec(const char* text, DistributionSpec* out) {
+  if (std::strncmp(text, "twod:", 5) == 0) {
+    char* end = nullptr;
+    unsigned long groups = std::strtoul(text + 5, &end, 10);
+    if (*end != ',') return false;
+    unsigned long depth = std::strtoul(end + 1, &end, 10);
+    if (*end != '\0') return false;
+    *out = DistributionSpec::TwoD(static_cast<std::uint32_t>(groups),
+                                  static_cast<std::uint32_t>(depth));
+    return true;
+  }
+  if (std::strncmp(text, "block:", 6) == 0) {
+    char* end = nullptr;
+    unsigned long long bytes = std::strtoull(text + 6, &end, 10);
+    if (*end != '\0') return false;
+    *out = DistributionSpec::Block(static_cast<ByteCount>(bytes));
+    return true;
+  }
+  if (std::strncmp(text, "gcyclic:", 8) == 0) {
+    char* end = nullptr;
+    unsigned long depth = std::strtoul(text + 8, &end, 10);
+    if (*end != '\0') return false;
+    *out = DistributionSpec::GroupCyclic(static_cast<std::uint32_t>(depth));
+    return true;
+  }
+  return false;
 }
 
 std::vector<net::SocketAddress> ParsePorts(const char* list) {
@@ -66,9 +102,17 @@ int DoPut(Client& client, int argc, char** argv) {
   }
   std::vector<char> raw((std::istreambuf_iterator<char>(in)),
                         std::istreambuf_iterator<char>());
-  // Stripe over every configured I/O daemon with the PVFS default unit.
-  Striping striping{0, client.TransportServerCount(), 16384};
-  auto stream = PvfsStream::Create(&client, argv[4], striping);
+  // Stripe over every configured I/O daemon with the PVFS default unit;
+  // --dist selects a non-default layout (manager validates the shape).
+  CreateOptions options{Striping{0, client.TransportServerCount(), 16384}};
+  if (argc > 6) {
+    if (std::strncmp(argv[6], "--dist=", 7) != 0 ||
+        !ParseDistSpec(argv[6] + 7, &options.dist)) {
+      std::fprintf(stderr, "bad --dist value: %s\n", argv[6]);
+      return Usage();
+    }
+  }
+  auto stream = PvfsStream::Create(&client, argv[4], options);
   if (!stream.ok()) {
     std::fprintf(stderr, "%s\n", stream.status().ToString().c_str());
     return 1;
@@ -126,11 +170,14 @@ int DoStat(Client& client, int argc, char** argv) {
   auto meta = client.Stat(*fd);
   if (!meta.ok()) return 1;
   std::printf("%s: handle=%llu size=%llu striping={base=%u pcount=%u "
-              "ssize=%llu}\n",
+              "ssize=%llu} dist={kind=%s groups=%u depth=%u extent=%llu}\n",
               argv[4], static_cast<unsigned long long>(meta->handle),
               static_cast<unsigned long long>(meta->size),
               meta->striping.base, meta->striping.pcount,
-              static_cast<unsigned long long>(meta->striping.ssize));
+              static_cast<unsigned long long>(meta->striping.ssize),
+              DistKindName(meta->dist.kind), meta->dist.groups,
+              meta->dist.group_depth,
+              static_cast<unsigned long long>(meta->dist.block_extent));
   (void)client.Close(*fd);
   return 0;
 }
